@@ -1,0 +1,312 @@
+// Command pokeemu drives the path-exploration-lifting pipeline from the
+// command line: decoder exploration, per-instruction state exploration,
+// test-program generation, cross-validation campaigns, and the
+// random-testing baseline.
+//
+// Usage:
+//
+//	pokeemu explore
+//	pokeemu paths -i push_r [-cap 8192]
+//	pokeemu gen -i push_r [-path 0]
+//	pokeemu campaign [-instrs N] [-cap N] [-handlers a,b,c] [-workers N]
+//	pokeemu random [-tests N] [-fuzz]
+//	pokeemu sequence -seq f9,11d8 [-cap N]
+//	pokeemu trace -prog b82a000000f4 [-on celer]
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"pokeemu/internal/campaign"
+	"pokeemu/internal/core"
+	"pokeemu/internal/emu"
+	"pokeemu/internal/harness"
+	"pokeemu/internal/machine"
+	"pokeemu/internal/randtest"
+	"pokeemu/internal/symex"
+	"pokeemu/internal/testgen"
+	"pokeemu/internal/x86"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "explore":
+		cmdExplore()
+	case "paths":
+		cmdPaths(os.Args[2:])
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "campaign":
+		cmdCampaign(os.Args[2:])
+	case "random":
+		cmdRandom(os.Args[2:])
+	case "sequence":
+		cmdSequence(os.Args[2:])
+	case "trace":
+		cmdTrace(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+// cmdTrace executes a hex-encoded program on one implementation, printing
+// each instruction with its register effects — the debugging view used when
+// analyzing a difference by hand (the paper's "examined representative
+// tests" step).
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	progHex := fs.String("prog", "b82a000000f4", "hex-encoded program bytes")
+	impl := fs.String("on", "fidelis", "fidelis | celer | hardware")
+	steps := fs.Int("steps", 64, "max instructions")
+	fs.Parse(args)
+
+	prog, err := hex.DecodeString(*progHex)
+	if err != nil {
+		die(err)
+	}
+	var factory harness.Factory
+	switch *impl {
+	case "fidelis":
+		factory = harness.FidelisFactory()
+	case "celer":
+		factory = harness.CelerFactory()
+	case "hardware":
+		factory = harness.HardwareFactory()
+	default:
+		die(fmt.Errorf("unknown implementation %q", *impl))
+	}
+
+	image := machine.BaselineImage()
+	m := machine.NewBaseline(image)
+	m.Mem.WriteBytes(machine.CodeBase, prog)
+	e := factory.New(m)
+
+	prev := m.CPU
+	for i := 0; i < *steps; i++ {
+		code, _ := m.FetchCode(x86.MaxInstLen)
+		dis := "(fetch fault)"
+		if inst, err := x86.Decode(code); err == nil {
+			dis = x86.Disasm(inst)
+		}
+		eip := m.EIP
+		ev := e.Step()
+		fmt.Printf("%08x  %-32s", eip, dis)
+		for r := 0; r < 8; r++ {
+			if m.GPR[r] != prev.GPR[r] {
+				fmt.Printf("  %s←%#x", x86.Reg(r), m.GPR[r])
+			}
+		}
+		if m.EFLAGS != prev.EFLAGS {
+			fmt.Printf("  eflags←%#x", m.EFLAGS)
+		}
+		if ev.Exception != nil {
+			fmt.Printf("  %v", ev.Exception)
+		}
+		fmt.Println()
+		prev = m.CPU
+		if ev.Kind == emu.EventHalt || ev.Kind == emu.EventShutdown {
+			fmt.Printf("terminated: %v\n", ev.Kind)
+			return
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr,
+		"usage: pokeemu explore | paths | gen | campaign | random | sequence | trace")
+	os.Exit(2)
+}
+
+// cmdSequence explores a multi-instruction sequence given as
+// comma-separated hex encodings, e.g. -seq f9,11d8 for "stc; adc".
+func cmdSequence(args []string) {
+	fs := flag.NewFlagSet("sequence", flag.ExitOnError)
+	seq := fs.String("seq", "f9,11d8", "comma-separated hex instruction encodings")
+	cap := fs.Int("cap", 1024, "path cap")
+	fs.Parse(args)
+
+	var encodings [][]byte
+	for _, part := range strings.Split(*seq, ",") {
+		b, err := hex.DecodeString(part)
+		if err != nil {
+			die(fmt.Errorf("bad hex %q: %w", part, err))
+		}
+		encodings = append(encodings, b)
+	}
+	opts := symex.DefaultOptions()
+	opts.MaxPaths = *cap
+	ex, err := core.NewExplorer(opts)
+	if err != nil {
+		die(err)
+	}
+	res, err := ex.ExploreSequence(encodings)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("%s: %d paths, exhausted=%v\n",
+		res.Instr.Key(), len(res.Tests), res.Exhausted)
+	for _, tc := range res.Tests {
+		fmt.Printf("  path %3d: %-22v state diffs: %d\n",
+			tc.PathIndex, tc.Outcome, len(tc.Diffs()))
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "pokeemu:", err)
+	os.Exit(1)
+}
+
+func cmdExplore() {
+	res := core.ExploreInstructionSet()
+	fmt.Printf("decoder paths explored: %d (of a raw 2^24 three-byte space)\n",
+		res.ExploredPaths)
+	fmt.Printf("candidate byte sequences: %d\n", len(res.Candidates))
+	fmt.Printf("unique instructions: %d\n", len(res.Unique))
+	for _, u := range res.Unique {
+		fmt.Printf("  %-24s % x\n", u.Key(), u.Repr)
+	}
+}
+
+func findInstr(key string) (*core.UniqueInstr, error) {
+	for _, u := range core.ExploreInstructionSet().Unique {
+		if u.Key() == key {
+			return u, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown instruction key %q (see pokeemu explore)", key)
+}
+
+func cmdPaths(args []string) {
+	fs := flag.NewFlagSet("paths", flag.ExitOnError)
+	key := fs.String("i", "push_r", "instruction handler key")
+	cap := fs.Int("cap", 8192, "path cap")
+	fs.Parse(args)
+
+	u, err := findInstr(*key)
+	if err != nil {
+		die(err)
+	}
+	opts := symex.DefaultOptions()
+	opts.MaxPaths = *cap
+	ex, err := core.NewExplorer(opts)
+	if err != nil {
+		die(err)
+	}
+	res, err := ex.ExploreState(u)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("%s: %d paths, exhausted=%v, %d solver queries, %d tree nodes\n",
+		u.Key(), len(res.Tests), res.Exhausted,
+		res.Stats.SolverQueries, res.Stats.TreeNodes)
+	for _, tc := range res.Tests {
+		fmt.Printf("  path %3d: %-22v state diffs: %d\n",
+			tc.PathIndex, tc.Outcome, len(tc.Diffs()))
+	}
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	key := fs.String("i", "push_r", "instruction handler key")
+	pathIdx := fs.Int("path", -1, "path index (-1 = first buildable with state diffs)")
+	fs.Parse(args)
+
+	u, err := findInstr(*key)
+	if err != nil {
+		die(err)
+	}
+	ex, err := core.NewExplorer(symex.DefaultOptions())
+	if err != nil {
+		die(err)
+	}
+	res, err := ex.ExploreState(u)
+	if err != nil {
+		die(err)
+	}
+	for _, tc := range res.Tests {
+		if *pathIdx >= 0 && tc.PathIndex != *pathIdx {
+			continue
+		}
+		if *pathIdx < 0 && len(tc.Diffs()) == 0 {
+			continue
+		}
+		p, err := testgen.Build(tc)
+		if err != nil {
+			if *pathIdx >= 0 {
+				die(err)
+			}
+			continue
+		}
+		fmt.Printf("test %s (outcome %v)\n", tc.ID, tc.Outcome)
+		fmt.Println("state assignment (differences from baseline):")
+		diffs := tc.Diffs()
+		names := make([]string, 0, len(diffs))
+		for n := range diffs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-18s = %#x\n", n, diffs[n])
+		}
+		fmt.Println("test program:")
+		fmt.Print(p.String())
+		return
+	}
+	die(fmt.Errorf("no matching path"))
+}
+
+func cmdCampaign(args []string) {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	instrs := fs.Int("instrs", 0, "max unique instructions (0 = all)")
+	cap := fs.Int("cap", 256, "paths per instruction")
+	handlers := fs.String("handlers", "", "comma-separated handler keys")
+	seed := fs.Int64("seed", 1, "exploration seed")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers")
+	maxSteps := fs.Int("maxsteps", 0, "per-path IR step cap (0 = default)")
+	fs.Parse(args)
+
+	cfg := campaign.Config{
+		MaxPathsPerInstr: *cap,
+		MaxInstrs:        *instrs,
+		Seed:             *seed,
+		Workers:          *workers,
+		MaxSteps:         *maxSteps,
+	}
+	if *handlers != "" {
+		cfg.Handlers = strings.Split(*handlers, ",")
+	}
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		die(err)
+	}
+	fmt.Print(res.Summary())
+}
+
+func cmdRandom(args []string) {
+	fs := flag.NewFlagSet("random", flag.ExitOnError)
+	tests := fs.Int("tests", 1000, "number of random tests")
+	fuzz := fs.Bool("fuzz", true, "randomize register state")
+	seed := fs.Int64("seed", 1, "rng seed")
+	fs.Parse(args)
+
+	res := randtest.Run(randtest.Config{Tests: *tests, Seed: *seed, FuzzState: *fuzz})
+	fmt.Printf("random testing: %d generated, %d valid, %d executed, %d with differences\n",
+		res.Generated, res.Valid, res.Executed, res.DiffTests)
+	causes := make([]string, 0, len(res.RootCauses))
+	for c := range res.RootCauses {
+		causes = append(causes, c)
+	}
+	sort.Strings(causes)
+	for _, c := range causes {
+		fmt.Printf("  %-55s %6d\n", c, res.RootCauses[c])
+	}
+}

@@ -1,0 +1,3 @@
+module pokeemu
+
+go 1.22

@@ -1,0 +1,303 @@
+// Package campaign orchestrates the end-to-end PokeEMU evaluation (paper
+// Section 6): instruction-set exploration, per-instruction machine
+// state-space exploration, test-program generation, three-way execution
+// (Hi-Fi emulator, Lo-Fi emulator, hardware oracle), difference analysis
+// with undefined-behavior filtering, and root-cause clustering. It also
+// records per-stage costs, reproducing the paper's cost-profile table as
+// relative throughput.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pokeemu/internal/core"
+	"pokeemu/internal/diff"
+	"pokeemu/internal/harness"
+	"pokeemu/internal/symex"
+	"pokeemu/internal/testgen"
+)
+
+// Config scopes a campaign. The full instruction set at the paper's path
+// cap takes minutes; benchmarks use subsets.
+type Config struct {
+	MaxPathsPerInstr int
+	MaxInstrs        int      // 0 = all unique instructions
+	Handlers         []string // restrict to these handler keys (nil = all)
+	Seed             int64
+	MaxSteps         int // per-path IR step cap
+	// Workers parallelizes exploration+generation across instructions and
+	// execution across tests (the paper: "generation is highly
+	// parallelizable … test execution is also highly parallel"). 0 or 1 is
+	// sequential.
+	Workers int
+}
+
+// DefaultConfig mirrors the paper's settings.
+func DefaultConfig() Config {
+	return Config{MaxPathsPerInstr: 8192, Seed: 1}
+}
+
+// InstrReport summarizes one instruction's exploration and testing.
+type InstrReport struct {
+	Key       string
+	Paths     int
+	Exhausted bool
+	Generated int
+	GenFailed int
+	InitFault int
+	Queries   int64
+}
+
+// StageTiming records wall-clock cost per pipeline stage.
+type StageTiming struct {
+	Explore  time.Duration
+	Generate time.Duration
+	ExecHiFi time.Duration
+	ExecLoFi time.Duration
+	ExecHW   time.Duration
+	Compare  time.Duration
+}
+
+// Result aggregates a campaign.
+type Result struct {
+	InstrSet *core.InstrSetResult
+	Reports  []*InstrReport
+
+	TotalPaths     int
+	TotalTests     int
+	ExhaustedCount int
+	ExploredInstrs int
+	SummaryPaths   int
+
+	// Difference counts against the hardware oracle (the Section 6.2
+	// headline numbers: tests distinguishing QEMU, tests distinguishing
+	// Bochs).
+	LoFiDiffTests int
+	HiFiDiffTests int
+
+	Differences []*diff.Difference
+	RootCauses  map[string]int
+
+	Timing StageTiming
+}
+
+// Run executes a campaign.
+func Run(cfg Config) (*Result, error) {
+	if cfg.MaxPathsPerInstr == 0 {
+		cfg.MaxPathsPerInstr = 8192
+	}
+	res := &Result{RootCauses: make(map[string]int)}
+
+	// Stage 1a: instruction-set exploration.
+	t0 := time.Now()
+	res.InstrSet = core.ExploreInstructionSet()
+	instrs := res.InstrSet.Unique
+	if cfg.Handlers != nil {
+		want := make(map[string]bool, len(cfg.Handlers))
+		for _, h := range cfg.Handlers {
+			want[h] = true
+		}
+		var filtered []*core.UniqueInstr
+		for _, u := range instrs {
+			if want[u.Key()] {
+				filtered = append(filtered, u)
+			}
+		}
+		instrs = filtered
+	}
+	if cfg.MaxInstrs > 0 && len(instrs) > cfg.MaxInstrs {
+		instrs = instrs[:cfg.MaxInstrs]
+	}
+
+	// Stage 1b: machine state-space exploration per instruction.
+	opts := symex.DefaultOptions()
+	opts.MaxPaths = cfg.MaxPathsPerInstr
+	opts.Seed = cfg.Seed
+	if cfg.MaxSteps > 0 {
+		opts.MaxSteps = cfg.MaxSteps
+	}
+	ex, err := core.NewExplorer(opts)
+	if err != nil {
+		return nil, err
+	}
+	res.SummaryPaths = ex.SummaryPaths
+
+	type builtTest struct {
+		tc   *core.TestCase
+		prog []byte
+	}
+	boot := testgen.BaselineInit()
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Per-instruction exploration and generation, fanned out over workers.
+	type instrOut struct {
+		rep   *InstrReport
+		tests []builtTest
+		gen   time.Duration
+		err   error
+	}
+	outs := make([]instrOut, len(instrs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for idx, u := range instrs {
+		wg.Add(1)
+		go func(idx int, u *core.UniqueInstr) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			er, err := ex.ExploreState(u)
+			if err != nil {
+				outs[idx].err = fmt.Errorf("campaign: exploring %s: %w", u.Key(), err)
+				return
+			}
+			rep := &InstrReport{
+				Key:       u.Key(),
+				Paths:     len(er.Tests),
+				Exhausted: er.Exhausted,
+				Queries:   er.Stats.SolverQueries,
+			}
+			tGen := time.Now()
+			var tests []builtTest
+			for _, tc := range er.Tests {
+				p, err := testgen.Build(tc)
+				if err != nil {
+					rep.GenFailed++
+					continue
+				}
+				if !testgen.Verify(p, ex.Image()) {
+					rep.InitFault++
+					continue
+				}
+				rep.Generated++
+				tests = append(tests, builtTest{tc: tc, prog: p.Code})
+			}
+			outs[idx] = instrOut{rep: rep, tests: tests, gen: time.Since(tGen)}
+		}(idx, u)
+	}
+	wg.Wait()
+
+	var tests []builtTest
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.Reports = append(res.Reports, o.rep)
+		res.TotalPaths += o.rep.Paths
+		if o.rep.Exhausted {
+			res.ExhaustedCount++
+		}
+		res.ExploredInstrs++
+		res.Timing.Generate += o.gen
+		tests = append(tests, o.tests...)
+	}
+	res.Timing.Explore = time.Since(t0) - res.Timing.Generate
+	res.TotalTests = len(tests)
+
+	// Stage 3: execution on the three implementations.
+	fiF := harness.FidelisFactory()
+	ceF := harness.CelerFactory()
+	hwF := harness.HardwareFactory()
+	image := ex.Image()
+
+	type trio struct {
+		fi, ce, hw    *harness.Result
+		tFi, tCe, tHw time.Duration
+	}
+	outcomes := make([]trio, len(tests))
+	var ewg sync.WaitGroup
+	for i := range tests {
+		ewg.Add(1)
+		go func(i int) {
+			defer ewg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t := time.Now()
+			outcomes[i].fi = harness.RunBoot(fiF, image, boot, tests[i].prog, 0)
+			outcomes[i].tFi = time.Since(t)
+			t = time.Now()
+			outcomes[i].ce = harness.RunBoot(ceF, image, boot, tests[i].prog, 0)
+			outcomes[i].tCe = time.Since(t)
+			t = time.Now()
+			outcomes[i].hw = harness.RunBoot(hwF, image, boot, tests[i].prog, 0)
+			outcomes[i].tHw = time.Since(t)
+		}(i)
+	}
+	ewg.Wait()
+	for i := range outcomes {
+		res.Timing.ExecHiFi += outcomes[i].tFi
+		res.Timing.ExecLoFi += outcomes[i].tCe
+		res.Timing.ExecHW += outcomes[i].tHw
+	}
+
+	// Stage 4: difference analysis.
+	t1 := time.Now()
+	for i, bt := range tests {
+		filter := diff.UndefFilterFor(bt.tc.Handler)
+		o := outcomes[i]
+		if ds := diff.Compare(o.hw.Snapshot, o.ce.Snapshot, filter); len(ds) > 0 {
+			res.LoFiDiffTests++
+			d := &diff.Difference{
+				TestID: bt.tc.ID, Handler: bt.tc.Handler, Mnemonic: bt.tc.Mnemonic,
+				ImplA: "hardware", ImplB: "celer", Fields: ds,
+			}
+			res.Differences = append(res.Differences, d)
+			res.RootCauses[diff.RootCause(d)]++
+		}
+		if ds := diff.Compare(o.hw.Snapshot, o.fi.Snapshot, filter); len(ds) > 0 {
+			res.HiFiDiffTests++
+			d := &diff.Difference{
+				TestID: bt.tc.ID, Handler: bt.tc.Handler, Mnemonic: bt.tc.Mnemonic,
+				ImplA: "hardware", ImplB: "fidelis", Fields: ds,
+			}
+			res.Differences = append(res.Differences, d)
+			res.RootCauses[diff.RootCause(d)]++
+		}
+	}
+	res.Timing.Compare = time.Since(t1)
+	return res, nil
+}
+
+// Summary renders the campaign like the paper's Section 6 numbers.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instruction-set exploration: %d decoder paths, %d candidates, %d unique instructions\n",
+		r.InstrSet.ExploredPaths, len(r.InstrSet.Candidates), len(r.InstrSet.Unique))
+	fmt.Fprintf(&b, "state-space exploration: %d instructions, %d paths, %d/%d exhaustively explored (%.1f%%)\n",
+		r.ExploredInstrs, r.TotalPaths, r.ExhaustedCount, r.ExploredInstrs,
+		100*float64(r.ExhaustedCount)/float64(max(1, r.ExploredInstrs)))
+	fmt.Fprintf(&b, "descriptor-parse summary: %d paths\n", r.SummaryPaths)
+	fmt.Fprintf(&b, "test programs: %d\n", r.TotalTests)
+	fmt.Fprintf(&b, "differences vs hardware: lo-fi %d tests, hi-fi %d tests\n",
+		r.LoFiDiffTests, r.HiFiDiffTests)
+	causes := make([]string, 0, len(r.RootCauses))
+	for c := range r.RootCauses {
+		causes = append(causes, c)
+	}
+	sort.Strings(causes)
+	for _, c := range causes {
+		fmt.Fprintf(&b, "  root cause: %-55s %6d tests\n", c, r.RootCauses[c])
+	}
+	fmt.Fprintf(&b, "timing: explore %v, generate %v, exec hifi %v / lofi %v / hw %v, compare %v\n",
+		r.Timing.Explore.Round(time.Millisecond),
+		r.Timing.Generate.Round(time.Millisecond),
+		r.Timing.ExecHiFi.Round(time.Millisecond),
+		r.Timing.ExecLoFi.Round(time.Millisecond),
+		r.Timing.ExecHW.Round(time.Millisecond),
+		r.Timing.Compare.Round(time.Millisecond))
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

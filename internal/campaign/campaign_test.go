@@ -1,0 +1,79 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCampaignEndToEnd runs the pipeline on a handler mix covering every
+// injected defect class and checks the Section 6 shape claims.
+func TestCampaignEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	res, err := Run(Config{
+		MaxPathsPerInstr: 96,
+		Handlers: []string{
+			"push_r", "leave", "cmpxchg_rmv_rv", "iret", "rdmsr",
+			"lfs", "mov_sreg_rm16", "add_rmv_rv", "add_rm8_imm8_alias",
+			"shl_rmv_imm8",
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTests < 100 {
+		t.Fatalf("only %d tests generated", res.TotalTests)
+	}
+	// Headline shape: the Lo-Fi emulator diverges from hardware far more
+	// often than the Hi-Fi one (paper: 60,770 vs 15,219).
+	if res.LoFiDiffTests <= res.HiFiDiffTests {
+		t.Errorf("lo-fi diffs (%d) should exceed hi-fi diffs (%d)",
+			res.LoFiDiffTests, res.HiFiDiffTests)
+	}
+	if res.LoFiDiffTests == 0 {
+		t.Error("campaign found no lo-fi differences at all")
+	}
+	// Every targeted root cause must be identified.
+	for _, cause := range []string{
+		"leave: non-atomic ESP update",
+		"cmpxchg: accumulator/flags updated before write check",
+		"iret: stack pop order",
+		"rdmsr: missing #GP on invalid MSR",
+		"far load: operand fetch order",
+		"segmentation: limits/rights not enforced",
+		"decoder: encoding acceptance difference",
+	} {
+		if res.RootCauses[cause] == 0 {
+			t.Errorf("root cause %q not found", cause)
+		}
+	}
+	// Nearly everything should classify into a known class.
+	other := 0
+	for cause, n := range res.RootCauses {
+		if strings.HasPrefix(cause, "other") {
+			other += n
+		}
+	}
+	if total := len(res.Differences); other*10 > total {
+		t.Errorf("%d of %d differences unclassified", other, total)
+	}
+	if s := res.Summary(); !strings.Contains(s, "root cause") {
+		t.Error("summary missing the root-cause section")
+	}
+	// Cost shape: the Hi-Fi interpreter is the most expensive executor.
+	if res.Timing.ExecHiFi <= res.Timing.ExecLoFi {
+		t.Error("hi-fi execution should cost more than lo-fi")
+	}
+}
+
+func TestCampaignInstrLimit(t *testing.T) {
+	res, err := Run(Config{MaxPathsPerInstr: 8, MaxInstrs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExploredInstrs != 3 {
+		t.Errorf("explored %d instructions, want 3", res.ExploredInstrs)
+	}
+}

@@ -1,0 +1,222 @@
+package celer
+
+import (
+	"testing"
+
+	"pokeemu/internal/emu"
+	"pokeemu/internal/machine"
+	"pokeemu/internal/x86"
+)
+
+func run(t *testing.T, code []byte, setup func(*machine.Machine)) (*machine.Machine, []emu.Event) {
+	t.Helper()
+	m := machine.NewBaseline(nil)
+	m.Mem.WriteBytes(machine.CodeBase, code)
+	if setup != nil {
+		setup(m)
+	}
+	e := New(m)
+	var events []emu.Event
+	for i := 0; i < 10000; i++ {
+		ev := e.Step()
+		events = append(events, ev)
+		if ev.Kind == emu.EventHalt || ev.Kind == emu.EventShutdown ||
+			ev.Kind == emu.EventTimeout {
+			return m, events
+		}
+	}
+	t.Fatal("program did not halt")
+	return nil, nil
+}
+
+func cat(parts ...[]byte) []byte {
+	var out []byte
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+var hlt = []byte{0xf4}
+
+func TestCelerBasicALU(t *testing.T) {
+	code := cat(
+		x86.AsmMovRegImm32(x86.EAX, 40),
+		x86.AsmMovRegImm32(x86.EBX, 2),
+		[]byte{0x01, 0xd8}, // add
+		hlt,
+	)
+	m, _ := run(t, code, nil)
+	if m.GPR[x86.EAX] != 42 {
+		t.Errorf("eax = %d", m.GPR[x86.EAX])
+	}
+}
+
+func TestCelerTranslationCacheSharing(t *testing.T) {
+	cache := NewCache()
+	prog := cat(x86.AsmMovRegImm32(x86.EAX, 1), hlt)
+	for i := 0; i < 3; i++ {
+		m := machine.NewBaseline(nil)
+		m.Mem.WriteBytes(machine.CodeBase, prog)
+		e := NewWithCache(m, cache)
+		for {
+			if ev := e.Step(); ev.Kind == emu.EventHalt {
+				break
+			}
+		}
+	}
+	if cache.Hits == 0 {
+		t.Error("shared cache never hit across guests")
+	}
+	if cache.Miss == 0 {
+		t.Error("cache miss counter never moved")
+	}
+}
+
+func TestCelerGrp2Slot6Quirk(t *testing.T) {
+	// celer accepts the undefined /6 slot of grp2 as shl — including under
+	// prefixes.
+	code := cat(
+		x86.AsmMovRegImm32(x86.EAX, 3),
+		[]byte{0xd1, 0xf0}, // grp2 /6, count 1 → shl
+		hlt,
+	)
+	m, events := run(t, code, nil)
+	for _, ev := range events {
+		if ev.Kind == emu.EventException {
+			t.Fatalf("raised %v", ev.Exception)
+		}
+	}
+	if m.GPR[x86.EAX] != 6 {
+		t.Errorf("eax = %d, want 6", m.GPR[x86.EAX])
+	}
+}
+
+func TestCelerRejectsAliases(t *testing.T) {
+	for _, enc := range [][]byte{
+		{0x82, 0xc0, 0x01},       // 0x80 alias
+		{0xf6, 0xc8, 0x01},       // grp3 /1 alias
+		{0x66, 0xf7, 0xc8, 1, 0}, // grp3 /1 alias with a prefix
+	} {
+		_, events := run(t, cat(enc, hlt), nil)
+		found := false
+		for _, ev := range events {
+			if ev.Kind == emu.EventException && ev.Exception.Vector == x86.ExcUD {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("% x: alias encoding not rejected", enc)
+		}
+	}
+}
+
+func TestCelerSegmentBaseStillApplied(t *testing.T) {
+	// Missing limit checks must not mean missing base arithmetic.
+	code := cat(
+		x86.AsmMovMemImm32(0x301000, 0xaabbccdd),
+		x86.AsmMovRegImm32(x86.EBX, 0x1000),
+		[]byte{0x64, 0x8b, 0x03}, // mov %fs:(%ebx), %eax
+		hlt,
+	)
+	m, _ := run(t, code, func(m *machine.Machine) {
+		m.Seg[x86.FS].Base = 0x300000
+	})
+	if m.GPR[x86.EAX] != 0xaabbccdd {
+		t.Errorf("eax = %#x; segment base ignored", m.GPR[x86.EAX])
+	}
+}
+
+func TestCelerDeliveryMatchesFrameLayout(t *testing.T) {
+	// int3 → handler: the exception frame layout must match the
+	// architecture (EIP at esp, CS at esp+4, EFLAGS at esp+8).
+	code := cat([]byte{0xcc}, hlt)
+	m, _ := run(t, code, nil)
+	esp := m.GPR[x86.ESP]
+	if got := uint32(m.Mem.Read(esp, 4)); got != machine.CodeBase+1 {
+		t.Errorf("pushed EIP = %#x", got)
+	}
+	if got := uint16(m.Mem.Read(esp+4, 2)); got != machine.SelCode {
+		t.Errorf("pushed CS = %#x", got)
+	}
+	if fl := uint32(m.Mem.Read(esp+8, 4)); fl&x86.EflagsFixed1 == 0 {
+		t.Errorf("pushed EFLAGS = %#x", fl)
+	}
+	if m.EFLAGS&(1<<x86.FlagIF) != 0 {
+		t.Error("interrupt gate must clear IF")
+	}
+}
+
+func TestCelerRepStringTimeout(t *testing.T) {
+	// rep lodsb reads only, so a huge count cannot self-destruct the page
+	// tables the way a huge rep movsb does (which ends in a triple fault);
+	// it must hit the internal iteration budget instead.
+	code := cat(
+		x86.AsmMovRegImm32(x86.ECX, 0xffffffff),
+		x86.AsmMovRegImm32(x86.ESI, 0x300000),
+		[]byte{0xf3, 0xac}, // rep lodsb with a huge count
+		hlt,
+	)
+	_, events := run(t, code, nil)
+	last := events[len(events)-1]
+	if last.Kind != emu.EventTimeout {
+		t.Errorf("expected a timeout event, got %v", last.Kind)
+	}
+}
+
+func TestCelerRepMovsSelfDestructMatchesReferences(t *testing.T) {
+	// The runaway rep movsb tramples the page tables and triple-faults;
+	// the Lo-Fi and Hi-Fi implementations must agree on that spectacle.
+	code := cat(
+		x86.AsmMovRegImm32(x86.ECX, 0xffffffff),
+		x86.AsmMovRegImm32(x86.ESI, 0x300000),
+		x86.AsmMovRegImm32(x86.EDI, 0x310000),
+		[]byte{0xf3, 0xa4},
+		hlt,
+	)
+	_, events := run(t, code, nil)
+	last := events[len(events)-1]
+	if last.Kind != emu.EventShutdown {
+		t.Errorf("expected shutdown (triple fault), got %v", last.Kind)
+	}
+}
+
+func TestCelerDivByZero(t *testing.T) {
+	code := cat(
+		x86.AsmMovRegImm32(x86.EAX, 5),
+		x86.AsmMovRegImm32(x86.ECX, 0),
+		[]byte{0xf7, 0xf1},
+		hlt,
+	)
+	_, events := run(t, code, nil)
+	found := false
+	for _, ev := range events {
+		if ev.Kind == emu.EventException && ev.Exception.Vector == x86.ExcDE {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected #DE")
+	}
+}
+
+func TestCelerIdivMinInt(t *testing.T) {
+	// INT_MIN / -1 must raise #DE, not panic.
+	code := cat(
+		x86.AsmMovRegImm32(x86.EDX, 0x80000000),
+		x86.AsmMovRegImm32(x86.EAX, 0),
+		x86.AsmMovRegImm32(x86.ECX, 0xffffffff),
+		[]byte{0xf7, 0xf9}, // idiv %ecx
+		hlt,
+	)
+	_, events := run(t, code, nil)
+	found := false
+	for _, ev := range events {
+		if ev.Kind == emu.EventException && ev.Exception.Vector == x86.ExcDE {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected #DE for the overflowing division")
+	}
+}

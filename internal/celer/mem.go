@@ -1,0 +1,276 @@
+package celer
+
+import (
+	"pokeemu/internal/machine"
+	"pokeemu/internal/x86"
+)
+
+// Memory access layer. The defining Lo-Fi property lives here: linAddr
+// applies only the segment base — limits, types, and rights are never
+// checked on ordinary data accesses (finding 1). Paging is implemented
+// faithfully via the concrete walker.
+
+// linAddr computes the linear address for a data access. No segment checks.
+func (e *Emulator) linAddr(seg x86.SegReg, off uint32) uint32 {
+	return e.m.Seg[seg].Base + off
+}
+
+func faultOf(exc *machine.ExceptionInfo) *fault {
+	return &fault{vec: exc.Vector, err: exc.ErrCode, hasErr: exc.HasErr}
+}
+
+// readLin reads size bytes at a linear address through paging.
+func (e *Emulator) readLin(lin uint32, size uint8) (uint32, *fault) {
+	var v uint32
+	for i := uint8(0); i < size; i++ {
+		phys, exc := e.m.Translate(lin+uint32(i), false)
+		if exc != nil {
+			return 0, faultOf(exc)
+		}
+		v |= uint32(e.m.Mem.Read8(phys)) << (8 * i)
+	}
+	return v, nil
+}
+
+// writeLin writes size bytes at a linear address through paging. Bytes land
+// as their pages translate, so a fault on a later page leaves earlier bytes
+// written (the partial cross-page store of finding 2).
+func (e *Emulator) writeLin(lin uint32, v uint32, size uint8) *fault {
+	for i := uint8(0); i < size; i++ {
+		phys, exc := e.m.Translate(lin+uint32(i), true)
+		if exc != nil {
+			return faultOf(exc)
+		}
+		e.m.Mem.Write8(phys, byte(v>>(8*i)))
+	}
+	return nil
+}
+
+// memRead reads through a segment (base only) and paging.
+func (e *Emulator) memRead(seg x86.SegReg, off uint32, size uint8) (uint32, *fault) {
+	return e.readLin(e.linAddr(seg, off), size)
+}
+
+// memWrite writes through a segment (base only) and paging.
+func (e *Emulator) memWrite(seg x86.SegReg, off uint32, v uint32, size uint8) *fault {
+	return e.writeLin(e.linAddr(seg, off), v, size)
+}
+
+// preparedWrite is a write-translated location for RMW instructions.
+type preparedWrite struct {
+	phys []uint32
+}
+
+// prepareWrite translates every byte of the destination for writing up
+// front, so ordinary RMW instructions stay atomic (cmpxchg deliberately
+// bypasses this, see exec.go).
+func (e *Emulator) prepareWrite(lin uint32, size uint8) (*preparedWrite, *fault) {
+	p := &preparedWrite{phys: make([]uint32, size)}
+	for i := uint8(0); i < size; i++ {
+		phys, exc := e.m.Translate(lin+uint32(i), true)
+		if exc != nil {
+			return nil, faultOf(exc)
+		}
+		p.phys[i] = phys
+	}
+	return p, nil
+}
+
+func (e *Emulator) readPrepared(p *preparedWrite) uint32 {
+	var v uint32
+	for i, phys := range p.phys {
+		v |= uint32(e.m.Mem.Read8(phys)) << (8 * i)
+	}
+	return v
+}
+
+func (e *Emulator) writePrepared(p *preparedWrite, v uint32) {
+	for i, phys := range p.phys {
+		e.m.Mem.Write8(phys, byte(v>>(8*i)))
+	}
+}
+
+// Stack helpers.
+
+func (e *Emulator) push(v uint32, size uint8) *fault {
+	m := e.m
+	newESP := m.GPR[x86.ESP] - uint32(size)
+	if f := e.memWrite(x86.SS, newESP, v, size); f != nil {
+		return f
+	}
+	m.GPR[x86.ESP] = newESP
+	return nil
+}
+
+func (e *Emulator) push32(v uint32) *fault { return e.push(v, 4) }
+
+func (e *Emulator) pop(size uint8) (uint32, *fault) {
+	m := e.m
+	v, f := e.memRead(x86.SS, m.GPR[x86.ESP], size)
+	if f != nil {
+		return 0, f
+	}
+	m.GPR[x86.ESP] += uint32(size)
+	return v, nil
+}
+
+// GPR sub-register access (ModRM index conventions).
+
+func (e *Emulator) gprRead(idx uint8, w uint8) uint32 {
+	m := e.m
+	switch w {
+	case 32:
+		return m.GPR[idx]
+	case 16:
+		return m.GPR[idx] & 0xffff
+	case 8:
+		if idx < 4 {
+			return m.GPR[idx] & 0xff
+		}
+		return m.GPR[idx-4] >> 8 & 0xff
+	}
+	panic("celer: bad width")
+}
+
+func (e *Emulator) gprWrite(idx uint8, w uint8, v uint32) {
+	m := e.m
+	switch w {
+	case 32:
+		m.GPR[idx] = v
+	case 16:
+		m.GPR[idx] = m.GPR[idx]&0xffff0000 | v&0xffff
+	case 8:
+		if idx < 4 {
+			m.GPR[idx] = m.GPR[idx]&^uint32(0xff) | v&0xff
+		} else {
+			m.GPR[idx-4] = m.GPR[idx-4]&^uint32(0xff00) | (v&0xff)<<8
+		}
+	default:
+		panic("celer: bad width")
+	}
+}
+
+// effAddr computes the ModRM effective address and default segment
+// (independent implementation of the 32-bit addressing forms).
+func (e *Emulator) effAddr(inst *x86.Inst) (x86.SegReg, uint32) {
+	m := e.m
+	mod, rm := inst.Mod(), inst.RM()
+	seg := x86.DS
+	var addr uint32
+	switch {
+	case rm == 4:
+		sib := inst.SIB
+		base := sib & 7
+		index := sib >> 3 & 7
+		scale := sib >> 6
+		if base == 5 && mod == 0 {
+			addr = inst.Disp
+		} else {
+			addr = m.GPR[base] + inst.Disp
+			if base == 4 || base == 5 {
+				seg = x86.SS
+			}
+		}
+		if index != 4 {
+			addr += m.GPR[index] << scale
+		}
+	case mod == 0 && rm == 5:
+		addr = inst.Disp
+	default:
+		addr = m.GPR[rm] + inst.Disp
+		if rm == 5 {
+			seg = x86.SS
+		}
+	}
+	if inst.SegOverride >= 0 {
+		seg = x86.SegReg(inst.SegOverride)
+	}
+	return seg, addr
+}
+
+// Flag computation (eager). Undefined flags are left unchanged (finding 8).
+
+func mask(w uint8) uint32 {
+	if w == 32 {
+		return 0xffffffff
+	}
+	return 1<<w - 1
+}
+
+func (e *Emulator) flag(bit uint8) uint32 { return e.m.EFLAGS >> bit & 1 }
+
+func (e *Emulator) setFlagBit(bit uint8, v uint32) {
+	if v&1 == 1 {
+		e.m.EFLAGS |= 1 << bit
+	} else {
+		e.m.EFLAGS &^= 1 << bit
+	}
+}
+
+func parity8(v uint32) uint32 {
+	x := v & 0xff
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return ^x & 1
+}
+
+func (e *Emulator) setSZP(r uint32, w uint8) {
+	e.setFlagBit(x86.FlagSF, r>>(w-1)&1)
+	if r&mask(w) == 0 {
+		e.setFlagBit(x86.FlagZF, 1)
+	} else {
+		e.setFlagBit(x86.FlagZF, 0)
+	}
+	e.setFlagBit(x86.FlagPF, parity8(r))
+}
+
+func (e *Emulator) addFlags(a, b, cin, r uint32, w uint8) {
+	wide := uint64(a&mask(w)) + uint64(b&mask(w)) + uint64(cin)
+	e.setFlagBit(x86.FlagCF, uint32(wide>>w)&1)
+	e.setFlagBit(x86.FlagOF, (^(a^b)&(a^r))>>(w-1)&1)
+	e.setFlagBit(x86.FlagAF, (a^b^r)>>4&1)
+	e.setSZP(r, w)
+}
+
+func (e *Emulator) subFlags(a, b, cin, r uint32, w uint8) {
+	wide := uint64(a&mask(w)) - uint64(b&mask(w)) - uint64(cin)
+	e.setFlagBit(x86.FlagCF, uint32(wide>>w)&1)
+	e.setFlagBit(x86.FlagOF, ((a^b)&(a^r))>>(w-1)&1)
+	e.setFlagBit(x86.FlagAF, (a^b^r)>>4&1)
+	e.setSZP(r, w)
+}
+
+func (e *Emulator) logicFlags(r uint32, w uint8) {
+	e.setFlagBit(x86.FlagCF, 0)
+	e.setFlagBit(x86.FlagOF, 0)
+	// AF deliberately left unchanged (undefined; references zero it).
+	e.setSZP(r, w)
+}
+
+// condValue evaluates a condition code against EFLAGS.
+func (e *Emulator) condValue(cc uint8) bool {
+	var v bool
+	switch cc >> 1 {
+	case 0:
+		v = e.flag(x86.FlagOF) == 1
+	case 1:
+		v = e.flag(x86.FlagCF) == 1
+	case 2:
+		v = e.flag(x86.FlagZF) == 1
+	case 3:
+		v = e.flag(x86.FlagCF) == 1 || e.flag(x86.FlagZF) == 1
+	case 4:
+		v = e.flag(x86.FlagSF) == 1
+	case 5:
+		v = e.flag(x86.FlagPF) == 1
+	case 6:
+		v = e.flag(x86.FlagSF) != e.flag(x86.FlagOF)
+	case 7:
+		v = e.flag(x86.FlagZF) == 1 || e.flag(x86.FlagSF) != e.flag(x86.FlagOF)
+	}
+	if cc&1 == 1 {
+		v = !v
+	}
+	return v
+}

@@ -1,0 +1,573 @@
+package celer
+
+import (
+	"strings"
+
+	"pokeemu/internal/machine"
+	"pokeemu/internal/x86"
+)
+
+// loadSeg implements celer's protected-mode segment load. The check
+// sequence matches the architecture, but the descriptor "accessed" bit is
+// never written back (finding 6).
+func (e *Emulator) loadSeg(sr x86.SegReg, sel uint16, forCS bool) *fault {
+	m := e.m
+	selErr := uint32(sel) & 0xfffc
+	if sel&0xfffc == 0 {
+		if sr == x86.SS || forCS {
+			return gp(0)
+		}
+		m.Seg[sr] = machine.Segment{Sel: sel}
+		return nil
+	}
+	if sel&4 != 0 { // TI: no LDT
+		return gp(selErr)
+	}
+	off := uint32(sel & 0xfff8)
+	if off+7 > m.GDTRLimit {
+		return gp(selErr)
+	}
+	descLin := m.GDTRBase + off
+	lo, f := e.readLin(descLin, 4)
+	if f != nil {
+		return f
+	}
+	hi, f := e.readLin(descLin+4, 4)
+	if f != nil {
+		return f
+	}
+	rpl := sel & 3
+	if hi>>12&1 == 0 { // S
+		return gp(selErr)
+	}
+	isCode := hi>>11&1 == 1
+	bitRW := hi>>9&1 == 1
+	conform := hi>>10&1 == 1
+	dpl := uint16(hi >> 13 & 3)
+	switch {
+	case sr == x86.SS:
+		if isCode || !bitRW || rpl != 0 || dpl != 0 {
+			return gp(selErr)
+		}
+	case forCS:
+		if !isCode {
+			return gp(selErr)
+		}
+		if !conform && dpl != 0 {
+			return gp(selErr)
+		}
+	default:
+		if isCode && !bitRW {
+			return gp(selErr)
+		}
+		if (!isCode || !conform) && uint16(dpl) < rpl {
+			return gp(selErr)
+		}
+	}
+	if hi>>15&1 == 0 { // P
+		vec := uint8(x86.ExcNP)
+		if sr == x86.SS {
+			vec = x86.ExcSS
+		}
+		return &fault{vec: vec, err: selErr, hasErr: true}
+	}
+	// Finding 6: no accessed-bit write-back here.
+	base, limit, attr := x86.DescriptorFields(lo, hi)
+	attr |= x86.AttrAccessed // the cache still records accessed
+	m.Seg[sr] = machine.Segment{Sel: sel, Base: base, Limit: limit, Attr: attr}
+	return nil
+}
+
+var segByName = map[string]x86.SegReg{
+	"es": x86.ES, "cs": x86.CS, "ss": x86.SS,
+	"ds": x86.DS, "fs": x86.FS, "gs": x86.GS,
+}
+
+// execSystem covers segment-register instructions, control registers,
+// MSRs, descriptor tables, and cpuid.
+func (e *Emulator) execSystem(inst *x86.Inst, name string, osz uint8) (*fault, bool) {
+	m := e.m
+	size := osz / 8
+	switch name {
+	case "mov_sreg_rm16":
+		sr := x86.SegReg(inst.RegField())
+		if sr == x86.CS || sr > x86.GS {
+			return &fault{vec: x86.ExcUD}, true
+		}
+		p, f := e.resolveRM(inst, 16, false)
+		if f != nil {
+			return f, true
+		}
+		v, f := e.readPlace(p)
+		if f != nil {
+			return f, true
+		}
+		if f := e.loadSeg(sr, uint16(v), false); f != nil {
+			return f, true
+		}
+		return e.finish(inst), true
+	case "mov_rmv_sreg":
+		sr := x86.SegReg(inst.RegField())
+		if sr > x86.GS {
+			return &fault{vec: x86.ExcUD}, true
+		}
+		p, f := e.resolveRM(inst, 16, true)
+		if f != nil {
+			return f, true
+		}
+		return firstFault(e.writePlace(p, uint32(m.Seg[sr].Sel)), e.finish(inst)), true
+	case "push_es", "push_cs", "push_ss", "push_ds", "push_fs", "push_gs":
+		sr := segByName[name[5:]]
+		return firstFault(e.push(uint32(m.Seg[sr].Sel), size), e.finish(inst)), true
+	case "pop_es", "pop_ss", "pop_ds", "pop_fs", "pop_gs":
+		sr := segByName[name[4:]]
+		v, f := e.memRead(x86.SS, m.GPR[x86.ESP], size)
+		if f != nil {
+			return f, true
+		}
+		if f := e.loadSeg(sr, uint16(v), false); f != nil {
+			return f, true
+		}
+		m.GPR[x86.ESP] += uint32(size)
+		return e.finish(inst), true
+	case "les", "lds", "lfs", "lgs", "lss":
+		sr := segByName[name[1:]]
+		seg, off := e.effAddr(inst)
+		// Offset first, selector second — hardware order (Bochs differs).
+		offV, f := e.memRead(seg, off, size)
+		if f != nil {
+			return f, true
+		}
+		selV, f := e.memRead(seg, off+uint32(size), 2)
+		if f != nil {
+			return f, true
+		}
+		if f := e.loadSeg(sr, uint16(selV), false); f != nil {
+			return f, true
+		}
+		e.gprWrite(inst.RegField(), osz, offV)
+		return e.finish(inst), true
+	case "mov_cr_r":
+		cr := inst.RegField()
+		v := e.gprRead(inst.RM(), 32)
+		switch cr {
+		case 0:
+			if v>>x86.CR0PG&1 == 1 && v>>x86.CR0PE&1 == 0 {
+				return gp(0), true
+			}
+			if v>>x86.CR0NW&1 == 1 && v>>x86.CR0CD&1 == 0 {
+				return gp(0), true
+			}
+			m.CR0 = v
+		case 2:
+			m.CR2 = v
+		case 3:
+			m.CR3 = v & 0xfffff018
+		case 4:
+			if v&^uint32(0x1ff) != 0 {
+				return gp(0), true
+			}
+			m.CR4 = v
+		default:
+			return &fault{vec: x86.ExcUD}, true
+		}
+		return e.finish(inst), true
+	case "mov_r_cr":
+		cr := inst.RegField()
+		var v uint32
+		switch cr {
+		case 0:
+			v = m.CR0
+		case 2:
+			v = m.CR2
+		case 3:
+			v = m.CR3
+		case 4:
+			v = m.CR4
+		default:
+			return &fault{vec: x86.ExcUD}, true
+		}
+		e.gprWrite(inst.RM(), 32, v)
+		return e.finish(inst), true
+	case "rdmsr":
+		// Finding 5: an invalid MSR index returns zero instead of #GP.
+		slot := x86.MSRSlot(m.GPR[x86.ECX])
+		var v uint64
+		if slot >= 0 {
+			v = m.MSR[slot]
+		}
+		m.GPR[x86.EAX] = uint32(v)
+		m.GPR[x86.EDX] = uint32(v >> 32)
+		return e.finish(inst), true
+	case "wrmsr":
+		slot := x86.MSRSlot(m.GPR[x86.ECX])
+		if slot < 0 {
+			return gp(0), true
+		}
+		m.MSR[slot] = uint64(m.GPR[x86.EDX])<<32 | uint64(m.GPR[x86.EAX])
+		return e.finish(inst), true
+	case "rdtsc":
+		m.GPR[x86.EAX] = uint32(m.MSR[0])
+		m.GPR[x86.EDX] = uint32(m.MSR[0] >> 32)
+		return e.finish(inst), true
+	case "cpuid":
+		switch m.GPR[x86.EAX] {
+		case 0:
+			m.GPR[x86.EAX] = 1
+			m.GPR[x86.EBX] = 0x656b6f50
+			m.GPR[x86.EDX] = 0x554d4545
+			m.GPR[x86.ECX] = 0x20555043
+		case 1:
+			m.GPR[x86.EAX] = 0x00000611
+			m.GPR[x86.EBX] = 0
+			m.GPR[x86.ECX] = 0
+			m.GPR[x86.EDX] = 0x00000011
+		default:
+			m.GPR[x86.EAX], m.GPR[x86.EBX] = 0, 0
+			m.GPR[x86.ECX], m.GPR[x86.EDX] = 0, 0
+		}
+		return e.finish(inst), true
+	case "lgdt", "lidt":
+		seg, off := e.effAddr(inst)
+		limit, f := e.memRead(seg, off, 2)
+		if f != nil {
+			return f, true
+		}
+		base, f := e.memRead(seg, off+2, 4)
+		if f != nil {
+			return f, true
+		}
+		if name == "lgdt" {
+			m.GDTRLimit, m.GDTRBase = limit, base
+		} else {
+			m.IDTRLimit, m.IDTRBase = limit, base
+		}
+		return e.finish(inst), true
+	case "sgdt", "sidt":
+		seg, off := e.effAddr(inst)
+		var lim, base uint32
+		if name == "sgdt" {
+			lim, base = m.GDTRLimit, m.GDTRBase
+		} else {
+			lim, base = m.IDTRLimit, m.IDTRBase
+		}
+		if f := e.memWrite(seg, off, lim&0xffff, 2); f != nil {
+			return f, true
+		}
+		return firstFault(e.memWrite(seg, off+2, base, 4), e.finish(inst)), true
+	case "smsw":
+		p, f := e.resolveRM(inst, osz, true)
+		if f != nil {
+			return f, true
+		}
+		v := m.CR0
+		if osz == 16 {
+			v &= 0xffff
+		}
+		return firstFault(e.writePlace(p, v), e.finish(inst)), true
+	case "lmsw":
+		p, f := e.resolveRM(inst, 16, false)
+		if f != nil {
+			return f, true
+		}
+		v, f := e.readPlace(p)
+		if f != nil {
+			return f, true
+		}
+		newPE := m.CR0&1 | v&1
+		m.CR0 = m.CR0&^uint32(0xf) | v&0xe | newPE
+		return e.finish(inst), true
+	case "invlpg":
+		e.effAddr(inst)
+		return e.finish(inst), true
+	case "clts":
+		m.CR0 &^= 1 << x86.CR0TS
+		return e.finish(inst), true
+	case "verr", "verw":
+		p, f := e.resolveRM(inst, 16, false)
+		if f != nil {
+			return f, true
+		}
+		v, f := e.readPlace(p)
+		if f != nil {
+			return f, true
+		}
+		ok, f := e.verifySelector(uint16(v), name == "verw")
+		if f != nil {
+			return f, true
+		}
+		if ok {
+			e.setFlagBit(x86.FlagZF, 1)
+		} else {
+			e.setFlagBit(x86.FlagZF, 0)
+		}
+		return e.finish(inst), true
+	}
+	return nil, false
+}
+
+// verifySelector implements the verr/verw accessibility probe.
+func (e *Emulator) verifySelector(sel uint16, forWrite bool) (bool, *fault) {
+	m := e.m
+	if sel&0xfffc == 0 || sel&4 != 0 {
+		return false, nil
+	}
+	off := uint32(sel & 0xfff8)
+	if off+7 > m.GDTRLimit {
+		return false, nil
+	}
+	hi, f := e.readLin(m.GDTRBase+off+4, 4)
+	if f != nil {
+		return false, f
+	}
+	if hi>>12&1 == 0 || hi>>15&1 == 0 { // S, P
+		return false, nil
+	}
+	isCode := hi>>11&1 == 1
+	rw := hi>>9&1 == 1
+	conform := hi>>10&1 == 1
+	dpl := uint16(hi >> 13 & 3)
+	rpl := sel & 3
+	if (!isCode || !conform) && dpl < rpl {
+		return false, nil
+	}
+	if forWrite {
+		return !isCode && rw, nil
+	}
+	return !isCode || rw, nil
+}
+
+// execBits covers bt/bts/btr/btc, bsf/bsr, shld/shrd.
+func (e *Emulator) execBits(inst *x86.Inst, name string, osz uint8) (*fault, bool) {
+	m := e.m
+	switch {
+	case strings.HasPrefix(name, "bt_") || strings.HasPrefix(name, "bts_") ||
+		strings.HasPrefix(name, "btr_") || strings.HasPrefix(name, "btc_"):
+		op := name[:strings.IndexByte(name, '_')]
+		immForm := strings.HasSuffix(name, "imm8")
+		write := op != "bt"
+		w := osz
+		var bitIdx uint32
+		if immForm {
+			bitIdx = uint32(inst.Imm) & uint32(w-1)
+		} else {
+			bitIdx = e.gprRead(inst.RegField(), w)
+		}
+		apply := func(a uint32) uint32 {
+			bm := uint32(1) << (bitIdx & uint32(w-1))
+			switch op {
+			case "bts":
+				return a | bm
+			case "btr":
+				return a &^ bm
+			case "btc":
+				return a ^ bm
+			}
+			return a
+		}
+		if inst.IsRegForm() {
+			a := e.gprRead(inst.RM(), w)
+			e.setFlagBit(x86.FlagCF, a>>(bitIdx&uint32(w-1))&1)
+			if write {
+				e.gprWrite(inst.RM(), w, apply(a))
+			}
+			return e.finish(inst), true
+		}
+		seg, off := e.effAddr(inst)
+		shift := uint8(5)
+		if w == 16 {
+			shift = 4
+		}
+		byteOff := uint32(int32(bitIdx)>>shift) * uint32(w/8)
+		addr := off + byteOff
+		var p place
+		var f *fault
+		if write {
+			prep, ff := e.prepareWrite(e.linAddr(seg, addr), w/8)
+			if ff != nil {
+				return ff, true
+			}
+			p = place{prep: prep, w: w}
+		} else {
+			p = place{seg: seg, off: addr, w: w}
+		}
+		a, f := e.readPlace(p)
+		if f != nil {
+			return f, true
+		}
+		e.setFlagBit(x86.FlagCF, a>>(bitIdx&uint32(w-1))&1)
+		if write {
+			if f := e.writePlace(p, apply(a)); f != nil {
+				return f, true
+			}
+		}
+		return e.finish(inst), true
+	case name == "bsf" || name == "bsr":
+		w := osz
+		p, f := e.resolveRM(inst, w, false)
+		if f != nil {
+			return f, true
+		}
+		v, f := e.readPlace(p)
+		if f != nil {
+			return f, true
+		}
+		v &= mask(w)
+		if v == 0 {
+			e.setFlagBit(x86.FlagZF, 1)
+			// Destination undefined on zero: left unchanged (matches hw).
+			return e.finish(inst), true
+		}
+		e.setFlagBit(x86.FlagZF, 0)
+		var idx uint32
+		if name == "bsf" {
+			for idx = 0; v>>idx&1 == 0; idx++ {
+			}
+		} else {
+			for idx = uint32(w) - 1; v>>idx&1 == 0; idx-- {
+			}
+		}
+		e.gprWrite(inst.RegField(), w, idx)
+		return e.finish(inst), true
+	case strings.HasPrefix(name, "shld") || strings.HasPrefix(name, "shrd"):
+		left := strings.HasPrefix(name, "shld")
+		w := osz
+		p, f := e.resolveRM(inst, w, true)
+		if f != nil {
+			return f, true
+		}
+		a, f := e.readPlace(p)
+		if f != nil {
+			return f, true
+		}
+		fill := e.gprRead(inst.RegField(), w)
+		var count uint32
+		if strings.HasSuffix(name, "cl") {
+			count = e.gprRead(1, 8) & 0x1f
+		} else {
+			count = uint32(inst.Imm) & 0x1f
+		}
+		if count == 0 {
+			return firstFault(e.writePlace(p, a), e.finish(inst)), true
+		}
+		am, fm := a&mask(w), fill&mask(w)
+		var r, cf uint32
+		if left {
+			r = (am<<count | fm>>(uint32(w)-count)) & mask(w)
+			cf = uint32(uint64(am)<<count>>w) & 1
+		} else {
+			r = (am>>count | fm<<(uint32(w)-count)) & mask(w)
+			cf = am >> (count - 1) & 1
+		}
+		e.setFlagBit(x86.FlagCF, cf)
+		if count == 1 {
+			e.setFlagBit(x86.FlagOF, (r^am)>>(w-1)&1)
+		}
+		e.setSZP(r, w)
+		if f := e.writePlace(p, r); f != nil {
+			return f, true
+		}
+		return e.finish(inst), true
+	}
+	_ = m
+	return nil, false
+}
+
+// stringOp covers movs/cmps/stos/lods/scas with optional rep prefixes.
+func (e *Emulator) stringOp(inst *x86.Inst, op, form string, osz uint8) *fault {
+	m := e.m
+	w := uint8(8)
+	if form == "v" {
+		w = osz
+	}
+	size := uint32(w / 8)
+	rep := inst.Rep || inst.RepNE
+	srcSeg := x86.DS
+	if inst.SegOverride >= 0 {
+		srcSeg = x86.SegReg(inst.SegOverride)
+	}
+	delta := size
+	if e.flag(x86.FlagDF) == 1 {
+		delta = -size
+	}
+	iter := func() (stop bool, f *fault) {
+		switch op {
+		case "movs":
+			v, f := e.memRead(srcSeg, m.GPR[x86.ESI], uint8(size))
+			if f != nil {
+				return false, f
+			}
+			if f := e.memWrite(x86.ES, m.GPR[x86.EDI], v, uint8(size)); f != nil {
+				return false, f
+			}
+			m.GPR[x86.ESI] += delta
+			m.GPR[x86.EDI] += delta
+		case "stos":
+			if f := e.memWrite(x86.ES, m.GPR[x86.EDI], e.gprRead(0, w), uint8(size)); f != nil {
+				return false, f
+			}
+			m.GPR[x86.EDI] += delta
+		case "lods":
+			v, f := e.memRead(srcSeg, m.GPR[x86.ESI], uint8(size))
+			if f != nil {
+				return false, f
+			}
+			e.gprWrite(0, w, v)
+			m.GPR[x86.ESI] += delta
+		case "cmps":
+			a, f := e.memRead(srcSeg, m.GPR[x86.ESI], uint8(size))
+			if f != nil {
+				return false, f
+			}
+			d, f := e.memRead(x86.ES, m.GPR[x86.EDI], uint8(size))
+			if f != nil {
+				return false, f
+			}
+			e.subFlags(a, d, 0, (a-d)&mask(w), w)
+			m.GPR[x86.ESI] += delta
+			m.GPR[x86.EDI] += delta
+			return e.repStop(inst), nil
+		case "scas":
+			a := e.gprRead(0, w)
+			d, f := e.memRead(x86.ES, m.GPR[x86.EDI], uint8(size))
+			if f != nil {
+				return false, f
+			}
+			e.subFlags(a, d, 0, (a-d)&mask(w), w)
+			m.GPR[x86.EDI] += delta
+			return e.repStop(inst), nil
+		}
+		return false, nil
+	}
+	if !rep {
+		if _, f := iter(); f != nil {
+			return f
+		}
+		return e.finish(inst)
+	}
+	for budget := 0; ; budget++ {
+		if budget > 1<<22 {
+			return &fault{vec: vecTimeout}
+		}
+		if m.GPR[x86.ECX] == 0 {
+			break
+		}
+		stop, f := iter()
+		if f != nil {
+			return f
+		}
+		m.GPR[x86.ECX]--
+		if stop {
+			break
+		}
+	}
+	return e.finish(inst)
+}
+
+func (e *Emulator) repStop(inst *x86.Inst) bool {
+	zf := e.flag(x86.FlagZF) == 1
+	if inst.RepNE {
+		return zf
+	}
+	return !zf
+}

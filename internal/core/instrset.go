@@ -1,0 +1,112 @@
+// Package core implements path-exploration lifting, the paper's primary
+// contribution: symbolic instruction-set exploration over the Hi-Fi
+// emulator's decoder (Section 3.2), machine state-space exploration over
+// each instruction's implementation with the Figure 3 symbolic state
+// (Section 3.3), and the lifting of each explored path into a test case
+// that the generator (internal/testgen) turns into a runnable test program.
+package core
+
+import (
+	"sort"
+
+	"pokeemu/internal/x86"
+)
+
+// Candidate is one byte sequence the decoder accepts, discovered on a
+// distinct decoder path.
+type Candidate struct {
+	Bytes  [3]byte
+	Spec   *x86.OpSpec
+	OpSize int
+}
+
+// UniqueInstr is one per-instruction implementation (the unit of "unique
+// instruction" in Section 6.1): a distinct handler at a distinct operand
+// size, with one representative byte sequence selected from its partition
+// cell.
+type UniqueInstr struct {
+	Spec   *x86.OpSpec
+	OpSize int
+	Repr   []byte // representative full encoding
+}
+
+// Key identifies the unique instruction.
+func (u *UniqueInstr) Key() string {
+	if u.OpSize == 16 {
+		return u.Spec.Name + "/16"
+	}
+	return u.Spec.Name
+}
+
+// InstrSetResult is the outcome of instruction-set exploration.
+type InstrSetResult struct {
+	Candidates []Candidate
+	Unique     []*UniqueInstr
+	// ExploredPaths counts decoder paths followed, valid or not — the
+	// measure of how far the 2²⁴ raw three-byte space was cut down.
+	ExploredPaths int
+}
+
+// ExploreInstructionSet explores the decoder with the first three
+// instruction-buffer bytes symbolic and the rest zero — the Section 3.2
+// setup. The walk branches exactly where the decoder's control flow does
+// (x86.NextByteRole): dispatch bytes are enumerated, the SIB byte
+// contributes its single two-way displacement predicate, and
+// immediate/displacement bytes are fixed at the concrete zero. Every
+// completed walk is one decoder path; valid paths become candidates, and
+// one representative is kept per per-instruction implementation.
+func ExploreInstructionSet() *InstrSetResult {
+	res := &InstrSetResult{}
+	uniq := make(map[string]*UniqueInstr)
+
+	try := func(chosen []byte) {
+		res.ExploredPaths++
+		full := make([]byte, x86.MaxInstLen)
+		copy(full, chosen)
+		inst, err := x86.Decode(full)
+		if err != nil {
+			return
+		}
+		var c Candidate
+		copy(c.Bytes[:], full[:3])
+		c.Spec = inst.Spec
+		c.OpSize = inst.OpSize
+		res.Candidates = append(res.Candidates, c)
+		u := &UniqueInstr{Spec: inst.Spec, OpSize: inst.OpSize, Repr: full[:inst.Len]}
+		if prev, ok := uniq[u.Key()]; !ok || len(u.Repr) < len(prev.Repr) {
+			uniq[u.Key()] = u // keep the shortest representative of the cell
+		}
+	}
+
+	var dfs func(chosen []byte)
+	dfs = func(chosen []byte) {
+		if len(chosen) >= 3 {
+			try(chosen)
+			return
+		}
+		switch x86.NextByteRole(chosen) {
+		case x86.RoleDispatch:
+			for b := 0; b < 256; b++ {
+				dfs(append(append([]byte(nil), chosen...), byte(b)))
+			}
+		case x86.RoleSIB:
+			// One two-way branch: base≠5-with-mod-0 vs the disp32 form.
+			dfs2 := func(sib byte) {
+				try(append(append([]byte(nil), chosen...), sib))
+			}
+			dfs2(0x00)
+			dfs2(0x05)
+		default:
+			try(chosen)
+		}
+	}
+	dfs(nil)
+
+	for _, u := range uniq {
+		res.Unique = append(res.Unique, u)
+	}
+	sort.Slice(res.Unique, func(i, j int) bool {
+		return res.Unique[i].Key() < res.Unique[j].Key()
+	})
+	return res
+}

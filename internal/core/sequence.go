@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pokeemu/internal/ir"
+	"pokeemu/internal/x86"
+	"pokeemu/internal/x86/sem"
+)
+
+// ExploreSequence explores a multi-instruction sequence as one unit — the
+// Section 7 extension ("we plan on studying how multi-instruction sequences
+// are treated by emulators"). Each instruction's semantics are compiled
+// separately and chained; a fault inside any of them ends the path, so the
+// explored state space covers inter-instruction couplings (flag producers
+// feeding consumers, partial updates before a later fault) that
+// single-instruction testing composes only under the independence
+// assumption the paper spells out.
+func (ex *Explorer) ExploreSequence(encodings [][]byte) (*ExploreResult, error) {
+	var progs []*ir.Program
+	var allBytes []byte
+	var names []string
+	eip := uint32(0)
+	for _, enc := range encodings {
+		full := make([]byte, x86.MaxInstLen)
+		copy(full, enc)
+		inst, err := x86.Decode(full)
+		if err != nil {
+			return nil, fmt.Errorf("core: sequence element % x: %w", enc, err)
+		}
+		progs = append(progs, sem.Compile(inst, ex.cfg))
+		allBytes = append(allBytes, inst.Raw...)
+		names = append(names, inst.Spec.Mn)
+		eip += uint32(inst.Len)
+	}
+	seqName := strings.Join(names, ";")
+	prog := ir.Concat(seqName, progs...)
+
+	spec := &x86.OpSpec{Name: seqName, Mn: seqName}
+	u := &UniqueInstr{Spec: spec, OpSize: 32, Repr: allBytes}
+	return ex.exploreProgram(u, prog)
+}

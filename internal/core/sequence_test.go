@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"pokeemu/internal/ir"
+	"pokeemu/internal/symex"
+	"pokeemu/internal/x86"
+)
+
+func TestExploreSequenceFlagCoupling(t *testing.T) {
+	opts := symex.DefaultOptions()
+	ex, err := NewExplorer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// stc ; adc %ebx, %eax — the adc consumes the carry the stc forces, so
+	// the initial CF must not influence the outcome: the sequence has the
+	// same path count as adc alone would with CF pinned.
+	res, err := ex.ExploreSequence([][]byte{
+		{0xf9},       // stc
+		{0x11, 0xd8}, // adc %ebx, %eax
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatal("register-only sequence must be exhaustively explorable")
+	}
+	if len(res.Tests) == 0 {
+		t.Fatal("no paths")
+	}
+	for _, tc := range res.Tests {
+		if tc.Outcome.Kind != ir.OutEnd {
+			t.Errorf("unexpected outcome %v", tc.Outcome)
+		}
+		// CF is forced by stc: no test state should need to pin it.
+		if _, ok := tc.Diffs()["st_cf"]; ok {
+			t.Error("initial CF should be irrelevant after stc")
+		}
+	}
+}
+
+func TestExploreSequenceFaultStopsSequence(t *testing.T) {
+	opts := symex.DefaultOptions()
+	opts.MaxPaths = 256
+	ex, err := NewExplorer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// push %eax ; mov $1, %ecx — a stack fault on the push must end the
+	// path before the mov, so fault paths leave ECX symbolic-initial.
+	res, err := ex.ExploreSequence([][]byte{
+		{0x50},                         // push %eax
+		{0xb9, 0x01, 0x00, 0x00, 0x00}, // mov $1, %ecx
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faulted, completed int
+	for _, tc := range res.Tests {
+		if tc.Outcome.Kind == ir.OutRaise {
+			faulted++
+		} else {
+			completed++
+		}
+	}
+	if faulted == 0 || completed == 0 {
+		t.Errorf("faulted=%d completed=%d; want both", faulted, completed)
+	}
+}
+
+func TestConcatProgramSemantics(t *testing.T) {
+	// Concatenated programs must equal sequential execution.
+	b1 := ir.NewBuilder("p1")
+	b1.Set(x86.GPR(x86.EAX), b1.Add(b1.Get(x86.GPR(x86.EAX)), b1.Const(32, 5)))
+	b1.End()
+	b2 := ir.NewBuilder("p2")
+	b2.Set(x86.GPR(x86.EAX), b2.Mul(b2.Get(x86.GPR(x86.EAX)), b2.Const(32, 3)))
+	b2.End()
+	cat := ir.Concat("seq", b1.Build(), b2.Build())
+
+	st := newConcatState()
+	st.vals[x86.GPR(x86.EAX)] = 7
+	if _, err := ir.Run(cat, st, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.vals[x86.GPR(x86.EAX)]; got != 36 { // (7+5)*3
+		t.Errorf("eax = %d, want 36", got)
+	}
+}
+
+type concatState struct{ vals map[x86.Loc]uint64 }
+
+func newConcatState() *concatState { return &concatState{vals: map[x86.Loc]uint64{}} }
+
+func (s *concatState) Get(l x86.Loc) uint64              { return s.vals[l] }
+func (s *concatState) Set(l x86.Loc, v uint64)           { s.vals[l] = v }
+func (s *concatState) Load(p uint32, n uint8) uint64     { return 0 }
+func (s *concatState) Store(p uint32, v uint64, n uint8) {}

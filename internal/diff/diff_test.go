@@ -1,0 +1,172 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+
+	"pokeemu/internal/machine"
+	"pokeemu/internal/x86"
+)
+
+func snapPair() (*machine.Snapshot, *machine.Snapshot, *machine.Memory) {
+	img := machine.BaselineImage()
+	a := machine.NewBaseline(img)
+	b := machine.NewBaseline(img)
+	return a.Snapshot(nil), b.Snapshot(nil), img
+}
+
+func TestCompareIdentical(t *testing.T) {
+	a, b, _ := snapPair()
+	if ds := Compare(a, b, Filter{}); len(ds) != 0 {
+		t.Errorf("identical snapshots differ: %v", ds)
+	}
+}
+
+func TestCompareRegisterAndMemory(t *testing.T) {
+	img := machine.BaselineImage()
+	ma := machine.NewBaseline(img)
+	mb := machine.NewBaseline(img)
+	mb.GPR[x86.EAX] = 7
+	mb.Mem.Write8(0x300000, 0x55)
+	ds := Compare(ma.Snapshot(nil), mb.Snapshot(nil), Filter{})
+	if len(ds) != 2 {
+		t.Fatalf("diffs = %v, want eax + one byte", ds)
+	}
+	if ds[0].Field != "eax" || ds[1].Field != "mem[0x300000]" {
+		t.Errorf("fields = %v", ds)
+	}
+}
+
+func TestCompareEFLAGSFilter(t *testing.T) {
+	img := machine.BaselineImage()
+	ma := machine.NewBaseline(img)
+	mb := machine.NewBaseline(img)
+	mb.EFLAGS |= 1 << x86.FlagAF
+	// Unfiltered: a diff; with AF masked: none.
+	if ds := Compare(ma.Snapshot(nil), mb.Snapshot(nil), Filter{}); len(ds) != 1 {
+		t.Errorf("unfiltered: %v", ds)
+	}
+	f := Filter{EFLAGSMask: 1 << x86.FlagAF}
+	if ds := Compare(ma.Snapshot(nil), mb.Snapshot(nil), f); len(ds) != 0 {
+		t.Errorf("filtered: %v", ds)
+	}
+}
+
+func TestCompareExceptionDelta(t *testing.T) {
+	img := machine.BaselineImage()
+	ma := machine.NewBaseline(img)
+	mb := machine.NewBaseline(img)
+	exc := &machine.ExceptionInfo{Vector: x86.ExcGP, ErrCode: 0x50, HasErr: true}
+	ds := Compare(ma.Snapshot(exc), mb.Snapshot(nil), Filter{})
+	kinds := map[string]bool{}
+	for _, d := range ds {
+		kinds[d.Field] = true
+	}
+	if !kinds["exc.vector"] || !kinds["exc.err"] {
+		t.Errorf("missing exception fields: %v", ds)
+	}
+}
+
+func TestUndefFilterFor(t *testing.T) {
+	cases := []struct {
+		handler string
+		bit     uint8
+		masked  bool
+	}{
+		{"and_rmv_rv", x86.FlagAF, true},
+		{"and_rmv_rv", x86.FlagZF, false},
+		{"mul_rmv", x86.FlagSF, true},
+		{"mul_rmv", x86.FlagCF, false},
+		{"shl_rmv_imm8", x86.FlagOF, true},
+		{"div_rmv", x86.FlagZF, true},
+		{"add_rmv_rv", x86.FlagAF, false},
+		{"add_rm8_imm8_alias", x86.FlagAF, false},
+		{"bsf", x86.FlagZF, false},
+		{"bsf", x86.FlagCF, true},
+	}
+	for _, c := range cases {
+		f := UndefFilterFor(c.handler)
+		got := f.EFLAGSMask&(1<<c.bit) != 0
+		if got != c.masked {
+			t.Errorf("%s bit %d: masked=%v, want %v", c.handler, c.bit, got, c.masked)
+		}
+	}
+}
+
+func TestSignatureAndCluster(t *testing.T) {
+	d1 := &Difference{Mnemonic: "leave", Fields: []FieldDiff{{Field: "esp"}}}
+	d2 := &Difference{Mnemonic: "leave", Fields: []FieldDiff{{Field: "esp"}}}
+	d3 := &Difference{Mnemonic: "leave", Fields: []FieldDiff{{Field: "ebp"}}}
+	if d1.Signature() != d2.Signature() {
+		t.Error("same-shape differences must share a signature")
+	}
+	if d1.Signature() == d3.Signature() {
+		t.Error("different shapes must not share a signature")
+	}
+	clusters := Cluster([]*Difference{d1, d2, d3})
+	if len(clusters) != 2 {
+		t.Errorf("clusters = %d, want 2", len(clusters))
+	}
+}
+
+func TestRootCauseClassification(t *testing.T) {
+	cases := []struct {
+		d    *Difference
+		want string
+	}{
+		{&Difference{Mnemonic: "rdmsr", Fields: []FieldDiff{
+			{Field: "exc.vector", A: 13, B: 0xffff}}},
+			"rdmsr: missing #GP on invalid MSR"},
+		{&Difference{Mnemonic: "leave", Fields: []FieldDiff{{Field: "esp"}}},
+			"leave: non-atomic ESP update"},
+		{&Difference{Mnemonic: "cmpxchg", Fields: []FieldDiff{{Field: "eax"}}},
+			"cmpxchg: accumulator/flags updated before write check"},
+		{&Difference{Mnemonic: "iret", Fields: []FieldDiff{{Field: "cr2"}}},
+			"iret: stack pop order"},
+		{&Difference{Mnemonic: "lfs", Fields: []FieldDiff{
+			{Field: "mem[0x3010]"}}}, // inside the page table
+			"far load: operand fetch order"},
+		{&Difference{Mnemonic: "mov", Fields: []FieldDiff{
+			{Field: "mem[0x208055]"}}}, // inside the GDT
+			"segment load: accessed bit not written back"},
+		{&Difference{Mnemonic: "add", Fields: []FieldDiff{
+			{Field: "exc.vector", A: 6, B: 0xffff}}},
+			"decoder: encoding acceptance difference"},
+		{&Difference{Mnemonic: "push", Fields: []FieldDiff{
+			{Field: "exc.vector", A: 12, B: 0xffff}}},
+			"segmentation: limits/rights not enforced"},
+		{&Difference{Mnemonic: "add", Fields: []FieldDiff{{Field: "eflags"}}},
+			"undefined status flags"},
+		{&Difference{Mnemonic: "add", Fields: []FieldDiff{{Field: "cr2"}}},
+			"memory access order across a page boundary"},
+	}
+	for _, c := range cases {
+		if got := RootCause(c.d); got != c.want {
+			t.Errorf("%s %v: got %q, want %q", c.d.Mnemonic, c.d.Fields, got, c.want)
+		}
+	}
+}
+
+func TestFieldKindMemoryRegions(t *testing.T) {
+	cases := map[string]string{
+		"mem[0x208010]": "mem.gdt",
+		"mem[0x3010]":   "mem.pt",
+		"mem[0x2010]":   "mem.pd",
+		"mem[0x300000]": "mem",
+		"ss.attr":       "ss.attr",
+		"eax":           "eax",
+		"msr3":          "msr",
+	}
+	for field, want := range cases {
+		if got := fieldKind(field); got != want {
+			t.Errorf("fieldKind(%q) = %q, want %q", field, got, want)
+		}
+	}
+}
+
+func TestFieldDiffString(t *testing.T) {
+	f := FieldDiff{Field: "eax", A: 1, B: 2}
+	if !strings.Contains(f.String(), "eax") {
+		t.Error("rendering misses the field name")
+	}
+}

@@ -1,0 +1,65 @@
+package diff
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pokeemu/internal/machine"
+)
+
+// randomizeCPU applies generated values to a machine's CPU state.
+func randomizeCPU(m *machine.Machine, gpr [8]uint32, eflags, cr2 uint32, msr uint64) {
+	m.GPR = gpr
+	m.EFLAGS = eflags
+	m.CR2 = cr2
+	m.MSR[3] = msr
+}
+
+// TestQuickCompareReflexive: any state compared against itself is clean.
+func TestQuickCompareReflexive(t *testing.T) {
+	img := machine.BaselineImage()
+	f := func(gpr [8]uint32, eflags, cr2 uint32, msr uint64) bool {
+		m := machine.NewBaseline(img)
+		randomizeCPU(m, gpr, eflags, cr2, msr)
+		s := m.Snapshot(nil)
+		return len(Compare(s, s, Filter{})) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCompareSymmetricCount: A-vs-B and B-vs-A find the same number of
+// differing fields.
+func TestQuickCompareSymmetricCount(t *testing.T) {
+	img := machine.BaselineImage()
+	f := func(g1, g2 [8]uint32, e1, e2 uint32) bool {
+		ma := machine.NewBaseline(img)
+		mb := machine.NewBaseline(img)
+		randomizeCPU(ma, g1, e1, 0, 0)
+		randomizeCPU(mb, g2, e2, 0, 0)
+		ab := Compare(ma.Snapshot(nil), mb.Snapshot(nil), Filter{})
+		ba := Compare(mb.Snapshot(nil), ma.Snapshot(nil), Filter{})
+		return len(ab) == len(ba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFilterMonotone: masking more EFLAGS bits never increases the
+// number of reported differences.
+func TestQuickFilterMonotone(t *testing.T) {
+	img := machine.BaselineImage()
+	f := func(e1, e2, mask uint32) bool {
+		ma := machine.NewBaseline(img)
+		mb := machine.NewBaseline(img)
+		ma.EFLAGS, mb.EFLAGS = e1, e2
+		loose := Compare(ma.Snapshot(nil), mb.Snapshot(nil), Filter{EFLAGSMask: mask})
+		strict := Compare(ma.Snapshot(nil), mb.Snapshot(nil), Filter{})
+		return len(loose) <= len(strict)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,51 @@
+// Package emu defines the common surface of the three reference
+// implementations (Hi-Fi interpreter, Lo-Fi translator, hardware simulator)
+// so the harness can run test programs uniformly.
+package emu
+
+import "pokeemu/internal/machine"
+
+// EventKind classifies the result of executing one instruction.
+type EventKind uint8
+
+// Step outcomes.
+const (
+	EventNone      EventKind = iota // instruction completed normally
+	EventHalt                       // the CPU halted (hlt executed)
+	EventException                  // an exception was raised and delivered
+	EventShutdown                   // exception delivery itself failed
+	EventTimeout                    // internal step budget exhausted
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventHalt:
+		return "halt"
+	case EventException:
+		return "exception"
+	case EventShutdown:
+		return "shutdown"
+	case EventTimeout:
+		return "timeout"
+	default:
+		return "none"
+	}
+}
+
+// Event is the instrumented observation of one Step: the kind plus the
+// exception that was delivered, if any. This is the "10-line patch"
+// equivalent of the paper's emulator instrumentation.
+type Event struct {
+	Kind      EventKind
+	Exception *machine.ExceptionInfo
+}
+
+// Emulator is a CPU implementation under test or used as a reference.
+type Emulator interface {
+	// Name identifies the implementation in reports.
+	Name() string
+	// Machine exposes the guest state (for loading programs, snapshots).
+	Machine() *machine.Machine
+	// Step executes one guest instruction, including any exception delivery.
+	Step() Event
+}

@@ -1,0 +1,18 @@
+package emu
+
+import "testing"
+
+func TestEventKindString(t *testing.T) {
+	cases := map[EventKind]string{
+		EventNone:      "none",
+		EventHalt:      "halt",
+		EventException: "exception",
+		EventShutdown:  "shutdown",
+		EventTimeout:   "timeout",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d: %q, want %q", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstTruncation(t *testing.T) {
+	if got := Const(8, 0x1ff).Val; got != 0xff {
+		t.Errorf("Const(8, 0x1ff) = %#x, want 0xff", got)
+	}
+	if got := Const(64, ^uint64(0)).Val; got != ^uint64(0) {
+		t.Errorf("Const(64, all-ones) = %#x", got)
+	}
+	if got := Const(1, 3).Val; got != 1 {
+		t.Errorf("Const(1, 3) = %d, want 1", got)
+	}
+}
+
+func TestSimplifyIdentities(t *testing.T) {
+	x := Var(32, "x")
+	zero := Const(32, 0)
+	ones := Const(32, Mask(32))
+	cases := []struct {
+		name string
+		got  *Expr
+		want *Expr
+	}{
+		{"add0", Add(x, zero), x},
+		{"add0l", Add(zero, x), x},
+		{"sub0", Sub(x, zero), x},
+		{"subself", Sub(x, x), zero},
+		{"and0", And(x, zero), zero},
+		{"andones", And(x, ones), x},
+		{"andself", And(x, x), x},
+		{"or0", Or(x, zero), x},
+		{"orones", Or(x, ones), ones},
+		{"orself", Or(x, x), x},
+		{"xor0", Xor(x, zero), x},
+		{"xorself", Xor(x, x), zero},
+		{"mul1", Mul(x, Const(32, 1)), x},
+		{"mul0", Mul(x, zero), zero},
+		{"notnot", Not(Not(x)), x},
+		{"negneg", Neg(Neg(x)), x},
+		{"shl0", Shl(x, Const(8, 0)), x},
+		{"shlwide", Shl(x, Const(8, 40)), zero},
+		{"lshrwide", LShr(x, Const(8, 32)), zero},
+		{"extractfull", Extract(x, 0, 32), x},
+		{"zextsame", ZExt(x, 32), x},
+		{"iteconst", Ite(One, x, zero), x},
+		{"itesame", Ite(Var(1, "c"), x, x), x},
+		{"udiv1", UDiv(x, Const(32, 1)), x},
+	}
+	for _, c := range cases {
+		if !structEq(c.got, c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestEqSimplify(t *testing.T) {
+	x := Var(32, "x")
+	if !Eq(x, x).IsTrue() {
+		t.Error("eq(x,x) should be true")
+	}
+	c := Var(1, "c")
+	if got := Eq(One, c); got != c {
+		t.Errorf("eq(1,c) = %v, want c", got)
+	}
+	if got := Eq(Zero, c); got.Op != OpNot {
+		t.Errorf("eq(0,c) = %v, want not c", got)
+	}
+}
+
+func TestIteBooleanForms(t *testing.T) {
+	c := Var(1, "c")
+	if got := Ite(c, One, Zero); got != c {
+		t.Errorf("ite(c,1,0) = %v, want c", got)
+	}
+	if got := Ite(c, Zero, One); got.Op != OpNot || got.Kids[0] != c {
+		t.Errorf("ite(c,0,1) = %v, want not c", got)
+	}
+}
+
+func TestExtractComposition(t *testing.T) {
+	x := Var(32, "x")
+	e := Extract(Extract(x, 8, 16), 4, 8)
+	if e.Op != OpExtract || e.Lo != 12 || e.Width != 8 || e.Kids[0] != x {
+		t.Errorf("nested extract not flattened: %v", e)
+	}
+	// Extract over concat routes to the correct side.
+	hi := Var(16, "h")
+	lo := Var(16, "l")
+	cc := Concat(hi, lo)
+	if got := Extract(cc, 0, 16); got != lo {
+		t.Errorf("extract low of concat = %v, want l", got)
+	}
+	if got := Extract(cc, 16, 16); got != hi {
+		t.Errorf("extract high of concat = %v, want h", got)
+	}
+	// Extract over zext of the high zero region folds to 0.
+	z := ZExt(Var(8, "b"), 32)
+	if got := Extract(z, 16, 8); !got.IsConst() || got.Val != 0 {
+		t.Errorf("extract of zext padding = %v, want 0", got)
+	}
+}
+
+func TestConcatOfAdjacentExtracts(t *testing.T) {
+	x := Var(32, "x")
+	e := Concat(Extract(x, 16, 16), Extract(x, 0, 16))
+	if e != x {
+		t.Errorf("concat of adjacent extracts = %v, want x", e)
+	}
+}
+
+func TestEvalBasics(t *testing.T) {
+	env := map[string]uint64{"x": 0xfffffff0, "y": 0x20}
+	x, y := Var(32, "x"), Var(32, "y")
+	cases := []struct {
+		e    *Expr
+		want uint64
+	}{
+		{Add(x, y), 0x10},
+		{Sub(y, x), 0x30},
+		{Mul(y, Const(32, 3)), 0x60},
+		{Ult(x, y), 0},
+		{Slt(x, y), 1},
+		{AShr(x, Const(8, 4)), 0xffffffff},
+		{LShr(x, Const(8, 4)), 0x0fffffff},
+		{SExt(Extract(x, 0, 8), 32), 0xfffffff0},
+		{UDiv(y, Const(32, 0)), 0xffffffff},
+		{URem(y, Const(32, 0)), 0x20},
+	}
+	for i, c := range cases {
+		if got := Eval(c.e, env); got != c.want {
+			t.Errorf("case %d: Eval(%v) = %#x, want %#x", i, c.e, got, c.want)
+		}
+	}
+}
+
+// randomExpr builds a random well-formed term over variables a, b (width w).
+func randomExpr(r *rand.Rand, depth int, w uint8) *Expr {
+	if depth == 0 || r.Intn(4) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return Const(w, r.Uint64())
+		case 1:
+			return Var(w, "a")
+		default:
+			return Var(w, "b")
+		}
+	}
+	sub := func() *Expr { return randomExpr(r, depth-1, w) }
+	switch r.Intn(14) {
+	case 0:
+		return Add(sub(), sub())
+	case 1:
+		return Sub(sub(), sub())
+	case 2:
+		return Mul(sub(), sub())
+	case 3:
+		return And(sub(), sub())
+	case 4:
+		return Or(sub(), sub())
+	case 5:
+		return Xor(sub(), sub())
+	case 6:
+		return Not(sub())
+	case 7:
+		return Neg(sub())
+	case 8:
+		return Shl(sub(), Const(8, uint64(r.Intn(int(w)+2))))
+	case 9:
+		return LShr(sub(), Const(8, uint64(r.Intn(int(w)+2))))
+	case 10:
+		return AShr(sub(), Const(8, uint64(r.Intn(int(w)))))
+	case 11:
+		return Ite(Eq(sub(), sub()), sub(), sub())
+	case 12:
+		lo := uint8(r.Intn(int(w)))
+		ew := uint8(r.Intn(int(w-lo))) + 1
+		return ZExt(Extract(sub(), lo, ew), w)
+	default:
+		return UDiv(sub(), sub())
+	}
+}
+
+// TestSimplifierPreservesEval is the core soundness property: rebuilding a
+// term through the simplifying constructors (via Substitute with fresh
+// variables) never changes its concrete value.
+func TestSimplifierPreservesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		e := randomExpr(r, 4, 32)
+		env := map[string]uint64{"a": r.Uint64(), "b": r.Uint64()}
+		want := Eval(e, env)
+		// Substituting a→a', b→b' forces a full rebuild through the
+		// simplifying constructors.
+		sub := map[string]*Expr{"a": Var(32, "a2"), "b": Var(32, "b2")}
+		e2 := Substitute(e, sub)
+		env2 := map[string]uint64{"a2": env["a"], "b2": env["b"]}
+		if got := Eval(e2, env2); got != want {
+			t.Fatalf("iter %d: simplified eval %#x != original %#x\norig: %v\nsimp: %v",
+				i, got, want, e, e2)
+		}
+	}
+}
+
+func TestQuickAddCommutes(t *testing.T) {
+	f := func(a, b uint32) bool {
+		env := map[string]uint64{"a": uint64(a), "b": uint64(b)}
+		x, y := Var(32, "a"), Var(32, "b")
+		return Eval(Add(x, y), env) == Eval(Add(y, x), env)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubAddInverse(t *testing.T) {
+	f := func(a, b uint32) bool {
+		env := map[string]uint64{"a": uint64(a), "b": uint64(b)}
+		x, y := Var(32, "a"), Var(32, "b")
+		return Eval(Add(Sub(x, y), y), env) == uint64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConcatExtractRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		x := Const(32, uint64(v))
+		e := Concat(Extract(x, 16, 16), Extract(x, 0, 16))
+		return e.IsConst() && e.Val == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarsAndCollect(t *testing.T) {
+	e := Add(Var(32, "z"), Mul(Var(32, "a"), Var(32, "z")))
+	vars := Vars(e)
+	if len(vars) != 2 || vars[0] != "a" || vars[1] != "z" {
+		t.Errorf("Vars = %v, want [a z]", vars)
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	x := Var(32, "x")
+	e := Add(x, Const(32, 5))
+	got := Substitute(e, map[string]*Expr{"x": Const(32, 10)})
+	if !got.IsConst() || got.Val != 15 {
+		t.Errorf("substitute+fold = %v, want 15", got)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on width mismatch")
+		}
+	}()
+	Add(Var(32, "x"), Var(16, "y"))
+}
+
+func TestExtractOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-range extract")
+		}
+	}()
+	Extract(Var(16, "x"), 8, 16)
+}
+
+func TestStringRendering(t *testing.T) {
+	e := Add(Var(32, "x"), Const(32, 1))
+	if s := e.String(); s == "" {
+		t.Error("empty string rendering")
+	}
+}
+
+func TestSize(t *testing.T) {
+	e := Add(Var(32, "x"), Mul(Var(32, "y"), Const(32, 3)))
+	if Size(e) != 5 {
+		t.Errorf("Size = %d, want 5", Size(e))
+	}
+}
+
+func TestComparisonWrappers(t *testing.T) {
+	env := map[string]uint64{"a": 5, "b": 9}
+	a, b := Var(32, "a"), Var(32, "b")
+	cases := []struct {
+		e    *Expr
+		want uint64
+	}{
+		{Ule(a, b), 1},
+		{Ule(b, a), 0},
+		{Ule(a, a), 1},
+		{Ugt(b, a), 1},
+		{Sle(a, b), 1},
+		{Ne(a, b), 1},
+		{Ne(a, a), 0},
+	}
+	for i, c := range cases {
+		if got := Eval(c.e, env); got != c.want {
+			t.Errorf("case %d: %v = %d, want %d", i, c.e, got, c.want)
+		}
+	}
+}
+
+func TestSignedComparisonAcrossWidths(t *testing.T) {
+	// -1 (8-bit) < 0 signed, but > 0 unsigned.
+	m1 := Const(8, 0xff)
+	z := Const(8, 0)
+	if !Slt(m1, z).IsTrue() {
+		t.Error("-1 <s 0")
+	}
+	if !Ult(z, m1).IsTrue() {
+		t.Error("0 <u 0xff")
+	}
+}
+
+func TestAddConstantChainFolding(t *testing.T) {
+	x := Var(32, "x")
+	e := Add(Add(x, Const(32, 3)), Const(32, 4))
+	// (x+3)+4 → x+7 via the constant-reassociation rule.
+	if Size(e) != 3 {
+		t.Errorf("chain not folded: %v (size %d)", e, Size(e))
+	}
+	if Eval(e, map[string]uint64{"x": 10}) != 17 {
+		t.Error("folded value wrong")
+	}
+}

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"testing"
+
+	"pokeemu/internal/emu"
+	"pokeemu/internal/machine"
+	"pokeemu/internal/testgen"
+	"pokeemu/internal/x86"
+)
+
+// TestFigure4Timeline verifies the execution structure of the paper's
+// Figure 4: bootstrap → baseline initializer → test program, with event
+// interception enabled only after the baseline init completes and the
+// snapshot taken at the terminal event.
+func TestFigure4Timeline(t *testing.T) {
+	image := machine.BaselineImage()
+	boot := testgen.BaselineInit()
+	prog := append(x86.AsmMovRegImm32(x86.EAX, 42), x86.AsmHlt()...)
+
+	for _, f := range []Factory{FidelisFactory(), CelerFactory(), HardwareFactory()} {
+		res := RunBoot(f, image, boot, prog, 0)
+		if res.BaselineFault {
+			t.Fatalf("%s: baseline init faulted", res.Impl)
+		}
+		// Only post-baseline events are recorded: the mov and the hlt.
+		if len(res.Events) != 2 {
+			t.Errorf("%s: %d recorded events, want 2 (init events suppressed)",
+				res.Impl, len(res.Events))
+		}
+		last := res.Events[len(res.Events)-1]
+		if last.Kind != emu.EventHalt {
+			t.Errorf("%s: terminal event %v, want halt", res.Impl, last.Kind)
+		}
+		if res.Snapshot.CPU.GPR[x86.EAX] != 42 || !res.Snapshot.CPU.Halted {
+			t.Errorf("%s: snapshot not taken at the halt", res.Impl)
+		}
+	}
+}
+
+// TestRunWithoutBootStartsAtBaseline covers the direct-state mode used by
+// unit tests: no boot code, machine already in the baseline state.
+func TestRunWithoutBootStartsAtBaseline(t *testing.T) {
+	image := machine.BaselineImage()
+	prog := append(x86.AsmMovRegImm32(x86.EBX, 7), x86.AsmHlt()...)
+	res := Run(FidelisFactory(), image, prog, 0)
+	if res.Snapshot.CPU.GPR[x86.EBX] != 7 {
+		t.Error("program did not run")
+	}
+}
+
+// TestExceptionDuringTestIsRecorded: the terminal exception must land in
+// the snapshot (the state the difference analysis compares).
+func TestExceptionDuringTestIsRecorded(t *testing.T) {
+	image := machine.BaselineImage()
+	boot := testgen.BaselineInit()
+	prog := append([]byte{0xf7, 0xf1}, x86.AsmHlt()...) // div %ecx with ecx=0 → #DE
+	res := RunBoot(CelerFactory(), image, boot, prog, 0)
+	if res.Snapshot.Exception == nil || res.Snapshot.Exception.Vector != x86.ExcDE {
+		t.Errorf("snapshot exception = %v, want #DE", res.Snapshot.Exception)
+	}
+}
+
+// TestMaxStepsTerminates: a runaway guest is cut off.
+func TestMaxStepsTerminates(t *testing.T) {
+	image := machine.BaselineImage()
+	prog := []byte{0xeb, 0xfe} // jmp self
+	res := Run(FidelisFactory(), image, prog, 50)
+	if res.Steps != 50 {
+		t.Errorf("steps = %d, want the cap", res.Steps)
+	}
+}

@@ -1,0 +1,138 @@
+package machine
+
+import "pokeemu/internal/x86"
+
+// This file constructs the baseline machine state of Section 4.1: a
+// minimalist 32-bit protected-mode environment with paging enabled — flat
+// segmentation (zero base, 4-GiB limit), a page table mapping the 4-GiB
+// linear space onto 4 MiB of physical memory repeating every 4 MiB, and an
+// interrupt descriptor table whose exception handlers halt the CPU.
+
+// Baseline descriptor attribute words.
+const (
+	attrFlatData = uint16(x86.AttrP | x86.AttrS | x86.AttrWritable |
+		x86.AttrAccessed | x86.AttrG | x86.AttrDB) // type 0x3, G, D/B
+	attrFlatCode = uint16(x86.AttrP | x86.AttrS | x86.AttrCode |
+		x86.AttrWritable | x86.AttrAccessed | x86.AttrG | x86.AttrDB) // 0xB readable code
+)
+
+// BaselineImage builds the physical memory content of the baseline
+// environment: GDT, page directory and table, IDT, and exception handler
+// stubs. Test programs are loaded at CodeBase by the harness.
+func BaselineImage() *Memory {
+	m := NewMemory()
+
+	// GDT: null, flat code, and flat data descriptors for each data segment
+	// register, with the stack segment at index 10 (selector 0x50).
+	writeDesc := func(index uint32, base, limit20 uint32, attr uint16) {
+		lo, hi := x86.MakeDescriptor(base, limit20, attr)
+		m.Write(GDTBase+index*8, uint64(lo), 4)
+		m.Write(GDTBase+index*8+4, uint64(hi), 4)
+	}
+	writeDesc(GDTIndex(SelCode), 0, 0xfffff, attrFlatCode)
+	writeDesc(GDTIndex(SelData), 0, 0xfffff, attrFlatData)
+	writeDesc(GDTIndex(SelES), 0, 0xfffff, attrFlatData)
+	writeDesc(GDTIndex(SelFS), 0, 0xfffff, attrFlatData)
+	writeDesc(GDTIndex(SelGS), 0, 0xfffff, attrFlatData)
+	writeDesc(GDTIndex(SelSS), 0, 0xfffff, attrFlatData)
+
+	// Page directory: every entry points at the single shared page table,
+	// so every 4-MiB slice of linear space maps to the same physical 4 MiB.
+	for i := uint32(0); i < 1024; i++ {
+		m.Write(PDBase+i*4, uint64(PTBase|x86.PteP|x86.PteRW|x86.PteUS), 4)
+	}
+	// Page table: linear within the 4-MiB window, all pages RW and user.
+	for i := uint32(0); i < 1024; i++ {
+		m.Write(PTBase+i*4, uint64(i<<12|x86.PteP|x86.PteRW|x86.PteUS), 4)
+	}
+
+	// Pseudo-descriptors for lgdt/lidt, used by the baseline initializer.
+	m.Write(ScratchBase, GDTEntries*8-1, 2)
+	m.Write(ScratchBase+2, GDTBase, 4)
+	m.Write(ScratchBase+8, 256*8-1, 2)
+	m.Write(ScratchBase+10, IDTBase, 4)
+
+	// Exception handler stubs: one per vector so the halting EIP identifies
+	// the vector in the final state; each is a single hlt.
+	for v := uint32(0); v < 256; v++ {
+		m.Write8(HandlerBase+v*8, 0xf4) // hlt
+	}
+	// IDT: 32-bit interrupt gates to the stubs.
+	for v := uint32(0); v < 256; v++ {
+		off := HandlerBase + v*8
+		lo := uint64(off&0xffff) | uint64(SelCode)<<16
+		hi := uint64(0x8e00) | uint64(off&0xffff0000) // P, DPL0, 32-bit int gate
+		m.Write(IDTBase+v*8, lo, 4)
+		m.Write(IDTBase+v*8+4, hi, 4)
+	}
+	return m
+}
+
+// BaselineCPU returns the register state immediately after the baseline
+// initializer has run: flat segments loaded, paging enabled, interrupts on,
+// EIP at the test program entry.
+func BaselineCPU() CPU {
+	flat := func(sel uint16, attr uint16) Segment {
+		return Segment{Sel: sel, Base: 0, Limit: 0xffffffff, Attr: attr}
+	}
+	var c CPU
+	c.GPR = [8]uint32{}
+	c.GPR[x86.ESP] = StackTop
+	c.EIP = CodeBase
+	c.EFLAGS = x86.EflagsFixed1 | 1<<x86.FlagIF
+	c.Seg[x86.CS] = flat(SelCode, attrFlatCode)
+	c.Seg[x86.DS] = flat(SelData, attrFlatData)
+	c.Seg[x86.ES] = flat(SelES, attrFlatData)
+	c.Seg[x86.FS] = flat(SelFS, attrFlatData)
+	c.Seg[x86.GS] = flat(SelGS, attrFlatData)
+	c.Seg[x86.SS] = flat(SelSS, attrFlatData)
+	c.CR0 = 1<<x86.CR0PE | 1<<x86.CR0ET | 1<<x86.CR0PG
+	c.CR3 = PDBase
+	c.CR4 = 0
+	c.GDTRBase = GDTBase
+	c.GDTRLimit = GDTEntries*8 - 1
+	c.IDTRBase = IDTBase
+	c.IDTRLimit = 256*8 - 1
+	return c
+}
+
+// NewBaseline returns a machine in the baseline state backed by a private
+// copy-on-write overlay of the given shared image (pass nil to build a
+// fresh image).
+func NewBaseline(image *Memory) *Machine {
+	if image == nil {
+		image = BaselineImage()
+	}
+	return NewMachine(BaselineCPU(), image.Overlay())
+}
+
+// BootCPU is the machine state the off-the-shelf boot loader leaves behind
+// (paper Section 4): already in 32-bit protected mode with flat segment
+// caches, but paging disabled, descriptor table registers unset, and
+// interrupts off. The baseline state initializer (internal/testgen) runs
+// from here as ordinary guest code.
+func BootCPU() CPU {
+	flat := func(sel uint16, attr uint16) Segment {
+		return Segment{Sel: sel, Base: 0, Limit: 0xffffffff, Attr: attr}
+	}
+	var c CPU
+	c.EIP = BootBase
+	c.EFLAGS = x86.EflagsFixed1
+	c.Seg[x86.CS] = flat(SelCode, attrFlatCode)
+	c.Seg[x86.DS] = flat(SelData, attrFlatData)
+	c.Seg[x86.ES] = flat(SelData, attrFlatData)
+	c.Seg[x86.FS] = flat(SelData, attrFlatData)
+	c.Seg[x86.GS] = flat(SelData, attrFlatData)
+	c.Seg[x86.SS] = flat(SelData, attrFlatData)
+	c.CR0 = 1<<x86.CR0PE | 1<<x86.CR0ET
+	return c
+}
+
+// NewBoot returns a machine in the boot-loader state over a private overlay
+// of the image.
+func NewBoot(image *Memory) *Machine {
+	if image == nil {
+		image = BaselineImage()
+	}
+	return NewMachine(BootCPU(), image.Overlay())
+}

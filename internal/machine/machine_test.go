@@ -1,0 +1,180 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pokeemu/internal/x86"
+)
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory()
+	m.Write(0x1000, 0x11223344, 4)
+	if got := m.Read(0x1000, 4); got != 0x11223344 {
+		t.Errorf("read = %#x", got)
+	}
+	if got := m.Read8(0x1001); got != 0x33 {
+		t.Errorf("byte read = %#x (little endian expected)", got)
+	}
+	// Cross-page write.
+	m.Write(PageSize-2, 0xaabbccdd, 4)
+	if got := m.Read(PageSize-2, 4); got != 0xaabbccdd {
+		t.Errorf("cross-page read = %#x", got)
+	}
+	// Address wraps at 4 MiB.
+	m.Write8(PhysSize+5, 0x7f)
+	if got := m.Read8(5); got != 0x7f {
+		t.Errorf("wrap read = %#x", got)
+	}
+}
+
+func TestMemoryOverlayCoW(t *testing.T) {
+	base := NewMemory()
+	base.Write8(100, 1)
+	o1 := base.Overlay()
+	o2 := base.Overlay()
+	if o1.Read8(100) != 1 || o2.Read8(100) != 1 {
+		t.Fatal("overlay should read through")
+	}
+	o1.Write8(100, 2)
+	if base.Read8(100) != 1 {
+		t.Error("overlay write leaked into base")
+	}
+	if o2.Read8(100) != 1 {
+		t.Error("overlay write leaked into sibling")
+	}
+	if o1.Read8(100) != 2 {
+		t.Error("overlay write lost")
+	}
+	// Touched excludes the shared root.
+	touched := o1.Touched(base)
+	if len(touched) != 1 || !touched[100/PageSize] {
+		t.Errorf("touched = %v", touched)
+	}
+	if o1.Root() != base {
+		t.Error("root mismatch")
+	}
+}
+
+func TestMemoryQuickRoundTrip(t *testing.T) {
+	m := NewMemory()
+	f := func(addr uint32, v uint32) bool {
+		m.Write(addr, uint64(v), 4)
+		return m.Read(addr, 4) == uint64(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMachineLocAccess(t *testing.T) {
+	m := NewMachine(CPU{}, NewMemory())
+	m.Set(x86.GPR(x86.EAX), 0x12345678)
+	if m.Get(x86.GPR(x86.EAX)) != 0x12345678 {
+		t.Error("gpr round trip")
+	}
+	m.Set(x86.Flag(x86.FlagZF), 1)
+	if m.EFLAGS&(1<<x86.FlagZF) == 0 || m.Get(x86.Flag(x86.FlagZF)) != 1 {
+		t.Error("flag set")
+	}
+	m.Set(x86.Flag(x86.FlagZF), 0)
+	if m.Get(x86.Flag(x86.FlagZF)) != 0 {
+		t.Error("flag clear")
+	}
+	m.Set(x86.SegAttr(x86.SS), 0x1c93)
+	if m.Get(x86.SegAttr(x86.SS)) != 0x1c93&0xffff {
+		t.Error("seg attr")
+	}
+	m.Set(x86.CR(3), PDBase)
+	if m.CR3 != PDBase {
+		t.Error("cr3")
+	}
+	m.Set(x86.MSR(2), 0x1122334455667788)
+	if m.Get(x86.MSR(2)) != 0x1122334455667788 {
+		t.Error("msr is 64-bit")
+	}
+}
+
+func TestBaselineImageTables(t *testing.T) {
+	img := BaselineImage()
+	// GDT entry for SS (index 10) must describe a flat writable data segment.
+	lo := uint32(img.Read(GDTBase+10*8, 4))
+	hi := uint32(img.Read(GDTBase+10*8+4, 4))
+	base, limit, attr := x86.DescriptorFields(lo, hi)
+	if base != 0 || limit != 0xffffffff {
+		t.Errorf("ss descriptor: base %#x limit %#x", base, limit)
+	}
+	if attr&x86.AttrP == 0 || attr&x86.AttrS == 0 || attr&x86.AttrWritable == 0 ||
+		attr&x86.AttrCode != 0 {
+		t.Errorf("ss descriptor attr %#x", attr)
+	}
+	// Every PDE points at the shared page table and is present.
+	for _, i := range []uint32{0, 1, 511, 1023} {
+		pde := uint32(img.Read(PDBase+i*4, 4))
+		if pde&0xfffff000 != PTBase || pde&x86.PteP == 0 {
+			t.Errorf("pde[%d] = %#x", i, pde)
+		}
+	}
+	// PTE j maps physical page j.
+	for _, j := range []uint32{0, 256, 1023} {
+		pte := uint32(img.Read(PTBase+j*4, 4))
+		if pte&0xfffff000 != j<<12 || pte&x86.PteP == 0 || pte&x86.PteRW == 0 {
+			t.Errorf("pte[%d] = %#x", j, pte)
+		}
+	}
+	// IDT gate 13 (#GP) points at its halting stub through the code selector.
+	lo13 := uint32(img.Read(IDTBase+13*8, 4))
+	hi13 := uint32(img.Read(IDTBase+13*8+4, 4))
+	off := lo13&0xffff | hi13&0xffff0000
+	sel := uint16(lo13 >> 16)
+	if off != HandlerBase+13*8 || sel != SelCode {
+		t.Errorf("idt[13]: off %#x sel %#x", off, sel)
+	}
+	if img.Read8(off) != 0xf4 {
+		t.Error("handler stub is not hlt")
+	}
+}
+
+func TestBaselineCPUState(t *testing.T) {
+	c := BaselineCPU()
+	if c.CR0&(1<<x86.CR0PE) == 0 || c.CR0&(1<<x86.CR0PG) == 0 {
+		t.Error("baseline must be protected mode with paging")
+	}
+	if c.Seg[x86.SS].Sel != SelSS || c.Seg[x86.CS].Sel != SelCode {
+		t.Error("baseline selectors wrong")
+	}
+	if c.Seg[x86.DS].Limit != 0xffffffff {
+		t.Error("baseline segments must be flat")
+	}
+	if c.EIP != CodeBase || c.GPR[x86.ESP] != StackTop {
+		t.Error("baseline entry state wrong")
+	}
+	if c.EFLAGS&(1<<x86.FlagIF) == 0 {
+		t.Error("baseline enables interrupts")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	img := BaselineImage()
+	m := NewBaseline(img)
+	m.GPR[x86.EAX] = 7
+	snap := m.Snapshot(nil)
+	m.GPR[x86.EAX] = 9 // later mutation must not affect the snapshot CPU copy
+	if snap.CPU.GPR[x86.EAX] != 7 {
+		t.Error("snapshot CPU not value-copied")
+	}
+	if snap.Exception != nil {
+		t.Error("no exception expected")
+	}
+}
+
+func TestExceptionInfoString(t *testing.T) {
+	var e *ExceptionInfo
+	if e.String() != "none" {
+		t.Error("nil exception string")
+	}
+	e = &ExceptionInfo{Vector: 13, ErrCode: 0x50, HasErr: true}
+	if e.String() != "#13(err=0x50)" {
+		t.Errorf("got %q", e.String())
+	}
+}

@@ -1,0 +1,201 @@
+package machine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot file format. The paper notes that while Bochs and QEMU ship
+// their own snapshot facilities, PokeEMU uses its own format so that states
+// from different implementations compare directly (Section 5.1). This is
+// that format: a fixed-size CPU record followed by the touched memory pages
+// (pages identical to the shared baseline image are omitted).
+//
+//	"PKEM" magic, u16 version
+//	CPU record (little endian, fixed layout)
+//	exception record (present flag, vector, errcode, has-err)
+//	u32 page count, then per page: u32 page number + 4096 bytes
+
+const (
+	snapMagic   = "PKEM"
+	snapVersion = 1
+)
+
+// WriteTo serializes the snapshot relative to the given shared baseline
+// image (pass nil to emit every touched page in the overlay chain).
+func (s *Snapshot) WriteTo(w io.Writer, sharedRoot *Memory) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	put32 := func(v uint32) { _ = binary.Write(bw, le, v) }
+	put16 := func(v uint16) { _ = binary.Write(bw, le, v) }
+
+	if _, err := bw.WriteString(snapMagic); err != nil {
+		return err
+	}
+	put16(snapVersion)
+
+	c := &s.CPU
+	for _, r := range c.GPR {
+		put32(r)
+	}
+	put32(c.EIP)
+	put32(c.EFLAGS)
+	for _, seg := range c.Seg {
+		put16(seg.Sel)
+		put32(seg.Base)
+		put32(seg.Limit)
+		put16(seg.Attr)
+	}
+	put32(c.CR0)
+	put32(c.CR2)
+	put32(c.CR3)
+	put32(c.CR4)
+	put32(c.GDTRBase)
+	put32(c.GDTRLimit)
+	put32(c.IDTRBase)
+	put32(c.IDTRLimit)
+	for _, m := range c.MSR {
+		_ = binary.Write(bw, le, m)
+	}
+	halted := byte(0)
+	if c.Halted {
+		halted = 1
+	}
+	bw.WriteByte(halted)
+
+	// Exception record.
+	if s.Exception == nil {
+		bw.WriteByte(0)
+		put32(0)
+		bw.WriteByte(0)
+		bw.WriteByte(0)
+	} else {
+		bw.WriteByte(1)
+		put32(s.Exception.ErrCode)
+		bw.WriteByte(s.Exception.Vector)
+		hasErr := byte(0)
+		if s.Exception.HasErr {
+			hasErr = 1
+		}
+		bw.WriteByte(hasErr)
+	}
+
+	// Touched pages, sorted for determinism.
+	pages := s.Mem.Touched(sharedRoot)
+	pns := make([]uint32, 0, len(pages))
+	for pn := range pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	put32(uint32(len(pns)))
+	for _, pn := range pns {
+		put32(pn)
+		if _, err := bw.Write(s.Mem.ReadBytes(pn*PageSize, PageSize)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot deserializes a snapshot. Pages are layered over the given
+// base image (which must be the same shared image used when writing).
+func ReadSnapshot(r io.Reader, base *Memory) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if string(magic[:]) != snapMagic {
+		return nil, fmt.Errorf("machine: bad snapshot magic %q", magic)
+	}
+	var version uint16
+	if err := binary.Read(br, le, &version); err != nil {
+		return nil, err
+	}
+	if version != snapVersion {
+		return nil, fmt.Errorf("machine: unsupported snapshot version %d", version)
+	}
+
+	get32 := func(v *uint32) error { return binary.Read(br, le, v) }
+	get16 := func(v *uint16) error { return binary.Read(br, le, v) }
+	s := &Snapshot{}
+	c := &s.CPU
+	for i := range c.GPR {
+		if err := get32(&c.GPR[i]); err != nil {
+			return nil, err
+		}
+	}
+	get32(&c.EIP)
+	get32(&c.EFLAGS)
+	for i := range c.Seg {
+		get16(&c.Seg[i].Sel)
+		get32(&c.Seg[i].Base)
+		get32(&c.Seg[i].Limit)
+		get16(&c.Seg[i].Attr)
+	}
+	get32(&c.CR0)
+	get32(&c.CR2)
+	get32(&c.CR3)
+	get32(&c.CR4)
+	get32(&c.GDTRBase)
+	get32(&c.GDTRLimit)
+	get32(&c.IDTRBase)
+	get32(&c.IDTRLimit)
+	for i := range c.MSR {
+		if err := binary.Read(br, le, &c.MSR[i]); err != nil {
+			return nil, err
+		}
+	}
+	var b [1]byte
+	if _, err := io.ReadFull(br, b[:]); err != nil {
+		return nil, err
+	}
+	c.Halted = b[0] == 1
+
+	// Exception record.
+	if _, err := io.ReadFull(br, b[:]); err != nil {
+		return nil, err
+	}
+	present := b[0] == 1
+	var errCode uint32
+	get32(&errCode)
+	var vecHas [2]byte
+	if _, err := io.ReadFull(br, vecHas[:]); err != nil {
+		return nil, err
+	}
+	if present {
+		s.Exception = &ExceptionInfo{
+			Vector: vecHas[0], ErrCode: errCode, HasErr: vecHas[1] == 1,
+		}
+	}
+
+	// Pages.
+	if base == nil {
+		base = NewMemory()
+	}
+	mem := base.Overlay()
+	var count uint32
+	if err := get32(&count); err != nil {
+		return nil, err
+	}
+	if count > NumPages {
+		return nil, fmt.Errorf("machine: snapshot claims %d pages", count)
+	}
+	buf := make([]byte, PageSize)
+	for i := uint32(0); i < count; i++ {
+		var pn uint32
+		if err := get32(&pn); err != nil {
+			return nil, err
+		}
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		mem.WriteBytes(pn*PageSize, buf)
+	}
+	s.Mem = mem
+	return s, nil
+}

@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+
+	"pokeemu/internal/x86"
+)
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	image := BaselineImage()
+	m := NewBaseline(image)
+	m.GPR[x86.EAX] = 0x12345678
+	m.EFLAGS |= 1 << x86.FlagZF
+	m.CR2 = 0xdeadf000
+	m.MSR[2] = 0x1122334455667788
+	m.Halted = true
+	m.Mem.Write(0x300123, 0xa5, 1)
+	m.Seg[x86.FS].Base = 0x1000
+
+	exc := &ExceptionInfo{Vector: x86.ExcGP, ErrCode: 0x50, HasErr: true}
+	snap := m.Snapshot(exc)
+
+	var buf bytes.Buffer
+	if err := snap.WriteTo(&buf, image); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf, image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CPU != snap.CPU {
+		t.Errorf("CPU mismatch:\n got %+v\nwant %+v", got.CPU, snap.CPU)
+	}
+	if got.Exception == nil || *got.Exception != *exc {
+		t.Errorf("exception = %v", got.Exception)
+	}
+	if got.Mem.Read8(0x300123) != 0xa5 {
+		t.Error("touched page content lost")
+	}
+	// Untouched content must come through the shared base.
+	if got.Mem.Read(GDTBase+8, 4) != snap.Mem.Read(GDTBase+8, 4) {
+		t.Error("baseline content lost")
+	}
+}
+
+func TestSnapshotFileNoException(t *testing.T) {
+	image := BaselineImage()
+	snap := NewBaseline(image).Snapshot(nil)
+	var buf bytes.Buffer
+	if err := snap.WriteTo(&buf, image); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf, image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Exception != nil {
+		t.Errorf("exception = %v, want none", got.Exception)
+	}
+}
+
+func TestSnapshotFileRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("nope")), nil); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("PKEM\xff\xff")), nil); err == nil {
+		t.Error("bad version accepted")
+	}
+}

@@ -1,0 +1,567 @@
+package solver
+
+import (
+	"fmt"
+
+	"pokeemu/internal/expr"
+)
+
+// BV is the bit-vector decision procedure: it lowers expr terms to CNF via
+// Tseitin encoding over a CDCL core and answers incremental satisfiability
+// queries under assumptions, returning models as variable assignments.
+//
+// Translation is cached both by term pointer and by structural hash, so a
+// branch condition rebuilt on a re-executed path (as the online exploration
+// strategy does) does not get re-encoded.
+type BV struct {
+	sat   *CDCL
+	tru   Lit
+	fls   Lit
+	ptr   map[*expr.Expr][]Lit
+	hash  map[uint64][]hashEntry
+	vars  map[string][]Lit
+	hmemo map[*expr.Expr]uint64
+
+	// Queries counts Check calls; Encoded counts encoded term nodes.
+	Queries int64
+	Encoded int64
+}
+
+type hashEntry struct {
+	e    *expr.Expr
+	lits []Lit
+}
+
+// NewBV returns an empty bit-vector solver.
+func NewBV() *BV {
+	b := &BV{
+		sat:   NewSat(),
+		ptr:   make(map[*expr.Expr][]Lit),
+		hash:  make(map[uint64][]hashEntry),
+		vars:  make(map[string][]Lit),
+		hmemo: make(map[*expr.Expr]uint64),
+	}
+	t := b.sat.NewVar()
+	b.tru = MkLit(t, false)
+	b.fls = b.tru.Neg()
+	b.sat.AddClause(b.tru)
+	return b
+}
+
+// lit constant helpers
+
+func (b *BV) constLit(bit bool) Lit {
+	if bit {
+		return b.tru
+	}
+	return b.fls
+}
+
+func (b *BV) isTrue(l Lit) bool  { return l == b.tru }
+func (b *BV) isFalse(l Lit) bool { return l == b.fls }
+
+// fresh allocates a new gate output literal.
+func (b *BV) fresh() Lit { return MkLit(b.sat.NewVar(), false) }
+
+// and encodes o ↔ x ∧ y.
+func (b *BV) and(x, y Lit) Lit {
+	if b.isFalse(x) || b.isFalse(y) {
+		return b.fls
+	}
+	if b.isTrue(x) {
+		return y
+	}
+	if b.isTrue(y) {
+		return x
+	}
+	if x == y {
+		return x
+	}
+	if x == y.Neg() {
+		return b.fls
+	}
+	o := b.fresh()
+	b.sat.AddClause(o.Neg(), x)
+	b.sat.AddClause(o.Neg(), y)
+	b.sat.AddClause(o, x.Neg(), y.Neg())
+	return o
+}
+
+// or encodes o ↔ x ∨ y.
+func (b *BV) or(x, y Lit) Lit {
+	return b.and(x.Neg(), y.Neg()).Neg()
+}
+
+// xor encodes o ↔ x ⊕ y.
+func (b *BV) xor(x, y Lit) Lit {
+	if b.isFalse(x) {
+		return y
+	}
+	if b.isFalse(y) {
+		return x
+	}
+	if b.isTrue(x) {
+		return y.Neg()
+	}
+	if b.isTrue(y) {
+		return x.Neg()
+	}
+	if x == y {
+		return b.fls
+	}
+	if x == y.Neg() {
+		return b.tru
+	}
+	o := b.fresh()
+	b.sat.AddClause(o.Neg(), x, y)
+	b.sat.AddClause(o.Neg(), x.Neg(), y.Neg())
+	b.sat.AddClause(o, x.Neg(), y)
+	b.sat.AddClause(o, x, y.Neg())
+	return o
+}
+
+// mux encodes o ↔ (c ? t : f).
+func (b *BV) mux(c, t, f Lit) Lit {
+	if b.isTrue(c) {
+		return t
+	}
+	if b.isFalse(c) {
+		return f
+	}
+	if t == f {
+		return t
+	}
+	if b.isTrue(t) && b.isFalse(f) {
+		return c
+	}
+	if b.isFalse(t) && b.isTrue(f) {
+		return c.Neg()
+	}
+	o := b.fresh()
+	b.sat.AddClause(c.Neg(), t.Neg(), o)
+	b.sat.AddClause(c.Neg(), t, o.Neg())
+	b.sat.AddClause(c, f.Neg(), o)
+	b.sat.AddClause(c, f, o.Neg())
+	return o
+}
+
+// adder computes sum and carry-out of x + y + cin for one bit.
+func (b *BV) adder(x, y, cin Lit) (sum, cout Lit) {
+	xy := b.xor(x, y)
+	sum = b.xor(xy, cin)
+	cout = b.or(b.and(x, y), b.and(cin, xy))
+	return sum, cout
+}
+
+// addVec adds two bit vectors with carry-in; LSB first.
+func (b *BV) addVec(x, y []Lit, cin Lit) []Lit {
+	out := make([]Lit, len(x))
+	c := cin
+	for i := range x {
+		out[i], c = b.adder(x[i], y[i], c)
+	}
+	return out
+}
+
+func (b *BV) negVec(x []Lit) []Lit {
+	inv := make([]Lit, len(x))
+	zero := make([]Lit, len(x))
+	for i := range x {
+		inv[i] = x[i].Neg()
+		zero[i] = b.fls
+	}
+	return b.addVec(inv, zero, b.tru)
+}
+
+// ultVec returns the literal for unsigned x < y (LSB-first vectors).
+func (b *BV) ultVec(x, y []Lit) Lit {
+	lt := b.fls
+	for i := range x { // ripple from LSB to MSB
+		xn := x[i].Neg()
+		biLT := b.and(xn, y[i])
+		eqi := b.xor(x[i], y[i]).Neg()
+		lt = b.mux(eqi, lt, biLT)
+	}
+	return lt
+}
+
+// eqVec returns the literal for x = y.
+func (b *BV) eqVec(x, y []Lit) Lit {
+	acc := b.tru
+	for i := range x {
+		acc = b.and(acc, b.xor(x[i], y[i]).Neg())
+	}
+	return acc
+}
+
+// muxVec selects between two vectors.
+func (b *BV) muxVec(c Lit, t, f []Lit) []Lit {
+	out := make([]Lit, len(t))
+	for i := range t {
+		out[i] = b.mux(c, t[i], f[i])
+	}
+	return out
+}
+
+func (b *BV) constVec(w uint8, v uint64) []Lit {
+	out := make([]Lit, w)
+	for i := range out {
+		out[i] = b.constLit(v>>uint(i)&1 == 1)
+	}
+	return out
+}
+
+// structural hash for cache lookups across rebuilt terms.
+func (b *BV) hashOf(e *expr.Expr) uint64 {
+	if h, ok := b.hmemo[e]; ok {
+		return h
+	}
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(e.Op))
+	mix(uint64(e.Width))
+	mix(e.Val)
+	mix(uint64(e.Lo))
+	for i := 0; i < len(e.Name); i++ {
+		mix(uint64(e.Name[i]))
+	}
+	for _, k := range e.Kids {
+		mix(b.hashOf(k))
+	}
+	b.hmemo[e] = h
+	return h
+}
+
+func structuralEq(a, c *expr.Expr) bool {
+	if a == c {
+		return true
+	}
+	if a.Op != c.Op || a.Width != c.Width || a.Val != c.Val ||
+		a.Name != c.Name || a.Lo != c.Lo || len(a.Kids) != len(c.Kids) {
+		return false
+	}
+	for i := range a.Kids {
+		if !structuralEq(a.Kids[i], c.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bits translates e into a bit vector of literals, LSB first.
+func (b *BV) Bits(e *expr.Expr) []Lit {
+	if lits, ok := b.ptr[e]; ok {
+		return lits
+	}
+	h := b.hashOf(e)
+	for _, ent := range b.hash[h] {
+		if structuralEq(ent.e, e) {
+			b.ptr[e] = ent.lits
+			return ent.lits
+		}
+	}
+	lits := b.encode(e)
+	b.ptr[e] = lits
+	b.hash[h] = append(b.hash[h], hashEntry{e, lits})
+	b.Encoded++
+	return lits
+}
+
+func (b *BV) encode(e *expr.Expr) []Lit {
+	switch e.Op {
+	case expr.OpConst:
+		return b.constVec(e.Width, e.Val)
+	case expr.OpVar:
+		if lits, ok := b.vars[e.Name]; ok {
+			if len(lits) != int(e.Width) {
+				panic(fmt.Sprintf("solver: variable %s used at widths %d and %d",
+					e.Name, len(lits), e.Width))
+			}
+			return lits
+		}
+		lits := make([]Lit, e.Width)
+		for i := range lits {
+			lits[i] = b.fresh()
+		}
+		b.vars[e.Name] = lits
+		return lits
+	}
+	k := make([][]Lit, len(e.Kids))
+	for i, kid := range e.Kids {
+		k[i] = b.Bits(kid)
+	}
+	switch e.Op {
+	case expr.OpNot:
+		out := make([]Lit, len(k[0]))
+		for i, l := range k[0] {
+			out[i] = l.Neg()
+		}
+		return out
+	case expr.OpNeg:
+		return b.negVec(k[0])
+	case expr.OpAnd, expr.OpOr, expr.OpXor:
+		out := make([]Lit, len(k[0]))
+		for i := range out {
+			switch e.Op {
+			case expr.OpAnd:
+				out[i] = b.and(k[0][i], k[1][i])
+			case expr.OpOr:
+				out[i] = b.or(k[0][i], k[1][i])
+			default:
+				out[i] = b.xor(k[0][i], k[1][i])
+			}
+		}
+		return out
+	case expr.OpAdd:
+		return b.addVec(k[0], k[1], b.fls)
+	case expr.OpSub:
+		inv := make([]Lit, len(k[1]))
+		for i, l := range k[1] {
+			inv[i] = l.Neg()
+		}
+		return b.addVec(k[0], inv, b.tru)
+	case expr.OpMul:
+		return b.mulVec(k[0], k[1])
+	case expr.OpUDiv:
+		q, _ := b.divRem(k[0], k[1])
+		return q
+	case expr.OpURem:
+		_, r := b.divRem(k[0], k[1])
+		return r
+	case expr.OpShl:
+		return b.shift(k[0], k[1], shlKind)
+	case expr.OpLShr:
+		return b.shift(k[0], k[1], lshrKind)
+	case expr.OpAShr:
+		return b.shift(k[0], k[1], ashrKind)
+	case expr.OpEq:
+		return []Lit{b.eqVec(k[0], k[1])}
+	case expr.OpUlt:
+		return []Lit{b.ultVec(k[0], k[1])}
+	case expr.OpSlt:
+		// Signed comparison = unsigned comparison with sign bits flipped.
+		x := append([]Lit(nil), k[0]...)
+		y := append([]Lit(nil), k[1]...)
+		x[len(x)-1] = x[len(x)-1].Neg()
+		y[len(y)-1] = y[len(y)-1].Neg()
+		return []Lit{b.ultVec(x, y)}
+	case expr.OpIte:
+		return b.muxVec(k[0][0], k[1], k[2])
+	case expr.OpExtract:
+		return k[0][e.Lo : int(e.Lo)+int(e.Width)]
+	case expr.OpConcat:
+		out := make([]Lit, 0, e.Width)
+		out = append(out, k[1]...) // low part first (LSB order)
+		out = append(out, k[0]...)
+		return out
+	case expr.OpZExt:
+		out := make([]Lit, e.Width)
+		copy(out, k[0])
+		for i := len(k[0]); i < int(e.Width); i++ {
+			out[i] = b.fls
+		}
+		return out
+	case expr.OpSExt:
+		out := make([]Lit, e.Width)
+		copy(out, k[0])
+		sign := k[0][len(k[0])-1]
+		for i := len(k[0]); i < int(e.Width); i++ {
+			out[i] = sign
+		}
+		return out
+	default:
+		panic("solver: cannot encode op " + e.Op.String())
+	}
+}
+
+func (b *BV) mulVec(x, y []Lit) []Lit {
+	w := len(x)
+	acc := b.constVec(uint8(w), 0)
+	for i := 0; i < w; i++ {
+		// Partial product: (x << i) & replicate(y[i]), added when y[i].
+		pp := make([]Lit, w)
+		for j := 0; j < w; j++ {
+			if j < i {
+				pp[j] = b.fls
+			} else {
+				pp[j] = b.and(x[j-i], y[i])
+			}
+		}
+		acc = b.addVec(acc, pp, b.fls)
+	}
+	return acc
+}
+
+// divRem encodes restoring division. SMT-LIB semantics for zero divisors:
+// udiv → all-ones, urem → dividend.
+func (b *BV) divRem(x, y []Lit) (q, r []Lit) {
+	w := len(x)
+	q = make([]Lit, w)
+	// rem holds w+1 bits to absorb the shift before comparison.
+	rem := b.constVec(uint8(w+1), 0)
+	yw := make([]Lit, w+1)
+	copy(yw, y)
+	yw[w] = b.fls
+	for i := w - 1; i >= 0; i-- {
+		// rem = rem << 1 | x[i]
+		shifted := make([]Lit, w+1)
+		shifted[0] = x[i]
+		copy(shifted[1:], rem[:w])
+		lt := b.ultVec(shifted, yw)
+		q[i] = lt.Neg()
+		diff := b.addVec(shifted, b.negLits(yw), b.fls)
+		rem = b.muxVec(lt, shifted, diff)
+	}
+	r = rem[:w]
+	// Zero-divisor handling.
+	zero := b.constVec(uint8(w), 0)
+	isZ := b.eqVec(y, zero)
+	ones := make([]Lit, w)
+	for i := range ones {
+		ones[i] = b.tru
+	}
+	q = b.muxVec(isZ, ones, q)
+	r = b.muxVec(isZ, x, r)
+	return q, r
+}
+
+func (b *BV) negLits(x []Lit) []Lit {
+	return b.negVec(x)
+}
+
+type shiftKind int
+
+const (
+	shlKind shiftKind = iota
+	lshrKind
+	ashrKind
+)
+
+// shift encodes a barrel shifter for a variable shift amount. Amounts at or
+// beyond the width yield zero (shl/lshr) or sign fill (ashr).
+func (b *BV) shift(x, amt []Lit, kind shiftKind) []Lit {
+	w := len(x)
+	fill := b.fls
+	if kind == ashrKind {
+		fill = x[w-1]
+	}
+	cur := append([]Lit(nil), x...)
+	for k := 0; k < len(amt) && (1<<k) < w; k++ {
+		sh := 1 << k
+		next := make([]Lit, w)
+		for i := 0; i < w; i++ {
+			var src Lit
+			switch kind {
+			case shlKind:
+				if i-sh >= 0 {
+					src = cur[i-sh]
+				} else {
+					src = b.fls
+				}
+			default:
+				if i+sh < w {
+					src = cur[i+sh]
+				} else {
+					src = fill
+				}
+			}
+			next[i] = b.mux(amt[k], src, cur[i])
+		}
+		cur = next
+	}
+	// If the amount value ≥ w, the result saturates to fill bits.
+	ovf := b.geConst(amt, uint64(w))
+	out := make([]Lit, w)
+	for i := range out {
+		out[i] = b.mux(ovf, fill, cur[i])
+	}
+	return out
+}
+
+// geConst returns the literal for (unsigned value of bits) >= c.
+func (b *BV) geConst(bits []Lit, c uint64) Lit {
+	if c == 0 {
+		return b.tru
+	}
+	if len(bits) < 64 && c > (uint64(1)<<len(bits))-1 {
+		return b.fls
+	}
+	cv := b.constVec(uint8(len(bits)), c)
+	return b.ultVec(bits, cv).Neg()
+}
+
+// Assert permanently adds the 1-bit term e as a hard constraint.
+func (b *BV) Assert(e *expr.Expr) {
+	if e.Width != 1 {
+		panic("solver: Assert requires a 1-bit term")
+	}
+	l := b.Bits(e)[0]
+	b.sat.AddClause(l)
+}
+
+// LitFor translates the 1-bit term e and returns its literal, for use as an
+// assumption in CheckLits.
+func (b *BV) LitFor(e *expr.Expr) Lit {
+	if e.Width != 1 {
+		panic("solver: LitFor requires a 1-bit term")
+	}
+	return b.Bits(e)[0]
+}
+
+// Check decides satisfiability of the hard constraints plus the given 1-bit
+// assumption terms.
+func (b *BV) Check(assumps []*expr.Expr) Status {
+	lits := make([]Lit, len(assumps))
+	for i, e := range assumps {
+		lits[i] = b.LitFor(e)
+	}
+	return b.CheckLits(lits)
+}
+
+// CheckLits decides satisfiability under pre-translated assumption literals.
+func (b *BV) CheckLits(lits []Lit) Status {
+	b.Queries++
+	return b.sat.Solve(lits)
+}
+
+// Model extracts values for every bit-blasted variable after a Sat result.
+// Variables never mentioned in any query are absent.
+func (b *BV) Model() map[string]uint64 {
+	m := make(map[string]uint64, len(b.vars))
+	for name, lits := range b.vars {
+		m[name] = b.valueOf(lits)
+	}
+	return m
+}
+
+// ModelVal returns the model value of one variable (zero if never encoded).
+func (b *BV) ModelVal(name string) uint64 {
+	lits, ok := b.vars[name]
+	if !ok {
+		return 0
+	}
+	return b.valueOf(lits)
+}
+
+func (b *BV) valueOf(lits []Lit) uint64 {
+	var v uint64
+	for i, l := range lits {
+		bit := b.sat.Value(l.Var())
+		if l.Sign() {
+			bit = !bit
+		}
+		if bit {
+			v |= uint64(1) << uint(i)
+		}
+	}
+	return v
+}
+
+// NumClauses reports the size of the underlying CNF, for diagnostics.
+func (b *BV) NumClauses() int { return len(b.sat.clauses) }
+
+// NumVarsSAT reports the number of SAT variables allocated.
+func (b *BV) NumVarsSAT() int { return b.sat.NumVars() }

@@ -1,0 +1,527 @@
+// Package solver implements the decision procedure used by symbolic
+// execution: a CDCL SAT solver (two-watched literals, first-UIP clause
+// learning, VSIDS-style variable activity, phase saving, Luby restarts,
+// incremental solving under assumptions) plus a bit-blaster that lowers
+// bit-vector terms from package expr to CNF. Together they play the role
+// STP and Z3 play for FuzzBALL: quantifier-free bit-vector satisfiability
+// with model generation.
+package solver
+
+// Lit is a SAT literal: variable index v encoded as 2v (positive) or
+// 2v+1 (negated).
+type Lit int32
+
+// MkLit builds a literal for variable v, negated when neg is true.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v) << 1
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Neg returns the complement literal.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Sign reports whether the literal is negated.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+const (
+	valUnassigned int8 = -1
+	valFalse      int8 = 0
+	valTrue       int8 = 1
+)
+
+// Status is the result of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+const noReason int32 = -1
+
+// CDCL is a conflict-driven clause-learning SAT solver. The zero value is not usable; call NewSat.
+type CDCL struct {
+	clauses  [][]Lit // clause storage; index is the clause reference
+	learnts  int     // number of learned clauses (suffix of clauses)
+	watches  [][]int32
+	assign   []int8
+	level    []int32
+	reason   []int32
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	heap     varHeap
+	phase    []bool
+	seen     []bool
+
+	ok        bool   // false once a top-level conflict is found
+	model     []bool // assignment snapshot from the last Sat result
+	Conflicts int64
+	Decisions int64
+	Props     int64
+}
+
+// NewSat returns an empty solver.
+func NewSat() *CDCL {
+	return &CDCL{ok: true, varInc: 1.0}
+}
+
+// NumVars returns the number of allocated variables.
+func (s *CDCL) NumVars() int { return len(s.assign) }
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *CDCL) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, valUnassigned)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, noReason)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.push(v, s.activity)
+	return v
+}
+
+func (s *CDCL) value(l Lit) int8 {
+	a := s.assign[l.Var()]
+	if a == valUnassigned {
+		return valUnassigned
+	}
+	if l.Sign() {
+		return 1 - a
+	}
+	return a
+}
+
+// Value reports the model value of variable v after a Sat result.
+func (s *CDCL) Value(v int) bool { return v < len(s.model) && s.model[v] }
+
+func (s *CDCL) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause over the given literals. It returns false if the
+// solver is already in an unsatisfiable state at level 0.
+func (s *CDCL) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("solver: AddClause above decision level 0")
+	}
+	// Normalize: drop duplicate and false literals; detect tautologies and
+	// already-true clauses.
+	out := lits[:0:0]
+	for _, l := range lits {
+		switch s.value(l) {
+		case valTrue:
+			return true
+		case valFalse:
+			continue
+		}
+		dup, taut := false, false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Neg() {
+				taut = true
+				break
+			}
+		}
+		if taut {
+			return true
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.enqueue(out[0], noReason)
+		if s.propagate() != noReason {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	s.attachClause(out)
+	return true
+}
+
+func (s *CDCL) attachClause(c []Lit) int32 {
+	ref := int32(len(s.clauses))
+	s.clauses = append(s.clauses, c)
+	s.watches[c[0]] = append(s.watches[c[0]], ref)
+	s.watches[c[1]] = append(s.watches[c[1]], ref)
+	return ref
+}
+
+func (s *CDCL) enqueue(l Lit, from int32) {
+	v := l.Var()
+	s.assign[v] = boolToVal(!l.Sign())
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+func boolToVal(b bool) int8 {
+	if b {
+		return valTrue
+	}
+	return valFalse
+}
+
+// propagate performs unit propagation; it returns the reference of a
+// conflicting clause, or noReason if none.
+func (s *CDCL) propagate() int32 {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true; scan watchers of ¬p
+		s.qhead++
+		s.Props++
+		fp := p.Neg()
+		ws := s.watches[fp]
+		kept := ws[:0]
+		var confl int32 = noReason
+		for i := 0; i < len(ws); i++ {
+			ref := ws[i]
+			c := s.clauses[ref]
+			// Ensure the false literal is at position 1.
+			if c[0] == fp {
+				c[0], c[1] = c[1], c[0]
+			}
+			// If the other watch is true, the clause is satisfied.
+			if s.value(c[0]) == valTrue {
+				kept = append(kept, ref)
+				continue
+			}
+			// Find a new literal to watch.
+			found := false
+			for k := 2; k < len(c); k++ {
+				if s.value(c[k]) != valFalse {
+					c[1], c[k] = c[k], c[1]
+					s.watches[c[1]] = append(s.watches[c[1]], ref)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, ref)
+			if s.value(c[0]) == valFalse {
+				confl = ref
+				// Copy remaining watchers and stop.
+				kept = append(kept, ws[i+1:]...)
+				s.qhead = len(s.trail)
+				break
+			}
+			s.enqueue(c[0], ref)
+		}
+		s.watches[fp] = kept
+		if confl != noReason {
+			return confl
+		}
+	}
+	return noReason
+}
+
+func (s *CDCL) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v, s.activity)
+}
+
+// analyze derives a first-UIP learned clause from the conflict and returns it
+// with the backtrack level. learnt[0] is the asserting literal.
+func (s *CDCL) analyze(confl int32) (learnt []Lit, backLevel int32) {
+	counter := 0
+	p := Lit(-1)
+	learnt = append(learnt, 0) // slot for the asserting literal
+	idx := len(s.trail) - 1
+	for {
+		c := s.clauses[confl]
+		start := 0
+		if p != Lit(-1) {
+			start = 1 // skip the asserting literal itself
+		}
+		for _, q := range c[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == int32(s.decisionLevel()) {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find the next seen literal on the trail.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[v]
+		idx--
+	}
+	learnt[0] = p.Neg()
+	// Compute backtrack level: the highest level among the other literals.
+	backLevel = 0
+	swapPos := 0
+	for i := 1; i < len(learnt); i++ {
+		if lv := s.level[learnt[i].Var()]; lv > backLevel {
+			backLevel = lv
+			swapPos = i
+		}
+	}
+	if swapPos != 0 {
+		learnt[1], learnt[swapPos] = learnt[swapPos], learnt[1]
+	}
+	for _, l := range learnt {
+		s.seen[l.Var()] = false
+	}
+	s.varInc /= 0.95
+	return learnt, backLevel
+}
+
+// cancelUntil undoes assignments above the given decision level.
+func (s *CDCL) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assign[v] == valTrue
+		s.assign[v] = valUnassigned
+		s.reason[v] = noReason
+		if !s.heap.contains(v) {
+			s.heap.push(v, s.activity)
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *CDCL) pickBranchVar() int {
+	for s.heap.size() > 0 {
+		v := s.heap.pop(s.activity)
+		if s.assign[v] == valUnassigned {
+			return v
+		}
+	}
+	return -1
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)) + 1)
+		}
+	}
+}
+
+// Solve determines satisfiability under the given assumption literals.
+func (s *CDCL) Solve(assumps []Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if s.propagate() != noReason {
+		s.ok = false
+		return Unsat
+	}
+	restartNum := int64(1)
+	conflictBudget := 100 * luby(restartNum)
+	conflictsHere := int64(0)
+	for {
+		confl := s.propagate()
+		if confl != noReason {
+			s.Conflicts++
+			conflictsHere++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, backLevel := s.analyze(confl)
+			// Never backtrack into the assumption prefix incorrectly: the
+			// assumption levels are re-decided below as needed.
+			s.cancelUntil(int(backLevel))
+			if len(learnt) == 1 {
+				s.cancelUntil(0)
+				s.enqueue(learnt[0], noReason)
+			} else {
+				ref := s.attachClause(learnt)
+				s.learnts++
+				s.enqueue(learnt[0], ref)
+			}
+			if conflictsHere >= conflictBudget {
+				restartNum++
+				conflictBudget = 100 * luby(restartNum)
+				conflictsHere = 0
+				s.cancelUntil(0)
+			}
+			continue
+		}
+		// Decide: first the assumptions in order, then free variables.
+		if dl := s.decisionLevel(); dl < len(assumps) {
+			p := assumps[dl]
+			switch s.value(p) {
+			case valTrue:
+				// Already satisfied; open an empty level to keep the
+				// level-to-assumption correspondence.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case valFalse:
+				// The assumptions are jointly inconsistent with the clauses.
+				s.cancelUntil(0)
+				return Unsat
+			default:
+				s.Decisions++
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.enqueue(p, noReason)
+				continue
+			}
+		}
+		v := s.pickBranchVar()
+		if v < 0 {
+			// Complete assignment: snapshot the model, then restore the
+			// solver to level 0 so clauses can be added afterwards.
+			if cap(s.model) < len(s.assign) {
+				s.model = make([]bool, len(s.assign))
+			}
+			s.model = s.model[:len(s.assign)]
+			for i, a := range s.assign {
+				s.model[i] = a == valTrue
+			}
+			s.cancelUntil(0)
+			return Sat
+		}
+		s.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(MkLit(v, !s.phase[v]), noReason)
+	}
+}
+
+// varHeap is a binary max-heap of variables ordered by activity.
+type varHeap struct {
+	heap []int
+	pos  []int // pos[v] = index in heap, -1 if absent
+}
+
+func (h *varHeap) size() int { return len(h.heap) }
+
+func (h *varHeap) contains(v int) bool {
+	return v < len(h.pos) && h.pos[v] >= 0
+}
+
+func (h *varHeap) push(v int, act []float64) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.pos[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+	h.up(h.pos[v], act)
+}
+
+func (h *varHeap) pop(act []float64) int {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.pos[h.heap[0]] = 0
+	h.heap = h.heap[:last]
+	h.pos[v] = -1
+	if len(h.heap) > 0 {
+		h.down(0, act)
+	}
+	return v
+}
+
+func (h *varHeap) update(v int, act []float64) {
+	if h.contains(v) {
+		h.up(h.pos[v], act)
+	}
+}
+
+func (h *varHeap) up(i int, act []float64) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if act[h.heap[p]] >= act[v] {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.pos[h.heap[i]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}
+
+func (h *varHeap) down(i int, act []float64) {
+	v := h.heap[i]
+	for {
+		c := 2*i + 1
+		if c >= len(h.heap) {
+			break
+		}
+		if c+1 < len(h.heap) && act[h.heap[c+1]] > act[h.heap[c]] {
+			c++
+		}
+		if act[h.heap[c]] <= act[v] {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.pos[h.heap[i]] = i
+		i = c
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}

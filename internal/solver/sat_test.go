@@ -1,0 +1,213 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSatTrivial(t *testing.T) {
+	s := NewSat()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	if got := s.Solve(nil); got != Sat {
+		t.Fatalf("Solve = %v, want sat", got)
+	}
+	if !s.Value(a) {
+		t.Error("a should be true")
+	}
+}
+
+func TestSatUnsatPair(t *testing.T) {
+	s := NewSat()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	if ok := s.AddClause(MkLit(a, true)); ok {
+		t.Error("adding contradictory unit should report failure")
+	}
+	if got := s.Solve(nil); got != Unsat {
+		t.Fatalf("Solve = %v, want unsat", got)
+	}
+}
+
+func TestSatImplicationChain(t *testing.T) {
+	// a, a→b, b→c, c→d; check d is forced true.
+	s := NewSat()
+	vs := make([]int, 4)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	s.AddClause(MkLit(vs[0], false))
+	for i := 0; i < 3; i++ {
+		s.AddClause(MkLit(vs[i], true), MkLit(vs[i+1], false))
+	}
+	if s.Solve(nil) != Sat {
+		t.Fatal("want sat")
+	}
+	for i, v := range vs {
+		if !s.Value(v) {
+			t.Errorf("var %d should be true", i)
+		}
+	}
+}
+
+func TestSatPigeonhole(t *testing.T) {
+	// PHP(4,3): 4 pigeons, 3 holes — classically unsat, requires real search.
+	s := NewSat()
+	const P, H = 4, 3
+	x := [P][H]int{}
+	for p := 0; p < P; p++ {
+		for h := 0; h < H; h++ {
+			x[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < P; p++ {
+		lits := make([]Lit, H)
+		for h := 0; h < H; h++ {
+			lits[h] = MkLit(x[p][h], false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < H; h++ {
+		for p1 := 0; p1 < P; p1++ {
+			for p2 := p1 + 1; p2 < P; p2++ {
+				s.AddClause(MkLit(x[p1][h], true), MkLit(x[p2][h], true))
+			}
+		}
+	}
+	if got := s.Solve(nil); got != Unsat {
+		t.Fatalf("pigeonhole Solve = %v, want unsat", got)
+	}
+}
+
+func TestSatAssumptions(t *testing.T) {
+	s := NewSat()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, true), MkLit(b, false)) // a → b
+	// Assume a: b must be true.
+	if s.Solve([]Lit{MkLit(a, false)}) != Sat {
+		t.Fatal("want sat under a")
+	}
+	if !s.Value(b) {
+		t.Error("b should be true under assumption a")
+	}
+	// Assume a ∧ ¬b: unsat.
+	if got := s.Solve([]Lit{MkLit(a, false), MkLit(b, true)}); got != Unsat {
+		t.Fatalf("Solve(a, ¬b) = %v, want unsat", got)
+	}
+	// The solver must remain reusable after an assumption-unsat result.
+	if s.Solve(nil) != Sat {
+		t.Fatal("solver should still be sat with no assumptions")
+	}
+	if s.Solve([]Lit{MkLit(b, true)}) != Sat {
+		t.Fatal("¬b alone should be sat")
+	}
+}
+
+func TestSatContradictoryAssumptions(t *testing.T) {
+	s := NewSat()
+	a := s.NewVar()
+	if got := s.Solve([]Lit{MkLit(a, false), MkLit(a, true)}); got != Unsat {
+		t.Fatalf("Solve(a, ¬a) = %v, want unsat", got)
+	}
+	if s.Solve(nil) != Sat {
+		t.Fatal("solver should recover")
+	}
+}
+
+// solveBrute does exhaustive enumeration over n variables.
+func solveBrute(n int, clauses [][]Lit) bool {
+	for m := 0; m < 1<<n; m++ {
+		ok := true
+		for _, c := range clauses {
+			sat := false
+			for _, l := range c {
+				bit := m>>l.Var()&1 == 1
+				if bit != l.Sign() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSatRandomAgainstBruteForce cross-checks CDCL against exhaustive search
+// on many small random 3-SAT instances around the phase-transition density.
+func TestSatRandomAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		n := 4 + r.Intn(8)
+		m := int(float64(n)*4.2) + r.Intn(5)
+		clauses := make([][]Lit, 0, m)
+		for i := 0; i < m; i++ {
+			c := make([]Lit, 3)
+			for j := range c {
+				c[j] = MkLit(r.Intn(n), r.Intn(2) == 1)
+			}
+			clauses = append(clauses, c)
+		}
+		s := NewSat()
+		for i := 0; i < n; i++ {
+			s.NewVar()
+		}
+		okAdd := true
+		for _, c := range clauses {
+			if !s.AddClause(c...) {
+				okAdd = false
+				break
+			}
+		}
+		var got bool
+		if !okAdd {
+			got = false
+		} else {
+			got = s.Solve(nil) == Sat
+		}
+		want := solveBrute(n, clauses)
+		if got != want {
+			t.Fatalf("iter %d (n=%d m=%d): CDCL=%v brute=%v", iter, n, m, got, want)
+		}
+		// If SAT, verify the model satisfies every clause.
+		if got {
+			for ci, c := range clauses {
+				sat := false
+				for _, l := range c {
+					if s.Value(l.Var()) != l.Sign() {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("iter %d: model violates clause %d", iter, ci)
+				}
+			}
+		}
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestSatDuplicateAndTautologyClauses(t *testing.T) {
+	s := NewSat()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(a, false), MkLit(b, false)) // dup literal
+	s.AddClause(MkLit(a, false), MkLit(a, true))                   // tautology
+	if s.Solve(nil) != Sat {
+		t.Fatal("want sat")
+	}
+}

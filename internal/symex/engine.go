@@ -1,0 +1,429 @@
+package symex
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pokeemu/internal/expr"
+	"pokeemu/internal/ir"
+	"pokeemu/internal/solver"
+)
+
+// Options tunes one exploration run.
+type Options struct {
+	MaxPaths     int   // cap on explored paths (the paper uses 8192)
+	MaxSteps     int   // cap on IR statements per path
+	Seed         int64 // RNG seed for the random frontier choice
+	SkipMinimize bool  // keep raw solver models (ablation)
+}
+
+// DefaultOptions mirror the paper's configuration.
+func DefaultOptions() Options {
+	return Options{MaxPaths: 8192, MaxSteps: 1 << 16, Seed: 1}
+}
+
+// PathResult is one explored execution path: its outcome, path condition,
+// and a (minimized) satisfying assignment for the symbolic variables.
+type PathResult struct {
+	Outcome ir.Outcome
+	Cond    []*expr.Expr
+	Model   map[string]uint64
+	Final   *SymState
+	Steps   int
+	Aborted bool // hit the per-path step cap
+}
+
+// Stats aggregates exploration effort.
+type Stats struct {
+	Paths         int
+	AbortedPaths  int
+	SolverQueries int64
+	TreeNodes     int64
+	Exhausted     bool // every feasible path was explored
+	MinimizedBits int64
+	FlippedBits   int64
+	// StmtsCovered / StmtsTotal measure static IR statement coverage across
+	// all explored paths — the paper's observation that exhaustive path
+	// exploration yields very high static coverage of the per-instruction
+	// code (modulo statements guarding other operating modes).
+	StmtsCovered int
+	StmtsTotal   int
+}
+
+// Coverage returns the fraction of IR statements executed on some path.
+func (s Stats) Coverage() float64 {
+	if s.StmtsTotal == 0 {
+		return 0
+	}
+	return float64(s.StmtsCovered) / float64(s.StmtsTotal)
+}
+
+// Engine explores one IR program over a symbolic initial state.
+type Engine struct {
+	bv   *solver.BV
+	tree *DecisionTree
+	rng  *rand.Rand
+	opts Options
+
+	initial  *SymState
+	sideCond []*expr.Expr // constraints always in force (Fig. 3 pinned bits)
+	sideLits []solver.Lit
+
+	// per-path state
+	pathCond []*expr.Expr
+	pathLits []solver.Lit
+	walker   *walker
+	st       *SymState
+	steps    int
+
+	stmtHits []bool // statement coverage across all paths
+	stats    Stats
+}
+
+// NewEngine prepares exploration of paths from the given initial state.
+// sideConds are constraints that always hold (e.g. concrete-bit pins).
+func NewEngine(initial *SymState, sideConds []*expr.Expr, opts Options) *Engine {
+	en := &Engine{
+		bv:      solver.NewBV(),
+		tree:    NewDecisionTree(),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		opts:    opts,
+		initial: initial,
+	}
+	for _, c := range sideConds {
+		if c == nil {
+			continue
+		}
+		en.sideCond = append(en.sideCond, c)
+		en.sideLits = append(en.sideLits, en.bv.LitFor(c))
+	}
+	return en
+}
+
+// Stats returns exploration statistics so far.
+func (en *Engine) Stats() Stats {
+	s := en.stats
+	s.SolverQueries = en.bv.Queries
+	s.TreeNodes = en.tree.Nodes
+	s.Exhausted = en.tree.FullyExplored()
+	s.StmtsTotal = len(en.stmtHits)
+	for _, hit := range en.stmtHits {
+		if hit {
+			s.StmtsCovered++
+		}
+	}
+	return s
+}
+
+// assumptions returns the current solver assumption set.
+func (en *Engine) assumptions(extra ...solver.Lit) []solver.Lit {
+	out := make([]solver.Lit, 0, len(en.sideLits)+len(en.pathLits)+len(extra))
+	out = append(out, en.sideLits...)
+	out = append(out, en.pathLits...)
+	out = append(out, extra...)
+	return out
+}
+
+// errDeadEnd signals an exhausted subtree reached mid-path.
+var errDeadEnd = fmt.Errorf("symex: dead end")
+
+// errStepCap signals the per-path step budget was hit.
+var errStepCap = fmt.Errorf("symex: step cap")
+
+// branch decides a symbolic two-way branch through the decision tree,
+// returning the direction taken.
+func (en *Engine) branch(cond *expr.Expr) (bool, error) {
+	w := en.walker
+	condLit := en.bv.LitFor(cond)
+	litFor := func(dir int) solver.Lit {
+		if dir == 1 {
+			return condLit
+		}
+		return condLit.Neg()
+	}
+	dirs := w.candidates()
+	shuffle(en.rng, dirs)
+	for _, dir := range dirs {
+		if w.known(dir) == feasUnknown {
+			ok := en.bv.CheckLits(en.assumptions(litFor(dir))) == solver.Sat
+			w.setFeasibility(dir, ok)
+			if !ok {
+				continue
+			}
+		}
+		en.pathLits = append(en.pathLits, litFor(dir))
+		if dir == 1 {
+			en.pathCond = append(en.pathCond, cond)
+		} else {
+			en.pathCond = append(en.pathCond, expr.Not(cond))
+		}
+		w.descend(dir)
+		return dir == 1, nil
+	}
+	w.deadEnd()
+	return false, errDeadEnd
+}
+
+// pickConcrete chooses one feasible concrete value for a term and pins it
+// on the path condition — the on-the-fly concretization used for memory and
+// table indexes ("all 2³² locations are equivalent").
+func (en *Engine) pickConcrete(e *expr.Expr) (uint64, error) {
+	if e.IsConst() {
+		return e.Val, nil
+	}
+	if en.bv.CheckLits(en.assumptions()) != solver.Sat {
+		return 0, errDeadEnd // cannot happen on a consistent path
+	}
+	// Variables of e absent from the CNF are unconstrained; evaluating the
+	// model (zero for absent variables) still yields a feasible pin.
+	m := en.bv.Model()
+	val := expr.Eval(e, m)
+	pin := expr.Eq(e, expr.Const(e.Width, val))
+	en.pathCond = append(en.pathCond, pin)
+	en.pathLits = append(en.pathLits, en.bv.LitFor(pin))
+	return val, nil
+}
+
+// ConcretizeEnum resolves a word-sized term to a concrete value through the
+// decision tree, bit by bit from the most significant end (Section 3.1.2's
+// extension): re-executions eventually enumerate every feasible value.
+func (en *Engine) ConcretizeEnum(e *expr.Expr) (uint64, error) {
+	if e.IsConst() {
+		return e.Val, nil
+	}
+	var val uint64
+	for i := int(e.Width) - 1; i >= 0; i-- {
+		bit := expr.Extract(e, uint8(i), 1)
+		if bit.IsConst() {
+			val |= bit.Val << uint(i)
+			continue
+		}
+		taken, err := en.branch(expr.Eq(bit, expr.One))
+		if err != nil {
+			return 0, err
+		}
+		if taken {
+			val |= 1 << uint(i)
+		}
+	}
+	return val, nil
+}
+
+// Explore enumerates execution paths of prog until the tree is exhausted or
+// the path cap is reached, invoking visit for each completed path.
+func (en *Engine) Explore(prog *ir.Program, visit func(*PathResult)) {
+	for en.stats.Paths < en.opts.MaxPaths && !en.tree.FullyExplored() {
+		res, err := en.runOnce(prog)
+		if err == errDeadEnd {
+			continue // retry from the root; the tree has been updated
+		}
+		if res == nil {
+			break
+		}
+		en.stats.Paths++
+		if res.Aborted {
+			en.stats.AbortedPaths++
+		}
+		if visit != nil {
+			visit(res)
+		}
+	}
+}
+
+// runOnce executes one path of the program symbolically.
+func (en *Engine) runOnce(prog *ir.Program) (*PathResult, error) {
+	en.pathCond = en.pathCond[:0]
+	en.pathLits = en.pathLits[:0]
+	en.walker = en.tree.walk()
+	en.st = en.initial.Clone()
+	en.steps = 0
+	if en.stmtHits == nil {
+		en.stmtHits = make([]bool, len(prog.Stmts))
+	}
+
+	temps := make([]*expr.Expr, prog.NumTemps())
+	val := func(o ir.Operand) *expr.Expr {
+		if o.IsConst {
+			return expr.Const(o.Width, o.Val)
+		}
+		return temps[o.Temp]
+	}
+
+	var outcome ir.Outcome
+	aborted := false
+	pc := 0
+loop:
+	for {
+		if en.steps >= en.opts.MaxSteps {
+			aborted = true
+			en.walker.abandon()
+			break
+		}
+		en.steps++
+		en.stmtHits[pc] = true
+		s := &prog.Stmts[pc]
+		switch s.Kind {
+		case ir.KAssign:
+			temps[s.Dst] = applyOp(s, val)
+		case ir.KMove:
+			temps[s.Dst] = val(s.Args[0])
+		case ir.KGet:
+			temps[s.Dst] = en.st.Get(s.Loc)
+		case ir.KSet:
+			en.st.Set(s.Loc, val(s.Args[0]))
+		case ir.KLoad:
+			addr, err := en.pickConcrete(val(s.Args[0]))
+			if err != nil {
+				return nil, err
+			}
+			temps[s.Dst] = en.loadBytes(uint32(addr), s.Width)
+		case ir.KStore:
+			addr, err := en.pickConcrete(val(s.Args[0]))
+			if err != nil {
+				return nil, err
+			}
+			en.storeBytes(uint32(addr), val(s.Args[1]), s.Width)
+		case ir.KCJump:
+			c := val(s.Args[0])
+			if c.IsConst() {
+				if c.Val == 1 {
+					pc = s.Target
+					continue
+				}
+			} else {
+				taken, err := en.branch(c)
+				if err != nil {
+					return nil, err
+				}
+				if taken {
+					pc = s.Target
+					continue
+				}
+			}
+		case ir.KJump:
+			pc = s.Target
+			continue
+		case ir.KRaise:
+			outcome = ir.Outcome{Kind: ir.OutRaise, Vector: s.Vector,
+				HasErr: s.HasErr, Soft: s.Soft}
+			if s.HasErr {
+				ec, err := en.pickConcrete(val(s.Args[0]))
+				if err != nil {
+					return nil, err
+				}
+				outcome.ErrCode = uint32(ec)
+			}
+			en.walker.complete()
+			break loop
+		case ir.KEnd:
+			outcome = ir.Outcome{Kind: ir.OutEnd}
+			en.walker.complete()
+			break loop
+		case ir.KHalt:
+			outcome = ir.Outcome{Kind: ir.OutHalt}
+			en.walker.complete()
+			break loop
+		}
+		pc++
+	}
+
+	// Solve for a witness of this path and minimize it toward the baseline.
+	if en.bv.CheckLits(en.assumptions()) != solver.Sat {
+		return nil, fmt.Errorf("symex: completed path is unsat (engine bug)")
+	}
+	model := en.fullModel()
+	if !en.opts.SkipMinimize {
+		en.minimize(model)
+	}
+	return &PathResult{
+		Outcome: outcome,
+		Cond:    append([]*expr.Expr(nil), en.pathCond...),
+		Model:   model,
+		Final:   en.st,
+		Steps:   en.steps,
+		Aborted: aborted,
+	}, nil
+}
+
+// fullModel combines the solver model with baseline values for variables
+// the CNF never saw (they are unconstrained).
+func (en *Engine) fullModel() map[string]uint64 {
+	m := en.bv.Model()
+	out := make(map[string]uint64, len(en.st.Vars))
+	for name := range en.st.Vars {
+		if v, ok := m[name]; ok {
+			out[name] = v
+		} else {
+			out[name] = en.st.Baseline[name]
+		}
+	}
+	return out
+}
+
+// loadBytes assembles a little-endian value from symbolic memory.
+func (en *Engine) loadBytes(addr uint32, n uint8) *expr.Expr {
+	v := en.st.LoadByte(addr)
+	for i := uint8(1); i < n; i++ {
+		v = expr.Concat(en.st.LoadByte(addr+uint32(i)), v)
+	}
+	return v
+}
+
+func (en *Engine) storeBytes(addr uint32, v *expr.Expr, n uint8) {
+	for i := uint8(0); i < n; i++ {
+		en.st.StoreByte(addr+uint32(i), expr.Extract(v, i*8, 8))
+	}
+}
+
+// applyOp mirrors the IR operator set onto expr constructors.
+func applyOp(s *ir.Stmt, val func(ir.Operand) *expr.Expr) *expr.Expr {
+	a := val(s.Args[0])
+	switch s.EOp {
+	case expr.OpNot:
+		return expr.Not(a)
+	case expr.OpNeg:
+		return expr.Neg(a)
+	case expr.OpZExt:
+		return expr.ZExt(a, s.Width)
+	case expr.OpSExt:
+		return expr.SExt(a, s.Width)
+	case expr.OpExtract:
+		return expr.Extract(a, s.Lo, s.Width)
+	case expr.OpIte:
+		return expr.Ite(a, val(s.Args[1]), val(s.Args[2]))
+	}
+	b := val(s.Args[1])
+	switch s.EOp {
+	case expr.OpAnd:
+		return expr.And(a, b)
+	case expr.OpOr:
+		return expr.Or(a, b)
+	case expr.OpXor:
+		return expr.Xor(a, b)
+	case expr.OpAdd:
+		return expr.Add(a, b)
+	case expr.OpSub:
+		return expr.Sub(a, b)
+	case expr.OpMul:
+		return expr.Mul(a, b)
+	case expr.OpUDiv:
+		return expr.UDiv(a, b)
+	case expr.OpURem:
+		return expr.URem(a, b)
+	case expr.OpShl:
+		return expr.Shl(a, b)
+	case expr.OpLShr:
+		return expr.LShr(a, b)
+	case expr.OpAShr:
+		return expr.AShr(a, b)
+	case expr.OpEq:
+		return expr.Eq(a, b)
+	case expr.OpUlt:
+		return expr.Ult(a, b)
+	case expr.OpSlt:
+		return expr.Slt(a, b)
+	case expr.OpConcat:
+		return expr.Concat(a, b)
+	}
+	panic("symex: unknown op " + s.EOp.String())
+}

@@ -1,0 +1,62 @@
+package symex
+
+import "pokeemu/internal/expr"
+
+// minimize implements the state-difference minimization of Section 3.4: a
+// greedy pass over every bit of the assignment that differs from the
+// baseline state, resetting it to the baseline value whenever the full path
+// condition still evaluates to true under the modified (total) assignment.
+// Because the assignment is total, "still satisfies" is a concrete
+// evaluation — no decision-procedure call is needed, exactly the simple
+// evaluation-based approach the paper settled on.
+func (en *Engine) minimize(model map[string]uint64) {
+	conds := make([]*expr.Expr, 0, len(en.sideCond)+len(en.pathCond))
+	conds = append(conds, en.sideCond...)
+	conds = append(conds, en.pathCond...)
+
+	satisfied := func() bool {
+		for _, c := range conds {
+			if expr.Eval(c, model) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+
+	for name, w := range en.st.Vars {
+		base := en.st.Baseline[name]
+		cur, ok := model[name]
+		if !ok || cur == base {
+			continue
+		}
+		diffBits := (cur ^ base) & expr.Mask(w)
+		for bit := uint8(0); bit < w; bit++ {
+			m := uint64(1) << bit
+			if diffBits&m == 0 {
+				continue
+			}
+			model[name] = model[name]&^m | base&m
+			if satisfied() {
+				en.stats.MinimizedBits++
+			} else {
+				// Revert: this bit is load-bearing for the path.
+				model[name] ^= m
+				en.stats.FlippedBits++
+			}
+		}
+	}
+}
+
+// HammingToBaseline counts the assignment bits that differ from the
+// baseline — the metric the minimization benchmark (E7) reports.
+func HammingToBaseline(model, baseline map[string]uint64, widths map[string]uint8) int {
+	n := 0
+	for name, v := range model {
+		d := (v ^ baseline[name]) & expr.Mask(widths[name])
+		for d != 0 {
+			n += int(d & 1)
+			d >>= 1
+		}
+	}
+	return n
+}

@@ -1,0 +1,87 @@
+package symex
+
+import (
+	"fmt"
+
+	"pokeemu/internal/expr"
+	"pokeemu/internal/ir"
+	"pokeemu/internal/x86"
+)
+
+// Summary is a precomputed formula for a common multi-path computation
+// (Section 3.3.2): for each output location, an if-then-else chain over the
+// per-path conditions (p1 ? v1 : p2 ? v2 : …), plus the disjunction of the
+// success-path conditions. Substituting a summary in place of re-exploring
+// the computation removes its multiplicative effect on the search space —
+// the paper's descriptor-cache example would otherwise multiply the state
+// space by 23 per segment.
+type Summary struct {
+	Outputs map[x86.Loc]*expr.Expr
+	Success *expr.Expr
+	Paths   int
+}
+
+// Summarize explores every path of prog starting from a state where each
+// input location holds the given term, and folds the results into a
+// Summary over the named outputs. The program must be loop-free and free
+// of memory accesses with symbolic addresses.
+func Summarize(base *SymState, prog *ir.Program,
+	inputs map[x86.Loc]*expr.Expr, outputs []x86.Loc) (*Summary, error) {
+
+	init := base.Clone()
+	for loc, e := range inputs {
+		init.Set(loc, e)
+	}
+	en := NewEngine(init, nil, Options{MaxPaths: 1 << 16, MaxSteps: 1 << 16, Seed: 1})
+
+	type pathInfo struct {
+		cond    *expr.Expr
+		outs    map[x86.Loc]*expr.Expr
+		success bool
+	}
+	var paths []pathInfo
+	en.Explore(prog, func(r *PathResult) {
+		cond := expr.One
+		for _, c := range r.Cond {
+			cond = expr.And(cond, c)
+		}
+		info := pathInfo{cond: cond, success: r.Outcome.Kind == ir.OutEnd}
+		if info.success {
+			info.outs = make(map[x86.Loc]*expr.Expr, len(outputs))
+			for _, loc := range outputs {
+				info.outs[loc] = r.Final.Get(loc)
+			}
+		}
+		paths = append(paths, info)
+	})
+	if !en.Stats().Exhausted {
+		return nil, fmt.Errorf("symex: summary target not exhaustively explorable")
+	}
+
+	s := &Summary{Outputs: make(map[x86.Loc]*expr.Expr), Paths: len(paths)}
+	s.Success = expr.Zero
+	for _, loc := range outputs {
+		var chain *expr.Expr
+		for i := len(paths) - 1; i >= 0; i-- {
+			p := paths[i]
+			if !p.success {
+				continue
+			}
+			if chain == nil {
+				chain = p.outs[loc]
+			} else {
+				chain = expr.Ite(p.cond, p.outs[loc], chain)
+			}
+		}
+		if chain == nil {
+			return nil, fmt.Errorf("symex: summary has no success paths")
+		}
+		s.Outputs[loc] = chain
+	}
+	for _, p := range paths {
+		if p.success {
+			s.Success = expr.Or(s.Success, p.cond)
+		}
+	}
+	return s, nil
+}

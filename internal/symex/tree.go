@@ -1,0 +1,152 @@
+package symex
+
+import "math/rand"
+
+// DecisionTree records the symbolic branches taken on every execution path
+// (Section 3.1.2). Each node is one occurrence of a symbolic branch; each
+// edge records whether that direction has been checked for feasibility and
+// whether the subtree below it is fully explored. The tree both prevents
+// re-exploring a path and saves decision-procedure calls for directions
+// whose feasibility is already known.
+type DecisionTree struct {
+	root *treeNode
+	// Nodes counts allocated nodes (diagnostics).
+	Nodes int64
+}
+
+type feas int8
+
+const (
+	feasUnknown feas = iota
+	feasYes
+	feasNo
+)
+
+type treeNode struct {
+	kids [2]*treeNode
+	feas [2]feas
+	done [2]bool
+}
+
+// NewDecisionTree returns an empty tree.
+func NewDecisionTree() *DecisionTree {
+	return &DecisionTree{root: &treeNode{}, Nodes: 1}
+}
+
+// walker tracks one execution's position in the tree.
+type walker struct {
+	t    *DecisionTree
+	cur  *treeNode
+	path []edge // edges taken this run, for completion propagation
+}
+
+type edge struct {
+	n   *treeNode
+	dir int
+}
+
+// walk starts a new traversal from the root.
+func (t *DecisionTree) walk() *walker {
+	return &walker{t: t, cur: t.root}
+}
+
+// FullyExplored reports whether no unexplored feasible paths remain.
+func (t *DecisionTree) FullyExplored() bool {
+	r := t.root
+	return r.edgeClosed(0) && r.edgeClosed(1)
+}
+
+// edgeClosed reports that nothing remains to explore through this edge.
+func (n *treeNode) edgeClosed(dir int) bool {
+	return n.done[dir] || n.feas[dir] == feasNo
+}
+
+// candidates returns the directions still worth trying at the walker's
+// position, preferring a deterministic slice (0, 1) that the caller
+// shuffles.
+func (w *walker) candidates() []int {
+	var out []int
+	for dir := 0; dir < 2; dir++ {
+		if !w.cur.edgeClosed(dir) {
+			out = append(out, dir)
+		}
+	}
+	return out
+}
+
+// setFeasibility records a feasibility verdict for a direction.
+func (w *walker) setFeasibility(dir int, ok bool) {
+	if ok {
+		w.cur.feas[dir] = feasYes
+	} else {
+		w.cur.feas[dir] = feasNo
+	}
+}
+
+// known returns the recorded feasibility of a direction.
+func (w *walker) known(dir int) feas { return w.cur.feas[dir] }
+
+// descend commits to a direction and moves to (creating if needed) the
+// child node.
+func (w *walker) descend(dir int) {
+	w.path = append(w.path, edge{w.cur, dir})
+	if w.cur.kids[dir] == nil {
+		w.cur.kids[dir] = &treeNode{}
+		w.t.Nodes++
+	}
+	w.cur = w.cur.kids[dir]
+}
+
+// complete marks the just-finished path fully explored and propagates the
+// "done" bit up while both directions of an ancestor are closed.
+func (w *walker) complete() {
+	// Mark the leaf: both directions of the final node are vacuously done
+	// (no branch occurred below the last edge).
+	for i := len(w.path) - 1; i >= 0; i-- {
+		e := w.path[i]
+		child := e.n.kids[e.dir]
+		if i == len(w.path)-1 {
+			e.n.done[e.dir] = true
+		} else if child.edgeClosed(0) && child.edgeClosed(1) {
+			e.n.done[e.dir] = true
+		}
+		if !e.n.edgeClosed(e.dir) {
+			break // nothing more propagates
+		}
+	}
+	if len(w.path) == 0 {
+		// A path with no symbolic branches: the whole tree is explored.
+		w.t.root.done[0], w.t.root.done[1] = true, true
+	}
+}
+
+// abandon marks the current path as terminated without full exploration
+// (path-length cap): treated as explored so the search moves on.
+func (w *walker) abandon() { w.complete() }
+
+// deadEnd handles an exhausted subtree discovered mid-path (both remaining
+// directions infeasible or done): closure propagates up so the search does
+// not revisit this region.
+func (w *walker) deadEnd() {
+	for i := len(w.path) - 1; i >= 0; i-- {
+		e := w.path[i]
+		child := e.n.kids[e.dir]
+		if child != nil && child.edgeClosed(0) && child.edgeClosed(1) {
+			e.n.done[e.dir] = true
+		}
+		if !e.n.edgeClosed(e.dir) {
+			break
+		}
+	}
+	if len(w.path) == 0 {
+		w.t.root.done[0], w.t.root.done[1] = true, true
+	}
+}
+
+// shuffle permutes candidate directions using the engine's RNG, giving the
+// random frontier choice the paper describes.
+func shuffle(r *rand.Rand, dirs []int) {
+	if len(dirs) == 2 && r.Intn(2) == 1 {
+		dirs[0], dirs[1] = dirs[1], dirs[0]
+	}
+}

@@ -1,0 +1,136 @@
+package symex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// simulate explores a synthetic binary program of fixed depth where
+// feasibility is given by an oracle; it returns the distinct leaves visited.
+func simulate(t *testing.T, depth int, feasible func(path []int) bool) map[string]int {
+	t.Helper()
+	tree := NewDecisionTree()
+	r := rand.New(rand.NewSource(2))
+	leaves := map[string]int{}
+	for iter := 0; iter < 1<<uint(depth+4) && !tree.FullyExplored(); iter++ {
+		w := tree.walk()
+		var path []int
+		dead := false
+		for level := 0; level < depth; level++ {
+			dirs := w.candidates()
+			shuffle(r, dirs)
+			chosen := -1
+			for _, dir := range dirs {
+				if w.known(dir) == feasUnknown {
+					ok := feasible(append(path, dir))
+					w.setFeasibility(dir, ok)
+					if !ok {
+						continue
+					}
+				}
+				chosen = dir
+				break
+			}
+			if chosen < 0 {
+				w.deadEnd()
+				dead = true
+				break
+			}
+			path = append(path, chosen)
+			w.descend(chosen)
+		}
+		if dead {
+			continue
+		}
+		key := ""
+		for _, d := range path {
+			key += string(rune('0' + d))
+		}
+		leaves[key]++
+		w.complete()
+	}
+	return leaves
+}
+
+// TestTreeVisitsEveryFeasiblePathOnce: with everything feasible, a depth-n
+// exploration visits each of the 2^n leaves exactly once and then reports
+// full exploration.
+func TestTreeVisitsEveryFeasiblePathOnce(t *testing.T) {
+	leaves := simulate(t, 5, func([]int) bool { return true })
+	if len(leaves) != 32 {
+		t.Fatalf("visited %d leaves, want 32", len(leaves))
+	}
+	for k, n := range leaves {
+		if n != 1 {
+			t.Errorf("leaf %s visited %d times", k, n)
+		}
+	}
+}
+
+// TestTreePrunesInfeasibleSubtrees: forbidding any path through "true at
+// level 0" halves the leaf set.
+func TestTreePrunesInfeasibleSubtrees(t *testing.T) {
+	leaves := simulate(t, 4, func(path []int) bool {
+		return path[0] == 0
+	})
+	if len(leaves) != 8 {
+		t.Fatalf("visited %d leaves, want 8", len(leaves))
+	}
+	for k := range leaves {
+		if k[0] != '0' {
+			t.Errorf("infeasible leaf %s visited", k)
+		}
+	}
+}
+
+// TestTreeFeasibilityQueriedOnce: the oracle is consulted at most once per
+// (node, direction) — the decision tree's solver-call-saving property.
+func TestTreeFeasibilityQueriedOnce(t *testing.T) {
+	queries := map[string]int{}
+	simulate(t, 5, func(path []int) bool {
+		key := ""
+		for _, d := range path {
+			key += string(rune('0' + d))
+		}
+		queries[key]++
+		return true
+	})
+	for k, n := range queries {
+		if n != 1 {
+			t.Errorf("feasibility of %s queried %d times", k, n)
+		}
+	}
+}
+
+// TestTreeDeadEndClosure: a subtree that turns out fully infeasible midway
+// propagates closure so exploration terminates.
+func TestTreeDeadEndClosure(t *testing.T) {
+	// Level 1 is always infeasible under prefix "1": walkers entering "1"
+	// hit a dead end; the tree must still become fully explored.
+	leaves := simulate(t, 3, func(path []int) bool {
+		if len(path) >= 2 && path[0] == 1 {
+			return false
+		}
+		return true
+	})
+	// Feasible leaves: all under "0" (4 of them).
+	if len(leaves) != 4 {
+		t.Fatalf("visited %d leaves, want 4: %v", len(leaves), leaves)
+	}
+}
+
+// TestTreeNodeAccounting: node count grows with distinct branches only.
+func TestTreeNodeAccounting(t *testing.T) {
+	tree := NewDecisionTree()
+	w := tree.walk()
+	w.setFeasibility(0, true)
+	w.descend(0)
+	w.complete()
+	if tree.Nodes != 2 {
+		t.Errorf("nodes = %d, want 2", tree.Nodes)
+	}
+	w2 := tree.walk()
+	if len(w2.candidates()) != 1 {
+		t.Errorf("candidates = %v, want the unexplored direction only", w2.candidates())
+	}
+}

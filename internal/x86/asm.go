@@ -1,0 +1,117 @@
+package x86
+
+import "encoding/binary"
+
+// Assembler helpers used by the test-program generator (internal/testgen)
+// to emit baseline and test-state initializer code. Every encoder here
+// round-trips through Decode (verified by tests), so generated programs are
+// guaranteed decodable by the table-driven decoder.
+
+func le32(v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return b[:]
+}
+
+func le16(v uint16) []byte {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	return b[:]
+}
+
+// AsmMovRegImm32 encodes mov $imm, %r32 (B8+r id).
+func AsmMovRegImm32(r Reg, imm uint32) []byte {
+	return append([]byte{0xb8 + byte(r)}, le32(imm)...)
+}
+
+// AsmMovRegImm16 encodes mov $imm, %r16 (66 B8+r iw).
+func AsmMovRegImm16(r Reg, imm uint16) []byte {
+	return append([]byte{0x66, 0xb8 + byte(r)}, le16(imm)...)
+}
+
+// AsmMovMemImm8 encodes movb $v, addr (C6 /0 with disp32 addressing).
+func AsmMovMemImm8(addr uint32, v byte) []byte {
+	out := []byte{0xc6, 0x05}
+	out = append(out, le32(addr)...)
+	return append(out, v)
+}
+
+// AsmMovMemImm32 encodes movl $v, addr (C7 /0 with disp32 addressing).
+func AsmMovMemImm32(addr uint32, v uint32) []byte {
+	out := []byte{0xc7, 0x05}
+	out = append(out, le32(addr)...)
+	return append(out, le32(v)...)
+}
+
+// AsmMovMemImm16 encodes movw $v, addr (66 C7 /0).
+func AsmMovMemImm16(addr uint32, v uint16) []byte {
+	out := []byte{0x66, 0xc7, 0x05}
+	out = append(out, le32(addr)...)
+	return append(out, le16(v)...)
+}
+
+// AsmMovSregReg encodes mov %r16, %sreg (8E /r).
+func AsmMovSregReg(s SegReg, r Reg) []byte {
+	return []byte{0x8e, 0xc0 | byte(s)<<3 | byte(r)}
+}
+
+// AsmMovRegSreg encodes mov %sreg, %r/m16 register form (8C /r).
+func AsmMovRegSreg(r Reg, s SegReg) []byte {
+	return []byte{0x8c, 0xc0 | byte(s)<<3 | byte(r)}
+}
+
+// AsmMovCRReg encodes mov %r32, %crN (0F 22 /r).
+func AsmMovCRReg(cr uint8, r Reg) []byte {
+	return []byte{0x0f, 0x22, 0xc0 | cr<<3 | byte(r)}
+}
+
+// AsmMovRegCR encodes mov %crN, %r32 (0F 20 /r).
+func AsmMovRegCR(r Reg, cr uint8) []byte {
+	return []byte{0x0f, 0x20, 0xc0 | cr<<3 | byte(r)}
+}
+
+// AsmPushImm32 encodes push $imm32 (68 id).
+func AsmPushImm32(v uint32) []byte {
+	return append([]byte{0x68}, le32(v)...)
+}
+
+// AsmPushf encodes pushf (9C).
+func AsmPushf() []byte { return []byte{0x9c} }
+
+// AsmPopf encodes popf (9D).
+func AsmPopf() []byte { return []byte{0x9d} }
+
+// AsmLGDT encodes lgdt addr (0F 01 /2 disp32), where addr names the 6-byte
+// pseudo-descriptor in memory.
+func AsmLGDT(addr uint32) []byte {
+	return append([]byte{0x0f, 0x01, 0x15}, le32(addr)...)
+}
+
+// AsmLIDT encodes lidt addr (0F 01 /3 disp32).
+func AsmLIDT(addr uint32) []byte {
+	return append([]byte{0x0f, 0x01, 0x1d}, le32(addr)...)
+}
+
+// AsmHlt encodes hlt (F4).
+func AsmHlt() []byte { return []byte{0xf4} }
+
+// AsmNop encodes nop (90).
+func AsmNop() []byte { return []byte{0x90} }
+
+// AsmWrmsr encodes wrmsr (0F 30).
+func AsmWrmsr() []byte { return []byte{0x0f, 0x30} }
+
+// AsmJmpRel32 encodes jmp rel32 (E9 cd).
+func AsmJmpRel32(rel int32) []byte {
+	return append([]byte{0xe9}, le32(uint32(rel))...)
+}
+
+// AsmMovRegMem32 encodes mov addr, %r32 (8B /r with disp32 addressing).
+func AsmMovRegMem32(r Reg, addr uint32) []byte {
+	return append([]byte{0x8b, byte(r)<<3 | 5}, le32(addr)...)
+}
+
+// AsmMovMemReg32 encodes mov %r32, addr (89 /r with disp32 addressing).
+func AsmMovMemReg32(addr uint32, r Reg) []byte {
+	return append([]byte{0x89, byte(r)<<3 | 5}, le32(addr)...)
+}

@@ -1,0 +1,164 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders a decoded instruction in AT&T-style syntax (operands in
+// source, destination order reversed from the spec's Intel-order template).
+// It is used by the CLI and examples to display test instructions, and the
+// round trip through Decode is covered by tests.
+func Disasm(i *Inst) string {
+	if i.Spec == nil {
+		return "(bad)"
+	}
+	var ops []string
+	for _, k := range i.Spec.Operands {
+		ops = append(ops, operandString(i, k))
+	}
+	// AT&T reverses Intel operand order.
+	for l, r := 0, len(ops)-1; l < r; l, r = l+1, r-1 {
+		ops[l], ops[r] = ops[r], ops[l]
+	}
+	var b strings.Builder
+	if i.Lock {
+		b.WriteString("lock ")
+	}
+	if i.Rep {
+		b.WriteString("rep ")
+	}
+	if i.RepNE {
+		b.WriteString("repne ")
+	}
+	b.WriteString(i.Spec.Mn)
+	if len(ops) > 0 {
+		b.WriteByte(' ')
+		b.WriteString(strings.Join(ops, ", "))
+	}
+	return b.String()
+}
+
+func operandString(i *Inst, k OperandKind) string {
+	vSuffix := func(w int) string {
+		if i.OpSize == 16 {
+			return reg16Name(uint8(w))
+		}
+		return "%" + regNames[w]
+	}
+	switch k {
+	case OpdRM8:
+		if i.IsRegForm() {
+			return "%" + Reg8Name(i.RM())
+		}
+		return memString(i)
+	case OpdRMv:
+		if i.IsRegForm() {
+			return vSuffix(int(i.RM()))
+		}
+		return memString(i)
+	case OpdRM16:
+		if i.IsRegForm() {
+			return reg16Name(i.RM())
+		}
+		return memString(i)
+	case OpdR8:
+		return "%" + Reg8Name(i.RegField())
+	case OpdRv:
+		return vSuffix(int(i.RegField()))
+	case OpdSreg:
+		return "%" + SegReg(i.RegField()).String()
+	case OpdCRn:
+		return fmt.Sprintf("%%cr%d", i.RegField())
+	case OpdM:
+		return memString(i)
+	case OpdImm8, OpdImm8s, OpdImm16, OpdImmv:
+		return fmt.Sprintf("$0x%x", i.Imm)
+	case OpdRel8, OpdRelv:
+		return fmt.Sprintf(".%+d", relValue(i))
+	case OpdAL:
+		return "%al"
+	case OpdEAXv:
+		if i.OpSize == 16 {
+			return "%ax"
+		}
+		return "%eax"
+	case OpdCL:
+		return "%cl"
+	case OpdOne:
+		return "$1"
+	case OpdRegOp8:
+		return "%" + Reg8Name(i.Opcode&7)
+	case OpdRegOpv:
+		return vSuffix(int(i.Opcode & 7))
+	case OpdMoffs8, OpdMoffsv:
+		return fmt.Sprintf("%s0x%x", segPrefix(i), i.Disp)
+	case OpdSegES:
+		return "%es"
+	case OpdSegCS:
+		return "%cs"
+	case OpdSegSS:
+		return "%ss"
+	case OpdSegDS:
+		return "%ds"
+	case OpdSegFS:
+		return "%fs"
+	case OpdSegGS:
+		return "%gs"
+	}
+	return "?"
+}
+
+var reg16Names = [...]string{"%ax", "%cx", "%dx", "%bx", "%sp", "%bp", "%si", "%di"}
+
+func reg16Name(i uint8) string { return reg16Names[i&7] }
+
+func relValue(i *Inst) int32 {
+	if i.ImmSize == 1 {
+		return int32(int8(i.Imm)) + int32(i.Len)
+	}
+	return int32(i.Imm) + int32(i.Len)
+}
+
+func segPrefix(i *Inst) string {
+	if i.SegOverride < 0 {
+		return ""
+	}
+	return "%" + SegReg(i.SegOverride).String() + ":"
+}
+
+// memString renders a ModRM memory operand.
+func memString(i *Inst) string {
+	var b strings.Builder
+	b.WriteString(segPrefix(i))
+	mod, rm := i.Mod(), i.RM()
+	if i.DispSize > 0 || (mod == 0 && (rm == 5 || (rm == 4 && i.SIB&7 == 5))) {
+		fmt.Fprintf(&b, "0x%x", i.Disp)
+	}
+	var base, index string
+	scale := 1
+	switch {
+	case rm == 4:
+		sib := i.SIB
+		if !(sib&7 == 5 && mod == 0) {
+			base = "%" + regNames[sib&7]
+		}
+		if sib>>3&7 != 4 {
+			index = "%" + regNames[sib>>3&7]
+			scale = 1 << (sib >> 6)
+		}
+	case mod == 0 && rm == 5:
+		// disp32 only
+	default:
+		base = "%" + regNames[rm]
+	}
+	if base != "" || index != "" {
+		b.WriteByte('(')
+		b.WriteString(base)
+		if index != "" {
+			fmt.Fprintf(&b, ",%s,%d", index, scale)
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package x86
+
+import "testing"
+
+func TestDisasm(t *testing.T) {
+	cases := []struct {
+		bytes []byte
+		want  string
+	}{
+		{[]byte{0x90}, "nop"},
+		{[]byte{0xf4}, "hlt"},
+		{[]byte{0x01, 0xd8}, "add %ebx, %eax"},
+		{[]byte{0x66, 0x01, 0xd8}, "add %bx, %ax"},
+		{[]byte{0x83, 0xc1, 0x05}, "add $0x5, %ecx"},
+		{[]byte{0x8b, 0x04, 0xb3}, "mov (%ebx,%esi,4), %eax"},
+		{[]byte{0x8b, 0x44, 0x24, 0x08}, "mov 0x8(%esp), %eax"},
+		{[]byte{0x8b, 0x05, 0x78, 0x56, 0x34, 0x12}, "mov 0x12345678, %eax"},
+		{[]byte{0x64, 0x8b, 0x03}, "mov %fs:(%ebx), %eax"},
+		{[]byte{0x50}, "push %eax"},
+		{[]byte{0x5f}, "pop %edi"},
+		{[]byte{0x8e, 0xd0}, "mov %ax, %ss"},
+		{[]byte{0x0f, 0x22, 0xc0}, "mov %eax, %cr0"},
+		{[]byte{0x0f, 0xb1, 0x0b}, "cmpxchg %ecx, (%ebx)"},
+		{[]byte{0xd1, 0xe0}, "shl $1, %eax"},
+		{[]byte{0xd3, 0xe8}, "shr %cl, %eax"},
+		{[]byte{0xf0, 0x01, 0x03}, "lock add %eax, (%ebx)"},
+		{[]byte{0xf3, 0xa4}, "rep movsb"},
+		{[]byte{0x74, 0x05}, "je .+7"},
+		{[]byte{0xeb, 0xfe}, "jmp .+0"},
+		{[]byte{0xa1, 0x00, 0x10, 0x00, 0x00}, "mov 0x1000, %eax"},
+		{[]byte{0x0f, 0xb4, 0x18}, "lfs (%eax), %ebx"},
+		{[]byte{0x16}, "push %ss"},
+		{[]byte{0x0f, 0x90, 0xc0}, "seto %al"},
+	}
+	for _, c := range cases {
+		full := make([]byte, MaxInstLen)
+		copy(full, c.bytes)
+		inst, err := Decode(full)
+		if err != nil {
+			t.Errorf("% x: %v", c.bytes, err)
+			continue
+		}
+		if got := Disasm(inst); got != c.want {
+			t.Errorf("% x: %q, want %q", c.bytes, got, c.want)
+		}
+	}
+}
+
+// TestDisasmTotal renders every candidate representative without panicking.
+func TestDisasmTotal(t *testing.T) {
+	for _, spec := range AllSpecs() {
+		_ = spec
+	}
+	for b0 := 0; b0 < 256; b0++ {
+		for _, tail := range [][]byte{{0xc1, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13},
+			{0x05, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}} {
+			buf := append([]byte{byte(b0)}, tail...)
+			inst, err := Decode(buf)
+			if err != nil {
+				continue
+			}
+			if s := Disasm(inst); s == "" || s == "(bad)" {
+				t.Errorf("% x rendered %q", buf[:inst.Len], s)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package x86
+
+import "fmt"
+
+// OperandKind is a template describing where an operand comes from in the
+// encoding and how wide it is. Kinds ending in v are operand-size sensitive
+// (32-bit by default, 16-bit under the 66 prefix).
+type OperandKind uint8
+
+// Operand templates.
+const (
+	OpdNone   OperandKind = iota
+	OpdRM8                // ModRM r/m, byte
+	OpdRMv                // ModRM r/m, operand size
+	OpdRM16               // ModRM r/m, word regardless of operand size
+	OpdR8                 // ModRM reg field, byte register
+	OpdRv                 // ModRM reg field, operand size
+	OpdSreg               // ModRM reg field names a segment register
+	OpdCRn                // ModRM reg field names a control register
+	OpdM                  // ModRM, memory forms only (lea, far loads, lgdt)
+	OpdImm8               // 8-bit immediate, zero-extended
+	OpdImm8s              // 8-bit immediate, sign-extended to operand size
+	OpdImm16              // 16-bit immediate
+	OpdImmv               // operand-size immediate
+	OpdRel8               // 8-bit branch displacement
+	OpdRelv               // operand-size branch displacement
+	OpdAL                 // fixed AL
+	OpdEAXv               // fixed eAX at operand size
+	OpdCL                 // fixed CL
+	OpdOne                // literal 1 (D0/D1 shift forms)
+	OpdRegOp8             // register in the opcode's low 3 bits, byte
+	OpdRegOpv             // register in the opcode's low 3 bits, operand size
+	OpdMoffs8             // absolute 32-bit moffs, byte data
+	OpdMoffsv             // absolute 32-bit moffs, operand-size data
+	OpdSegES              // implicit segment register operands (push/pop seg)
+	OpdSegCS
+	OpdSegSS
+	OpdSegDS
+	OpdSegFS
+	OpdSegGS
+)
+
+// usesModRM reports whether the operand kind requires a ModRM byte.
+func (k OperandKind) usesModRM() bool {
+	switch k {
+	case OpdRM8, OpdRMv, OpdRM16, OpdR8, OpdRv, OpdSreg, OpdCRn, OpdM:
+		return true
+	}
+	return false
+}
+
+// OpSpec describes one per-instruction implementation: the unit the paper
+// calls "per-instruction code". The instruction-set exploration enumerates
+// distinct OpSpecs reachable from the decoder, and the semantics compiler
+// dispatches on Name.
+type OpSpec struct {
+	Name     string // unique handler identifier
+	Mn       string // mnemonic for display
+	Operands []OperandKind
+	LockOK   bool // the LOCK prefix is architecturally permitted (memory forms)
+	Priv     bool // requires CPL 0
+	AliasEnc bool // redundant/undocumented alias encoding (e.g. opcode 0x82,
+	// grp3 /1): valid on hardware and in the Hi-Fi emulator, rejected by the
+	// Lo-Fi emulator — one of the paper's encoding-difference findings.
+}
+
+// HasModRM reports whether the instruction's encoding includes a ModRM byte.
+func (s *OpSpec) HasModRM() bool {
+	for _, k := range s.Operands {
+		if k.usesModRM() {
+			return true
+		}
+	}
+	return false
+}
+
+// Inst is a fully decoded instruction.
+type Inst struct {
+	Raw []byte // the consumed bytes
+	Len int
+
+	Spec    *OpSpec
+	Opcode  byte
+	TwoByte bool
+
+	OpSize      int // 16 or 32
+	SegOverride int // SegReg value, or -1 for none
+	Lock        bool
+	Rep         bool // F3
+	RepNE       bool // F2
+
+	HasModRM bool
+	ModRM    byte
+	HasSIB   bool
+	SIB      byte
+	Disp     uint32
+	DispSize int
+
+	Imm     uint64 // first immediate (sign/zero extension already applied)
+	ImmSize int
+	Imm2    uint32 // second immediate (enter imm16,imm8)
+}
+
+// Mod returns the ModRM mod field.
+func (i *Inst) Mod() byte { return i.ModRM >> 6 }
+
+// RegField returns the ModRM reg field.
+func (i *Inst) RegField() byte { return i.ModRM >> 3 & 7 }
+
+// RM returns the ModRM r/m field.
+func (i *Inst) RM() byte { return i.ModRM & 7 }
+
+// IsRegForm reports whether the r/m operand denotes a register.
+func (i *Inst) IsRegForm() bool { return i.HasModRM && i.Mod() == 3 }
+
+func (i *Inst) String() string {
+	if i.Spec == nil {
+		return "(bad)"
+	}
+	return fmt.Sprintf("%s[% x]", i.Spec.Mn, i.Raw)
+}
+
+// Decode errors.
+type DecodeError struct {
+	Kind DecodeErrKind
+	Pos  int
+}
+
+// DecodeErrKind classifies decode failures.
+type DecodeErrKind uint8
+
+// Decode failure kinds.
+const (
+	ErrUndefined DecodeErrKind = iota // no such instruction (#UD)
+	ErrTruncated                      // ran out of input bytes
+	ErrTooLong                        // more than 15 bytes consumed (#GP)
+)
+
+func (e *DecodeError) Error() string {
+	switch e.Kind {
+	case ErrTruncated:
+		return fmt.Sprintf("x86: truncated instruction at byte %d", e.Pos)
+	case ErrTooLong:
+		return "x86: instruction longer than 15 bytes"
+	default:
+		return fmt.Sprintf("x86: undefined opcode at byte %d", e.Pos)
+	}
+}

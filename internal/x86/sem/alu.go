@@ -1,0 +1,629 @@
+package sem
+
+import (
+	"strings"
+
+	"pokeemu/internal/ir"
+	"pokeemu/internal/x86"
+)
+
+// operandRef abstracts "a place": register, memory, immediate, or a fixed
+// register, resolved from the handler-name form tokens.
+type operandRef struct {
+	rm    *rmOperand
+	reg   int // ModRM reg field register (-1 if unused)
+	fixed int // fixed GPR index (-1 if unused)
+	imm   bool
+	width uint8
+}
+
+// resolveForm resolves one form token ("rm8", "rv", "al", "immv", ...).
+func (c *ctx) resolveForm(tok string, write bool) operandRef {
+	switch tok {
+	case "rm8":
+		o := c.resolveRM(8, write)
+		return operandRef{rm: &o, reg: -1, fixed: -1, width: 8}
+	case "rmv":
+		o := c.resolveRM(c.osz, write)
+		return operandRef{rm: &o, reg: -1, fixed: -1, width: c.osz}
+	case "r8":
+		return operandRef{reg: int(c.inst.RegField()), fixed: -1, width: 8}
+	case "rv":
+		return operandRef{reg: int(c.inst.RegField()), fixed: -1, width: c.osz}
+	case "al":
+		return operandRef{reg: -1, fixed: 0, width: 8}
+	case "eax":
+		return operandRef{reg: -1, fixed: 0, width: c.osz}
+	case "imm8":
+		return operandRef{reg: -1, fixed: -1, imm: true, width: 8}
+	case "immv", "imm8s":
+		return operandRef{reg: -1, fixed: -1, imm: true, width: c.osz}
+	}
+	panic("sem: unknown operand form " + tok)
+}
+
+func (c *ctx) refRead(r operandRef) ir.Operand {
+	switch {
+	case r.rm != nil:
+		return c.rmRead(*r.rm)
+	case r.reg >= 0:
+		return c.gprRead(uint8(r.reg), r.width)
+	case r.fixed >= 0:
+		return c.gprRead(uint8(r.fixed), r.width)
+	case r.imm:
+		return c.immOperand(r.width)
+	}
+	panic("sem: unreadable operand")
+}
+
+func (c *ctx) refWrite(r operandRef, v ir.Operand) {
+	switch {
+	case r.rm != nil:
+		c.rmWrite(*r.rm, v)
+	case r.reg >= 0:
+		c.gprWrite(uint8(r.reg), r.width, v)
+	case r.fixed >= 0:
+		c.gprWrite(uint8(r.fixed), r.width, v)
+	default:
+		panic("sem: unwritable operand")
+	}
+}
+
+// emitALU handles the arithmetic/logic families. It returns false if the
+// handler name is not in its domain.
+func (c *ctx) emitALU(name string) bool {
+	base := strings.TrimSuffix(name, "_alias")
+	us := strings.IndexByte(base, '_')
+	op := base
+	form := ""
+	if us >= 0 {
+		op, form = base[:us], base[us+1:]
+	}
+	switch op {
+	case "add", "or", "adc", "sbb", "and", "sub", "xor", "cmp", "test":
+		c.binALU(op, form)
+		return true
+	case "inc", "dec":
+		c.incDec(op == "inc", form)
+		return true
+	case "not", "neg":
+		c.notNeg(op == "neg", form)
+		return true
+	case "mul", "imul", "imul1":
+		c.mulOne(op != "mul", form)
+		return true
+	case "imul2", "imul3":
+		c.imulMulti(op == "imul3")
+		return true
+	case "div", "idiv":
+		c.divide(op == "idiv", form)
+		return true
+	case "rol", "ror", "rcl", "rcr", "shl", "shr", "sar":
+		c.shiftRotate(op, form)
+		return true
+	case "aam":
+		c.aam()
+		return true
+	case "aad":
+		c.aad()
+		return true
+	case "cwde":
+		c.cwde()
+		return true
+	case "cdq":
+		c.cdq()
+		return true
+	case "lahf":
+		c.lahf()
+		return true
+	case "sahf":
+		c.sahf()
+		return true
+	case "clc", "stc", "cmc", "cld", "std", "cli", "sti":
+		c.flagOp(op)
+		return true
+	case "xchg":
+		c.xchg(form)
+		return true
+	case "xadd":
+		c.xadd(form)
+		return true
+	case "cmpxchg":
+		c.cmpxchg(form)
+		return true
+	case "bswap":
+		c.bswap()
+		return true
+	}
+	return false
+}
+
+func splitForm(form string) (dst, src string) {
+	us := strings.IndexByte(form, '_')
+	return form[:us], form[us+1:]
+}
+
+func (c *ctx) binALU(op, form string) {
+	dstTok, srcTok := splitForm(form)
+	readOnly := op == "cmp" || op == "test"
+	dst := c.resolveForm(dstTok, !readOnly)
+	src := c.resolveForm(srcTok, false)
+	a := c.refRead(dst)
+	bv := c.refRead(src)
+	b := c.b
+	w := dst.width
+	zero := c.konst(1, 0)
+	var r ir.Operand
+	switch op {
+	case "add":
+		r = b.Add(a, bv)
+		c.addFlags(a, bv, zero, r, w)
+	case "adc":
+		cin := c.getFlag(x86.FlagCF)
+		r = b.Add(b.Add(a, bv), b.ZExt(cin, w))
+		c.addFlags(a, bv, cin, r, w)
+	case "sub", "cmp":
+		r = b.Sub(a, bv)
+		c.subFlags(a, bv, zero, r, w)
+	case "sbb":
+		cin := c.getFlag(x86.FlagCF)
+		r = b.Sub(b.Sub(a, bv), b.ZExt(cin, w))
+		c.subFlags(a, bv, cin, r, w)
+	case "and", "test":
+		r = b.And(a, bv)
+		c.logicFlags(r, w)
+	case "or":
+		r = b.Or(a, bv)
+		c.logicFlags(r, w)
+	case "xor":
+		r = b.Xor(a, bv)
+		c.logicFlags(r, w)
+	}
+	if !readOnly {
+		c.refWrite(dst, r)
+	}
+	c.done()
+}
+
+func (c *ctx) incDec(isInc bool, form string) {
+	var dst operandRef
+	if form == "r" {
+		dst = operandRef{reg: -1, fixed: int(c.inst.Opcode & 7), width: c.osz}
+	} else {
+		dst = c.resolveForm(form, true)
+	}
+	a := c.refRead(dst)
+	var r ir.Operand
+	if isInc {
+		r = c.b.Add(a, c.konst(dst.width, 1))
+	} else {
+		r = c.b.Sub(a, c.konst(dst.width, 1))
+	}
+	c.incDecFlags(a, r, dst.width, isInc)
+	c.refWrite(dst, r)
+	c.done()
+}
+
+func (c *ctx) notNeg(isNeg bool, form string) {
+	dst := c.resolveForm(form, true)
+	a := c.refRead(dst)
+	if isNeg {
+		r := c.b.Neg(a)
+		c.subFlags(c.konst(dst.width, 0), a, c.konst(1, 0), r, dst.width)
+		c.refWrite(dst, r)
+	} else {
+		c.refWrite(dst, c.b.Not(a)) // NOT affects no flags
+	}
+	c.done()
+}
+
+// mulOne is the one-operand mul/imul: widening multiply into xDX:xAX (or AX).
+func (c *ctx) mulOne(signed bool, form string) {
+	src := c.resolveForm(form, false)
+	b := c.b
+	w := src.width
+	a := c.gprRead(0, w) // AL / AX / EAX
+	m := c.refRead(src)
+	ext := b.ZExt
+	if signed {
+		ext = b.SExt
+	}
+	wide := b.Mul(ext(a, 2*w), ext(m, 2*w))
+	lo := b.Extract(wide, 0, w)
+	hi := b.Extract(wide, w, w)
+	if w == 8 {
+		c.gprWrite(0, 16, b.Extract(wide, 0, 16)) // AX
+	} else {
+		c.gprWrite(0, w, lo)
+		c.gprWrite(2, w, hi) // DX / EDX
+	}
+	var over ir.Operand
+	if signed {
+		over = b.Ne(wide, b.SExt(lo, 2*w))
+	} else {
+		over = b.Ne(hi, c.konst(w, 0))
+	}
+	c.setFlag(x86.FlagCF, over)
+	c.setFlag(x86.FlagOF, over)
+	c.mulUndefFlags(lo, w)
+	c.done()
+}
+
+func (c *ctx) mulUndefFlags(lo ir.Operand, w uint8) {
+	switch c.cfg.Undef.MulLowFlags {
+	case UndefCompute:
+		c.szpFlags(lo, w)
+		c.setFlag(x86.FlagAF, c.konst(1, 0))
+	case UndefZero:
+		c.setFlag(x86.FlagSF, c.konst(1, 0))
+		c.setFlag(x86.FlagZF, c.konst(1, 0))
+		c.setFlag(x86.FlagPF, c.konst(1, 0))
+		c.setFlag(x86.FlagAF, c.konst(1, 0))
+	case UndefUnchanged:
+	}
+}
+
+// imulMulti is the two/three-operand signed multiply (truncating).
+func (c *ctx) imulMulti(threeOp bool) {
+	b := c.b
+	w := c.osz
+	src := c.resolveRM(w, false)
+	m := c.rmRead(src)
+	var a ir.Operand
+	if threeOp {
+		a = c.immOperand(w)
+	} else {
+		a = c.gprRead(c.inst.RegField(), w)
+	}
+	wide := b.Mul(b.SExt(a, 2*w), b.SExt(m, 2*w))
+	r := b.Extract(wide, 0, w)
+	over := b.Ne(wide, b.SExt(r, 2*w))
+	c.gprWrite(c.inst.RegField(), w, r)
+	c.setFlag(x86.FlagCF, over)
+	c.setFlag(x86.FlagOF, over)
+	c.mulUndefFlags(r, w)
+	c.done()
+}
+
+// divide implements div/idiv with the #DE checks (divide by zero and
+// quotient overflow).
+func (c *ctx) divide(signed bool, form string) {
+	src := c.resolveForm(form, false)
+	b := c.b
+	w := src.width
+	d := c.refRead(src)
+	de := b.NewLabel()
+	b.CJump(b.Eq(d, c.konst(w, 0)), de)
+
+	// Dividend: AX for byte ops, xDX:xAX otherwise.
+	var dividend ir.Operand
+	if w == 8 {
+		dividend = c.gprRead(0, 16)
+	} else {
+		dividend = b.Concat(c.gprRead(2, w), c.gprRead(0, w))
+	}
+	w2 := 2 * w
+	var q, r ir.Operand
+	if signed {
+		// Signed division via magnitudes, rounding toward zero.
+		dw := b.SExt(d, w2)
+		negA := b.Extract(dividend, w2-1, 1)
+		negB := b.Extract(dw, w2-1, 1)
+		absA := b.Ite(negA, b.Neg(dividend), dividend)
+		absB := b.Ite(negB, b.Neg(dw), dw)
+		qm := b.UDiv(absA, absB)
+		rm := b.URem(absA, absB)
+		qneg := b.Xor(negA, negB)
+		q = b.Ite(qneg, b.Neg(qm), qm)
+		r = b.Ite(negA, b.Neg(rm), rm)
+		// Overflow: quotient must fit in w bits signed.
+		fits := b.Eq(b.SExt(b.Extract(q, 0, w), w2), q)
+		b.CJump(b.Not(fits), de)
+	} else {
+		dw := b.ZExt(d, w2)
+		q = b.UDiv(dividend, dw)
+		r = b.URem(dividend, dw)
+		fits := b.Ult(q, b.Shl(c.konst(w2, 1), c.konst(8, uint64(w))))
+		b.CJump(b.Not(fits), de)
+	}
+	if w == 8 {
+		c.gprWrite(0, 16, b.Concat(b.Extract(r, 0, 8), b.Extract(q, 0, 8))) // AH:AL
+	} else {
+		c.gprWrite(0, w, b.Extract(q, 0, w))
+		c.gprWrite(2, w, b.Extract(r, 0, w))
+	}
+	if c.cfg.Undef.DivFlags == UndefZero {
+		for _, f := range []uint8{x86.FlagCF, x86.FlagOF, x86.FlagSF,
+			x86.FlagZF, x86.FlagAF, x86.FlagPF} {
+			c.setFlag(f, c.konst(1, 0))
+		}
+	}
+	c.done()
+
+	b.Bind(de)
+	b.RaiseNoErr(x86.ExcDE)
+}
+
+// shiftRotate implements the grp2 shift and rotate family. Forms are
+// "<rm8|rmv>_<imm8|1|cl>".
+func (c *ctx) shiftRotate(op, form string) {
+	dstTok, amtTok := splitForm(form)
+	dst := c.resolveForm(dstTok, true)
+	b := c.b
+	w := dst.width
+	var count ir.Operand
+	switch amtTok {
+	case "imm8":
+		count = c.konst(8, c.inst.Imm&0x1f)
+	case "1":
+		count = c.konst(8, 1)
+	case "cl":
+		count = b.And(c.gprRead(1, 8), c.konst(8, 0x1f))
+	}
+	a := c.refRead(dst)
+
+	// A zero (masked) count changes nothing, including flags.
+	skip := b.NewLabel()
+	zeroCount := b.Eq(count, c.konst(8, 0))
+	b.CJump(zeroCount, skip)
+
+	isOne := b.Eq(count, c.konst(8, 1))
+	setOF := func(formula ir.Operand, policy UndefChoice) {
+		switch policy {
+		case UndefCompute:
+			c.setFlag(x86.FlagOF, formula)
+		case UndefZero:
+			c.setFlag(x86.FlagOF, b.Ite(isOne, formula, c.konst(1, 0)))
+		case UndefUnchanged:
+			c.setFlag(x86.FlagOF, b.Ite(isOne, formula, c.getFlag(x86.FlagOF)))
+		}
+	}
+
+	switch op {
+	case "shl":
+		wide := b.Shl(b.ZExt(a, w+1), count)
+		r := b.Extract(wide, 0, w)
+		cf := b.Extract(wide, w, 1)
+		c.setFlag(x86.FlagCF, cf)
+		setOF(b.Xor(b.Extract(r, w-1, 1), cf), c.cfg.Undef.ShiftMultiOF)
+		c.szpFlags(r, w)
+		c.refWrite(dst, r)
+	case "shr":
+		r := b.Shr(a, count)
+		cf := b.Extract(b.Shr(a, b.Sub(count, c.konst(8, 1))), 0, 1)
+		c.setFlag(x86.FlagCF, cf)
+		setOF(b.Extract(a, w-1, 1), c.cfg.Undef.ShiftMultiOF)
+		c.szpFlags(r, w)
+		c.refWrite(dst, r)
+	case "sar":
+		r := b.Sar(a, count)
+		cf := b.Extract(b.Sar(a, b.Sub(count, c.konst(8, 1))), 0, 1)
+		c.setFlag(x86.FlagCF, cf)
+		setOF(c.konst(1, 0), c.cfg.Undef.ShiftMultiOF)
+		c.szpFlags(r, w)
+		c.refWrite(dst, r)
+	case "rol", "ror":
+		n := b.URem(b.ZExt(count, 32), c.konst(32, uint64(w)))
+		wn := b.Sub(c.konst(32, uint64(w)), n)
+		var r ir.Operand
+		if op == "rol" {
+			r = b.Or(b.Shl(a, n), b.Shr(a, wn))
+		} else {
+			r = b.Or(b.Shr(a, n), b.Shl(a, wn))
+		}
+		// Rotate by a multiple of the width leaves the value unchanged, but
+		// the shift pair above yields a|0 for n=0 via the wn=w arm: Shl by w
+		// gives 0 in our IR, so r = a as required.
+		var cf ir.Operand
+		if op == "rol" {
+			cf = b.Extract(r, 0, 1)
+		} else {
+			cf = b.Extract(r, w-1, 1)
+		}
+		c.setFlag(x86.FlagCF, cf)
+		var of ir.Operand
+		if op == "rol" {
+			of = b.Xor(b.Extract(r, w-1, 1), cf)
+		} else {
+			of = b.Xor(b.Extract(r, w-1, 1), b.Extract(r, w-2, 1))
+		}
+		setOF(of, c.cfg.Undef.RotCountOF)
+		c.refWrite(dst, r)
+	case "rcl", "rcr":
+		// (w+1)-bit rotate through CF.
+		cf := c.getFlag(x86.FlagCF)
+		x := b.Concat(cf, a) // bit w = CF
+		n := b.URem(b.ZExt(count, 32), c.konst(32, uint64(w)+1))
+		wn := b.Sub(c.konst(32, uint64(w)+1), n)
+		var rx ir.Operand
+		if op == "rcl" {
+			rx = b.Or(b.Shl(x, n), b.Shr(x, wn))
+		} else {
+			rx = b.Or(b.Shr(x, n), b.Shl(x, wn))
+		}
+		// n = 0 (count multiple of w+1) degenerates to the identity as above.
+		nz := b.Eq(n, c.konst(32, 0))
+		rx = b.Ite(nz, x, rx)
+		r := b.Extract(rx, 0, w)
+		ncf := b.Extract(rx, w, 1)
+		c.setFlag(x86.FlagCF, ncf)
+		var of ir.Operand
+		if op == "rcl" {
+			of = b.Xor(b.Extract(r, w-1, 1), ncf)
+		} else {
+			of = b.Xor(b.Extract(r, w-1, 1), b.Extract(r, w-2, 1))
+		}
+		setOF(of, c.cfg.Undef.RotCountOF)
+		c.refWrite(dst, r)
+	}
+	b.Bind(skip)
+	c.done()
+}
+
+func (c *ctx) aam() {
+	b := c.b
+	imm := uint8(c.inst.Imm)
+	if imm == 0 {
+		b.RaiseNoErr(x86.ExcDE)
+		return
+	}
+	al := c.gprRead(0, 8)
+	q := b.UDiv(al, c.konst(8, uint64(imm)))
+	r := b.URem(al, c.konst(8, uint64(imm)))
+	c.gprWrite(0, 16, b.Concat(q, r)) // AH=q, AL=r
+	c.szpFlags(r, 8)
+	c.aamUndef()
+	c.done()
+}
+
+func (c *ctx) aad() {
+	b := c.b
+	imm := uint8(c.inst.Imm)
+	ax := c.gprRead(0, 16)
+	al := b.Extract(ax, 0, 8)
+	ah := b.Extract(ax, 8, 8)
+	r := b.Add(al, b.Mul(ah, c.konst(8, uint64(imm))))
+	c.gprWrite(0, 16, b.ZExt(r, 16)) // AH=0
+	c.szpFlags(r, 8)
+	c.aamUndef()
+	c.done()
+}
+
+func (c *ctx) aamUndef() {
+	if c.cfg.Undef.AamUndef == UndefZero {
+		c.setFlag(x86.FlagCF, c.konst(1, 0))
+		c.setFlag(x86.FlagOF, c.konst(1, 0))
+		c.setFlag(x86.FlagAF, c.konst(1, 0))
+	}
+}
+
+func (c *ctx) cwde() {
+	b := c.b
+	if c.osz == 32 {
+		c.gprWrite(0, 32, b.SExt(c.gprRead(0, 16), 32))
+	} else { // cbw
+		c.gprWrite(0, 16, b.SExt(c.gprRead(0, 8), 16))
+	}
+	c.done()
+}
+
+func (c *ctx) cdq() {
+	b := c.b
+	w := c.osz
+	a := c.gprRead(0, w)
+	sign := b.Extract(a, w-1, 1)
+	fill := b.Ite(sign, c.konst(w, ^uint64(0)), c.konst(w, 0))
+	c.gprWrite(2, w, fill)
+	c.done()
+}
+
+func (c *ctx) lahf() {
+	b := c.b
+	v := b.ZExt(c.getFlag(x86.FlagCF), 8)
+	v = b.Or(v, c.konst(8, 2)) // fixed bit 1
+	add := func(bit uint8, pos uint8) {
+		v = b.Or(v, b.Shl(b.ZExt(c.getFlag(bit), 8), c.konst(8, uint64(pos))))
+	}
+	add(x86.FlagPF, 2)
+	add(x86.FlagAF, 4)
+	add(x86.FlagZF, 6)
+	add(x86.FlagSF, 7)
+	c.gprWrite(4, 8, v) // AH
+	c.done()
+}
+
+func (c *ctx) sahf() {
+	b := c.b
+	ah := c.gprRead(4, 8)
+	c.setFlag(x86.FlagCF, b.Extract(ah, 0, 1))
+	c.setFlag(x86.FlagPF, b.Extract(ah, 2, 1))
+	c.setFlag(x86.FlagAF, b.Extract(ah, 4, 1))
+	c.setFlag(x86.FlagZF, b.Extract(ah, 6, 1))
+	c.setFlag(x86.FlagSF, b.Extract(ah, 7, 1))
+	c.done()
+}
+
+func (c *ctx) flagOp(op string) {
+	switch op {
+	case "clc":
+		c.setFlag(x86.FlagCF, c.konst(1, 0))
+	case "stc":
+		c.setFlag(x86.FlagCF, c.konst(1, 1))
+	case "cmc":
+		c.setFlag(x86.FlagCF, c.b.Not(c.getFlag(x86.FlagCF)))
+	case "cld":
+		c.setFlag(x86.FlagDF, c.konst(1, 0))
+	case "std":
+		c.setFlag(x86.FlagDF, c.konst(1, 1))
+	case "cli":
+		c.setFlag(x86.FlagIF, c.konst(1, 0))
+	case "sti":
+		c.setFlag(x86.FlagIF, c.konst(1, 1))
+	}
+	c.done()
+}
+
+func (c *ctx) xchg(form string) {
+	if form == "eax_r" {
+		w := c.osz
+		r := c.inst.Opcode & 7
+		a := c.gprRead(0, w)
+		bv := c.gprRead(r, w)
+		c.gprWrite(0, w, bv)
+		c.gprWrite(r, w, a)
+		c.done()
+		return
+	}
+	dstTok, _ := splitForm(form)
+	dst := c.resolveForm(dstTok, true)
+	src := operandRef{reg: int(c.inst.RegField()), fixed: -1, width: dst.width}
+	a := c.refRead(dst)
+	bv := c.refRead(src)
+	c.refWrite(dst, bv)
+	c.refWrite(src, a)
+	c.done()
+}
+
+func (c *ctx) xadd(form string) {
+	dstTok, _ := splitForm(form)
+	dst := c.resolveForm(dstTok, true)
+	src := operandRef{reg: int(c.inst.RegField()), fixed: -1, width: dst.width}
+	a := c.refRead(dst)
+	bv := c.refRead(src)
+	sum := c.b.Add(a, bv)
+	c.addFlags(a, bv, c.konst(1, 0), sum, dst.width)
+	c.refWrite(src, a)
+	c.refWrite(dst, sum)
+	c.done()
+}
+
+// cmpxchg: compare the accumulator with dst; on match store src, otherwise
+// reload the accumulator. The destination is written in either case, so the
+// Hi-Fi ordering verifies write permission before any register update.
+func (c *ctx) cmpxchg(form string) {
+	dstTok, _ := splitForm(form)
+	dst := c.resolveForm(dstTok, true) // write-translated up front
+	w := dst.width
+	b := c.b
+	acc := c.gprRead(0, w)
+	old := c.refRead(dst)
+	src := c.gprRead(c.inst.RegField(), w)
+	c.subFlags(acc, old, c.konst(1, 0), b.Sub(acc, old), w)
+	equal := b.Eq(acc, old)
+	c.refWrite(dst, b.Ite(equal, src, old))
+	// Accumulator reloaded only on mismatch.
+	c.gprWrite(0, w, b.Ite(equal, acc, old))
+	c.done()
+}
+
+func (c *ctx) bswap() {
+	b := c.b
+	r := c.inst.Opcode & 7
+	a := c.gprRead(r, 32)
+	b0 := b.Extract(a, 0, 8)
+	b1 := b.Extract(a, 8, 8)
+	b2 := b.Extract(a, 16, 8)
+	b3 := b.Extract(a, 24, 8)
+	c.gprWrite(r, 32, b.Concat(b0, b.Concat(b1, b.Concat(b2, b3))))
+	c.done()
+}

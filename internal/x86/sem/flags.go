@@ -1,0 +1,153 @@
+package sem
+
+import (
+	"pokeemu/internal/ir"
+	"pokeemu/internal/x86"
+)
+
+// Status-flag computation. x86 defines CF/OF/SF/ZF/AF/PF for most arithmetic;
+// where the architecture leaves a flag undefined the UndefPolicy decides.
+
+func (c *ctx) setFlag(bit uint8, v ir.Operand) {
+	c.b.Set(x86.Flag(bit), v)
+}
+
+func (c *ctx) getFlag(bit uint8) ir.Operand {
+	return c.b.Get(x86.Flag(bit))
+}
+
+// szpFlags sets SF, ZF and PF from an 8/16/32-bit result.
+func (c *ctx) szpFlags(r ir.Operand, w uint8) {
+	b := c.b
+	c.setFlag(x86.FlagSF, b.Extract(r, w-1, 1))
+	c.setFlag(x86.FlagZF, b.Eq(r, c.konst(w, 0)))
+	c.setFlag(x86.FlagPF, c.parity(r))
+}
+
+// parity computes the x86 PF: set when the low byte has even parity.
+func (c *ctx) parity(r ir.Operand) ir.Operand {
+	b := c.b
+	x := b.Extract(r, 0, 8)
+	x = b.Xor(x, b.Shr(x, c.konst(8, 4)))
+	x = b.Xor(x, b.Shr(x, c.konst(8, 2)))
+	x = b.Xor(x, b.Shr(x, c.konst(8, 1)))
+	return b.Not(b.Extract(x, 0, 1))
+}
+
+// addFlags sets all six flags for r = a + b + cin at width w.
+func (c *ctx) addFlags(a, bOp, cin, r ir.Operand, w uint8) {
+	b := c.b
+	// Carry out via (w+1)-bit arithmetic.
+	wide := b.Add(b.Add(b.ZExt(a, w+1), b.ZExt(bOp, w+1)), b.ZExt(cin, w+1))
+	c.setFlag(x86.FlagCF, b.Extract(wide, w, 1))
+	// Overflow: operands agree in sign, result disagrees.
+	of := b.And(b.Not(b.Xor(a, bOp)), b.Xor(a, r))
+	c.setFlag(x86.FlagOF, b.Extract(of, w-1, 1))
+	c.setFlag(x86.FlagAF, b.Extract(b.Xor(b.Xor(a, bOp), r), 4, 1))
+	c.szpFlags(r, w)
+}
+
+// subFlags sets all six flags for r = a - b - cin at width w.
+func (c *ctx) subFlags(a, bOp, cin, r ir.Operand, w uint8) {
+	b := c.b
+	wide := b.Sub(b.Sub(b.ZExt(a, w+1), b.ZExt(bOp, w+1)), b.ZExt(cin, w+1))
+	c.setFlag(x86.FlagCF, b.Extract(wide, w, 1))
+	of := b.And(b.Xor(a, bOp), b.Xor(a, r))
+	c.setFlag(x86.FlagOF, b.Extract(of, w-1, 1))
+	c.setFlag(x86.FlagAF, b.Extract(b.Xor(b.Xor(a, bOp), r), 4, 1))
+	c.szpFlags(r, w)
+}
+
+// logicFlags sets flags for and/or/xor/test: CF=OF=0, SF/ZF/PF computed,
+// AF per policy.
+func (c *ctx) logicFlags(r ir.Operand, w uint8) {
+	c.setFlag(x86.FlagCF, c.konst(1, 0))
+	c.setFlag(x86.FlagOF, c.konst(1, 0))
+	switch c.cfg.Undef.AFAfterLogic {
+	case UndefZero:
+		c.setFlag(x86.FlagAF, c.konst(1, 0))
+	case UndefCompute:
+		c.setFlag(x86.FlagAF, c.konst(1, 0))
+	case UndefUnchanged:
+		// leave AF
+	}
+	c.szpFlags(r, w)
+}
+
+// incDecFlags sets flags for inc/dec (CF preserved).
+func (c *ctx) incDecFlags(a, r ir.Operand, w uint8, isInc bool) {
+	b := c.b
+	one := c.konst(w, 1)
+	if isInc {
+		of := b.And(b.Not(b.Xor(a, one)), b.Xor(a, r))
+		c.setFlag(x86.FlagOF, b.Extract(of, w-1, 1))
+	} else {
+		of := b.And(b.Xor(a, one), b.Xor(a, r))
+		c.setFlag(x86.FlagOF, b.Extract(of, w-1, 1))
+	}
+	c.setFlag(x86.FlagAF, b.Extract(b.Xor(b.Xor(a, one), r), 4, 1))
+	c.szpFlags(r, w)
+}
+
+// condValue computes the 1-bit truth of condition code cc (Jcc/SETcc/CMOVcc
+// encoding order).
+func (c *ctx) condValue(cc uint8) ir.Operand {
+	b := c.b
+	base := cc >> 1
+	var v ir.Operand
+	switch base {
+	case 0: // O
+		v = c.getFlag(x86.FlagOF)
+	case 1: // B (carry)
+		v = c.getFlag(x86.FlagCF)
+	case 2: // E (zero)
+		v = c.getFlag(x86.FlagZF)
+	case 3: // BE: CF | ZF
+		v = b.Or(c.getFlag(x86.FlagCF), c.getFlag(x86.FlagZF))
+	case 4: // S
+		v = c.getFlag(x86.FlagSF)
+	case 5: // P
+		v = c.getFlag(x86.FlagPF)
+	case 6: // L: SF != OF
+		v = b.Xor(c.getFlag(x86.FlagSF), c.getFlag(x86.FlagOF))
+	case 7: // LE: ZF | (SF != OF)
+		v = b.Or(c.getFlag(x86.FlagZF),
+			b.Xor(c.getFlag(x86.FlagSF), c.getFlag(x86.FlagOF)))
+	}
+	if cc&1 == 1 {
+		v = b.Not(v)
+	}
+	return v
+}
+
+// packEFLAGS materializes the 32-bit EFLAGS image from the individual bits.
+func (c *ctx) packEFLAGS() ir.Operand {
+	b := c.b
+	v := c.konst(32, uint64(x86.EflagsFixed1))
+	for _, bit := range x86.AllFlagBits {
+		f := b.ZExt(c.getFlag(bit), 32)
+		v = b.Or(v, b.Shl(f, c.konst(8, uint64(bit))))
+	}
+	return v
+}
+
+// unpackEFLAGS writes the maskable bits of an EFLAGS image back to the
+// individual flag locations. At CPL 0 with no VM: IF, IOPL, and the status
+// and control flags are all writable; VM and RF are not set via popf. With
+// a 16-bit operand size only the low word is written.
+func (c *ctx) unpackEFLAGS(v ir.Operand, includeIFIOPL bool) {
+	b := c.b
+	writable := []uint8{
+		x86.FlagCF, x86.FlagPF, x86.FlagAF, x86.FlagZF, x86.FlagSF,
+		x86.FlagTF, x86.FlagDF, x86.FlagOF, x86.FlagNT,
+	}
+	if c.osz == 32 {
+		writable = append(writable, x86.FlagAC, x86.FlagID)
+	}
+	if includeIFIOPL {
+		writable = append(writable, x86.FlagIF, 12, 13)
+	}
+	for _, bit := range writable {
+		c.setFlag(bit, b.Extract(v, bit, 1))
+	}
+}

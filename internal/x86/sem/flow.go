@@ -1,0 +1,266 @@
+package sem
+
+import (
+	"strings"
+
+	"pokeemu/internal/ir"
+	"pokeemu/internal/x86"
+)
+
+// emitFlow handles branches, calls, returns, software interrupts, iret,
+// hlt, and the trivial nop/ud2.
+func (c *ctx) emitFlow(name string) bool {
+	b := c.b
+	switch name {
+	case "nop":
+		c.done()
+		return true
+	case "ud2":
+		b.RaiseNoErr(x86.ExcUD)
+		return true
+	case "hlt":
+		c.advanceEIP() // EIP points past hlt while halted
+		b.Halt()
+		return true
+	case "jmp_rel8", "jmp_relv":
+		c.jumpRel()
+		return true
+	case "jmp_rmv":
+		src := c.resolveRM(c.osz, false)
+		t := c.rmRead(src)
+		b.Set(x86.EIPLoc, b.ZExt(t, 32))
+		b.End()
+		return true
+	case "call_relv":
+		next := b.Add(b.Get(x86.EIPLoc), c.konst(32, uint64(c.inst.Len)))
+		c.push(frameVal(c, next))
+		target := b.Add(next, c.konst(32, c.inst.Imm))
+		if c.osz == 16 {
+			target = b.ZExt(b.Extract(target, 0, 16), 32)
+		}
+		b.Set(x86.EIPLoc, target)
+		b.End()
+		return true
+	case "call_rmv":
+		src := c.resolveRM(c.osz, false)
+		t := c.rmRead(src)
+		next := b.Add(b.Get(x86.EIPLoc), c.konst(32, uint64(c.inst.Len)))
+		c.push(frameVal(c, next))
+		b.Set(x86.EIPLoc, b.ZExt(t, 32))
+		b.End()
+		return true
+	case "ret":
+		t := c.pop()
+		b.Set(x86.EIPLoc, b.ZExt(t, 32))
+		b.End()
+		return true
+	case "ret_imm16":
+		t := c.pop()
+		esp := b.Get(x86.GPR(x86.ESP))
+		b.Set(x86.GPR(x86.ESP), b.Add(esp, c.konst(32, c.inst.Imm&0xffff)))
+		b.Set(x86.EIPLoc, b.ZExt(t, 32))
+		b.End()
+		return true
+	case "jecxz":
+		cond := b.Eq(b.Get(x86.GPR(x86.ECX)), c.konst(32, 0))
+		c.condBranch(cond)
+		return true
+	case "loop", "loope", "loopne":
+		ecx := b.Sub(b.Get(x86.GPR(x86.ECX)), c.konst(32, 1))
+		b.Set(x86.GPR(x86.ECX), ecx)
+		cond := b.Ne(ecx, c.konst(32, 0))
+		if name == "loope" {
+			cond = b.And(cond, c.getFlag(x86.FlagZF))
+		} else if name == "loopne" {
+			cond = b.And(cond, b.Not(c.getFlag(x86.FlagZF)))
+		}
+		c.condBranch(cond)
+		return true
+	case "int3":
+		c.advanceEIP()
+		b.RaiseSoft(x86.ExcBP)
+		return true
+	case "int_imm8":
+		c.advanceEIP()
+		b.RaiseSoft(uint8(c.inst.Imm))
+		return true
+	case "into":
+		of := c.getFlag(x86.FlagOF)
+		take := b.NewLabel()
+		b.CJump(of, take)
+		c.done()
+		b.Bind(take)
+		c.advanceEIP()
+		b.RaiseSoft(x86.ExcOF)
+		return true
+	case "iret":
+		c.iret()
+		return true
+	}
+	if strings.HasPrefix(name, "j") &&
+		(strings.HasSuffix(name, "_rel8") || strings.HasSuffix(name, "_relv")) {
+		cc := name[1:strings.IndexByte(name, '_')]
+		c.condBranch(c.condValue(ccIndex(cc)))
+		return true
+	}
+	return false
+}
+
+// jumpRel is the unconditional relative jump.
+func (c *ctx) jumpRel() {
+	b := c.b
+	next := b.Add(b.Get(x86.EIPLoc), c.konst(32, uint64(c.inst.Len)))
+	var rel uint64
+	if c.inst.ImmSize == 1 {
+		rel = uint64(int64(int8(c.inst.Imm))) & 0xffffffff
+	} else {
+		rel = c.inst.Imm
+	}
+	target := b.Add(next, c.konst(32, rel))
+	if c.osz == 16 {
+		target = b.ZExt(b.Extract(target, 0, 16), 32)
+	}
+	b.Set(x86.EIPLoc, target)
+	b.End()
+}
+
+// condBranch sets EIP to the taken or fall-through target.
+func (c *ctx) condBranch(cond ir.Operand) {
+	b := c.b
+	next := b.Add(b.Get(x86.EIPLoc), c.konst(32, uint64(c.inst.Len)))
+	var rel uint64
+	if c.inst.ImmSize == 1 {
+		rel = uint64(int64(int8(c.inst.Imm))) & 0xffffffff
+	} else {
+		rel = c.inst.Imm
+	}
+	taken := b.Add(next, c.konst(32, rel))
+	if c.osz == 16 {
+		taken = b.ZExt(b.Extract(taken, 0, 16), 32)
+	}
+	b.Set(x86.EIPLoc, b.Ite(cond, taken, next))
+	b.End()
+}
+
+// iret implements the same-privilege protected-mode interrupt return. The
+// Hi-Fi (and hardware) read order is innermost-first: EIP, then CS, then
+// EFLAGS — the Lo-Fi emulator reads the other way around, observable when
+// the three stack slots straddle a page boundary (the paper's finding).
+func (c *ctx) iret() {
+	b := c.b
+	size := uint64(c.osz / 8)
+	eipV := c.stackRead(0, uint8(size))
+	csV := c.stackRead(uint32(size), uint8(size))
+	flV := c.stackRead(uint32(2*size), uint8(size))
+
+	sel := b.Extract(b.ZExt(csV, 32), 0, 16)
+	// Same-privilege return requires RPL == CPL (0).
+	gp := b.NewLabel()
+	rpl := b.Extract(sel, 0, 2)
+	b.CJump(b.Ne(rpl, c.konst(2, 0)), gp)
+
+	// Load CS through the descriptor-parse machinery (code segment rules).
+	c.loadSegment(x86.CS, sel, true)
+
+	esp := b.Get(x86.GPR(x86.ESP))
+	b.Set(x86.GPR(x86.ESP), b.Add(esp, c.konst(32, 3*size)))
+	b.Set(x86.EIPLoc, b.ZExt(eipV, 32))
+	c.unpackEFLAGS(b.ZExt(flV, 32), true)
+	b.End()
+
+	b.Bind(gp)
+	errc := b.ZExt(b.And(sel, c.konst(16, 0xfffc)), 32)
+	b.Raise(x86.ExcGP, errc)
+}
+
+// emitString handles the string instruction family with rep prefixes; the
+// loop structure is real IR control flow, so symbolic ECX yields one
+// explored path per iteration count — these are the instructions that hit
+// the paper's path cap.
+func (c *ctx) emitString(name string) bool {
+	if !strings.HasPrefix(name, "movs") && !strings.HasPrefix(name, "cmps") &&
+		!strings.HasPrefix(name, "stos") && !strings.HasPrefix(name, "lods") &&
+		!strings.HasPrefix(name, "scas") {
+		return false
+	}
+	op := name[:4]
+	w := uint8(8)
+	if strings.HasSuffix(name, "_v") {
+		w = c.osz
+	}
+	c.stringOp(op, w)
+	return true
+}
+
+func (c *ctx) stringOp(op string, w uint8) {
+	b := c.b
+	size := uint64(w / 8)
+	rep := c.inst.Rep || c.inst.RepNE
+	srcSeg := x86.DS
+	if c.inst.SegOverride >= 0 {
+		srcSeg = x86.SegReg(c.inst.SegOverride)
+	}
+
+	var top, done ir.Label
+	if rep {
+		top = b.NewLabel()
+		done = b.NewLabel()
+		b.Bind(top)
+		b.CJump(b.Eq(b.Get(x86.GPR(x86.ECX)), c.konst(32, 0)), done)
+	}
+
+	df := c.getFlag(x86.FlagDF)
+	delta := b.Ite(df, c.konst(32, -size&0xffffffff), c.konst(32, size))
+
+	esi := b.Get(x86.GPR(x86.ESI))
+	edi := b.Get(x86.GPR(x86.EDI))
+	var cmpDone ir.Operand // 1-bit termination condition for cmps/scas
+	switch op {
+	case "movs":
+		v := c.readMem(srcSeg, esi, uint8(size), false)
+		c.writeMem(x86.ES, edi, uint8(size), false, v)
+		b.Set(x86.GPR(x86.ESI), b.Add(esi, delta))
+		b.Set(x86.GPR(x86.EDI), b.Add(edi, delta))
+	case "stos":
+		c.writeMem(x86.ES, edi, uint8(size), false, c.gprRead(0, w))
+		b.Set(x86.GPR(x86.EDI), b.Add(edi, delta))
+	case "lods":
+		v := c.readMem(srcSeg, esi, uint8(size), false)
+		c.gprWrite(0, w, v)
+		b.Set(x86.GPR(x86.ESI), b.Add(esi, delta))
+	case "cmps":
+		a := c.readMem(srcSeg, esi, uint8(size), false)
+		d := c.readMem(x86.ES, edi, uint8(size), false)
+		c.subFlags(a, d, c.konst(1, 0), b.Sub(a, d), w)
+		b.Set(x86.GPR(x86.ESI), b.Add(esi, delta))
+		b.Set(x86.GPR(x86.EDI), b.Add(edi, delta))
+		cmpDone = c.repTermination()
+	case "scas":
+		a := c.gprRead(0, w)
+		d := c.readMem(x86.ES, edi, uint8(size), false)
+		c.subFlags(a, d, c.konst(1, 0), b.Sub(a, d), w)
+		b.Set(x86.GPR(x86.EDI), b.Add(edi, delta))
+		cmpDone = c.repTermination()
+	}
+
+	if rep {
+		ecx := b.Sub(b.Get(x86.GPR(x86.ECX)), c.konst(32, 1))
+		b.Set(x86.GPR(x86.ECX), ecx)
+		if cmpDone != (ir.Operand{}) {
+			b.CJump(cmpDone, done)
+		}
+		b.Jump(top)
+		b.Bind(done)
+	}
+	c.done()
+}
+
+// repTermination returns the 1-bit "stop repeating" condition for the
+// repe/repne forms of cmps/scas.
+func (c *ctx) repTermination() ir.Operand {
+	zf := c.getFlag(x86.FlagZF)
+	if c.inst.RepNE {
+		return zf // repne: stop when equal
+	}
+	return c.b.Not(zf) // repe: stop when not equal
+}

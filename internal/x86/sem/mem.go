@@ -1,0 +1,327 @@
+package sem
+
+import (
+	"pokeemu/internal/ir"
+	"pokeemu/internal/x86"
+)
+
+// Memory access pipeline: segmentation check → linear address → page walk
+// (with A/D bit maintenance) → physical transfer. Each check is a branch in
+// the IR, so symbolic exploration enumerates exactly the fault and success
+// behaviors a careful interpreter implements — the state space the paper's
+// Figure 3 targets.
+
+// memRef is a translated memory operand, ready for fault-free transfer.
+type memRef struct {
+	size   uint8      // bytes (1, 2 or 4)
+	lin    ir.Operand // 32-bit linear address of the first byte
+	physA  ir.Operand // physical address of the first byte
+	frameB ir.Operand // 4-KiB frame of the last byte's page (valid if cross)
+	cross  ir.Operand // 1-bit: access spans a page boundary
+}
+
+// segFault raises the segment-check fault: #SS for stack-relative accesses,
+// #GP otherwise, both with a zero error code.
+func (c *ctx) segFaultLabel(stackSem bool) (ir.Label, func()) {
+	l := c.b.NewLabel()
+	emit := func() {
+		c.b.Bind(l)
+		vec := uint8(x86.ExcGP)
+		if stackSem {
+			vec = x86.ExcSS
+		}
+		c.b.Raise(vec, c.konst(32, 0))
+	}
+	return l, emit
+}
+
+// segCheck verifies that [off, off+size-1] is a permitted access in seg and
+// returns the linear address. stackSem selects #SS instead of #GP.
+func (c *ctx) segCheck(seg x86.SegReg, off ir.Operand, size uint8, write, stackSem bool) ir.Operand {
+	b := c.b
+	fault, emitFault := c.segFaultLabel(stackSem)
+	ok := b.NewLabel()
+
+	attr := b.Get(x86.SegAttr(seg))
+	limit := b.Get(x86.SegLimit(seg))
+	// Unusable (P=0 in the cache, e.g. a null selector was loaded).
+	present := b.Extract(attr, 7, 1)
+	b.CJump(b.Not(present), fault)
+
+	last := b.Add(off, c.konst(32, uint64(size-1)))
+	wrapped := b.Ult(last, off)
+	b.CJump(wrapped, fault)
+
+	isCode := b.Extract(attr, 3, 1)
+	bit1 := b.Extract(attr, 1, 1) // data: writable; code: readable
+	codeL := b.NewLabel()
+	b.CJump(isCode, codeL)
+
+	// Data segment: write permission and expansion direction.
+	if write {
+		b.CJump(b.Not(bit1), fault)
+	}
+	expandDown := b.Extract(attr, 2, 1)
+	expL := b.NewLabel()
+	b.CJump(expandDown, expL)
+	// Expand-up: fault when last > limit.
+	b.CJump(b.Ugt(last, limit), fault)
+	b.Jump(ok)
+	// Expand-down: valid range is (limit, upper]; upper is 0xffffffff with
+	// D/B set, 0xffff otherwise.
+	b.Bind(expL)
+	b.CJump(b.Ule(off, limit), fault)
+	db := b.Extract(attr, 10, 1)
+	upper := b.Ite(db, c.konst(32, 0xffffffff), c.konst(32, 0xffff))
+	b.CJump(b.Ugt(last, upper), fault)
+	b.Jump(ok)
+
+	// Code segment: never writable; reads require the readable bit.
+	b.Bind(codeL)
+	if write {
+		b.Jump(fault)
+	} else {
+		b.CJump(b.Not(bit1), fault)
+		b.CJump(b.Ugt(last, limit), fault)
+		b.Jump(ok)
+	}
+
+	emitFault()
+	b.Bind(ok)
+	return b.Add(b.Get(x86.SegBase(seg)), off)
+}
+
+// pageFault sets CR2 and raises #PF.
+func (c *ctx) pageFault(lin ir.Operand, present bool, write bool) {
+	b := c.b
+	b.Set(x86.CR(2), lin)
+	var err uint64
+	if present {
+		err |= x86.PFErrP
+	}
+	if write {
+		err |= x86.PFErrWR
+	}
+	b.Raise(x86.ExcPF, c.konst(32, err))
+}
+
+// walk translates the page containing lin and returns its 4-KiB physical
+// frame base. It raises #PF on not-present or protection failures, honors
+// CR4.PSE large pages, enforces CR0.WP for supervisor writes, and maintains
+// the accessed and dirty bits — each decision a distinct explored path.
+func (c *ctx) walk(lin ir.Operand, write bool) ir.Operand {
+	b := c.b
+	frame := b.NewTemp(32)
+	join := b.NewLabel()
+
+	// With paging disabled, linear addresses are physical. The PG bit is
+	// concrete during exploration, so this branch costs no paths there.
+	pg := b.Extract(b.Get(x86.CR(0)), x86.CR0PG, 1)
+	pagingOn := b.NewLabel()
+	b.CJump(pg, pagingOn)
+	b.Move(frame, b.And(lin, c.konst(32, 0xfffff000)))
+	b.Jump(join)
+	b.Bind(pagingOn)
+
+	cr3 := b.Get(x86.CR(3))
+	pdBase := b.And(cr3, c.konst(32, 0xfffff000))
+	pdIdx := b.Shr(lin, c.konst(8, 22))
+	pdeAddr := b.Or(pdBase, b.Shl(pdIdx, c.konst(8, 2)))
+	pde := b.Load(pdeAddr, 4)
+
+	npL := b.NewLabel()
+	protL := b.NewLabel()
+	b.CJump(b.Not(b.Extract(pde, 0, 1)), npL) // PDE.P
+
+	wp := b.Extract(b.Get(x86.CR(0)), x86.CR0WP, 1)
+	checkWrite := func(entry ir.Operand) {
+		if !write {
+			return
+		}
+		rw := b.Extract(entry, 1, 1)
+		bad := b.And(wp, b.Not(rw))
+		b.CJump(bad, protL)
+	}
+
+	// Large page when CR4.PSE and PDE.PS.
+	pse := b.Extract(b.Get(x86.CR(4)), x86.CR4PSE, 1)
+	large := b.And(pse, b.Extract(pde, 7, 1))
+	largeL := b.NewLabel()
+	b.CJump(large, largeL)
+
+	// 4-KiB path.
+	checkWrite(pde)
+	c.setBitIfClear(pdeAddr, pde, 5) // PDE.A
+	ptBase := b.And(pde, c.konst(32, 0xfffff000))
+	ptIdx := b.And(b.Shr(lin, c.konst(8, 12)), c.konst(32, 0x3ff))
+	pteAddr := b.Or(ptBase, b.Shl(ptIdx, c.konst(8, 2)))
+	pte := b.Load(pteAddr, 4)
+	b.CJump(b.Not(b.Extract(pte, 0, 1)), npL) // PTE.P
+	checkWrite(pte)
+	pte2 := c.setBitIfClear(pteAddr, pte, 5) // PTE.A
+	if write {
+		c.setBitIfClearFrom(pteAddr, pte, pte2, 6) // PTE.D
+	}
+	b.Move(frame, b.And(pte, c.konst(32, 0xfffff000)))
+	b.Jump(join)
+
+	// 4-MiB path: the PDE maps the page directly.
+	b.Bind(largeL)
+	checkWrite(pde)
+	pdeL := c.setBitIfClear(pdeAddr, pde, 5)
+	if write {
+		c.setBitIfClearFrom(pdeAddr, pde, pdeL, 6)
+	}
+	big := b.And(pde, c.konst(32, 0xffc00000))
+	within := b.And(lin, c.konst(32, 0x003ff000))
+	b.Move(frame, b.Or(big, within))
+	b.Jump(join)
+
+	b.Bind(npL)
+	c.pageFault(lin, false, write)
+	b.Bind(protL)
+	c.pageFault(lin, true, write)
+
+	b.Bind(join)
+	return frame
+}
+
+// setBitIfClear emits the checked read-modify-write that hardware uses for
+// accessed/dirty maintenance: a store happens only when the bit was clear.
+// It returns the entry value as it now stands in memory.
+func (c *ctx) setBitIfClear(addr, entry ir.Operand, bit uint8) ir.Operand {
+	b := c.b
+	updated := b.Or(entry, c.konst(32, 1<<bit))
+	skip := b.NewLabel()
+	b.CJump(b.Extract(entry, bit, 1), skip)
+	b.Store(addr, updated, 4)
+	b.Bind(skip)
+	return updated
+}
+
+// setBitIfClearFrom is setBitIfClear for a second bit of the same entry: the
+// decision uses the original entry value, the store must carry the earlier
+// update (A set) as well.
+func (c *ctx) setBitIfClearFrom(addr, orig, current ir.Operand, bit uint8) {
+	b := c.b
+	skip := b.NewLabel()
+	b.CJump(b.Extract(orig, bit, 1), skip)
+	b.Store(addr, b.Or(current, c.konst(32, 1<<bit)), 4)
+	b.Bind(skip)
+}
+
+// translate runs the full segment + paging pipeline for an access of size
+// bytes and returns a fault-free memRef. With write set, write permission is
+// verified now; the subsequent memStore cannot fault.
+func (c *ctx) translate(seg x86.SegReg, off ir.Operand, size uint8, write, stackSem bool) *memRef {
+	b := c.b
+	lin := c.segCheck(seg, off, size, write, stackSem)
+	frameA := c.walk(lin, write)
+	inPage := b.And(lin, c.konst(32, 0xfff))
+	physA := b.Or(frameA, inPage)
+
+	m := &memRef{size: size, lin: lin, physA: physA}
+	if size == 1 {
+		m.cross = c.konst(1, 0)
+		m.frameB = c.konst(32, 0)
+		return m
+	}
+	cross := b.Ugt(b.Add(inPage, c.konst(32, uint64(size-1))), c.konst(32, 0xfff))
+	crossT := b.NewTemp(1)
+	b.Move(crossT, cross)
+	frameB := b.NewTemp(32)
+	b.Move(frameB, c.konst(32, 0))
+	skip := b.NewLabel()
+	b.CJump(b.Not(cross), skip)
+	linB := b.Add(lin, c.konst(32, uint64(size-1)))
+	b.Move(frameB, c.walk(linB, write))
+	b.Bind(skip)
+	m.cross = crossT
+	m.frameB = frameB
+	return m
+}
+
+// byteAddr computes the physical address of byte i of the reference,
+// selecting between the two translated pages without branching.
+func (c *ctx) byteAddr(m *memRef, i uint8) ir.Operand {
+	b := c.b
+	if i == 0 {
+		return m.physA
+	}
+	linI := b.Add(m.lin, c.konst(32, uint64(i)))
+	inPageI := b.And(linI, c.konst(32, 0xfff))
+	onB := b.Ugt(b.Add(b.And(m.lin, c.konst(32, 0xfff)), c.konst(32, uint64(i))),
+		c.konst(32, 0xfff))
+	fromB := b.Or(m.frameB, inPageI)
+	fromA := b.Add(m.physA, c.konst(32, uint64(i)))
+	return b.Ite(b.And(m.cross, onB), fromB, fromA)
+}
+
+// memLoad reads the referenced bytes (little endian).
+func (c *ctx) memLoad(m *memRef) ir.Operand {
+	b := c.b
+	v := b.Load(c.byteAddr(m, 0), 1)
+	for i := uint8(1); i < m.size; i++ {
+		v = b.Concat(b.Load(c.byteAddr(m, i), 1), v)
+	}
+	return v
+}
+
+// memStore writes the referenced bytes (little endian). The reference must
+// have been translated with write permission.
+func (c *ctx) memStore(m *memRef, v ir.Operand) {
+	b := c.b
+	for i := uint8(0); i < m.size; i++ {
+		b.Store(c.byteAddr(m, i), b.Extract(v, i*8, 8), 1)
+	}
+}
+
+// readMem is the one-shot load helper.
+func (c *ctx) readMem(seg x86.SegReg, off ir.Operand, size uint8, stackSem bool) ir.Operand {
+	return c.memLoad(c.translate(seg, off, size, false, stackSem))
+}
+
+// writeMem is the one-shot store helper (translate + store).
+func (c *ctx) writeMem(seg x86.SegReg, off ir.Operand, size uint8, stackSem bool, v ir.Operand) {
+	c.memStore(c.translate(seg, off, size, true, stackSem), v)
+}
+
+// --- stack helpers ----------------------------------------------------------
+
+// push writes v (osz wide) below ESP, updating ESP only after the write has
+// been verified — the atomic ordering QEMU gets wrong for some instructions.
+func (c *ctx) push(v ir.Operand) {
+	b := c.b
+	size := c.osz / 8
+	esp := b.Get(x86.GPR(x86.ESP))
+	newESP := b.Sub(esp, c.konst(32, uint64(size)))
+	c.writeMem(x86.SS, newESP, size, true, v)
+	b.Set(x86.GPR(x86.ESP), newESP)
+}
+
+// push32 pushes a 32-bit value regardless of operand size (exception frames).
+func (c *ctx) push32(v ir.Operand) {
+	b := c.b
+	esp := b.Get(x86.GPR(x86.ESP))
+	newESP := b.Sub(esp, c.konst(32, 4))
+	c.writeMem(x86.SS, newESP, 4, true, v)
+	b.Set(x86.GPR(x86.ESP), newESP)
+}
+
+// pop reads the osz-wide top of stack and bumps ESP.
+func (c *ctx) pop() ir.Operand {
+	b := c.b
+	size := c.osz / 8
+	esp := b.Get(x86.GPR(x86.ESP))
+	v := c.readMem(x86.SS, esp, size, true)
+	b.Set(x86.GPR(x86.ESP), b.Add(esp, c.konst(32, uint64(size))))
+	return v
+}
+
+// popNoCommit reads the value at ESP+delta without moving ESP (for
+// multi-value pops whose ESP update must be deferred, e.g. iret).
+func (c *ctx) stackRead(delta uint32, size uint8) ir.Operand {
+	b := c.b
+	esp := b.Get(x86.GPR(x86.ESP))
+	return c.readMem(x86.SS, b.Add(esp, c.konst(32, uint64(delta))), size, true)
+}

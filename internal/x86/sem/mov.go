@@ -1,0 +1,424 @@
+package sem
+
+import (
+	"strings"
+
+	"pokeemu/internal/ir"
+	"pokeemu/internal/x86"
+)
+
+// emitMovLea handles plain data movement: mov forms, lea, movzx/movsx,
+// cmovcc, setcc, xlat, and the moffs forms.
+func (c *ctx) emitMovLea(name string) bool {
+	b := c.b
+	switch name {
+	case "mov_rm8_r8", "mov_rmv_rv", "mov_r8_rm8", "mov_rv_rmv",
+		"mov_rm8_imm8", "mov_rmv_immv":
+		form := strings.TrimPrefix(name, "mov_")
+		dstTok, srcTok := splitForm(form)
+		dst := c.resolveForm(dstTok, true)
+		src := c.resolveForm(srcTok, false)
+		c.refWrite(dst, c.refRead(src))
+		c.done()
+		return true
+	case "mov_r8_imm8":
+		c.gprWrite(c.inst.Opcode&7, 8, c.immOperand(8))
+		c.done()
+		return true
+	case "mov_r_immv":
+		c.gprWrite(c.inst.Opcode&7, c.osz, c.immOperand(c.osz))
+		c.done()
+		return true
+	case "mov_al_moffs", "mov_eax_moffs":
+		w := uint8(8)
+		if name == "mov_eax_moffs" {
+			w = c.osz
+		}
+		seg := x86.DS
+		if c.inst.SegOverride >= 0 {
+			seg = x86.SegReg(c.inst.SegOverride)
+		}
+		v := c.readMem(seg, c.konst(32, uint64(c.inst.Disp)), w/8, false)
+		c.gprWrite(0, w, v)
+		c.done()
+		return true
+	case "mov_moffs_al", "mov_moffs_eax":
+		w := uint8(8)
+		if name == "mov_moffs_eax" {
+			w = c.osz
+		}
+		seg := x86.DS
+		if c.inst.SegOverride >= 0 {
+			seg = x86.SegReg(c.inst.SegOverride)
+		}
+		c.writeMem(seg, c.konst(32, uint64(c.inst.Disp)), w/8, false, c.gprRead(0, w))
+		c.done()
+		return true
+	case "lea":
+		_, off := c.effAddr() // no memory access, no checks
+		if c.osz == 16 {
+			c.gprWrite(c.inst.RegField(), 16, b.Extract(off, 0, 16))
+		} else {
+			c.gprWrite(c.inst.RegField(), 32, off)
+		}
+		c.done()
+		return true
+	case "movzx_rv_rm8", "movzx_rv_rm16", "movsx_rv_rm8", "movsx_rv_rm16":
+		srcW := uint8(8)
+		if strings.HasSuffix(name, "16") {
+			srcW = 16
+		}
+		src := c.resolveRM(srcW, false)
+		v := c.rmRead(src)
+		if strings.HasPrefix(name, "movzx") {
+			c.gprWrite(c.inst.RegField(), c.osz, b.ZExt(v, c.osz))
+		} else {
+			c.gprWrite(c.inst.RegField(), c.osz, b.SExt(v, c.osz))
+		}
+		c.done()
+		return true
+	case "xlat":
+		al := c.gprRead(0, 8)
+		ebx := b.Get(x86.GPR(x86.EBX))
+		seg := x86.DS
+		if c.inst.SegOverride >= 0 {
+			seg = x86.SegReg(c.inst.SegOverride)
+		}
+		v := c.readMem(seg, b.Add(ebx, b.ZExt(al, 32)), 1, false)
+		c.gprWrite(0, 8, v)
+		c.done()
+		return true
+	}
+	if strings.HasPrefix(name, "cmov") {
+		cc := ccIndex(strings.TrimPrefix(name, "cmov"))
+		src := c.resolveRM(c.osz, false)
+		v := c.rmRead(src)
+		old := c.gprRead(c.inst.RegField(), c.osz)
+		c.gprWrite(c.inst.RegField(), c.osz, b.Ite(c.condValue(cc), v, old))
+		c.done()
+		return true
+	}
+	if strings.HasPrefix(name, "set") && len(name) <= 5 {
+		cc := ccIndex(strings.TrimPrefix(name, "set"))
+		dst := c.resolveRM(8, true)
+		c.rmWrite(dst, b.ZExt(c.condValue(cc), 8))
+		c.done()
+		return true
+	}
+	return false
+}
+
+// ccIndex maps a condition suffix to its encoding value.
+func ccIndex(suffix string) uint8 {
+	for i, n := range ccNamesSem {
+		if n == suffix {
+			return uint8(i)
+		}
+	}
+	panic("sem: unknown condition " + suffix)
+}
+
+var ccNamesSem = [16]string{
+	"o", "no", "b", "ae", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+// emitStack handles push/pop and frame instructions.
+func (c *ctx) emitStack(name string) bool {
+	b := c.b
+	switch name {
+	case "push_r":
+		c.push(c.gprRead(c.inst.Opcode&7, c.osz))
+		c.done()
+		return true
+	case "pop_r":
+		v := c.pop()
+		c.gprWrite(c.inst.Opcode&7, c.osz, v)
+		c.done()
+		return true
+	case "push_immv", "push_imm8s":
+		c.push(c.immOperand(c.osz))
+		c.done()
+		return true
+	case "push_rmv":
+		src := c.resolveRM(c.osz, false)
+		c.push(c.rmRead(src))
+		c.done()
+		return true
+	case "pop_rmv":
+		// The popped value lands in an r/m destination; the read and the
+		// destination write are both checked before ESP moves.
+		v := c.stackRead(0, c.osz/8)
+		dst := c.resolveRM(c.osz, true)
+		esp := b.Get(x86.GPR(x86.ESP))
+		b.Set(x86.GPR(x86.ESP), b.Add(esp, c.konst(32, uint64(c.osz/8))))
+		c.rmWrite(dst, v)
+		c.done()
+		return true
+	case "pusha":
+		// The whole 8-register frame is checked as one range before any
+		// write, so a fault leaves the state untouched (hardware behavior).
+		size := uint64(c.osz / 8)
+		esp := b.Get(x86.GPR(x86.ESP))
+		bottom := b.Sub(esp, c.konst(32, 8*size))
+		c.translate(x86.SS, bottom, uint8(8*size), true, true)
+		for i := 0; i < 8; i++ {
+			var v ir.Operand
+			if i == int(x86.ESP) {
+				v = frameVal(c, esp)
+			} else {
+				v = c.gprRead(uint8(i), c.osz)
+			}
+			// eax lands at the highest address (it is pushed first).
+			addr := b.Add(bottom, c.konst(32, uint64(7-i)*size))
+			c.writeMem(x86.SS, addr, uint8(size), true, v)
+		}
+		b.Set(x86.GPR(x86.ESP), bottom)
+		c.done()
+		return true
+	case "popa":
+		size := uint64(c.osz / 8)
+		esp := b.Get(x86.GPR(x86.ESP))
+		c.translate(x86.SS, esp, uint8(8*size), false, true)
+		for i := 0; i < 8; i++ {
+			v := c.readMem(x86.SS, b.Add(esp, c.konst(32, uint64(7-i)*size)),
+				uint8(size), true)
+			if i == int(x86.ESP) {
+				continue // the popped ESP value is discarded
+			}
+			c.gprWrite(uint8(i), c.osz, v)
+		}
+		b.Set(x86.GPR(x86.ESP), b.Add(esp, c.konst(32, 8*size)))
+		c.done()
+		return true
+	case "pushf":
+		v := c.packEFLAGS()
+		v = b.And(v, c.konst(32, 0x00fcffff)) // VM and RF read as 0
+		if c.osz == 16 {
+			c.push(b.Extract(v, 0, 16))
+		} else {
+			c.push(v)
+		}
+		c.done()
+		return true
+	case "popf":
+		v := c.pop()
+		c.unpackEFLAGS(b.ZExt(v, 32), true)
+		c.done()
+		return true
+	case "enter":
+		c.enter()
+		return true
+	case "leave":
+		// Hi-Fi ordering: the load is checked before ESP or EBP change.
+		ebp := b.Get(x86.GPR(x86.EBP))
+		v := c.readMem(x86.SS, ebp, c.osz/8, true)
+		b.Set(x86.GPR(x86.ESP), b.Add(ebp, c.konst(32, uint64(c.osz/8))))
+		if c.osz == 16 {
+			c.gprWrite(uint8(x86.EBP), 16, v)
+		} else {
+			b.Set(x86.GPR(x86.EBP), v)
+		}
+		c.done()
+		return true
+	}
+	return false
+}
+
+func (c *ctx) enter() {
+	b := c.b
+	allocSize := uint64(c.inst.Imm) & 0xffff
+	level := uint8(c.inst.Imm2) & 0x1f
+	size := uint64(c.osz / 8)
+
+	ebp := b.Get(x86.GPR(x86.EBP))
+	c.push(frameVal(c, ebp))
+	frameTemp := b.Get(x86.GPR(x86.ESP))
+	for l := uint8(1); l < level; l++ {
+		// Copy the enclosing frame pointers.
+		src := b.Sub(ebp, c.konst(32, uint64(l)*size))
+		v := c.readMem(x86.SS, src, uint8(size), true)
+		c.push(v)
+	}
+	if level > 0 {
+		c.push(frameVal(c, frameTemp))
+	}
+	if c.osz == 16 {
+		c.gprWrite(uint8(x86.EBP), 16, b.Extract(frameTemp, 0, 16))
+	} else {
+		b.Set(x86.GPR(x86.EBP), frameTemp)
+	}
+	esp := b.Get(x86.GPR(x86.ESP))
+	b.Set(x86.GPR(x86.ESP), b.Sub(esp, c.konst(32, allocSize)))
+	c.done()
+}
+
+func frameVal(c *ctx, v ir.Operand) ir.Operand {
+	if c.osz == 16 {
+		return c.b.Extract(v, 0, 16)
+	}
+	return v
+}
+
+// emitBitOps handles bt/bts/btr/btc, bsf/bsr, and shld/shrd.
+func (c *ctx) emitBitOps(name string) bool {
+	switch {
+	case strings.HasPrefix(name, "bt_") || strings.HasPrefix(name, "bts_") ||
+		strings.HasPrefix(name, "btr_") || strings.HasPrefix(name, "btc_"):
+		op := name[:strings.IndexByte(name, '_')]
+		immForm := strings.HasSuffix(name, "imm8")
+		c.bitTest(op, immForm)
+		return true
+	case name == "bsf" || name == "bsr":
+		c.bitScan(name == "bsr")
+		return true
+	case strings.HasPrefix(name, "shld") || strings.HasPrefix(name, "shrd"):
+		c.doubleShift(strings.HasPrefix(name, "shld"), strings.HasSuffix(name, "cl"))
+		return true
+	}
+	return false
+}
+
+// bitTest implements the bt family. For register destinations the bit index
+// wraps within the operand; for memory destinations the bit index addresses
+// memory beyond the operand (bitIdx>>5 dwords away, signed), one of the
+// addressing subtleties high-coverage exploration exercises.
+func (c *ctx) bitTest(op string, immForm bool) {
+	b := c.b
+	w := c.osz
+	write := op != "bt"
+	var bitIdx ir.Operand
+	if immForm {
+		bitIdx = c.konst(32, c.inst.Imm&uint64(w-1))
+	} else {
+		bitIdx = b.ZExt(c.gprRead(c.inst.RegField(), w), 32)
+	}
+
+	var cur, newv ir.Operand
+	var commit func(v ir.Operand)
+	if c.inst.IsRegForm() {
+		idx := b.And(bitIdx, c.konst(32, uint64(w-1)))
+		a := c.gprRead(c.inst.RM(), w)
+		cur = b.Extract(b.Shr(a, idx), 0, 1)
+		mask := b.Shl(c.konst(w, 1), b.Extract(idx, 0, 8))
+		switch op {
+		case "bts":
+			newv = b.Or(a, mask)
+		case "btr":
+			newv = b.And(a, b.Not(mask))
+		case "btc":
+			newv = b.Xor(a, mask)
+		}
+		commit = func(v ir.Operand) { c.gprWrite(c.inst.RM(), w, v) }
+	} else {
+		seg, off := c.effAddr()
+		var unit uint64 = uint64(w / 8)
+		// Signed dword (or word) displacement derived from the bit index.
+		shift := uint8(5)
+		if w == 16 {
+			shift = 4
+		}
+		dwordOff := b.Sar(bitIdx, c.konst(8, uint64(shift)))
+		byteOff := b.Mul(dwordOff, c.konst(32, unit))
+		addr := b.Add(off, byteOff)
+		m := c.translate(seg, addr, uint8(unit), write, false)
+		a := c.memLoad(m)
+		idx := b.And(bitIdx, c.konst(32, uint64(w-1)))
+		cur = b.Extract(b.Shr(a, idx), 0, 1)
+		mask := b.Shl(c.konst(w, 1), b.Extract(idx, 0, 8))
+		switch op {
+		case "bts":
+			newv = b.Or(a, mask)
+		case "btr":
+			newv = b.And(a, b.Not(mask))
+		case "btc":
+			newv = b.Xor(a, mask)
+		}
+		commit = func(v ir.Operand) { c.memStore(m, v) }
+	}
+	c.setFlag(x86.FlagCF, cur)
+	if write {
+		commit(newv)
+	}
+	c.done()
+}
+
+// bitScan implements bsf/bsr with an unrolled scan.
+func (c *ctx) bitScan(reverse bool) {
+	b := c.b
+	w := c.osz
+	src := c.resolveRM(w, false)
+	v := c.rmRead(src)
+	zero := b.Eq(v, c.konst(w, 0))
+	c.setFlag(x86.FlagZF, zero)
+
+	// Unrolled priority scan via an ite chain from the far end toward the
+	// near end: res = position of the first set bit in scan order.
+	res := c.konst(w, 0)
+	if reverse {
+		for i := 0; i < int(w); i++ {
+			hit := b.Extract(v, uint8(i), 1)
+			res = b.Ite(hit, c.konst(w, uint64(i)), res)
+		}
+	} else {
+		for i := int(w) - 1; i >= 0; i-- {
+			hit := b.Extract(v, uint8(i), 1)
+			res = b.Ite(hit, c.konst(w, uint64(i)), res)
+		}
+	}
+	old := c.gprRead(c.inst.RegField(), w)
+	var out ir.Operand
+	switch c.cfg.Undef.BsfZeroDest {
+	case UndefUnchanged:
+		out = b.Ite(zero, old, res)
+	case UndefZero:
+		out = b.Ite(zero, c.konst(w, 0), res)
+	default:
+		out = res
+	}
+	c.gprWrite(c.inst.RegField(), w, out)
+	c.done()
+}
+
+// doubleShift implements shld/shrd.
+func (c *ctx) doubleShift(left bool, clForm bool) {
+	b := c.b
+	w := c.osz
+	dst := c.resolveRM(w, true)
+	a := c.rmRead(dst)
+	fill := c.gprRead(c.inst.RegField(), w)
+	var count ir.Operand
+	if clForm {
+		count = b.And(c.gprRead(1, 8), c.konst(8, 0x1f))
+	} else {
+		count = c.konst(8, c.inst.Imm&0x1f)
+	}
+	skip := b.NewLabel()
+	b.CJump(b.Eq(count, c.konst(8, 0)), skip)
+
+	wn := b.Sub(c.konst(8, uint64(w)), count)
+	var r, cf ir.Operand
+	if left {
+		r = b.Or(b.Shl(a, count), b.Shr(fill, wn))
+		wide := b.Shl(b.ZExt(a, w+1), count)
+		cf = b.Extract(wide, w, 1)
+	} else {
+		r = b.Or(b.Shr(a, count), b.Shl(fill, wn))
+		cf = b.Extract(b.Shr(a, b.Sub(count, c.konst(8, 1))), 0, 1)
+	}
+	c.setFlag(x86.FlagCF, cf)
+	isOne := b.Eq(count, c.konst(8, 1))
+	of := b.Xor(b.Extract(r, w-1, 1), b.Extract(a, w-1, 1))
+	switch c.cfg.Undef.ShiftMultiOF {
+	case UndefCompute:
+		c.setFlag(x86.FlagOF, of)
+	case UndefZero:
+		c.setFlag(x86.FlagOF, b.Ite(isOne, of, c.konst(1, 0)))
+	case UndefUnchanged:
+		c.setFlag(x86.FlagOF, b.Ite(isOne, of, c.getFlag(x86.FlagOF)))
+	}
+	c.szpFlags(r, w)
+	c.rmWrite(dst, r)
+	b.Bind(skip)
+	c.done()
+}

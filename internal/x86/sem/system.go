@@ -1,0 +1,533 @@
+package sem
+
+import (
+	"pokeemu/internal/ir"
+	"pokeemu/internal/x86"
+)
+
+// translateLin is the paging-only translation used for GDT/IDT accesses,
+// which bypass segmentation.
+func (c *ctx) translateLin(lin ir.Operand, size uint8, write bool) *memRef {
+	b := c.b
+	frameA := c.walk(lin, write)
+	inPage := b.And(lin, c.konst(32, 0xfff))
+	physA := b.Or(frameA, inPage)
+	m := &memRef{size: size, lin: lin, physA: physA}
+	if size == 1 {
+		m.cross = c.konst(1, 0)
+		m.frameB = c.konst(32, 0)
+		return m
+	}
+	cross := b.Ugt(b.Add(inPage, c.konst(32, uint64(size-1))), c.konst(32, 0xfff))
+	crossT := b.NewTemp(1)
+	b.Move(crossT, cross)
+	frameB := b.NewTemp(32)
+	b.Move(frameB, c.konst(32, 0))
+	skip := b.NewLabel()
+	b.CJump(b.Not(cross), skip)
+	b.Move(frameB, c.walk(b.Add(lin, c.konst(32, uint64(size-1))), write))
+	b.Bind(skip)
+	m.cross = crossT
+	m.frameB = frameB
+	return m
+}
+
+func (c *ctx) readLin(lin ir.Operand, size uint8) ir.Operand {
+	return c.memLoad(c.translateLin(lin, size, false))
+}
+
+// loadSegment implements the protected-mode segment-register load: selector
+// checks, GDT fetch, the descriptor parse (the multi-path computation the
+// paper summarizes during exploration), privilege/type validation, the
+// accessed-bit write-back, and the descriptor-cache update.
+func (c *ctx) loadSegment(seg x86.SegReg, sel ir.Operand, forCS bool) {
+	b := c.b
+	gpSel := b.NewLabel()
+	gp0 := b.NewLabel()
+	notPresent := b.NewLabel()
+	loaded := b.NewLabel()
+
+	selMasked := b.And(sel, c.konst(16, 0xfffc))
+	isNull := b.Eq(selMasked, c.konst(16, 0))
+	if seg == x86.SS || forCS {
+		// Null SS or CS is a #GP(0).
+		b.CJump(isNull, gp0)
+	} else {
+		// A null selector loads an unusable segment.
+		notNull := b.NewLabel()
+		b.CJump(b.Not(isNull), notNull)
+		b.Set(x86.SegSel(seg), sel)
+		b.Set(x86.SegAttr(seg), c.konst(16, 0))
+		b.Set(x86.SegBase(seg), c.konst(32, 0))
+		b.Set(x86.SegLimit(seg), c.konst(32, 0))
+		b.Jump(loaded)
+		b.Bind(notNull)
+	}
+
+	// No local descriptor table in this machine: TI set is a #GP.
+	ti := b.Extract(sel, 2, 1)
+	b.CJump(ti, gpSel)
+
+	// Descriptor must lie within the GDT limit.
+	gdtLimit := b.Get(x86.Loc{Kind: x86.LocGDTRLimit})
+	offEnd := b.Add(b.ZExt(b.And(sel, c.konst(16, 0xfff8)), 32), c.konst(32, 7))
+	b.CJump(b.Ugt(offEnd, gdtLimit), gpSel)
+
+	gdtBase := b.Get(x86.Loc{Kind: x86.LocGDTRBase})
+	descLin := b.Add(gdtBase, b.ZExt(b.And(sel, c.konst(16, 0xfff8)), 32))
+	lo := c.readLin(descLin, 4)
+	hiRef := c.translateLin(b.Add(descLin, c.konst(32, 4)), 4, false)
+	hi := c.memLoad(hiRef)
+
+	// --- descriptor parse and validation (the summarized computation) ---
+	kind := loadData
+	if seg == x86.SS {
+		kind = loadSS
+	} else if forCS {
+		kind = loadCS
+	}
+	base, limit, attr := c.parseDescriptor(lo, hi, sel, kind, gpSel, notPresent)
+
+	// Accessed bit write-back: only when clear (the check celer skips).
+	accessed := b.Extract(hi, 8, 1)
+	skipA := b.NewLabel()
+	b.CJump(accessed, skipA)
+	c.memStore(c.translateLin(b.Add(descLin, c.konst(32, 4)), 4, true),
+		b.Or(hi, c.konst(32, 0x100)))
+	b.Bind(skipA)
+
+	b.Set(x86.SegSel(seg), sel)
+	b.Set(x86.SegBase(seg), base)
+	b.Set(x86.SegLimit(seg), limit)
+	b.Set(x86.SegAttr(seg), attr)
+	b.Jump(loaded)
+
+	b.Bind(gpSel)
+	b.Raise(x86.ExcGP, b.ZExt(selMasked, 32))
+	b.Bind(gp0)
+	b.Raise(x86.ExcGP, c.konst(32, 0))
+	b.Bind(notPresent)
+	vec := uint8(x86.ExcNP)
+	if seg == x86.SS {
+		vec = x86.ExcSS
+	}
+	b.Raise(vec, b.ZExt(selMasked, 32))
+
+	b.Bind(loaded)
+}
+
+// segLoadKind selects the validation rules for a segment load.
+type segLoadKind int
+
+const (
+	loadData segLoadKind = iota
+	loadSS
+	loadCS
+)
+
+// parseDescriptor emits the descriptor-cache computation the way a careful
+// emulator implements it: a 16-way dispatch on the type nibble with
+// per-type validity rules, a separate branch for the granularity scaling,
+// and the DPL/RPL checks — a multi-path region with a couple dozen paths.
+// This is the computation that, when segment state is symbolic, the
+// exploration summarizes once instead of re-exploring per segment (the
+// paper's ×23⁶ observation). Fault paths jump to gpSel or notPresent; the
+// returned operands are the cache fields (attr already 16 bits, with the
+// accessed bit set as caches record it).
+func (c *ctx) parseDescriptor(lo, hi, sel ir.Operand, kind segLoadKind,
+	gpSel, notPresent ir.Label) (base, limit, attr ir.Operand) {
+
+	b := c.b
+	rpl := b.Extract(sel, 0, 2)
+	dpl := b.Extract(hi, 13, 2)
+	s := b.Extract(hi, 12, 1)
+	b.CJump(b.Not(s), gpSel) // system descriptor
+
+	switch kind {
+	case loadSS:
+		b.CJump(b.Ne(rpl, c.konst(2, 0)), gpSel)
+		b.CJump(b.Ne(dpl, c.konst(2, 0)), gpSel)
+	case loadCS:
+		// Non-conforming code requires DPL == CPL (0); checked per type.
+	}
+
+	limitT := b.NewTemp(32)
+	join := b.NewLabel()
+
+	// Type nibble: bit0 accessed, bit1 W/R, bit2 E/C, bit3 code.
+	typ := b.Extract(hi, 8, 4)
+	for t := uint64(0); t < 16; t++ {
+		next := b.NewLabel()
+		b.CJump(b.Ne(typ, c.konst(4, t)), next)
+		isCode := t&8 != 0
+		rw := t&2 != 0
+		conforming := isCode && t&4 != 0
+		valid := true
+		switch kind {
+		case loadSS:
+			valid = !isCode && rw
+		case loadCS:
+			valid = isCode
+		default:
+			valid = !isCode || rw // data, or readable code
+		}
+		if !valid {
+			b.Jump(gpSel)
+			b.Bind(next)
+			continue
+		}
+		if kind == loadCS && !conforming {
+			b.CJump(b.Ne(dpl, c.konst(2, 0)), gpSel)
+		}
+		if kind == loadData && !conforming {
+			// DPL ≥ RPL for data and non-conforming code.
+			b.CJump(b.Ult(dpl, rpl), gpSel)
+		}
+		// Granularity: a real branch, not a select.
+		raw := b.Or(b.And(lo, c.konst(32, 0xffff)), b.And(hi, c.konst(32, 0xf0000)))
+		g := b.Extract(hi, 23, 1)
+		gSet := b.NewLabel()
+		b.CJump(g, gSet)
+		b.Move(limitT, raw)
+		b.Jump(join)
+		b.Bind(gSet)
+		b.Move(limitT, b.Or(b.Shl(raw, c.konst(8, 12)), c.konst(32, 0xfff)))
+		b.Jump(join)
+		b.Bind(next)
+	}
+	// The 16 cases are exhaustive; anything else is unreachable.
+	b.Jump(gpSel)
+
+	b.Bind(join)
+	p := b.Extract(hi, 15, 1)
+	b.CJump(b.Not(p), notPresent)
+
+	base = b.Or(b.Or(b.Shr(lo, c.konst(8, 16)),
+		b.Shl(b.And(hi, c.konst(32, 0xff)), c.konst(8, 16))),
+		b.And(hi, c.konst(32, 0xff000000)))
+	attr32 := b.Or(b.And(b.Shr(hi, c.konst(8, 8)), c.konst(32, 0xff)),
+		b.Shl(b.And(b.Shr(hi, c.konst(8, 20)), c.konst(32, 0xf)), c.konst(8, 8)))
+	attr32 = b.Or(attr32, c.konst(32, 1)) // caches record the segment accessed
+	return base, limitT, b.Extract(attr32, 0, 16)
+}
+
+// segRegOfPushPop maps the implicit-segment handler names.
+var segOps = map[string]x86.SegReg{
+	"es": x86.ES, "cs": x86.CS, "ss": x86.SS,
+	"ds": x86.DS, "fs": x86.FS, "gs": x86.GS,
+}
+
+// emitSystem handles segment-register loads/stores, far pointer loads,
+// control registers, MSRs, descriptor-table instructions, and cpuid.
+func (c *ctx) emitSystem(name string) bool {
+	b := c.b
+	switch name {
+	case "mov_sreg_rm16":
+		sr := x86.SegReg(c.inst.RegField())
+		if sr == x86.CS || sr > x86.GS {
+			b.RaiseNoErr(x86.ExcUD)
+			return true
+		}
+		src := c.resolveRM(16, false)
+		c.loadSegment(sr, c.rmRead(src), false)
+		c.done()
+		return true
+	case "mov_rmv_sreg":
+		sr := x86.SegReg(c.inst.RegField())
+		if sr > x86.GS {
+			b.RaiseNoErr(x86.ExcUD)
+			return true
+		}
+		dst := c.resolveRM(16, true)
+		c.rmWrite(dst, b.Get(x86.SegSel(sr)))
+		c.done()
+		return true
+	case "push_es", "push_cs", "push_ss", "push_ds", "push_fs", "push_gs":
+		sr := segOps[name[5:]]
+		c.push(b.ZExt(b.Get(x86.SegSel(sr)), c.osz))
+		c.done()
+		return true
+	case "pop_es", "pop_ss", "pop_ds", "pop_fs", "pop_gs":
+		sr := segOps[name[4:]]
+		v := c.stackRead(0, c.osz/8)
+		c.loadSegment(sr, b.Extract(b.ZExt(v, 32), 0, 16), false)
+		esp := b.Get(x86.GPR(x86.ESP))
+		b.Set(x86.GPR(x86.ESP), b.Add(esp, c.konst(32, uint64(c.osz/8))))
+		c.done()
+		return true
+	case "les", "lds", "lfs", "lgs", "lss":
+		c.farLoad(segOps[name[1:]])
+		return true
+	case "mov_cr_r":
+		c.movToCR()
+		return true
+	case "mov_r_cr":
+		cr := c.inst.RegField()
+		if cr != 0 && cr != 2 && cr != 3 && cr != 4 {
+			b.RaiseNoErr(x86.ExcUD)
+			return true
+		}
+		c.gprWrite(c.inst.RM(), 32, b.Get(x86.CR(cr)))
+		c.done()
+		return true
+	case "rdmsr":
+		c.rdwrMSR(false)
+		return true
+	case "wrmsr":
+		c.rdwrMSR(true)
+		return true
+	case "rdtsc":
+		tsc := b.Get(x86.MSR(0))
+		c.gprWrite(0, 32, b.Extract(tsc, 0, 32))
+		c.gprWrite(2, 32, b.Extract(tsc, 32, 32))
+		c.done()
+		return true
+	case "cpuid":
+		c.cpuid()
+		return true
+	case "lgdt", "lidt":
+		seg, off := c.effAddr()
+		limit := c.readMem(seg, off, 2, false)
+		base := c.readMem(seg, b.Add(off, c.konst(32, 2)), 4, false)
+		if name == "lgdt" {
+			b.Set(x86.Loc{Kind: x86.LocGDTRLimit}, b.ZExt(limit, 32))
+			b.Set(x86.Loc{Kind: x86.LocGDTRBase}, base)
+		} else {
+			b.Set(x86.Loc{Kind: x86.LocIDTRLimit}, b.ZExt(limit, 32))
+			b.Set(x86.Loc{Kind: x86.LocIDTRBase}, base)
+		}
+		c.done()
+		return true
+	case "sgdt", "sidt":
+		seg, off := c.effAddr()
+		var lim, base ir.Operand
+		if name == "sgdt" {
+			lim = b.Get(x86.Loc{Kind: x86.LocGDTRLimit})
+			base = b.Get(x86.Loc{Kind: x86.LocGDTRBase})
+		} else {
+			lim = b.Get(x86.Loc{Kind: x86.LocIDTRLimit})
+			base = b.Get(x86.Loc{Kind: x86.LocIDTRBase})
+		}
+		m := c.translate(seg, off, 6, true, false)
+		c.memStoreSplit(m, b.Extract(lim, 0, 16), base)
+		c.done()
+		return true
+	case "smsw":
+		dst := c.resolveRM(c.osz, true)
+		cr0 := b.Get(x86.CR(0))
+		if c.osz == 16 {
+			c.rmWrite(dst, b.Extract(cr0, 0, 16))
+		} else {
+			c.rmWrite(dst, cr0)
+		}
+		c.done()
+		return true
+	case "lmsw":
+		src := c.resolveRM(16, false)
+		v := b.ZExt(c.rmRead(src), 32)
+		cr0 := b.Get(x86.CR(0))
+		// lmsw can set but not clear PE; only the low 4 bits are written.
+		newPE := b.Or(b.Extract(cr0, 0, 1), b.Extract(v, 0, 1))
+		low := b.Concat(b.Extract(v, 1, 3), newPE)
+		b.Set(x86.CR(0), b.Concat(b.Extract(cr0, 4, 28), low))
+		c.done()
+		return true
+	case "invlpg":
+		// No TLB is modeled; the effective address is computed but not
+		// dereferenced, exactly like hardware.
+		c.effAddr()
+		c.done()
+		return true
+	case "clts":
+		cr0 := b.Get(x86.CR(0))
+		b.Set(x86.CR(0), b.And(cr0, c.konst(32, ^uint64(1<<x86.CR0TS))))
+		c.done()
+		return true
+	case "verr", "verw":
+		c.verify(name == "verw")
+		return true
+	}
+	return false
+}
+
+// verify implements verr/verw: probe whether a selector would be readable
+// (or writable) at the current privilege level, reporting through ZF and
+// never faulting on a bad selector — the segment-check machinery exposed as
+// a query instruction.
+func (c *ctx) verify(forWrite bool) {
+	b := c.b
+	src := c.resolveRM(16, false)
+	sel := c.rmRead(src)
+
+	no := b.NewLabel()
+	yes := b.NewLabel()
+	done := b.NewLabel()
+
+	// Null selector, LDT reference, or out-of-limit descriptor: not valid.
+	b.CJump(b.Eq(b.And(sel, c.konst(16, 0xfffc)), c.konst(16, 0)), no)
+	b.CJump(b.Extract(sel, 2, 1), no)
+	gdtLimit := b.Get(x86.Loc{Kind: x86.LocGDTRLimit})
+	offEnd := b.Add(b.ZExt(b.And(sel, c.konst(16, 0xfff8)), 32), c.konst(32, 7))
+	b.CJump(b.Ugt(offEnd, gdtLimit), no)
+
+	gdtBase := b.Get(x86.Loc{Kind: x86.LocGDTRBase})
+	descLin := b.Add(gdtBase, b.ZExt(b.And(sel, c.konst(16, 0xfff8)), 32))
+	hi := c.readLin(b.Add(descLin, c.konst(32, 4)), 4)
+
+	// Must be a present code/data descriptor.
+	b.CJump(b.Not(b.Extract(hi, 12, 1)), no) // S
+	b.CJump(b.Not(b.Extract(hi, 15, 1)), no) // P
+	isCode := b.Extract(hi, 11, 1)
+	rw := b.Extract(hi, 9, 1)
+	conform := b.Extract(hi, 10, 1)
+	dpl := b.Extract(hi, 13, 2)
+	rpl := b.Extract(sel, 0, 2)
+	// Privilege applies to data and non-conforming code: DPL ≥ RPL (CPL=0).
+	applies := b.Or(b.Not(isCode), b.Not(conform))
+	b.CJump(b.And(applies, b.Ult(dpl, rpl)), no)
+	if forWrite {
+		// Writable data only.
+		b.CJump(isCode, no)
+		b.CJump(b.Not(rw), no)
+	} else {
+		// Data always readable; code needs the readable bit.
+		b.CJump(b.And(isCode, b.Not(rw)), no)
+	}
+	b.Jump(yes)
+
+	b.Bind(yes)
+	c.setFlag(x86.FlagZF, c.konst(1, 1))
+	b.Jump(done)
+	b.Bind(no)
+	c.setFlag(x86.FlagZF, c.konst(1, 0))
+	b.Bind(done)
+	c.done()
+}
+
+// memStoreSplit stores a 16-bit then a 32-bit value at consecutive offsets
+// of a pre-translated 6-byte reference (sgdt/sidt).
+func (c *ctx) memStoreSplit(m *memRef, lim16, base32 ir.Operand) {
+	b := c.b
+	for i := uint8(0); i < 2; i++ {
+		b.Store(c.byteAddr(m, i), b.Extract(lim16, i*8, 8), 1)
+	}
+	for i := uint8(0); i < 4; i++ {
+		b.Store(c.byteAddr(m, 2+i), b.Extract(base32, i*8, 8), 1)
+	}
+}
+
+// farLoad implements les/lds/lfs/lgs/lss: load a full pointer (offset +
+// selector) from memory, then the segment register, then the GPR.
+func (c *ctx) farLoad(sr x86.SegReg) {
+	b := c.b
+	seg, off := c.effAddr()
+	offBytes := c.osz / 8
+	readOffset := func() ir.Operand { return c.readMem(seg, off, offBytes, false) }
+	readSel := func() ir.Operand {
+		return c.readMem(seg, b.Add(off, c.konst(32, uint64(offBytes))), 2, false)
+	}
+	var offV, selV ir.Operand
+	if c.cfg.FarLoadSelectorFirst {
+		selV = readSel()
+		offV = readOffset()
+	} else {
+		offV = readOffset()
+		selV = readSel()
+	}
+	c.loadSegment(sr, selV, false)
+	c.gprWrite(c.inst.RegField(), c.osz, offV)
+	c.done()
+}
+
+// movToCR implements mov %reg, %crN with the architectural consistency
+// checks.
+func (c *ctx) movToCR() {
+	b := c.b
+	cr := c.inst.RegField()
+	v := c.gprRead(c.inst.RM(), 32)
+	gp := b.NewLabel()
+	switch cr {
+	case 0:
+		// PG requires PE.
+		pg := b.Extract(v, x86.CR0PG, 1)
+		pe := b.Extract(v, x86.CR0PE, 1)
+		b.CJump(b.And(pg, b.Not(pe)), gp)
+		// NW without CD is invalid.
+		nw := b.Extract(v, x86.CR0NW, 1)
+		cd := b.Extract(v, x86.CR0CD, 1)
+		b.CJump(b.And(nw, b.Not(cd)), gp)
+		b.Set(x86.CR(0), v)
+	case 2:
+		b.Set(x86.CR(2), v)
+	case 3:
+		b.Set(x86.CR(3), b.And(v, c.konst(32, 0xfffff018)))
+	case 4:
+		// Reserved CR4 bits must be zero.
+		b.CJump(b.Ne(b.And(v, c.konst(32, ^uint64(0x1ff))), c.konst(32, 0)), gp)
+		b.Set(x86.CR(4), v)
+	default:
+		b.RaiseNoErr(x86.ExcUD)
+		return
+	}
+	c.done()
+	b.Bind(gp)
+	b.Raise(x86.ExcGP, c.konst(32, 0))
+}
+
+// rdwrMSR implements rdmsr/wrmsr with the per-index dispatch; an
+// unrecognized index raises #GP(0) — the check the Lo-Fi emulator omits.
+func (c *ctx) rdwrMSR(write bool) {
+	b := c.b
+	ecx := b.Get(x86.GPR(x86.ECX))
+	done := b.NewLabel()
+	for slot, index := range x86.MSRs {
+		next := b.NewLabel()
+		b.CJump(b.Ne(ecx, c.konst(32, uint64(index))), next)
+		if write {
+			v := b.Concat(b.Get(x86.GPR(x86.EDX)), b.Get(x86.GPR(x86.EAX)))
+			b.Set(x86.MSR(slot), v)
+		} else {
+			v := b.Get(x86.MSR(slot))
+			c.gprWrite(0, 32, b.Extract(v, 0, 32))
+			c.gprWrite(2, 32, b.Extract(v, 32, 32))
+		}
+		b.Jump(done)
+		b.Bind(next)
+	}
+	b.Raise(x86.ExcGP, c.konst(32, 0))
+	b.Bind(done)
+	c.done()
+}
+
+// cpuid returns fixed, implementation-independent values so that cpuid
+// itself is not a spurious difference source between the reference
+// implementations.
+func (c *ctx) cpuid() {
+	b := c.b
+	eax := b.Get(x86.GPR(x86.EAX))
+	leaf1 := b.NewLabel()
+	other := b.NewLabel()
+	done := b.NewLabel()
+
+	b.CJump(b.Ne(eax, c.konst(32, 0)), leaf1)
+	b.Set(x86.GPR(x86.EAX), c.konst(32, 1))
+	b.Set(x86.GPR(x86.EBX), c.konst(32, 0x656b6f50)) // "Poke"
+	b.Set(x86.GPR(x86.EDX), c.konst(32, 0x554d4545)) // "EEMU"
+	b.Set(x86.GPR(x86.ECX), c.konst(32, 0x20555043)) // "CPU "
+	b.Jump(done)
+
+	b.Bind(leaf1)
+	b.CJump(b.Ne(eax, c.konst(32, 1)), other)
+	b.Set(x86.GPR(x86.EAX), c.konst(32, 0x00000611))
+	b.Set(x86.GPR(x86.EBX), c.konst(32, 0))
+	b.Set(x86.GPR(x86.ECX), c.konst(32, 0))
+	b.Set(x86.GPR(x86.EDX), c.konst(32, 0x00000011)) // FPU-less, PSE+TSC
+	b.Jump(done)
+
+	b.Bind(other)
+	for _, r := range []x86.Reg{x86.EAX, x86.EBX, x86.ECX, x86.EDX} {
+		b.Set(x86.GPR(r), c.konst(32, 0))
+	}
+	b.Bind(done)
+	c.done()
+}

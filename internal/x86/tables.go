@@ -1,0 +1,457 @@
+package x86
+
+// Decode tables. These are the single source of truth for which byte
+// sequences are instructions; the concrete decoder (decode.go), the
+// assembler (asm.go), the semantics compiler (x86/sem), and the symbolic
+// instruction-set exploration (internal/core) all consume them.
+
+// tabKind classifies a top-level opcode table entry.
+type tabKind uint8
+
+const (
+	tabInvalid tabKind = iota
+	tabInsn
+	tabPrefix
+	tabEscape // 0F two-byte escape
+	tabGroup
+)
+
+// prefixKind identifies a legacy prefix byte.
+type prefixKind uint8
+
+const (
+	pfxOpSize prefixKind = iota
+	pfxLock
+	pfxRep
+	pfxRepNE
+	pfxSegES
+	pfxSegCS
+	pfxSegSS
+	pfxSegDS
+	pfxSegFS
+	pfxSegGS
+)
+
+type tabEntry struct {
+	Kind   tabKind
+	Spec   *OpSpec
+	Group  *[8]*OpSpec
+	Prefix prefixKind
+}
+
+func ins(name, mn string, ops ...OperandKind) tabEntry {
+	return tabEntry{Kind: tabInsn, Spec: &OpSpec{Name: name, Mn: mn, Operands: ops}}
+}
+
+func insL(name, mn string, ops ...OperandKind) tabEntry {
+	e := ins(name, mn, ops...)
+	e.Spec.LockOK = true
+	return e
+}
+
+func pfx(k prefixKind) tabEntry { return tabEntry{Kind: tabPrefix, Prefix: k} }
+
+func grp(g *[8]*OpSpec) tabEntry { return tabEntry{Kind: tabGroup, Group: g} }
+
+func gi(name, mn string, ops ...OperandKind) *OpSpec {
+	return &OpSpec{Name: name, Mn: mn, Operands: ops}
+}
+
+func giL(name, mn string, ops ...OperandKind) *OpSpec {
+	s := gi(name, mn, ops...)
+	s.LockOK = true
+	return s
+}
+
+// ALU opcode rows 00-3F share a 6-form pattern.
+func aluRow(tab *[256]tabEntry, base byte, name, mn string, lock bool) {
+	mk := ins
+	if lock {
+		mk = insL
+	}
+	tab[base+0] = mk(name+"_rm8_r8", mn, OpdRM8, OpdR8)
+	tab[base+1] = mk(name+"_rmv_rv", mn, OpdRMv, OpdRv)
+	tab[base+2] = ins(name+"_r8_rm8", mn, OpdR8, OpdRM8)
+	tab[base+3] = ins(name+"_rv_rmv", mn, OpdRv, OpdRMv)
+	tab[base+4] = ins(name+"_al_imm8", mn, OpdAL, OpdImm8)
+	tab[base+5] = ins(name+"_eax_immv", mn, OpdEAXv, OpdImmv)
+}
+
+// Group definitions.
+
+var grp1rm8 = [8]*OpSpec{
+	giL("add_rm8_imm8", "add", OpdRM8, OpdImm8),
+	giL("or_rm8_imm8", "or", OpdRM8, OpdImm8),
+	giL("adc_rm8_imm8", "adc", OpdRM8, OpdImm8),
+	giL("sbb_rm8_imm8", "sbb", OpdRM8, OpdImm8),
+	giL("and_rm8_imm8", "and", OpdRM8, OpdImm8),
+	giL("sub_rm8_imm8", "sub", OpdRM8, OpdImm8),
+	giL("xor_rm8_imm8", "xor", OpdRM8, OpdImm8),
+	gi("cmp_rm8_imm8", "cmp", OpdRM8, OpdImm8),
+}
+
+var grp1rmv = [8]*OpSpec{
+	giL("add_rmv_immv", "add", OpdRMv, OpdImmv),
+	giL("or_rmv_immv", "or", OpdRMv, OpdImmv),
+	giL("adc_rmv_immv", "adc", OpdRMv, OpdImmv),
+	giL("sbb_rmv_immv", "sbb", OpdRMv, OpdImmv),
+	giL("and_rmv_immv", "and", OpdRMv, OpdImmv),
+	giL("sub_rmv_immv", "sub", OpdRMv, OpdImmv),
+	giL("xor_rmv_immv", "xor", OpdRMv, OpdImmv),
+	gi("cmp_rmv_immv", "cmp", OpdRMv, OpdImmv),
+}
+
+// grp1alias is the 0x82 row: an undocumented alias of 0x80 on hardware.
+var grp1alias [8]*OpSpec
+
+var grp1rmv8s = [8]*OpSpec{
+	giL("add_rmv_imm8s", "add", OpdRMv, OpdImm8s),
+	giL("or_rmv_imm8s", "or", OpdRMv, OpdImm8s),
+	giL("adc_rmv_imm8s", "adc", OpdRMv, OpdImm8s),
+	giL("sbb_rmv_imm8s", "sbb", OpdRMv, OpdImm8s),
+	giL("and_rmv_imm8s", "and", OpdRMv, OpdImm8s),
+	giL("sub_rmv_imm8s", "sub", OpdRMv, OpdImm8s),
+	giL("xor_rmv_imm8s", "xor", OpdRMv, OpdImm8s),
+	gi("cmp_rmv_imm8s", "cmp", OpdRMv, OpdImm8s),
+}
+
+var grp1a = [8]*OpSpec{
+	0: gi("pop_rmv", "pop", OpdRMv),
+}
+
+func shiftGroup(suffix string, amt OperandKind, width OperandKind) [8]*OpSpec {
+	mn := func(m string) string { return m }
+	return [8]*OpSpec{
+		gi("rol_"+suffix, mn("rol"), width, amt),
+		gi("ror_"+suffix, mn("ror"), width, amt),
+		gi("rcl_"+suffix, mn("rcl"), width, amt),
+		gi("rcr_"+suffix, mn("rcr"), width, amt),
+		gi("shl_"+suffix, mn("shl"), width, amt),
+		gi("shr_"+suffix, mn("shr"), width, amt),
+		nil, // /6: undefined
+		gi("sar_"+suffix, mn("sar"), width, amt),
+	}
+}
+
+var (
+	grp2rm8imm = shiftGroup("rm8_imm8", OpdImm8, OpdRM8)
+	grp2rmvimm = shiftGroup("rmv_imm8", OpdImm8, OpdRMv)
+	grp2rm8one = shiftGroup("rm8_1", OpdOne, OpdRM8)
+	grp2rmvone = shiftGroup("rmv_1", OpdOne, OpdRMv)
+	grp2rm8cl  = shiftGroup("rm8_cl", OpdCL, OpdRM8)
+	grp2rmvcl  = shiftGroup("rmv_cl", OpdCL, OpdRMv)
+)
+
+var grp3rm8 = [8]*OpSpec{
+	gi("test_rm8_imm8", "test", OpdRM8, OpdImm8),
+	nil, // /1 alias of /0, filled in init with AliasEnc
+	giL("not_rm8", "not", OpdRM8),
+	giL("neg_rm8", "neg", OpdRM8),
+	gi("mul_rm8", "mul", OpdRM8),
+	gi("imul_rm8", "imul", OpdRM8),
+	gi("div_rm8", "div", OpdRM8),
+	gi("idiv_rm8", "idiv", OpdRM8),
+}
+
+var grp3rmv = [8]*OpSpec{
+	gi("test_rmv_immv", "test", OpdRMv, OpdImmv),
+	nil, // /1 alias, filled in init
+	giL("not_rmv", "not", OpdRMv),
+	giL("neg_rmv", "neg", OpdRMv),
+	gi("mul_rmv", "mul", OpdRMv),
+	gi("imul1_rmv", "imul", OpdRMv),
+	gi("div_rmv", "div", OpdRMv),
+	gi("idiv_rmv", "idiv", OpdRMv),
+}
+
+var grp4 = [8]*OpSpec{
+	giL("inc_rm8", "inc", OpdRM8),
+	giL("dec_rm8", "dec", OpdRM8),
+}
+
+var grp5 = [8]*OpSpec{
+	0: giL("inc_rmv", "inc", OpdRMv),
+	1: giL("dec_rmv", "dec", OpdRMv),
+	2: gi("call_rmv", "call", OpdRMv),
+	4: gi("jmp_rmv", "jmp", OpdRMv),
+	6: gi("push_rmv", "push", OpdRMv),
+}
+
+var grp6 = [8]*OpSpec{
+	4: gi("verr", "verr", OpdRM16),
+	5: gi("verw", "verw", OpdRM16),
+}
+
+var grp7 = [8]*OpSpec{
+	0: gi("sgdt", "sgdt", OpdM),
+	1: gi("sidt", "sidt", OpdM),
+	2: &OpSpec{Name: "lgdt", Mn: "lgdt", Operands: []OperandKind{OpdM}, Priv: true},
+	3: &OpSpec{Name: "lidt", Mn: "lidt", Operands: []OperandKind{OpdM}, Priv: true},
+	4: gi("smsw", "smsw", OpdRMv),
+	6: &OpSpec{Name: "lmsw", Mn: "lmsw", Operands: []OperandKind{OpdRM16}, Priv: true},
+	7: &OpSpec{Name: "invlpg", Mn: "invlpg", Operands: []OperandKind{OpdM}, Priv: true},
+}
+
+var grp8 = [8]*OpSpec{
+	4: gi("bt_rmv_imm8", "bt", OpdRMv, OpdImm8),
+	5: giL("bts_rmv_imm8", "bts", OpdRMv, OpdImm8),
+	6: giL("btr_rmv_imm8", "btr", OpdRMv, OpdImm8),
+	7: giL("btc_rmv_imm8", "btc", OpdRMv, OpdImm8),
+}
+
+var grp11rm8 = [8]*OpSpec{
+	0: gi("mov_rm8_imm8", "mov", OpdRM8, OpdImm8),
+}
+
+var grp11rmv = [8]*OpSpec{
+	0: gi("mov_rmv_immv", "mov", OpdRMv, OpdImmv),
+}
+
+// ccNames are the 16 x86 condition codes in encoding order.
+var ccNames = [16]string{
+	"o", "no", "b", "ae", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+// Tab1 is the one-byte opcode table.
+var Tab1 [256]tabEntry
+
+// Tab2 is the two-byte (0F-escape) opcode table.
+var Tab2 [256]tabEntry
+
+func init() {
+	t := &Tab1
+	aluRow(t, 0x00, "add", "add", true)
+	t[0x06] = ins("push_es", "push", OpdSegES)
+	t[0x07] = ins("pop_es", "pop", OpdSegES)
+	aluRow(t, 0x08, "or", "or", true)
+	t[0x0e] = ins("push_cs", "push", OpdSegCS)
+	t[0x0f] = tabEntry{Kind: tabEscape}
+	aluRow(t, 0x10, "adc", "adc", true)
+	t[0x16] = ins("push_ss", "push", OpdSegSS)
+	t[0x17] = ins("pop_ss", "pop", OpdSegSS)
+	aluRow(t, 0x18, "sbb", "sbb", true)
+	t[0x1e] = ins("push_ds", "push", OpdSegDS)
+	t[0x1f] = ins("pop_ds", "pop", OpdSegDS)
+	aluRow(t, 0x20, "and", "and", true)
+	t[0x26] = pfx(pfxSegES)
+	aluRow(t, 0x28, "sub", "sub", true)
+	t[0x2e] = pfx(pfxSegCS)
+	aluRow(t, 0x30, "xor", "xor", true)
+	t[0x36] = pfx(pfxSegSS)
+	aluRow(t, 0x38, "cmp", "cmp", false)
+	t[0x3e] = pfx(pfxSegDS)
+	// Register-in-opcode rows share a single per-instruction implementation
+	// across the 8 encodings, as real emulators do.
+	incR := ins("inc_r", "inc", OpdRegOpv)
+	decR := ins("dec_r", "dec", OpdRegOpv)
+	pushR := ins("push_r", "push", OpdRegOpv)
+	popR := ins("pop_r", "pop", OpdRegOpv)
+	for r := byte(0); r < 8; r++ {
+		t[0x40+r] = incR
+		t[0x48+r] = decR
+		t[0x50+r] = pushR
+		t[0x58+r] = popR
+	}
+	t[0x60] = ins("pusha", "pusha")
+	t[0x61] = ins("popa", "popa")
+	t[0x64] = pfx(pfxSegFS)
+	t[0x65] = pfx(pfxSegGS)
+	t[0x66] = pfx(pfxOpSize)
+	t[0x68] = ins("push_immv", "push", OpdImmv)
+	t[0x69] = ins("imul3_rv_rmv_immv", "imul", OpdRv, OpdRMv, OpdImmv)
+	t[0x6a] = ins("push_imm8s", "push", OpdImm8s)
+	t[0x6b] = ins("imul3_rv_rmv_imm8s", "imul", OpdRv, OpdRMv, OpdImm8s)
+	for cc := byte(0); cc < 16; cc++ {
+		t[0x70+cc] = ins("j"+ccNames[cc]+"_rel8", "j"+ccNames[cc], OpdRel8)
+	}
+	t[0x80] = grp(&grp1rm8)
+	t[0x81] = grp(&grp1rmv)
+	t[0x82] = grp(&grp1alias)
+	t[0x83] = grp(&grp1rmv8s)
+	t[0x84] = ins("test_rm8_r8", "test", OpdRM8, OpdR8)
+	t[0x85] = ins("test_rmv_rv", "test", OpdRMv, OpdRv)
+	t[0x86] = insL("xchg_rm8_r8", "xchg", OpdRM8, OpdR8)
+	t[0x87] = insL("xchg_rmv_rv", "xchg", OpdRMv, OpdRv)
+	t[0x88] = ins("mov_rm8_r8", "mov", OpdRM8, OpdR8)
+	t[0x89] = ins("mov_rmv_rv", "mov", OpdRMv, OpdRv)
+	t[0x8a] = ins("mov_r8_rm8", "mov", OpdR8, OpdRM8)
+	t[0x8b] = ins("mov_rv_rmv", "mov", OpdRv, OpdRMv)
+	t[0x8c] = ins("mov_rmv_sreg", "mov", OpdRM16, OpdSreg)
+	t[0x8d] = ins("lea", "lea", OpdRv, OpdM)
+	t[0x8e] = ins("mov_sreg_rm16", "mov", OpdSreg, OpdRM16)
+	t[0x8f] = grp(&grp1a)
+	t[0x90] = ins("nop", "nop")
+	xchgEAX := ins("xchg_eax_r", "xchg", OpdEAXv, OpdRegOpv)
+	for r := byte(1); r < 8; r++ {
+		t[0x90+r] = xchgEAX
+	}
+	t[0x98] = ins("cwde", "cwde")
+	t[0x99] = ins("cdq", "cdq")
+	t[0x9c] = ins("pushf", "pushf")
+	t[0x9d] = ins("popf", "popf")
+	t[0x9e] = ins("sahf", "sahf")
+	t[0x9f] = ins("lahf", "lahf")
+	t[0xa0] = ins("mov_al_moffs", "mov", OpdAL, OpdMoffs8)
+	t[0xa1] = ins("mov_eax_moffs", "mov", OpdEAXv, OpdMoffsv)
+	t[0xa2] = ins("mov_moffs_al", "mov", OpdMoffs8, OpdAL)
+	t[0xa3] = ins("mov_moffs_eax", "mov", OpdMoffsv, OpdEAXv)
+	t[0xa4] = ins("movs_b", "movsb")
+	t[0xa5] = ins("movs_v", "movsd")
+	t[0xa6] = ins("cmps_b", "cmpsb")
+	t[0xa7] = ins("cmps_v", "cmpsd")
+	t[0xa8] = ins("test_al_imm8", "test", OpdAL, OpdImm8)
+	t[0xa9] = ins("test_eax_immv", "test", OpdEAXv, OpdImmv)
+	t[0xaa] = ins("stos_b", "stosb")
+	t[0xab] = ins("stos_v", "stosd")
+	t[0xac] = ins("lods_b", "lodsb")
+	t[0xad] = ins("lods_v", "lodsd")
+	t[0xae] = ins("scas_b", "scasb")
+	t[0xaf] = ins("scas_v", "scasd")
+	movR8Imm := ins("mov_r8_imm8", "mov", OpdRegOp8, OpdImm8)
+	movRImm := ins("mov_r_immv", "mov", OpdRegOpv, OpdImmv)
+	for r := byte(0); r < 8; r++ {
+		t[0xb0+r] = movR8Imm
+		t[0xb8+r] = movRImm
+	}
+	t[0xc0] = grp(&grp2rm8imm)
+	t[0xc1] = grp(&grp2rmvimm)
+	t[0xc2] = ins("ret_imm16", "ret", OpdImm16)
+	t[0xc3] = ins("ret", "ret")
+	t[0xc4] = ins("les", "les", OpdRv, OpdM)
+	t[0xc5] = ins("lds", "lds", OpdRv, OpdM)
+	t[0xc6] = grp(&grp11rm8)
+	t[0xc7] = grp(&grp11rmv)
+	t[0xc8] = ins("enter", "enter", OpdImm16, OpdImm8)
+	t[0xc9] = ins("leave", "leave")
+	t[0xcc] = ins("int3", "int3")
+	t[0xcd] = ins("int_imm8", "int", OpdImm8)
+	t[0xce] = ins("into", "into")
+	t[0xcf] = ins("iret", "iret")
+	t[0xd0] = grp(&grp2rm8one)
+	t[0xd1] = grp(&grp2rmvone)
+	t[0xd2] = grp(&grp2rm8cl)
+	t[0xd3] = grp(&grp2rmvcl)
+	t[0xd4] = ins("aam", "aam", OpdImm8)
+	t[0xd5] = ins("aad", "aad", OpdImm8)
+	t[0xd7] = ins("xlat", "xlat")
+	t[0xe0] = ins("loopne", "loopne", OpdRel8)
+	t[0xe1] = ins("loope", "loope", OpdRel8)
+	t[0xe2] = ins("loop", "loop", OpdRel8)
+	t[0xe3] = ins("jecxz", "jecxz", OpdRel8)
+	t[0xe8] = ins("call_relv", "call", OpdRelv)
+	t[0xe9] = ins("jmp_relv", "jmp", OpdRelv)
+	t[0xeb] = ins("jmp_rel8", "jmp", OpdRel8)
+	t[0xf0] = pfx(pfxLock)
+	t[0xf2] = pfx(pfxRepNE)
+	t[0xf3] = pfx(pfxRep)
+	t[0xf4] = tabEntry{Kind: tabInsn, Spec: &OpSpec{Name: "hlt", Mn: "hlt", Priv: true}}
+	t[0xf5] = ins("cmc", "cmc")
+	t[0xf6] = grp(&grp3rm8)
+	t[0xf7] = grp(&grp3rmv)
+	t[0xf8] = ins("clc", "clc")
+	t[0xf9] = ins("stc", "stc")
+	t[0xfa] = tabEntry{Kind: tabInsn, Spec: &OpSpec{Name: "cli", Mn: "cli", Priv: true}}
+	t[0xfb] = tabEntry{Kind: tabInsn, Spec: &OpSpec{Name: "sti", Mn: "sti", Priv: true}}
+	t[0xfc] = ins("cld", "cld")
+	t[0xfd] = ins("std", "std")
+	t[0xfe] = grp(&grp4)
+	t[0xff] = grp(&grp5)
+
+	// The 0x82 alias group mirrors 0x80 with AliasEnc handlers.
+	for i, s := range grp1rm8 {
+		a := *s
+		a.Name += "_alias"
+		a.AliasEnc = true
+		grp1alias[i] = &a
+	}
+	// grp3 /1 is the undocumented alias of /0.
+	a8 := *grp3rm8[0]
+	a8.Name += "_alias"
+	a8.AliasEnc = true
+	grp3rm8[1] = &a8
+	av := *grp3rmv[0]
+	av.Name += "_alias"
+	av.AliasEnc = true
+	grp3rmv[1] = &av
+
+	u := &Tab2
+	u[0x00] = grp(&grp6)
+	u[0x01] = grp(&grp7)
+	u[0x06] = tabEntry{Kind: tabInsn, Spec: &OpSpec{Name: "clts", Mn: "clts", Priv: true}}
+	u[0x0b] = ins("ud2", "ud2")
+	u[0x20] = tabEntry{Kind: tabInsn, Spec: &OpSpec{Name: "mov_r_cr", Mn: "mov",
+		Operands: []OperandKind{OpdRMv, OpdCRn}, Priv: true}}
+	u[0x22] = tabEntry{Kind: tabInsn, Spec: &OpSpec{Name: "mov_cr_r", Mn: "mov",
+		Operands: []OperandKind{OpdCRn, OpdRMv}, Priv: true}}
+	u[0x30] = tabEntry{Kind: tabInsn, Spec: &OpSpec{Name: "wrmsr", Mn: "wrmsr", Priv: true}}
+	u[0x31] = ins("rdtsc", "rdtsc")
+	u[0x32] = tabEntry{Kind: tabInsn, Spec: &OpSpec{Name: "rdmsr", Mn: "rdmsr", Priv: true}}
+	for cc := byte(0); cc < 16; cc++ {
+		u[0x40+cc] = ins("cmov"+ccNames[cc], "cmov"+ccNames[cc], OpdRv, OpdRMv)
+		u[0x80+cc] = ins("j"+ccNames[cc]+"_relv", "j"+ccNames[cc], OpdRelv)
+		u[0x90+cc] = ins("set"+ccNames[cc], "set"+ccNames[cc], OpdRM8)
+	}
+	u[0xa0] = ins("push_fs", "push", OpdSegFS)
+	u[0xa1] = ins("pop_fs", "pop", OpdSegFS)
+	u[0xa2] = ins("cpuid", "cpuid")
+	u[0xa3] = ins("bt_rmv_rv", "bt", OpdRMv, OpdRv)
+	u[0xa4] = ins("shld_imm8", "shld", OpdRMv, OpdRv, OpdImm8)
+	u[0xa5] = ins("shld_cl", "shld", OpdRMv, OpdRv, OpdCL)
+	u[0xa8] = ins("push_gs", "push", OpdSegGS)
+	u[0xa9] = ins("pop_gs", "pop", OpdSegGS)
+	u[0xab] = insL("bts_rmv_rv", "bts", OpdRMv, OpdRv)
+	u[0xac] = ins("shrd_imm8", "shrd", OpdRMv, OpdRv, OpdImm8)
+	u[0xad] = ins("shrd_cl", "shrd", OpdRMv, OpdRv, OpdCL)
+	u[0xaf] = ins("imul2_rv_rmv", "imul", OpdRv, OpdRMv)
+	u[0xb0] = insL("cmpxchg_rm8_r8", "cmpxchg", OpdRM8, OpdR8)
+	u[0xb1] = insL("cmpxchg_rmv_rv", "cmpxchg", OpdRMv, OpdRv)
+	u[0xb2] = ins("lss", "lss", OpdRv, OpdM)
+	u[0xb3] = insL("btr_rmv_rv", "btr", OpdRMv, OpdRv)
+	u[0xb4] = ins("lfs", "lfs", OpdRv, OpdM)
+	u[0xb5] = ins("lgs", "lgs", OpdRv, OpdM)
+	u[0xb6] = ins("movzx_rv_rm8", "movzx", OpdRv, OpdRM8)
+	u[0xb7] = ins("movzx_rv_rm16", "movzx", OpdRv, OpdRM16)
+	u[0xba] = grp(&grp8)
+	u[0xbb] = insL("btc_rmv_rv", "btc", OpdRMv, OpdRv)
+	u[0xbc] = ins("bsf", "bsf", OpdRv, OpdRMv)
+	u[0xbd] = ins("bsr", "bsr", OpdRv, OpdRMv)
+	u[0xbe] = ins("movsx_rv_rm8", "movsx", OpdRv, OpdRM8)
+	u[0xbf] = ins("movsx_rv_rm16", "movsx", OpdRv, OpdRM16)
+	u[0xc0] = insL("xadd_rm8_r8", "xadd", OpdRM8, OpdR8)
+	u[0xc1] = insL("xadd_rmv_rv", "xadd", OpdRMv, OpdRv)
+	bswap := ins("bswap", "bswap", OpdRegOpv)
+	for r := byte(0); r < 8; r++ {
+		u[0xc8+r] = bswap
+	}
+}
+
+// AllSpecs returns every distinct OpSpec reachable from the decode tables,
+// in a deterministic order. This is the ground-truth "per-instruction code"
+// inventory against which exploration completeness is measured.
+func AllSpecs() []*OpSpec {
+	var out []*OpSpec
+	seen := make(map[*OpSpec]bool)
+	add := func(s *OpSpec) {
+		if s != nil && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	walk := func(tab *[256]tabEntry) {
+		for i := 0; i < 256; i++ {
+			e := tab[i]
+			switch e.Kind {
+			case tabInsn:
+				add(e.Spec)
+			case tabGroup:
+				for _, s := range e.Group {
+					add(s)
+				}
+			}
+		}
+	}
+	walk(&Tab1)
+	walk(&Tab2)
+	return out
+}

@@ -1,0 +1,285 @@
+package x86
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeSimple(t *testing.T) {
+	cases := []struct {
+		bytes []byte
+		name  string
+		len   int
+	}{
+		{[]byte{0x90}, "nop", 1},
+		{[]byte{0x50}, "push_r", 1},
+		{[]byte{0xf4}, "hlt", 1},
+		{[]byte{0xc3}, "ret", 1},
+		{[]byte{0xcf}, "iret", 1},
+		{[]byte{0xc9}, "leave", 1},
+		{[]byte{0x01, 0xd8}, "add_rmv_rv", 2},
+		{[]byte{0x66, 0x01, 0xd8}, "add_rmv_rv", 3},
+		{[]byte{0x83, 0xc0, 0x05}, "add_rmv_imm8s", 3},
+		{[]byte{0xb8, 1, 2, 3, 4}, "mov_r_immv", 5},
+		{[]byte{0x66, 0xb8, 1, 2}, "mov_r_immv", 4},
+		{[]byte{0x0f, 0xb0, 0xca}, "cmpxchg_rm8_r8", 3},
+		{[]byte{0x0f, 0xb4, 0x18}, "lfs", 3},
+		{[]byte{0x0f, 0x32}, "rdmsr", 2},
+		{[]byte{0x0f, 0x01, 0x15, 0, 0x10, 0, 0}, "lgdt", 7},
+		{[]byte{0xff, 0x30}, "push_rmv", 2},
+		{[]byte{0xff, 0xf0}, "push_rmv", 2},
+		{[]byte{0x8e, 0xd0}, "mov_sreg_rm16", 2},
+		{[]byte{0x0f, 0x22, 0xc0}, "mov_cr_r", 3},
+		{[]byte{0x74, 0x05}, "je_rel8", 2},
+		{[]byte{0x0f, 0x84, 1, 0, 0, 0}, "je_relv", 6},
+		{[]byte{0x82, 0xc0, 0x01}, "add_rm8_imm8_alias", 3},
+		{[]byte{0xf6, 0xc8, 0x01}, "test_rm8_imm8_alias", 3},
+		{[]byte{0xc8, 0x10, 0x00, 0x02}, "enter", 4},
+		{[]byte{0xf3, 0xa4}, "movs_b", 2},
+		{[]byte{0xf0, 0x01, 0x03}, "add_rmv_rv", 3},
+		{[]byte{0x2e, 0x8b, 0x00}, "mov_rv_rmv", 3},
+	}
+	for _, c := range cases {
+		inst, err := Decode(c.bytes)
+		if err != nil {
+			t.Errorf("% x: decode error %v", c.bytes, err)
+			continue
+		}
+		if inst.Spec.Name != c.name {
+			t.Errorf("% x: handler %q, want %q", c.bytes, inst.Spec.Name, c.name)
+		}
+		if inst.Len != c.len {
+			t.Errorf("% x: len %d, want %d", c.bytes, inst.Len, c.len)
+		}
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	invalid := [][]byte{
+		{0x62, 0x00},          // BOUND: outside the subset
+		{0xd8, 0x00},          // x87: excluded
+		{0x0f, 0x0f},          // undefined two-byte
+		{0xff, 0xf8},          // grp5 /7 undefined
+		{0xc1, 0xf0, 0x01},    // grp2 /6 undefined
+		{0x0f, 0xba, 0xc0, 1}, // grp8 /0 undefined
+	}
+	for _, b := range invalid {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("% x: decoded but should be invalid", b)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	truncated := [][]byte{
+		{0xb8, 1, 2},       // mov r, imm32 missing bytes
+		{0x0f},             // bare escape
+		{0x81, 0x05, 1, 2}, // missing disp tail
+		{},                 // empty
+		{0x66},             // prefix only
+	}
+	for _, b := range truncated {
+		_, err := Decode(b)
+		de, ok := err.(*DecodeError)
+		if !ok || de.Kind != ErrTruncated {
+			t.Errorf("% x: err = %v, want truncated", b, err)
+		}
+	}
+}
+
+func TestDecodeTooLong(t *testing.T) {
+	// 15 prefix bytes followed by an opcode exceed the length limit.
+	b := make([]byte, 16)
+	for i := range b {
+		b[i] = 0x66
+	}
+	b[15] = 0x90
+	_, err := Decode(b)
+	de, ok := err.(*DecodeError)
+	if !ok || de.Kind != ErrTooLong {
+		t.Errorf("err = %v, want too-long", err)
+	}
+}
+
+func TestDecodeModRMForms(t *testing.T) {
+	// mod=00 rm=101: disp32
+	inst, err := Decode([]byte{0x8b, 0x05, 0x78, 0x56, 0x34, 0x12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Disp != 0x12345678 || inst.DispSize != 4 {
+		t.Errorf("disp32 = %#x size %d", inst.Disp, inst.DispSize)
+	}
+	// mod=01 with SIB and disp8 (sign-extended)
+	inst, err = Decode([]byte{0x8b, 0x44, 0x24, 0xfc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.HasSIB || inst.Disp != 0xfffffffc {
+		t.Errorf("sib/disp8: sib=%v disp=%#x", inst.HasSIB, inst.Disp)
+	}
+	// mod=00 SIB base=101: disp32 follows SIB
+	inst, err = Decode([]byte{0x8b, 0x04, 0x8d, 1, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Disp != 1 {
+		t.Errorf("sib base=101 disp = %#x, want 1", inst.Disp)
+	}
+	// Memory-only operand with register mod is #UD.
+	if _, err := Decode([]byte{0x8d, 0xc0}); err == nil {
+		t.Error("lea with mod=3 should be invalid")
+	}
+}
+
+func TestDecodeImmediates(t *testing.T) {
+	// push imm8 sign-extends to operand size.
+	inst, err := Decode([]byte{0x6a, 0xff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Imm != 0xffffffff {
+		t.Errorf("push imm8s = %#x, want sign-extended", inst.Imm)
+	}
+	// Under the 66 prefix it sign-extends to 16 bits.
+	inst, err = Decode([]byte{0x66, 0x6a, 0xff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Imm != 0xffff {
+		t.Errorf("66 push imm8s = %#x, want 0xffff", inst.Imm)
+	}
+	// enter has two immediates.
+	inst, err = Decode([]byte{0xc8, 0x34, 0x12, 0x05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Imm != 0x1234 || inst.Imm2 != 5 {
+		t.Errorf("enter imm = %#x, %#x", inst.Imm, inst.Imm2)
+	}
+}
+
+func TestDecodePrefixes(t *testing.T) {
+	inst, err := Decode([]byte{0x64, 0x66, 0xf0, 0x01, 0x08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.SegOverride != int(FS) || inst.OpSize != 16 || !inst.Lock {
+		t.Errorf("prefixes: seg=%d opsize=%d lock=%v", inst.SegOverride, inst.OpSize, inst.Lock)
+	}
+}
+
+// TestAsmRoundTrip: every assembler helper output must decode back to the
+// intended instruction — the assembler↔decoder identity property.
+func TestAsmRoundTrip(t *testing.T) {
+	cases := []struct {
+		bytes []byte
+		name  string
+	}{
+		{AsmMovRegImm32(ESP, 0x2007dc), "mov_r_immv"},
+		{AsmMovRegImm16(EAX, 0x50), "mov_r_immv"},
+		{AsmMovMemImm8(0x208055, 0x13), "mov_rm8_imm8"},
+		{AsmMovMemImm32(0x1000, 0xdeadbeef), "mov_rmv_immv"},
+		{AsmMovMemImm16(0x1000, 0xbeef), "mov_rmv_immv"},
+		{AsmMovSregReg(SS, EAX), "mov_sreg_rm16"},
+		{AsmMovRegSreg(EAX, DS), "mov_rmv_sreg"},
+		{AsmMovCRReg(0, EAX), "mov_cr_r"},
+		{AsmMovRegCR(EAX, 0), "mov_r_cr"},
+		{AsmPushImm32(42), "push_immv"},
+		{AsmPushf(), "pushf"},
+		{AsmPopf(), "popf"},
+		{AsmLGDT(0x1000), "lgdt"},
+		{AsmLIDT(0x1000), "lidt"},
+		{AsmHlt(), "hlt"},
+		{AsmNop(), "nop"},
+		{AsmWrmsr(), "wrmsr"},
+		{AsmJmpRel32(-5), "jmp_relv"},
+		{AsmMovRegMem32(EAX, 0x1234), "mov_rv_rmv"},
+		{AsmMovMemReg32(0x1234, EAX), "mov_rmv_rv"},
+	}
+	for _, c := range cases {
+		inst, err := Decode(c.bytes)
+		if err != nil {
+			t.Errorf("% x: %v", c.bytes, err)
+			continue
+		}
+		if inst.Spec.Name != c.name {
+			t.Errorf("% x: handler %q, want %q", c.bytes, inst.Spec.Name, c.name)
+		}
+		if inst.Len != len(c.bytes) {
+			t.Errorf("% x: trailing bytes not consumed (len %d of %d)",
+				c.bytes, inst.Len, len(c.bytes))
+		}
+	}
+}
+
+func TestDescriptorRoundTrip(t *testing.T) {
+	f := func(base uint32, limit20raw uint32, attr uint16) bool {
+		limit20 := limit20raw & 0xfffff
+		attr &= 0x0fff
+		lo, hi := MakeDescriptor(base, limit20, attr)
+		b, l, a := DescriptorFields(lo, hi)
+		wantLimit := limit20
+		if attr&AttrG != 0 {
+			wantLimit = limit20<<12 | 0xfff
+		}
+		return b == base && l == wantLimit && a == attr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDescriptorKnownValues(t *testing.T) {
+	// Flat 4-GiB writable data segment: base 0, limit 0xfffff, G=1, D/B=1,
+	// P=1, S=1, type=data writable accessed (0x3), DPL 0.
+	attr := uint16(AttrP | AttrS | AttrWritable | AttrAccessed | AttrG | AttrDB)
+	lo, hi := MakeDescriptor(0, 0xfffff, attr)
+	b, l, a := DescriptorFields(lo, hi)
+	if b != 0 || l != 0xffffffff || a != attr {
+		t.Errorf("flat data: base %#x limit %#x attr %#x", b, l, a)
+	}
+}
+
+func TestAllSpecsUniqueNames(t *testing.T) {
+	specs := AllSpecs()
+	if len(specs) < 150 {
+		t.Errorf("only %d specs; the subset should define at least 150", len(specs))
+	}
+	seen := make(map[string]bool)
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Errorf("duplicate handler name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestMSRSlots(t *testing.T) {
+	if MSRSlot(0x174) < 0 {
+		t.Error("SYSENTER_CS should be supported")
+	}
+	if MSRSlot(0xdead) != -1 {
+		t.Error("bogus MSR should be unsupported")
+	}
+}
+
+func TestLocWidthAndString(t *testing.T) {
+	if GPR(EAX).Width() != 32 || Flag(FlagCF).Width() != 1 ||
+		SegSel(SS).Width() != 16 || MSR(0).Width() != 64 {
+		t.Error("location widths wrong")
+	}
+	if GPR(ESP).String() != "esp" || Flag(FlagZF).String() != "zf" ||
+		SegAttr(SS).String() != "ss.attr" || CR(3).String() != "cr3" {
+		t.Error("location names wrong")
+	}
+}
+
+func TestPackEFLAGS(t *testing.T) {
+	bits := map[uint8]uint32{FlagCF: 1, FlagZF: 1, FlagIF: 1}
+	v := PackEFLAGS(func(b uint8) uint32 { return bits[b] })
+	want := EflagsFixed1 | 1<<FlagCF | 1<<FlagZF | 1<<FlagIF
+	if v != want {
+		t.Errorf("PackEFLAGS = %#x, want %#x", v, want)
+	}
+}
