@@ -1,0 +1,32 @@
+# Standard checks for the PokeEMU reproduction. `make check` is the full
+# gate: build, vet, tests, and the race detector over every package.
+
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: build vet test race fuzz bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The campaign package runs multi-second integration tests; under the race
+# detector they slow by ~10x, hence the generous timeout.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+# The two native fuzz targets: the instruction decoder's structural
+# invariants and the expression simplifier's soundness.
+fuzz:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/x86
+	$(GO) test -fuzz=FuzzExprSimplify -fuzztime=$(FUZZTIME) ./internal/expr
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+check: build vet test race

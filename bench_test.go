@@ -1,6 +1,6 @@
 // Package bench regenerates every quantitative artifact of the paper's
 // evaluation (Section 6) as Go benchmarks. Each benchmark corresponds to an
-// experiment row in EXPERIMENTS.md (E1–E8); custom metrics carry the counts
+// experiment row in EXPERIMENTS.md (E1–E9); custom metrics carry the counts
 // the paper reports, and ns/op carries the cost side. Run with:
 //
 //	go test -bench=. -benchmem .
@@ -8,6 +8,7 @@ package bench
 
 import (
 	"testing"
+	"time"
 
 	"pokeemu/internal/campaign"
 	"pokeemu/internal/core"
@@ -285,6 +286,83 @@ func BenchmarkE8Summarization(b *testing.B) {
 		blow *= float64(paths)
 	}
 	b.ReportMetric(blow, "avoided-blowup")
+}
+
+// --- E9: persistent corpus (cold vs warm campaign) ---
+
+// corpusBenchConfig is the campaign workload the corpus benchmarks re-run.
+func corpusBenchConfig(dir string) campaign.Config {
+	return campaign.Config{
+		MaxPathsPerInstr: 64,
+		Handlers:         mixHandlers,
+		Seed:             1,
+		CorpusDir:        dir,
+		Resume:           true,
+	}
+}
+
+// BenchmarkE9aCampaignCold measures the campaign with an empty corpus every
+// iteration: full symbolic exploration, generation, and execution.
+func BenchmarkE9aCampaignCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(corpusBenchConfig(b.TempDir()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cache.InstrHits != 0 || res.Cache.InstrMisses == 0 {
+			b.Fatalf("cold run hit the cache: %+v", res.Cache)
+		}
+	}
+}
+
+// BenchmarkE9bCampaignWarm measures the same campaign against a primed
+// corpus: exploration, generation, and (via resume) execution all resolve
+// from the content-addressed store.
+func BenchmarkE9bCampaignWarm(b *testing.B) {
+	dir := b.TempDir()
+	if _, err := campaign.Run(corpusBenchConfig(dir)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var res *campaign.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		if res, err = campaign.Run(corpusBenchConfig(dir)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res.Cache.InstrMisses != 0 || !res.Cache.SummaryHit {
+		b.Fatalf("warm run missed the cache: %+v", res.Cache)
+	}
+	b.ReportMetric(float64(res.Cache.InstrHits), "cached-instrs")
+	b.ReportMetric(float64(res.Cache.TestsCached), "cached-tests")
+	b.ReportMetric(float64(res.Cache.ExecHits), "cached-execs")
+}
+
+// BenchmarkE9CorpusSpeedup reports the cold/warm ratio directly — the
+// tentpole's acceptance number (a warm corpus must be ≥5× faster).
+func BenchmarkE9CorpusSpeedup(b *testing.B) {
+	var cold, warm time.Duration
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		t0 := time.Now()
+		if _, err := campaign.Run(corpusBenchConfig(dir)); err != nil {
+			b.Fatal(err)
+		}
+		cold += time.Since(t0)
+		t0 = time.Now()
+		res, err := campaign.Run(corpusBenchConfig(dir))
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm += time.Since(t0)
+		if res.Cache.InstrHits == 0 {
+			b.Fatal("warm run did not hit the corpus")
+		}
+	}
+	b.ReportMetric(cold.Seconds()*1000/float64(b.N), "cold-ms")
+	b.ReportMetric(warm.Seconds()*1000/float64(b.N), "warm-ms")
+	b.ReportMetric(float64(cold)/float64(maxi(1, int(warm))), "speedup")
 }
 
 // --- Substrate microbenchmarks (cost model underneath the experiments) ---

@@ -9,15 +9,25 @@
 //	pokeemu paths -i push_r [-cap 8192]
 //	pokeemu gen -i push_r [-path 0]
 //	pokeemu campaign [-instrs N] [-cap N] [-handlers a,b,c] [-workers N]
+//	                 [-corpus DIR] [-resume] [-no-cache] [-timing]
+//	                 [-test-steps N] [-test-timeout D]
 //	pokeemu random [-tests N] [-fuzz]
 //	pokeemu sequence -seq f9,11d8 [-cap N]
 //	pokeemu trace -prog b82a000000f4 [-on celer]
+//
+// Campaign corpus flags: -corpus DIR roots the persistent test corpus
+// (content-addressed cache of exploration and generation results) so a warm
+// re-run skips symbolic exploration; -resume additionally caches and reuses
+// per-test execution outcomes; -no-cache ignores cached artifacts while
+// still refreshing them; -timing appends the per-stage wall-time and
+// cache-hit-rate table to the report.
 package main
 
 import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -73,8 +83,16 @@ func cmdTrace(args []string) {
 	if err != nil {
 		die(err)
 	}
+	if err := runTrace(os.Stdout, *impl, prog, *steps); err != nil {
+		die(err)
+	}
+}
+
+// runTrace is the testable core of cmdTrace: it writes the instruction
+// trace to w, so the golden test can capture it byte for byte.
+func runTrace(w io.Writer, impl string, prog []byte, steps int) error {
 	var factory harness.Factory
-	switch *impl {
+	switch impl {
 	case "fidelis":
 		factory = harness.FidelisFactory()
 	case "celer":
@@ -82,7 +100,7 @@ func cmdTrace(args []string) {
 	case "hardware":
 		factory = harness.HardwareFactory()
 	default:
-		die(fmt.Errorf("unknown implementation %q", *impl))
+		return fmt.Errorf("unknown implementation %q", impl)
 	}
 
 	image := machine.BaselineImage()
@@ -91,7 +109,7 @@ func cmdTrace(args []string) {
 	e := factory.New(m)
 
 	prev := m.CPU
-	for i := 0; i < *steps; i++ {
+	for i := 0; i < steps; i++ {
 		code, _ := m.FetchCode(x86.MaxInstLen)
 		dis := "(fetch fault)"
 		if inst, err := x86.Decode(code); err == nil {
@@ -99,25 +117,26 @@ func cmdTrace(args []string) {
 		}
 		eip := m.EIP
 		ev := e.Step()
-		fmt.Printf("%08x  %-32s", eip, dis)
+		fmt.Fprintf(w, "%08x  %-32s", eip, dis)
 		for r := 0; r < 8; r++ {
 			if m.GPR[r] != prev.GPR[r] {
-				fmt.Printf("  %s←%#x", x86.Reg(r), m.GPR[r])
+				fmt.Fprintf(w, "  %s←%#x", x86.Reg(r), m.GPR[r])
 			}
 		}
 		if m.EFLAGS != prev.EFLAGS {
-			fmt.Printf("  eflags←%#x", m.EFLAGS)
+			fmt.Fprintf(w, "  eflags←%#x", m.EFLAGS)
 		}
 		if ev.Exception != nil {
-			fmt.Printf("  %v", ev.Exception)
+			fmt.Fprintf(w, "  %v", ev.Exception)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 		prev = m.CPU
 		if ev.Kind == emu.EventHalt || ev.Kind == emu.EventShutdown {
-			fmt.Printf("terminated: %v\n", ev.Kind)
-			return
+			fmt.Fprintf(w, "terminated: %v\n", ev.Kind)
+			return nil
 		}
 	}
+	return nil
 }
 
 func usage() {
@@ -272,6 +291,12 @@ func cmdCampaign(args []string) {
 	seed := fs.Int64("seed", 1, "exploration seed")
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers")
 	maxSteps := fs.Int("maxsteps", 0, "per-path IR step cap (0 = default)")
+	corpusDir := fs.String("corpus", "", "persistent test corpus directory (\"\" = no cache)")
+	resume := fs.Bool("resume", false, "also cache and reuse per-test execution outcomes")
+	noCache := fs.Bool("no-cache", false, "ignore cached artifacts (still refreshes the corpus)")
+	timing := fs.Bool("timing", false, "append the per-stage timing and cache-hit table")
+	testSteps := fs.Int("test-steps", 0, "per-test emulator step budget (0 = default)")
+	testTimeout := fs.Duration("test-timeout", 0, "per-test wall-clock budget (0 = unlimited)")
 	fs.Parse(args)
 
 	cfg := campaign.Config{
@@ -280,6 +305,11 @@ func cmdCampaign(args []string) {
 		Seed:             *seed,
 		Workers:          *workers,
 		MaxSteps:         *maxSteps,
+		CorpusDir:        *corpusDir,
+		NoCache:          *noCache,
+		Resume:           *resume,
+		TestMaxSteps:     *testSteps,
+		TestTimeout:      *testTimeout,
 	}
 	if *handlers != "" {
 		cfg.Handlers = strings.Split(*handlers, ",")
@@ -289,6 +319,10 @@ func cmdCampaign(args []string) {
 		die(err)
 	}
 	fmt.Print(res.Summary())
+	if *timing {
+		fmt.Println()
+		fmt.Print(res.TimingTable())
+	}
 }
 
 func cmdRandom(args []string) {

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestTraceGolden pins the `pokeemu trace` output byte for byte on each
+// implementation, for a small program that exercises arithmetic, stack
+// traffic, flags, and the halt path. Regenerate intentionally with:
+// go test ./cmd/pokeemu -run TestTraceGolden -update
+func TestTraceGolden(t *testing.T) {
+	// mov eax,0x2a; push eax; pop ebx; add ebx,eax; hlt
+	prog, err := hex.DecodeString("b82a000000505b01c3f4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, impl := range []string{"fidelis", "celer", "hardware"} {
+		t.Run(impl, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := runTrace(&buf, impl, prog, 64); err != nil {
+				t.Fatal(err)
+			}
+			compareGolden(t, filepath.Join("testdata", "trace_"+impl+".golden"), buf.Bytes())
+		})
+	}
+}
+
+func TestTraceUnknownImpl(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTrace(&buf, "qemu", nil, 1); err == nil {
+		t.Error("expected error for unknown implementation")
+	}
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("output differs from %s (run with -update to regenerate):\n--- want:\n%s\n--- got:\n%s",
+			path, want, got)
+	}
+}

@@ -5,9 +5,18 @@
 // with undefined-behavior filtering, and root-cause clustering. It also
 // records per-stage costs, reproducing the paper's cost-profile table as
 // relative throughput.
+//
+// The pipeline is corpus-driven: with a persistent corpus configured, the
+// exploration and generation stages resolve each instruction against the
+// content-addressed on-disk cache (internal/corpus), so a warm re-run skips
+// symbolic exploration entirely and goes straight to execution and diffing.
+// All fan-out runs on bounded worker pools with panic isolation and
+// deterministic index-ordered merges: the Result and the rendered report are
+// byte-identical for any Workers value.
 package campaign
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,11 +24,18 @@ import (
 	"time"
 
 	"pokeemu/internal/core"
+	"pokeemu/internal/corpus"
 	"pokeemu/internal/diff"
 	"pokeemu/internal/harness"
+	"pokeemu/internal/machine"
 	"pokeemu/internal/symex"
 	"pokeemu/internal/testgen"
+	"pokeemu/internal/x86/sem"
 )
+
+// configLabel names the semantics configuration the campaign explores; it is
+// part of every corpus cache key.
+const configLabel = "bochs"
 
 // Config scopes a campaign. The full instruction set at the paper's path
 // cap takes minutes; benchmarks use subsets.
@@ -32,8 +48,33 @@ type Config struct {
 	// Workers parallelizes exploration+generation across instructions and
 	// execution across tests (the paper: "generation is highly
 	// parallelizable … test execution is also highly parallel"). 0 or 1 is
-	// sequential.
+	// sequential. The worker count never affects the Result: merges are
+	// index-ordered and deterministic.
 	Workers int
+
+	// CorpusDir roots the persistent test corpus; "" disables it.
+	CorpusDir string
+	// NoCache ignores cached artifacts (they are still refreshed on disk),
+	// forcing a cold run.
+	NoCache bool
+	// Resume additionally reuses cached execution outcomes, so an
+	// interrupted campaign picks up where it stopped instead of re-running
+	// finished tests.
+	Resume bool
+
+	// TestMaxSteps caps emulator steps per test execution (deterministic
+	// budget; 0 = harness.DefaultMaxSteps).
+	TestMaxSteps int
+	// TestTimeout caps wall-clock time per test execution (safety net; 0 =
+	// unlimited). A nonzero value can make reports run-dependent — a test
+	// that times out records a fault and is excluded from diffing.
+	TestTimeout time.Duration
+
+	// testHookInstr, when set, runs at the start of each instruction task
+	// (test seam for fault injection).
+	testHookInstr func(key string)
+	// testHookExec, when set, runs at the start of each execution task.
+	testHookExec func(id string)
 }
 
 // DefaultConfig mirrors the paper's settings.
@@ -50,9 +91,14 @@ type InstrReport struct {
 	GenFailed int
 	InitFault int
 	Queries   int64
+	// Fault carries the panic message if exploration or generation crashed;
+	// the instruction then contributes a fault record instead of tests.
+	Fault string
 }
 
-// StageTiming records wall-clock cost per pipeline stage.
+// StageTiming records wall-clock cost per pipeline stage. Timings are the
+// only run-dependent part of a Result; they are rendered by TimingTable, not
+// Summary, so the deterministic report stays byte-identical across runs.
 type StageTiming struct {
 	Explore  time.Duration
 	Generate time.Duration
@@ -60,6 +106,30 @@ type StageTiming struct {
 	ExecLoFi time.Duration
 	ExecHW   time.Duration
 	Compare  time.Duration
+}
+
+// CacheStats counts corpus traffic per pipeline stage.
+type CacheStats struct {
+	Enabled    bool
+	SummaryHit bool // descriptor-parse summaries served from the corpus
+
+	InstrHits   int // instructions resolved from the corpus
+	InstrMisses int // instructions explored symbolically
+
+	TestsCached    int // test programs loaded from the corpus
+	TestsGenerated int // test programs generated this run
+
+	ExecHits   int // executions replayed from cached outcomes (-resume)
+	ExecMisses int // executions actually run
+}
+
+// Fault is one isolated failure: a worker that panicked or a test that
+// exceeded its budget. Faults are merged in pipeline order, so the list is
+// deterministic for any worker count.
+type Fault struct {
+	Stage string // "explore" or "execute"
+	Key   string // instruction key or test ID
+	Err   string
 }
 
 // Result aggregates a campaign.
@@ -82,7 +152,45 @@ type Result struct {
 	Differences []*diff.Difference
 	RootCauses  map[string]int
 
+	// Isolated failures (crashed handlers, budget overruns).
+	InstrFaults  int
+	ExecFaults   int
+	ExecTimeouts int
+	Faults       []Fault
+
 	Timing StageTiming
+	Cache  CacheStats
+}
+
+// execTest is one runnable test in the execution stage, whether generated
+// this run or loaded from the corpus.
+type execTest struct {
+	id       string
+	handler  string // semantics handler name (drives the undef filter)
+	mnemonic string
+	prog     []byte
+}
+
+// instrOut is one instruction's contribution, filled by its worker and
+// merged in index order.
+type instrOut struct {
+	rep    *InstrReport
+	tests  []execTest
+	gen    time.Duration
+	cached bool
+	err    error
+}
+
+// trio is one test's execution outcome across the three implementations.
+type trio struct {
+	fi, ce, hw    *harness.Result
+	tFi, tCe, tHw time.Duration
+	cached        bool
+	fault         string
+}
+
+func (t *trio) timedOut() bool {
+	return t.fi.TimedOut || t.ce.TimedOut || t.hw.TimedOut
 }
 
 // Run executes a campaign.
@@ -90,7 +198,20 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.MaxPathsPerInstr == 0 {
 		cfg.MaxPathsPerInstr = 8192
 	}
+	testBudget := harness.Budget{MaxSteps: cfg.TestMaxSteps, Wall: cfg.TestTimeout}
+	if testBudget.MaxSteps == 0 {
+		testBudget.MaxSteps = harness.DefaultMaxSteps
+	}
 	res := &Result{RootCauses: make(map[string]int)}
+
+	var crp *corpus.Corpus
+	if cfg.CorpusDir != "" {
+		var err error
+		if crp, err = corpus.Open(cfg.CorpusDir); err != nil {
+			return nil, err
+		}
+		res.Cache.Enabled = true
+	}
 
 	// Stage 1a: instruction-set exploration.
 	t0 := time.Now()
@@ -113,81 +234,138 @@ func Run(cfg Config) (*Result, error) {
 		instrs = instrs[:cfg.MaxInstrs]
 	}
 
-	// Stage 1b: machine state-space exploration per instruction.
+	// Stage 1b+2: per-instruction state-space exploration and generation,
+	// corpus-first. The explorer (and its descriptor-parse summaries, the
+	// expensive Section 3.3.2 summarization) is built lazily: a fully warm
+	// run never constructs it.
 	opts := symex.DefaultOptions()
 	opts.MaxPaths = cfg.MaxPathsPerInstr
 	opts.Seed = cfg.Seed
 	if cfg.MaxSteps > 0 {
 		opts.MaxSteps = cfg.MaxSteps
 	}
-	ex, err := core.NewExplorer(opts)
-	if err != nil {
-		return nil, err
+	sumKey := corpus.SummaryKey{Config: configLabel, SymexVersion: symex.SerialVersion}
+	var (
+		exOnce     sync.Once
+		ex         *core.Explorer
+		exErr      error
+		summaryHit bool
+	)
+	buildExplorer := func() (*core.Explorer, error) {
+		exOnce.Do(func() {
+			if crp != nil && !cfg.NoCache {
+				if se, ok := crp.GetSummary(sumKey); ok {
+					data, derr := symex.DecodeSummary(se.Data)
+					ss, serr := symex.DecodeSummary(se.SS)
+					if derr == nil && serr == nil {
+						ex, exErr = core.NewExplorerWithSummaries(opts, sem.BochsConfig,
+							core.ExplorerSummaries{Data: data, SS: ss})
+						if exErr == nil {
+							summaryHit = true
+							return
+						}
+					}
+				}
+			}
+			ex, exErr = core.NewExplorer(opts)
+			if exErr == nil && crp != nil {
+				sums := ex.Summaries()
+				_ = crp.PutSummary(&corpus.SummaryEntry{
+					Key:   sumKey,
+					Paths: ex.SummaryPaths,
+					Data:  symex.EncodeSummary(sums.Data),
+					SS:    symex.EncodeSummary(sums.SS),
+				})
+			}
+		})
+		return ex, exErr
 	}
-	res.SummaryPaths = ex.SummaryPaths
-
-	type builtTest struct {
-		tc   *core.TestCase
-		prog []byte
-	}
-	boot := testgen.BaselineInit()
 
 	workers := cfg.Workers
-	if workers < 1 {
-		workers = 1
-	}
-
-	// Per-instruction exploration and generation, fanned out over workers.
-	type instrOut struct {
-		rep   *InstrReport
-		tests []builtTest
-		gen   time.Duration
-		err   error
-	}
 	outs := make([]instrOut, len(instrs))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for idx, u := range instrs {
-		wg.Add(1)
-		go func(idx int, u *core.UniqueInstr) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			er, err := ex.ExploreState(u)
-			if err != nil {
-				outs[idx].err = fmt.Errorf("campaign: exploring %s: %w", u.Key(), err)
+	instrFaults := runPool(workers, len(instrs), func(i int) {
+		u := instrs[i]
+		if cfg.testHookInstr != nil {
+			cfg.testHookInstr(u.Key())
+		}
+		key := corpus.InstrKey{
+			Handler: u.Key(), PathCap: cfg.MaxPathsPerInstr, MaxSteps: cfg.MaxSteps,
+			Seed: cfg.Seed, Config: configLabel,
+			SymexVersion: symex.SerialVersion, GenVersion: testgen.Version,
+		}
+		if crp != nil && !cfg.NoCache {
+			if ent, ok := crp.GetInstr(key); ok {
+				outs[i] = outFromEntry(ent)
 				return
 			}
-			rep := &InstrReport{
-				Key:       u.Key(),
-				Paths:     len(er.Tests),
-				Exhausted: er.Exhausted,
-				Queries:   er.Stats.SolverQueries,
+		}
+		e, err := buildExplorer()
+		if err != nil {
+			outs[i].err = err
+			return
+		}
+		er, err := e.ExploreState(u)
+		if err != nil {
+			outs[i].err = fmt.Errorf("campaign: exploring %s: %w", u.Key(), err)
+			return
+		}
+		rep := &InstrReport{
+			Key:       u.Key(),
+			Paths:     len(er.Tests),
+			Exhausted: er.Exhausted,
+			Queries:   er.Stats.SolverQueries,
+		}
+		tGen := time.Now()
+		var tests []execTest
+		var cachedTests []corpus.CachedTest
+		for _, tc := range er.Tests {
+			p, err := testgen.Build(tc)
+			if err != nil {
+				rep.GenFailed++
+				continue
 			}
-			tGen := time.Now()
-			var tests []builtTest
-			for _, tc := range er.Tests {
-				p, err := testgen.Build(tc)
-				if err != nil {
-					rep.GenFailed++
-					continue
-				}
-				if !testgen.Verify(p, ex.Image()) {
-					rep.InitFault++
-					continue
-				}
-				rep.Generated++
-				tests = append(tests, builtTest{tc: tc, prog: p.Code})
+			if !testgen.Verify(p, e.Image()) {
+				rep.InitFault++
+				continue
 			}
-			outs[idx] = instrOut{rep: rep, tests: tests, gen: time.Since(tGen)}
-		}(idx, u)
-	}
-	wg.Wait()
+			rep.Generated++
+			tests = append(tests, execTest{
+				id: tc.ID, handler: tc.Handler, mnemonic: tc.Mnemonic, prog: p.Code,
+			})
+			cachedTests = append(cachedTests, corpus.CachedTest{
+				ID: tc.ID, PathIndex: tc.PathIndex,
+				Outcome: corpus.Outcome{
+					Kind: uint8(tc.Outcome.Kind), Vector: tc.Outcome.Vector,
+					ErrCode: tc.Outcome.ErrCode, HasErr: tc.Outcome.HasErr,
+					Soft: tc.Outcome.Soft,
+				},
+				Diffs: tc.Diffs(), Prog: p.Code,
+			})
+		}
+		outs[i] = instrOut{rep: rep, tests: tests, gen: time.Since(tGen)}
+		if crp != nil {
+			_ = crp.PutInstr(&corpus.InstrEntry{
+				Key: key, HandlerName: u.Spec.Name, Mnemonic: u.Spec.Mn,
+				Paths: rep.Paths, Exhausted: rep.Exhausted, Queries: rep.Queries,
+				Generated: rep.Generated, GenFailed: rep.GenFailed,
+				InitFault: rep.InitFault, Tests: cachedTests,
+			})
+		}
+	})
 
-	var tests []builtTest
-	for _, o := range outs {
+	// Deterministic index-ordered merge.
+	var tests []execTest
+	for i := range outs {
+		o := &outs[i]
+		if msg := instrFaults[i]; msg != "" {
+			*o = instrOut{rep: &InstrReport{Key: instrs[i].Key(), Fault: msg}}
+		}
 		if o.err != nil {
 			return nil, o.err
+		}
+		if o.rep.Fault != "" {
+			res.InstrFaults++
+			res.Faults = append(res.Faults, Fault{Stage: "explore", Key: o.rep.Key, Err: o.rep.Fault})
 		}
 		res.Reports = append(res.Reports, o.rep)
 		res.TotalPaths += o.rep.Paths
@@ -196,56 +374,117 @@ func Run(cfg Config) (*Result, error) {
 		}
 		res.ExploredInstrs++
 		res.Timing.Generate += o.gen
+		if o.cached {
+			res.Cache.InstrHits++
+			res.Cache.TestsCached += len(o.tests)
+		} else {
+			res.Cache.InstrMisses++
+			res.Cache.TestsGenerated += o.rep.Generated
+		}
 		tests = append(tests, o.tests...)
 	}
 	res.Timing.Explore = time.Since(t0) - res.Timing.Generate
 	res.TotalTests = len(tests)
+	res.Cache.SummaryHit = summaryHit
 
-	// Stage 3: execution on the three implementations.
+	// The descriptor-parse path count for the report: from the explorer if
+	// one was built, else from the cached summary entry, so cold and warm
+	// reports agree byte for byte.
+	if ex != nil {
+		res.SummaryPaths = ex.SummaryPaths
+	} else if crp != nil && !cfg.NoCache {
+		if se, ok := crp.GetSummary(sumKey); ok {
+			res.SummaryPaths = se.Paths
+			res.Cache.SummaryHit = true
+		}
+	}
+
+	// Stage 3: execution on the three implementations, fanned out with
+	// per-test budgets and panic isolation.
+	image := machine.BaselineImage()
+	if ex != nil {
+		image = ex.Image()
+	}
+	boot := testgen.BaselineInit()
 	fiF := harness.FidelisFactory()
 	ceF := harness.CelerFactory()
 	hwF := harness.HardwareFactory()
-	image := ex.Image()
 
-	type trio struct {
-		fi, ce, hw    *harness.Result
-		tFi, tCe, tHw time.Duration
-	}
 	outcomes := make([]trio, len(tests))
-	var ewg sync.WaitGroup
-	for i := range tests {
-		ewg.Add(1)
-		go func(i int) {
-			defer ewg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			t := time.Now()
-			outcomes[i].fi = harness.RunBoot(fiF, image, boot, tests[i].prog, 0)
-			outcomes[i].tFi = time.Since(t)
-			t = time.Now()
-			outcomes[i].ce = harness.RunBoot(ceF, image, boot, tests[i].prog, 0)
-			outcomes[i].tCe = time.Since(t)
-			t = time.Now()
-			outcomes[i].hw = harness.RunBoot(hwF, image, boot, tests[i].prog, 0)
-			outcomes[i].tHw = time.Since(t)
-		}(i)
-	}
-	ewg.Wait()
+	execFaults := runPool(workers, len(tests), func(i int) {
+		if cfg.testHookExec != nil {
+			cfg.testHookExec(tests[i].id)
+		}
+		var ek corpus.ExecKey
+		if crp != nil && cfg.Resume {
+			ek = corpus.ExecKey{
+				ProgSHA:  corpus.ExecProgSHA(boot, tests[i].prog),
+				MaxSteps: testBudget.MaxSteps,
+				SnapVer:  machine.SnapVersion,
+			}
+			if !cfg.NoCache {
+				if ent, ok := crp.GetExec(ek); ok {
+					if tr, err := decodeExecEntry(ent, image); err == nil {
+						outcomes[i] = *tr
+						outcomes[i].cached = true
+						return
+					}
+				}
+			}
+		}
+		t := time.Now()
+		outcomes[i].fi = harness.RunBootBudget(fiF, image, boot, tests[i].prog, testBudget)
+		outcomes[i].tFi = time.Since(t)
+		t = time.Now()
+		outcomes[i].ce = harness.RunBootBudget(ceF, image, boot, tests[i].prog, testBudget)
+		outcomes[i].tCe = time.Since(t)
+		t = time.Now()
+		outcomes[i].hw = harness.RunBootBudget(hwF, image, boot, tests[i].prog, testBudget)
+		outcomes[i].tHw = time.Since(t)
+		if crp != nil && cfg.Resume && !outcomes[i].timedOut() {
+			if ent, err := encodeExecEntry(ek, &outcomes[i], image); err == nil {
+				_ = crp.PutExec(ent)
+			}
+		}
+	})
+
 	for i := range outcomes {
-		res.Timing.ExecHiFi += outcomes[i].tFi
-		res.Timing.ExecLoFi += outcomes[i].tCe
-		res.Timing.ExecHW += outcomes[i].tHw
+		o := &outcomes[i]
+		if msg := execFaults[i]; msg != "" {
+			o.fault = msg
+		}
+		if o.fault != "" {
+			res.ExecFaults++
+			res.Faults = append(res.Faults, Fault{Stage: "execute", Key: tests[i].id, Err: o.fault})
+			continue
+		}
+		res.Timing.ExecHiFi += o.tFi
+		res.Timing.ExecLoFi += o.tCe
+		res.Timing.ExecHW += o.tHw
+		if o.cached {
+			res.Cache.ExecHits++
+		} else {
+			res.Cache.ExecMisses++
+		}
+		if o.timedOut() {
+			res.ExecTimeouts++
+			res.Faults = append(res.Faults, Fault{Stage: "execute", Key: tests[i].id,
+				Err: fmt.Sprintf("wall-clock budget %v exceeded", cfg.TestTimeout)})
+		}
 	}
 
-	// Stage 4: difference analysis.
+	// Stage 4: difference analysis (sequential; inherently deterministic).
 	t1 := time.Now()
-	for i, bt := range tests {
-		filter := diff.UndefFilterFor(bt.tc.Handler)
-		o := outcomes[i]
+	for i := range tests {
+		o := &outcomes[i]
+		if o.fault != "" || o.timedOut() {
+			continue
+		}
+		filter := diff.UndefFilterFor(tests[i].handler)
 		if ds := diff.Compare(o.hw.Snapshot, o.ce.Snapshot, filter); len(ds) > 0 {
 			res.LoFiDiffTests++
 			d := &diff.Difference{
-				TestID: bt.tc.ID, Handler: bt.tc.Handler, Mnemonic: bt.tc.Mnemonic,
+				TestID: tests[i].id, Handler: tests[i].handler, Mnemonic: tests[i].mnemonic,
 				ImplA: "hardware", ImplB: "celer", Fields: ds,
 			}
 			res.Differences = append(res.Differences, d)
@@ -254,7 +493,7 @@ func Run(cfg Config) (*Result, error) {
 		if ds := diff.Compare(o.hw.Snapshot, o.fi.Snapshot, filter); len(ds) > 0 {
 			res.HiFiDiffTests++
 			d := &diff.Difference{
-				TestID: bt.tc.ID, Handler: bt.tc.Handler, Mnemonic: bt.tc.Mnemonic,
+				TestID: tests[i].id, Handler: tests[i].handler, Mnemonic: tests[i].mnemonic,
 				ImplA: "hardware", ImplB: "fidelis", Fields: ds,
 			}
 			res.Differences = append(res.Differences, d)
@@ -265,7 +504,74 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// Summary renders the campaign like the paper's Section 6 numbers.
+// outFromEntry converts a corpus entry into the same instrOut shape a cold
+// exploration produces.
+func outFromEntry(ent *corpus.InstrEntry) instrOut {
+	rep := &InstrReport{
+		Key:       ent.Key.Handler,
+		Paths:     ent.Paths,
+		Exhausted: ent.Exhausted,
+		Generated: ent.Generated,
+		GenFailed: ent.GenFailed,
+		InitFault: ent.InitFault,
+		Queries:   ent.Queries,
+	}
+	tests := make([]execTest, 0, len(ent.Tests))
+	for _, ct := range ent.Tests {
+		tests = append(tests, execTest{
+			id: ct.ID, handler: ent.HandlerName, mnemonic: ent.Mnemonic, prog: ct.Prog,
+		})
+	}
+	return instrOut{rep: rep, tests: tests, cached: true}
+}
+
+// implOrder is the serialization order of the execution trio.
+var implOrder = []string{"fidelis", "celer", "hardware"}
+
+// encodeExecEntry serializes a trio outcome relative to the shared baseline
+// image for the -resume cache.
+func encodeExecEntry(key corpus.ExecKey, o *trio, image *machine.Memory) (*corpus.ExecEntry, error) {
+	ent := &corpus.ExecEntry{Key: key}
+	for _, r := range []*harness.Result{o.fi, o.ce, o.hw} {
+		var buf bytes.Buffer
+		if err := r.Snapshot.WriteTo(&buf, image); err != nil {
+			return nil, err
+		}
+		ent.Impls = append(ent.Impls, corpus.ExecOutcome{
+			Impl: r.Impl, Steps: r.Steps, BaselineFault: r.BaselineFault,
+			Snap: buf.Bytes(),
+		})
+	}
+	return ent, nil
+}
+
+// decodeExecEntry rebuilds a trio from a cached outcome.
+func decodeExecEntry(ent *corpus.ExecEntry, image *machine.Memory) (*trio, error) {
+	if len(ent.Impls) != len(implOrder) {
+		return nil, fmt.Errorf("campaign: exec entry has %d outcomes, want %d",
+			len(ent.Impls), len(implOrder))
+	}
+	results := make([]*harness.Result, len(implOrder))
+	for i, impl := range ent.Impls {
+		if impl.Impl != implOrder[i] {
+			return nil, fmt.Errorf("campaign: exec entry order %q, want %q", impl.Impl, implOrder[i])
+		}
+		snap, err := machine.ReadSnapshot(bytes.NewReader(impl.Snap), image)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = &harness.Result{
+			Impl: impl.Impl, Snapshot: snap, Steps: impl.Steps,
+			BaselineFault: impl.BaselineFault,
+		}
+	}
+	return &trio{fi: results[0], ce: results[1], hw: results[2]}, nil
+}
+
+// Summary renders the campaign like the paper's Section 6 numbers. The
+// output is fully deterministic: same Config (and corpus contents) → same
+// bytes, for any Workers value and on every run. Wall-clock costs live in
+// TimingTable.
 func (r *Result) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "instruction-set exploration: %d decoder paths, %d candidates, %d unique instructions\n",
@@ -285,19 +591,50 @@ func (r *Result) Summary() string {
 	for _, c := range causes {
 		fmt.Fprintf(&b, "  root cause: %-55s %6d tests\n", c, r.RootCauses[c])
 	}
-	fmt.Fprintf(&b, "timing: explore %v, generate %v, exec hifi %v / lofi %v / hw %v, compare %v\n",
-		r.Timing.Explore.Round(time.Millisecond),
-		r.Timing.Generate.Round(time.Millisecond),
-		r.Timing.ExecHiFi.Round(time.Millisecond),
-		r.Timing.ExecLoFi.Round(time.Millisecond),
-		r.Timing.ExecHW.Round(time.Millisecond),
-		r.Timing.Compare.Round(time.Millisecond))
+	fmt.Fprintf(&b, "faults: explore %d, execute %d, timeouts %d\n",
+		r.InstrFaults, r.ExecFaults, r.ExecTimeouts)
+	for _, f := range r.Faults {
+		fmt.Fprintf(&b, "  fault: %-8s %-24s %s\n", f.Stage, f.Key, f.Err)
+	}
 	return b.String()
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
+// TimingTable renders the per-stage cost profile (the paper's CPU-hour
+// table) together with corpus cache traffic per stage. This is the
+// run-dependent half of the report.
+func (r *Result) TimingTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %9s\n", "stage", "wall", "cached", "computed", "hit-rate")
+	row := func(stage string, d time.Duration, hits, misses int, unit string) {
+		rate := "-"
+		if hits+misses > 0 && r.Cache.Enabled {
+			rate = fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
+		}
+		cached := "-"
+		if r.Cache.Enabled {
+			cached = fmt.Sprintf("%d %s", hits, unit)
+		}
+		fmt.Fprintf(&b, "%-12s %10s %10s %10s %9s\n",
+			stage, d.Round(time.Millisecond), cached,
+			fmt.Sprintf("%d %s", misses, unit), rate)
 	}
-	return b
+	row("explore", r.Timing.Explore, r.Cache.InstrHits, r.Cache.InstrMisses, "instr")
+	row("generate", r.Timing.Generate, r.Cache.TestsCached, r.Cache.TestsGenerated, "test")
+	execWall := r.Timing.ExecHiFi + r.Timing.ExecLoFi + r.Timing.ExecHW
+	row("execute", execWall, r.Cache.ExecHits, r.Cache.ExecMisses, "test")
+	fmt.Fprintf(&b, "%-12s %10s\n", "  hi-fi", r.Timing.ExecHiFi.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-12s %10s\n", "  lo-fi", r.Timing.ExecLoFi.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-12s %10s\n", "  hardware", r.Timing.ExecHW.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %9s\n", "compare", r.Timing.Compare.Round(time.Millisecond),
+		"-", fmt.Sprintf("%d test", r.LoFiDiffTests+r.HiFiDiffTests), "-")
+	if r.Cache.Enabled {
+		fmt.Fprintf(&b, "descriptor-parse summary cached: %v\n", r.Cache.SummaryHit)
+	}
+	return b.String()
+}
+
+// Report renders the full campaign report: the deterministic summary
+// followed by the timing/cache table.
+func (r *Result) Report() string {
+	return r.Summary() + "\n" + r.TimingTable()
 }

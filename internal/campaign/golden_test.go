@@ -1,0 +1,49 @@
+package campaign
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestSummaryGolden pins the rendered campaign report byte for byte. The
+// report is a deterministic function of the Config, so any drift — path
+// counts, diff counts, clustering, formatting — shows up as a golden
+// mismatch. Regenerate intentionally with: go test ./internal/campaign
+// -run TestSummaryGolden -update
+func TestSummaryGolden(t *testing.T) {
+	res, err := Run(Config{
+		MaxPathsPerInstr: 24,
+		Handlers:         []string{"push_r", "leave", "add_rmv_rv"},
+		Seed:             1,
+		Workers:          4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "summary.golden"), []byte(res.Summary()))
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("output differs from %s (run with -update to regenerate):\n--- want:\n%s\n--- got:\n%s",
+			path, want, got)
+	}
+}

@@ -1,0 +1,56 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// runPool executes n index-addressed tasks over a bounded pool of workers
+// and isolates panics: a task that panics is recorded (per index) instead of
+// killing the campaign, so one crashing handler costs one fault result, not
+// the whole run.
+//
+// The determinism contract: tasks communicate results only through
+// caller-owned, index-disjoint slots, and the caller merges them in index
+// order afterward. Task scheduling order is therefore unobservable, which is
+// what makes the final Result byte-identical for any worker count.
+func runPool(workers, n int, task func(i int)) []string {
+	faults := make([]string, n)
+	if n == 0 {
+		return faults
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				// Record the panic value only (stack traces contain
+				// addresses, which would break report determinism).
+				faults[i] = fmt.Sprintf("panic: %v", r)
+			}
+		}()
+		task(i)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return faults
+}

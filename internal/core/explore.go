@@ -85,6 +85,25 @@ func NewExplorer(opts symex.Options) (*Explorer, error) {
 // suggestion of lifting in the opposite direction to probe the Hi-Fi
 // emulator with another implementation's corner cases.
 func NewExplorerWithConfig(opts symex.Options, cfg sem.Config) (*Explorer, error) {
+	return NewExplorerWithSummaries(opts, cfg, ExplorerSummaries{})
+}
+
+// ExplorerSummaries bundles the precomputed descriptor-parse summaries so an
+// explorer can be constructed without re-running the Section 3.3.2
+// summarization — the corpus caches these across campaign runs.
+type ExplorerSummaries struct {
+	Data, SS *symex.Summary
+}
+
+// Summaries returns the explorer's descriptor-parse summaries for caching.
+func (ex *Explorer) Summaries() ExplorerSummaries {
+	return ExplorerSummaries{Data: ex.sumData, SS: ex.sumSS}
+}
+
+// NewExplorerWithSummaries builds an explorer, reusing precomputed
+// descriptor-parse summaries when both are supplied and summarizing from
+// scratch otherwise.
+func NewExplorerWithSummaries(opts symex.Options, cfg sem.Config, sums ExplorerSummaries) (*Explorer, error) {
 	ex := &Explorer{
 		image:        machine.BaselineImage(),
 		cfg:          cfg,
@@ -92,6 +111,11 @@ func NewExplorerWithConfig(opts symex.Options, cfg sem.Config) (*Explorer, error
 		UseSummaries: true,
 	}
 	ex.baseline = machine.NewBaseline(ex.image)
+	if sums.Data != nil && sums.SS != nil {
+		ex.sumData, ex.sumSS = sums.Data, sums.SS
+		ex.SummaryPaths = ex.sumData.Paths
+		return ex, nil
+	}
 	base := symex.NewSymState(ex.baseline)
 	ports := sem.DescriptorParsePorts
 	inputs := map[x86.Loc]*expr.Expr{

@@ -1,0 +1,337 @@
+// Package corpus implements the persistent, content-addressed test corpus:
+// an on-disk cache of exploration results (per-handler path summaries and
+// minimized solver model assignments), generated test programs, the
+// descriptor-parse summaries, and optionally executed-test outcomes. A warm
+// campaign run resolves every instruction against the corpus and skips
+// symbolic exploration and test generation entirely, going straight to
+// execution and difference analysis — the corpus-driven shape Icicle and
+// DiffSpec use for emulator testing, applied to the paper's re-runnable,
+// highly parallel pipeline.
+//
+// Layout (all content under a single root directory):
+//
+//	<root>/VERSION                    corpus format version (one line)
+//	<root>/objects/<hh>/<hash>.json   one entry per cache key
+//
+// Every entry is keyed by a SHA-256 over a canonical rendering of its full
+// key — handler, path cap, step cap, seed, semantics configuration, and the
+// symex/testgen version numbers — so any input or toolchain change misses
+// cleanly instead of returning stale artifacts. Writes are atomic
+// (temp file + rename), so concurrent campaign workers and interrupted runs
+// never leave a torn entry behind.
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"pokeemu/internal/symex"
+)
+
+// FormatVersion is the on-disk layout version of the corpus itself.
+const FormatVersion = 1
+
+// Corpus is handle to one on-disk corpus root.
+type Corpus struct {
+	dir string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	writes atomic.Int64
+
+	mu sync.Mutex // serializes directory creation
+}
+
+// Stats counts corpus traffic since Open.
+type Stats struct {
+	Hits, Misses, Writes int64
+}
+
+// Open opens (creating if necessary) the corpus rooted at dir. An existing
+// root with a different format version is rejected.
+func Open(dir string) (*Corpus, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	verFile := filepath.Join(dir, "VERSION")
+	if b, err := os.ReadFile(verFile); err == nil {
+		got := strings.TrimSpace(string(b))
+		if got != strconv.Itoa(FormatVersion) {
+			return nil, fmt.Errorf("corpus: %s has format version %s, want %d",
+				dir, got, FormatVersion)
+		}
+	} else {
+		if err := writeAtomic(verFile, []byte(strconv.Itoa(FormatVersion)+"\n")); err != nil {
+			return nil, err
+		}
+	}
+	return &Corpus{dir: dir}, nil
+}
+
+// Dir returns the corpus root directory.
+func (c *Corpus) Dir() string { return c.dir }
+
+// Stats returns traffic counters.
+func (c *Corpus) Stats() Stats {
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Writes: c.writes.Load()}
+}
+
+// objectPath maps a key hash to its file.
+func (c *Corpus) objectPath(hash string) string {
+	return filepath.Join(c.dir, "objects", hash[:2], hash+".json")
+}
+
+// get loads the object with the given key hash into v. A missing or
+// unreadable (torn, corrupt) object is a miss, never an error: the caller
+// recomputes and overwrites.
+func (c *Corpus) get(hash string, v any) bool {
+	b, err := os.ReadFile(c.objectPath(hash))
+	if err != nil {
+		c.misses.Add(1)
+		return false
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		c.misses.Add(1)
+		return false
+	}
+	c.hits.Add(1)
+	return true
+}
+
+// put stores v under the given key hash atomically.
+func (c *Corpus) put(hash string, v any) error {
+	path := c.objectPath(hash)
+	c.mu.Lock()
+	err := os.MkdirAll(filepath.Dir(path), 0o755)
+	c.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("corpus: encoding %s: %w", hash, err)
+	}
+	if err := writeAtomic(path, b); err != nil {
+		return err
+	}
+	c.writes.Add(1)
+	return nil
+}
+
+// writeAtomic writes data to path via a uniquely-named temp file and rename,
+// so readers never observe a partial object and concurrent writers of the
+// same key race benignly (last rename wins; contents are identical anyway,
+// being derived from the key).
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("corpus: writing %s: %v/%v", path, werr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("corpus: %w", err)
+	}
+	return nil
+}
+
+// hashKey renders the canonical key string and hashes it.
+func hashKey(parts ...string) string {
+	h := sha256.Sum256([]byte(strings.Join(parts, "\x00")))
+	return hex.EncodeToString(h[:])
+}
+
+// ---------------------------------------------------------------------------
+// Per-instruction exploration + generation entries.
+
+// InstrKey identifies one instruction's exploration/generation artifact.
+// Every field participates in the content hash.
+type InstrKey struct {
+	Handler  string `json:"handler"` // unique-instruction key (core.UniqueInstr.Key)
+	PathCap  int    `json:"path_cap"`
+	MaxSteps int    `json:"max_steps"` // per-path IR step cap (0 = engine default)
+	Seed     int64  `json:"seed"`
+	Config   string `json:"config"` // semantics configuration label (e.g. "bochs")
+
+	SymexVersion int `json:"symex_version"`
+	GenVersion   int `json:"gen_version"`
+}
+
+// Hash returns the content address of the key.
+func (k InstrKey) Hash() string {
+	return hashKey("instr",
+		k.Handler,
+		strconv.Itoa(k.PathCap),
+		strconv.Itoa(k.MaxSteps),
+		strconv.FormatInt(k.Seed, 10),
+		k.Config,
+		strconv.Itoa(k.SymexVersion),
+		strconv.Itoa(k.GenVersion),
+	)
+}
+
+// Outcome is the serializable form of a path's termination.
+type Outcome struct {
+	Kind    uint8  `json:"kind"`
+	Vector  uint8  `json:"vector,omitempty"`
+	ErrCode uint32 `json:"err_code,omitempty"`
+	HasErr  bool   `json:"has_err,omitempty"`
+	Soft    bool   `json:"soft,omitempty"`
+}
+
+// CachedTest is one generated, initializer-verified test program plus the
+// minimized solver model that produced it (as differences from the
+// baseline state).
+type CachedTest struct {
+	ID        string            `json:"id"`
+	PathIndex int               `json:"path_index"`
+	Outcome   Outcome           `json:"outcome"`
+	Diffs     map[string]uint64 `json:"diffs,omitempty"`
+	Prog      []byte            `json:"prog"`
+}
+
+// InstrEntry is the cached result of exploring and generating one
+// instruction: the per-handler path summary (counts mirroring
+// campaign.InstrReport) and every runnable test program.
+type InstrEntry struct {
+	Key         InstrKey     `json:"key"`
+	HandlerName string       `json:"handler_name"` // semantics handler (no /16 suffix)
+	Mnemonic    string       `json:"mnemonic"`
+	Paths       int          `json:"paths"`
+	Exhausted   bool         `json:"exhausted"`
+	Queries     int64        `json:"queries"`
+	Generated   int          `json:"generated"`
+	GenFailed   int          `json:"gen_failed"`
+	InitFault   int          `json:"init_fault"`
+	Tests       []CachedTest `json:"tests"`
+}
+
+// GetInstr looks up the entry for k. The stored key must match k exactly
+// (hash collisions and hand-edited objects miss).
+func (c *Corpus) GetInstr(k InstrKey) (*InstrEntry, bool) {
+	var e InstrEntry
+	if !c.get(k.Hash(), &e) {
+		return nil, false
+	}
+	if e.Key != k {
+		return nil, false
+	}
+	return &e, true
+}
+
+// PutInstr stores the entry under its key.
+func (c *Corpus) PutInstr(e *InstrEntry) error {
+	return c.put(e.Key.Hash(), e)
+}
+
+// ---------------------------------------------------------------------------
+// Descriptor-parse summary entries (the Section 3.3.2 summaries, shared by
+// every instruction of a campaign).
+
+// SummaryKey identifies the cached descriptor-parse summaries.
+type SummaryKey struct {
+	Config       string `json:"config"`
+	SymexVersion int    `json:"symex_version"`
+}
+
+// Hash returns the content address of the key.
+func (k SummaryKey) Hash() string {
+	return hashKey("summary", k.Config, strconv.Itoa(k.SymexVersion))
+}
+
+// SummaryEntry holds the serialized data- and stack-segment parse summaries.
+type SummaryEntry struct {
+	Key   SummaryKey           `json:"key"`
+	Paths int                  `json:"paths"`
+	Data  *symex.SummaryRecord `json:"data"`
+	SS    *symex.SummaryRecord `json:"ss"`
+}
+
+// GetSummary looks up the descriptor-parse summary entry.
+func (c *Corpus) GetSummary(k SummaryKey) (*SummaryEntry, bool) {
+	var e SummaryEntry
+	if !c.get(k.Hash(), &e) {
+		return nil, false
+	}
+	if e.Key != k {
+		return nil, false
+	}
+	return &e, true
+}
+
+// PutSummary stores the descriptor-parse summary entry.
+func (c *Corpus) PutSummary(e *SummaryEntry) error {
+	return c.put(e.Key.Hash(), e)
+}
+
+// ---------------------------------------------------------------------------
+// Executed-test outcome entries (used by campaign -resume to pick an
+// interrupted run back up without re-executing finished tests).
+
+// ExecKey identifies one test program's execution outcome across the
+// implementation trio.
+type ExecKey struct {
+	ProgSHA  string `json:"prog_sha"` // sha256 of boot code + test program
+	MaxSteps int    `json:"max_steps"`
+	SnapVer  int    `json:"snap_ver"` // machine snapshot format version
+}
+
+// ExecProgSHA hashes the executable content of a test (the baseline
+// initializer and the test program bytes).
+func ExecProgSHA(bootCode, program []byte) string {
+	h := sha256.New()
+	h.Write(bootCode)
+	h.Write([]byte{0xff}) // separator; 0xff never starts an x86 instruction here
+	h.Write(program)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Hash returns the content address of the key.
+func (k ExecKey) Hash() string {
+	return hashKey("exec", k.ProgSHA, strconv.Itoa(k.MaxSteps), strconv.Itoa(k.SnapVer))
+}
+
+// ExecOutcome is one implementation's result: the snapshot serialized in the
+// machine snapfile format relative to the shared baseline image.
+type ExecOutcome struct {
+	Impl          string `json:"impl"`
+	Steps         int    `json:"steps"`
+	BaselineFault bool   `json:"baseline_fault,omitempty"`
+	Snap          []byte `json:"snap"`
+}
+
+// ExecEntry is the cached trio outcome for one test program.
+type ExecEntry struct {
+	Key   ExecKey       `json:"key"`
+	Impls []ExecOutcome `json:"impls"`
+}
+
+// GetExec looks up a cached execution outcome.
+func (c *Corpus) GetExec(k ExecKey) (*ExecEntry, bool) {
+	var e ExecEntry
+	if !c.get(k.Hash(), &e) {
+		return nil, false
+	}
+	if e.Key != k {
+		return nil, false
+	}
+	return &e, true
+}
+
+// PutExec stores an execution outcome.
+func (c *Corpus) PutExec(e *ExecEntry) error {
+	return c.put(e.Key.Hash(), e)
+}

@@ -6,6 +6,8 @@
 package harness
 
 import (
+	"time"
+
 	"pokeemu/internal/celer"
 	"pokeemu/internal/emu"
 	"pokeemu/internal/fidelis"
@@ -15,6 +17,19 @@ import (
 
 // DefaultMaxSteps bounds a single test-program run.
 const DefaultMaxSteps = 4096
+
+// wallCheckInterval is how many steps run between wall-clock budget checks;
+// checking every step would put a clock read on the hot path.
+const wallCheckInterval = 128
+
+// Budget bounds a single test execution. MaxSteps is the deterministic
+// budget (same result on every run); Wall is an optional safety net against
+// pathological slowness — a campaign that wants byte-identical reports
+// across runs should leave Wall at zero.
+type Budget struct {
+	MaxSteps int           // 0 = DefaultMaxSteps
+	Wall     time.Duration // 0 = unlimited
+}
 
 // Factory creates one emulator implementation over a guest machine.
 type Factory struct {
@@ -58,6 +73,10 @@ type Result struct {
 	// BaselineFault is set if the guest faulted or halted before the
 	// baseline initializer completed (never expected).
 	BaselineFault bool
+	// TimedOut is set if the wall-clock budget expired before the guest
+	// reached a terminal event; the snapshot is then a partial state and
+	// must not be diffed.
+	TimedOut bool
 }
 
 // Run executes a test the way the paper does (Figure 4): boot the guest
@@ -74,8 +93,19 @@ func Run(f Factory, image *machine.Memory, program []byte, maxSteps int) *Result
 
 // RunBoot is Run with an explicit baseline initializer.
 func RunBoot(f Factory, image *machine.Memory, bootCode, program []byte, maxSteps int) *Result {
+	return RunBootBudget(f, image, bootCode, program, Budget{MaxSteps: maxSteps})
+}
+
+// RunBootBudget is RunBoot under an explicit execution budget (the
+// campaign's per-test step and wall-time caps).
+func RunBootBudget(f Factory, image *machine.Memory, bootCode, program []byte, budget Budget) *Result {
+	maxSteps := budget.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = DefaultMaxSteps
+	}
+	var start time.Time
+	if budget.Wall > 0 {
+		start = time.Now()
 	}
 	var m *machine.Machine
 	if bootCode == nil {
@@ -91,6 +121,11 @@ func RunBoot(f Factory, image *machine.Memory, bootCode, program []byte, maxStep
 	var lastExc *machine.ExceptionInfo
 	baselineDone := bootCode == nil
 	for res.Steps = 0; res.Steps < maxSteps; res.Steps++ {
+		if budget.Wall > 0 && res.Steps%wallCheckInterval == wallCheckInterval-1 &&
+			time.Since(start) > budget.Wall {
+			res.TimedOut = true
+			break
+		}
 		if !baselineDone && m.EIP == machine.CodeBase {
 			baselineDone = true
 		}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"testing"
+	"time"
 
 	"pokeemu/internal/emu"
 	"pokeemu/internal/machine"
@@ -68,5 +69,26 @@ func TestMaxStepsTerminates(t *testing.T) {
 	res := Run(FidelisFactory(), image, prog, 50)
 	if res.Steps != 50 {
 		t.Errorf("steps = %d, want the cap", res.Steps)
+	}
+}
+
+// TestWallClockBudget verifies the campaign's per-test safety net: a
+// program that spins forever is cut off by Budget.Wall and flagged as
+// timed out (its partial snapshot must not be diffed), while the same
+// program under a pure step budget is not flagged.
+func TestWallClockBudget(t *testing.T) {
+	image := machine.BaselineImage()
+	spin := []byte{0xeb, 0xfe} // jmp -2
+	res := RunBootBudget(FidelisFactory(), image, nil, spin,
+		Budget{MaxSteps: 1 << 30, Wall: time.Millisecond})
+	if !res.TimedOut {
+		t.Fatalf("spinning program not flagged: %d steps", res.Steps)
+	}
+	res = RunBootBudget(FidelisFactory(), image, nil, spin, Budget{MaxSteps: 500})
+	if res.TimedOut {
+		t.Error("step-capped run must not be flagged as timed out")
+	}
+	if res.Steps != 500 {
+		t.Errorf("step budget ran %d steps, want 500", res.Steps)
 	}
 }

@@ -24,6 +24,10 @@ const (
 	snapVersion = 1
 )
 
+// SnapVersion is the snapshot file format version, exported so persistent
+// caches of serialized snapshots can key on it.
+const SnapVersion = snapVersion
+
 // WriteTo serializes the snapshot relative to the given shared baseline
 // image (pass nil to emit every touched page in the overlay chain).
 func (s *Snapshot) WriteTo(w io.Writer, sharedRoot *Memory) error {

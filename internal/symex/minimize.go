@@ -1,6 +1,10 @@
 package symex
 
-import "pokeemu/internal/expr"
+import (
+	"sort"
+
+	"pokeemu/internal/expr"
+)
 
 // minimize implements the state-difference minimization of Section 3.4: a
 // greedy pass over every bit of the assignment that differs from the
@@ -23,7 +27,17 @@ func (en *Engine) minimize(model map[string]uint64) {
 		return true
 	}
 
-	for name, w := range en.st.Vars {
+	// The greedy pass is order-dependent (resetting one variable's bit can
+	// make another's load-bearing), so visit variables in sorted name order:
+	// the minimized witness must be a pure function of the path, never of
+	// map iteration order, or campaign reports would differ run to run.
+	names := make([]string, 0, len(en.st.Vars))
+	for name := range en.st.Vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := en.st.Vars[name]
 		base := en.st.Baseline[name]
 		cur, ok := model[name]
 		if !ok || cur == base {

