@@ -1,10 +1,13 @@
 # Standard checks for the PokeEMU reproduction. `make check` is the full
-# gate: build, vet, tests, and the race detector over every package.
+# gate: build, vet, tests, the race detector over every package, and the
+# daemon smoke run.
 
 GO ?= go
 FUZZTIME ?= 30s
+SERVE_ADDR ?= 127.0.0.1:8344
+SERVE_CORPUS ?= .pokeemud-corpus
 
-.PHONY: build vet test race fuzz bench check
+.PHONY: build vet test race fuzz bench serve smoke check
 
 build:
 	$(GO) build ./...
@@ -29,4 +32,15 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-check: build vet test race
+# Run the campaign daemon in the foreground (SIGINT/SIGTERM drain
+# gracefully, checkpointing running jobs into the shared corpus).
+serve:
+	$(GO) run ./cmd/pokeemud -addr $(SERVE_ADDR) -corpus $(SERVE_CORPUS)
+
+# Self-contained daemon health gate: boots pokeemud on an ephemeral port,
+# submits a tiny campaign over HTTP, asserts every endpoint answers 200,
+# and shuts down gracefully.
+smoke:
+	$(GO) run ./cmd/pokeemud -smoke
+
+check: build vet test race smoke

@@ -9,7 +9,7 @@
 //	pokeemu paths -i push_r [-cap 8192]
 //	pokeemu gen -i push_r [-path 0]
 //	pokeemu campaign [-instrs N] [-cap N] [-handlers a,b,c] [-workers N]
-//	                 [-corpus DIR] [-resume] [-no-cache] [-timing]
+//	                 [-corpus DIR] [-resume] [-no-cache] [-timing] [-progress]
 //	                 [-test-steps N] [-test-timeout D]
 //	pokeemu random [-tests N] [-fuzz]
 //	pokeemu sequence -seq f9,11d8 [-cap N]
@@ -24,14 +24,19 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"pokeemu/internal/campaign"
 	"pokeemu/internal/core"
@@ -297,7 +302,12 @@ func cmdCampaign(args []string) {
 	timing := fs.Bool("timing", false, "append the per-stage timing and cache-hit table")
 	testSteps := fs.Int("test-steps", 0, "per-test emulator step budget (0 = default)")
 	testTimeout := fs.Duration("test-timeout", 0, "per-test wall-clock budget (0 = unlimited)")
+	progress := fs.Bool("progress", false, "print per-stage progress to stderr as the campaign runs")
 	fs.Parse(args)
+
+	if err := validateCampaignFlags(*workers, *cap, *instrs, *maxSteps, *testSteps, *testTimeout); err != nil {
+		die(err)
+	}
 
 	cfg := campaign.Config{
 		MaxPathsPerInstr: *cap,
@@ -314,7 +324,15 @@ func cmdCampaign(args []string) {
 	if *handlers != "" {
 		cfg.Handlers = strings.Split(*handlers, ",")
 	}
-	res, err := campaign.Run(cfg)
+	if *progress {
+		cfg.Progress = progressPrinter(os.Stderr)
+	}
+	// Ctrl-C / SIGTERM cancels the campaign promptly; with -corpus -resume,
+	// finished tests are already checkpointed, so re-running the same
+	// command picks up where the interrupted run stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := campaign.RunContext(ctx, cfg)
 	if err != nil {
 		die(err)
 	}
@@ -322,6 +340,47 @@ func cmdCampaign(args []string) {
 	if *timing {
 		fmt.Println()
 		fmt.Print(res.TimingTable())
+	}
+}
+
+// validateCampaignFlags rejects flag values that would hang or silently
+// misbehave (a non-positive worker count, negative caps and budgets).
+func validateCampaignFlags(workers, cap, instrs, maxSteps, testSteps int, testTimeout time.Duration) error {
+	switch {
+	case workers <= 0:
+		return fmt.Errorf("-workers must be >= 1 (got %d)", workers)
+	case cap <= 0:
+		return fmt.Errorf("-cap must be >= 1 (got %d)", cap)
+	case instrs < 0:
+		return fmt.Errorf("-instrs must be >= 0 (got %d)", instrs)
+	case maxSteps < 0:
+		return fmt.Errorf("-maxsteps must be >= 0 (got %d)", maxSteps)
+	case testSteps < 0:
+		return fmt.Errorf("-test-steps must be >= 0 (got %d)", testSteps)
+	case testTimeout < 0:
+		return fmt.Errorf("-test-timeout must be >= 0 (got %v)", testTimeout)
+	}
+	return nil
+}
+
+// progressPrinter renders campaign progress events as throttled stderr
+// lines: every stage entry, every ~5% of a stage, and the stage's end.
+func progressPrinter(w io.Writer) func(campaign.Event) {
+	var mu sync.Mutex
+	return func(ev campaign.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ev.Total == 0 {
+			return
+		}
+		step := ev.Total / 20
+		if step < 1 {
+			step = 1
+		}
+		if ev.Done == 0 || ev.Done == ev.Total || ev.Done%step == 0 {
+			fmt.Fprintf(w, "pokeemu: %-8s %*d/%d %s\n",
+				ev.Stage, len(fmt.Sprint(ev.Total)), ev.Done, ev.Total, ev.Key)
+		}
 	}
 }
 

@@ -6,7 +6,11 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
+
+	"pokeemu/internal/campaign"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -36,6 +40,58 @@ func TestTraceUnknownImpl(t *testing.T) {
 	var buf bytes.Buffer
 	if err := runTrace(&buf, "qemu", nil, 1); err == nil {
 		t.Error("expected error for unknown implementation")
+	}
+}
+
+// TestValidateCampaignFlags: edge-case flag values error instead of
+// hanging (workers) or misbehaving silently (negative caps and budgets).
+func TestValidateCampaignFlags(t *testing.T) {
+	cases := []struct {
+		name                                 string
+		workers, cap, instrs, steps, tsSteps int
+		timeout                              time.Duration
+		wantErr                              string
+	}{
+		{"ok-defaults", 4, 256, 0, 0, 0, 0, ""},
+		{"zero-workers", 0, 256, 0, 0, 0, 0, "-workers"},
+		{"negative-workers", -3, 256, 0, 0, 0, 0, "-workers"},
+		{"zero-cap", 1, 0, 0, 0, 0, 0, "-cap"},
+		{"negative-instrs", 1, 8, -1, 0, 0, 0, "-instrs"},
+		{"negative-maxsteps", 1, 8, 0, -1, 0, 0, "-maxsteps"},
+		{"negative-test-steps", 1, 8, 0, 0, -9, 0, "-test-steps"},
+		{"negative-test-timeout", 1, 8, 0, 0, 0, -time.Second, "-test-timeout"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateCampaignFlags(c.workers, c.cap, c.instrs, c.steps, c.tsSteps, c.timeout)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("err = %v, want mention of %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestProgressPrinter: throttled rendering — stage entries, every ~5%, and
+// the final unit always print; a mid-stage non-step event does not.
+func TestProgressPrinter(t *testing.T) {
+	var buf bytes.Buffer
+	p := progressPrinter(&buf)
+	p(campaign.Event{Stage: campaign.StageExplore, Done: 0, Total: 100})
+	p(campaign.Event{Stage: campaign.StageExplore, Key: "a", Done: 3, Total: 100}) // throttled out
+	p(campaign.Event{Stage: campaign.StageExplore, Key: "b", Done: 5, Total: 100})
+	p(campaign.Event{Stage: campaign.StageExplore, Key: "c", Done: 100, Total: 100})
+	out := buf.String()
+	if got := strings.Count(out, "\n"); got != 3 {
+		t.Fatalf("printed %d lines, want 3:\n%s", got, out)
+	}
+	if strings.Contains(out, " a\n") || !strings.Contains(out, " b\n") || !strings.Contains(out, " c\n") {
+		t.Errorf("throttling wrong:\n%s", out)
 	}
 }
 

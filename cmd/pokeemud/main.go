@@ -1,0 +1,216 @@
+// Command pokeemud is the long-running campaign service: an HTTP daemon
+// that accepts cross-validation campaigns as JSON jobs, runs them on a
+// bounded scheduler (max concurrent jobs × workers per job), and shares one
+// on-disk corpus across every job, so warm submissions skip exploration and
+// generation that any earlier job already paid for.
+//
+// Usage:
+//
+//	pokeemud [-addr HOST:PORT] [-corpus DIR] [-max-jobs N] [-max-queue N]
+//	         [-workers-per-job N] [-drain D]
+//	pokeemud -smoke
+//
+// API (see the README for curl recipes):
+//
+//	POST   /v1/campaigns                   submit a campaign config; 202 + job
+//	GET    /v1/campaigns                   list jobs
+//	GET    /v1/campaigns/{id}              status + live progress
+//	DELETE /v1/campaigns/{id}              cancel a queued or running job
+//	GET    /v1/campaigns/{id}/report      deterministic report + timing table
+//	GET    /v1/campaigns/{id}/divergences  per-test differences with root causes
+//	GET    /healthz                        liveness + job gauges
+//	GET    /metrics                        counters and latency/size histograms
+//
+// SIGINT/SIGTERM drain gracefully: running jobs get -drain to finish, then
+// are canceled; with "resume" set, a canceled job's completed tests are
+// already checkpointed in the corpus, so resubmitting the same config
+// continues where it stopped.
+//
+// -smoke starts the daemon on an ephemeral port, drives one tiny campaign
+// through the HTTP API end to end (submit → poll → report → metrics), shuts
+// down gracefully, and exits 0 on success — the self-contained health gate
+// `make smoke` runs in CI.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"pokeemu/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8344", "listen address")
+	corpusDir := flag.String("corpus", ".pokeemud-corpus", "shared corpus directory (\"\" disables the corpus)")
+	maxJobs := flag.Int("max-jobs", 2, "max concurrently running campaigns")
+	maxQueue := flag.Int("max-queue", 64, "max queued jobs before submissions get 503")
+	workersPerJob := flag.Int("workers-per-job", runtime.NumCPU(), "worker cap (and default) per campaign")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown window before running jobs are checkpoint-canceled")
+	smoke := flag.Bool("smoke", false, "run the self-contained smoke test and exit")
+	flag.Parse()
+
+	if *maxJobs <= 0 || *maxQueue <= 0 || *workersPerJob <= 0 || *drain < 0 {
+		fmt.Fprintln(os.Stderr, "pokeemud: -max-jobs, -max-queue, -workers-per-job must be >= 1 and -drain >= 0")
+		os.Exit(2)
+	}
+
+	if *smoke {
+		os.Exit(runSmoke())
+	}
+
+	srv, err := service.New(service.Options{
+		CorpusDir:        *corpusDir,
+		MaxJobs:          *maxJobs,
+		MaxQueue:         *maxQueue,
+		MaxWorkersPerJob: *workersPerJob,
+		DrainTimeout:     *drain,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pokeemud:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pokeemud:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "pokeemud: serve:", err)
+			os.Exit(1)
+		}
+	}()
+	fmt.Printf("pokeemud: listening on http://%s (corpus %q, %d job slots × %d workers)\n",
+		ln.Addr(), *corpusDir, *maxJobs, *workersPerJob)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	fmt.Printf("pokeemud: draining (up to %v) ...\n", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain+30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, "pokeemud: job drain:", err)
+	}
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, "pokeemud: http shutdown:", err)
+	}
+	fmt.Println("pokeemud: stopped")
+}
+
+// runSmoke boots a real daemon on an ephemeral port, exercises the whole
+// job lifecycle over HTTP, and tears it down. Output goes to stdout; any
+// failure returns 1.
+func runSmoke() int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "pokeemud: smoke: "+format+"\n", args...)
+		return 1
+	}
+	dir, err := os.MkdirTemp("", "pokeemud-smoke-*")
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	srv, err := service.New(service.Options{
+		CorpusDir:    dir,
+		MaxJobs:      1,
+		DrainTimeout: time.Minute,
+	})
+	if err != nil {
+		return fail("%v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail("%v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("pokeemud: smoke: daemon up at %s\n", base)
+
+	get := func(path string, out any) (int, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return resp.StatusCode, err
+			}
+		}
+		return resp.StatusCode, nil
+	}
+
+	if code, err := get("/healthz", nil); err != nil || code != 200 {
+		return fail("healthz = %d, %v", code, err)
+	}
+
+	body := `{"handlers":["push_r"],"path_cap":8,"resume":true}`
+	resp, err := http.Post(base+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		return fail("submit: %v", err)
+	}
+	var st service.Status
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 202 {
+		return fail("submit = %d, %v", resp.StatusCode, err)
+	}
+	fmt.Printf("pokeemud: smoke: submitted %s\n", st.ID)
+
+	t0 := time.Now()
+	for st.State != service.StateDone {
+		if st.State == service.StateFailed || st.State == service.StateCanceled {
+			return fail("job %s ended %s: %s", st.ID, st.State, st.Error)
+		}
+		if time.Since(t0) > 2*time.Minute {
+			return fail("job %s stuck in %s", st.ID, st.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+		if code, err := get("/v1/campaigns/"+st.ID, &st); err != nil || code != 200 {
+			return fail("poll = %d, %v", code, err)
+		}
+	}
+
+	var rep service.Report
+	if code, err := get("/v1/campaigns/"+st.ID+"/report", &rep); err != nil || code != 200 {
+		return fail("report = %d, %v", code, err)
+	}
+	if rep.TotalTests == 0 || rep.Summary == "" {
+		return fail("report is empty: %+v", rep)
+	}
+	var m service.MetricsSnapshot
+	if code, err := get("/metrics", &m); err != nil || code != 200 {
+		return fail("metrics = %d, %v", code, err)
+	}
+	if m.Jobs.Completed != 1 || m.Tests.Reported != int64(rep.TotalTests) {
+		return fail("metrics out of step: %+v", m.Jobs)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fail("drain: %v", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return fail("http shutdown: %v", err)
+	}
+	fmt.Printf("pokeemud: smoke: ok (%s: %d tests, %d lo-fi diffs, %v)\n",
+		st.ID, rep.TotalTests, rep.LoFiDiffTests, time.Since(t0).Round(time.Millisecond))
+	return 0
+}

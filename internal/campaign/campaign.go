@@ -17,10 +17,12 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pokeemu/internal/core"
@@ -70,11 +72,60 @@ type Config struct {
 	// that times out records a fault and is excluded from diffing.
 	TestTimeout time.Duration
 
+	// Progress, when non-nil, receives an Event as each pipeline stage
+	// starts and as each unit of work within it completes. It is called
+	// concurrently from worker goroutines and must be safe for concurrent
+	// use; it should return quickly, or it stalls the pool. Progress never
+	// affects the Result.
+	Progress func(Event)
+
 	// testHookInstr, when set, runs at the start of each instruction task
 	// (test seam for fault injection).
 	testHookInstr func(key string)
 	// testHookExec, when set, runs at the start of each execution task.
 	testHookExec func(id string)
+}
+
+// Pipeline stages reported through Config.Progress.
+const (
+	StageExplore = "explore" // per-instruction exploration + generation
+	StageExecute = "execute" // three-way test execution
+	StageCompare = "compare" // difference analysis
+)
+
+// Event is one progress notification: Done of Total units of Stage are
+// finished. Key names the unit that just completed (an instruction key for
+// StageExplore, a test ID for StageExecute); it is empty on the Done=0
+// stage-entry event and for StageCompare.
+type Event struct {
+	Stage string
+	Key   string
+	Done  int
+	Total int
+}
+
+// Validate rejects configurations that cannot run sensibly: negative
+// counts, worker pools, and budgets error up front instead of hanging or
+// silently misbehaving downstream.
+func (c *Config) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"MaxPathsPerInstr", c.MaxPathsPerInstr},
+		{"MaxInstrs", c.MaxInstrs},
+		{"Workers", c.Workers},
+		{"MaxSteps", c.MaxSteps},
+		{"TestMaxSteps", c.TestMaxSteps},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("campaign: %s must be >= 0 (got %d)", f.name, f.v)
+		}
+	}
+	if c.TestTimeout < 0 {
+		return fmt.Errorf("campaign: TestTimeout must be >= 0 (got %v)", c.TestTimeout)
+	}
+	return nil
 }
 
 // DefaultConfig mirrors the paper's settings.
@@ -195,6 +246,27 @@ func (t *trio) timedOut() bool {
 
 // Run executes a campaign.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes a campaign under a context. Cancellation stops the
+// worker pools promptly — in-flight tasks finish, queued ones are skipped —
+// and RunContext returns an error wrapping the context's error instead of a
+// partial Result. With Resume enabled, every test executed before the
+// cancellation has already been checkpointed in the corpus, so re-running
+// the same Config picks up where the canceled run stopped.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: canceled before start: %w", err)
+	}
+	emit := func(stage, key string, done, total int) {
+		if cfg.Progress != nil {
+			cfg.Progress(Event{Stage: stage, Key: key, Done: done, Total: total})
+		}
+	}
 	if cfg.MaxPathsPerInstr == 0 {
 		cfg.MaxPathsPerInstr = 8192
 	}
@@ -283,7 +355,12 @@ func Run(cfg Config) (*Result, error) {
 
 	workers := cfg.Workers
 	outs := make([]instrOut, len(instrs))
-	instrFaults := runPool(workers, len(instrs), func(i int) {
+	emit(StageExplore, "", 0, len(instrs))
+	var exploreDone atomic.Int64
+	instrFaults := runPool(ctx, workers, len(instrs), func(i int) {
+		defer func() {
+			emit(StageExplore, instrs[i].Key(), int(exploreDone.Add(1)), len(instrs))
+		}()
 		u := instrs[i]
 		if cfg.testHookInstr != nil {
 			cfg.testHookInstr(u.Key())
@@ -352,6 +429,9 @@ func Run(cfg Config) (*Result, error) {
 			})
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: canceled during exploration: %w", err)
+	}
 
 	// Deterministic index-ordered merge.
 	var tests []execTest
@@ -411,7 +491,12 @@ func Run(cfg Config) (*Result, error) {
 	hwF := harness.HardwareFactory()
 
 	outcomes := make([]trio, len(tests))
-	execFaults := runPool(workers, len(tests), func(i int) {
+	emit(StageExecute, "", 0, len(tests))
+	var execDone atomic.Int64
+	execFaults := runPool(ctx, workers, len(tests), func(i int) {
+		defer func() {
+			emit(StageExecute, tests[i].id, int(execDone.Add(1)), len(tests))
+		}()
 		if cfg.testHookExec != nil {
 			cfg.testHookExec(tests[i].id)
 		}
@@ -447,6 +532,9 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: canceled during execution: %w", err)
+	}
 
 	for i := range outcomes {
 		o := &outcomes[i]
@@ -474,8 +562,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Stage 4: difference analysis (sequential; inherently deterministic).
+	emit(StageCompare, "", 0, 1)
 	t1 := time.Now()
 	for i := range tests {
+		if i&1023 == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("campaign: canceled during comparison: %w", ctx.Err())
+		}
 		o := &outcomes[i]
 		if o.fault != "" || o.timedOut() {
 			continue
@@ -501,6 +593,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	res.Timing.Compare = time.Since(t1)
+	emit(StageCompare, "", 1, 1)
 	return res, nil
 }
 

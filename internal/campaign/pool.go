@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -11,11 +12,16 @@ import (
 // killing the campaign, so one crashing handler costs one fault result, not
 // the whole run.
 //
+// Cancellation: once ctx is done, workers stop pulling new indices and
+// drain; tasks already in flight run to completion. Unstarted indices keep
+// their zero-value slots, so the caller must check ctx before consuming the
+// results.
+//
 // The determinism contract: tasks communicate results only through
 // caller-owned, index-disjoint slots, and the caller merges them in index
 // order afterward. Task scheduling order is therefore unobservable, which is
 // what makes the final Result byte-identical for any worker count.
-func runPool(workers, n int, task func(i int)) []string {
+func runPool(ctx context.Context, workers, n int, task func(i int)) []string {
 	faults := make([]string, n)
 	if n == 0 {
 		return faults
@@ -42,7 +48,7 @@ func runPool(workers, n int, task func(i int)) []string {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

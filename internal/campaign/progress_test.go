@@ -1,0 +1,190 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// eventLog collects progress events safely across worker goroutines.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (l *eventLog) record(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, ev)
+}
+
+func (l *eventLog) final(stage string) (Event, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var last Event
+	found := false
+	for _, ev := range l.events {
+		if ev.Stage == stage {
+			last, found = ev, true
+		}
+	}
+	return last, found
+}
+
+// TestProgressEvents checks the event stream a campaign emits: each stage
+// announces itself with a Done=0 entry event and counts every unit of work
+// up to its total, and the counts agree with the Result.
+func TestProgressEvents(t *testing.T) {
+	var log eventLog
+	cfg := smallConfig()
+	cfg.Workers = 4
+	cfg.Progress = log.record
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explore, ok := log.final(StageExplore)
+	if !ok || explore.Done != 2 || explore.Total != 2 {
+		t.Errorf("final explore event = %+v, want 2/2", explore)
+	}
+	execute, ok := log.final(StageExecute)
+	if !ok || execute.Done != res.TotalTests || execute.Total != res.TotalTests {
+		t.Errorf("final execute event = %+v, want %d/%d", execute, res.TotalTests, res.TotalTests)
+	}
+	compare, ok := log.final(StageCompare)
+	if !ok || compare.Done != 1 {
+		t.Errorf("final compare event = %+v, want 1/1", compare)
+	}
+	// Stage-entry events lead each stage with Done=0 and an empty key.
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	entries := map[string]bool{}
+	for _, ev := range log.events {
+		if ev.Done == 0 && ev.Key == "" {
+			entries[ev.Stage] = true
+		}
+	}
+	for _, stage := range []string{StageExplore, StageExecute, StageCompare} {
+		if !entries[stage] {
+			t.Errorf("no stage-entry event for %q", stage)
+		}
+	}
+}
+
+// TestRunContextCancel cancels mid-execution and checks that RunContext
+// returns promptly with the context error instead of finishing the test
+// list.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	cfg := smallConfig()
+	cfg.Workers = 2
+	var once sync.Once
+	cfg.Progress = func(ev Event) {
+		if ev.Stage == StageExecute && ev.Key != "" {
+			once.Do(cancel)
+		}
+	}
+	done := make(chan struct{})
+	var res *Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = RunContext(ctx, cfg)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("canceled campaign did not return")
+	}
+	if res != nil || err == nil {
+		t.Fatalf("RunContext = (%v, %v), want (nil, error)", res, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+// TestRunContextCanceledBeforeStart: a dead context fails immediately.
+func TestRunContextCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, smallConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelCheckpointsExecution: cancel an executing campaign with Resume
+// on, then re-run the same config — the finished tests must replay from the
+// corpus, and the completed report must match an uninterrupted run.
+func TestCancelCheckpointsExecution(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallConfig()
+	cfg.CorpusDir = dir
+	cfg.Resume = true
+	cfg.Workers = 2
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var execEvents int
+	var mu sync.Mutex
+	cfg.Progress = func(ev Event) {
+		if ev.Stage == StageExecute && ev.Key != "" {
+			mu.Lock()
+			execEvents++
+			if execEvents == 3 {
+				cancel()
+			}
+			mu.Unlock()
+		}
+	}
+	if _, err := RunContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	cfg.Progress = nil
+	resumed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Cache.ExecHits == 0 {
+		t.Error("resumed run replayed no checkpointed executions")
+	}
+	// The checkpointed-then-resumed report matches a clean run end to end.
+	clean, err := Run(Config{
+		MaxPathsPerInstr: cfg.MaxPathsPerInstr,
+		Handlers:         cfg.Handlers,
+		Seed:             cfg.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs, cs := resumed.Summary(), clean.Summary(); rs != cs {
+		t.Errorf("resumed summary differs from clean run:\nresumed:\n%s\nclean:\n%s", rs, cs)
+	}
+}
+
+// TestConfigValidate rejects negative knobs up front.
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{MaxPathsPerInstr: -1},
+		{MaxInstrs: -2},
+		{Workers: -1},
+		{MaxSteps: -5},
+		{TestMaxSteps: -1},
+		{TestTimeout: -time.Second},
+	}
+	for _, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("Run(%+v) accepted an invalid config", cfg)
+		}
+	}
+	good := Config{}
+	if err := good.Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}

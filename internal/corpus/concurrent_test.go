@@ -1,0 +1,148 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// writerEntry builds a self-consistent InstrEntry for key k as written by
+// writer w: every internal field is derived from (k, w), so a torn read —
+// bytes from two writers mixed in one object — cannot satisfy checkEntry.
+func writerEntry(k InstrKey, w int) *InstrEntry {
+	tests := make([]CachedTest, 0, 4+w)
+	for i := 0; i < 4+w; i++ {
+		tests = append(tests, CachedTest{
+			ID:        fmt.Sprintf("w%d-%s-t%d", w, k.Handler, i),
+			PathIndex: i,
+			Prog:      []byte{byte(w), byte(i), byte(w), byte(i)},
+		})
+	}
+	return &InstrEntry{
+		Key:         k,
+		HandlerName: k.Handler,
+		Mnemonic:    k.Handler,
+		Paths:       len(tests),
+		Queries:     int64(w),
+		Generated:   len(tests),
+		Tests:       tests,
+	}
+}
+
+// checkEntry verifies that a read entry is exactly what some single writer
+// produced — never a blend of two writers' objects.
+func checkEntry(t *testing.T, k InstrKey, e *InstrEntry) {
+	t.Helper()
+	w := int(e.Queries)
+	if e.Key != k {
+		t.Fatalf("entry key %+v, want %+v", e.Key, k)
+	}
+	if len(e.Tests) != 4+w || e.Generated != len(e.Tests) || e.Paths != len(e.Tests) {
+		t.Fatalf("writer %d entry torn: paths=%d generated=%d tests=%d",
+			w, e.Paths, e.Generated, len(e.Tests))
+	}
+	for i, ct := range e.Tests {
+		wantID := fmt.Sprintf("w%d-%s-t%d", w, k.Handler, i)
+		if ct.ID != wantID {
+			t.Fatalf("writer %d test %d has ID %q, want %q", w, i, ct.ID, wantID)
+		}
+		for _, b := range ct.Prog {
+			if b != byte(w) && b != byte(i) {
+				t.Fatalf("writer %d test %d has foreign prog bytes %x", w, i, ct.Prog)
+			}
+		}
+	}
+}
+
+// TestCorpusConcurrentWriters hammers one on-disk corpus from many
+// goroutines through two independent handles (the shape two daemon jobs
+// sharing a corpus produce): same-key writers race benignly (one whole
+// object wins), and readers never observe a torn object. Run under -race by
+// `make race`.
+func TestCorpusConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers = 8
+		keys    = 4
+		rounds  = 40
+	)
+	keyFor := func(i int) InstrKey {
+		return InstrKey{Handler: fmt.Sprintf("h%d", i), PathCap: 64, Seed: 1, Config: "bochs"}
+	}
+
+	errs := make(chan error, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := a
+			if w%2 == 1 {
+				c = b
+			}
+			for r := 0; r < rounds; r++ {
+				k := keyFor((w + r) % keys)
+				if err := c.PutInstr(writerEntry(k, w)); err != nil {
+					errs <- err
+					return
+				}
+				if e, ok := c.GetInstr(k); ok {
+					checkEntry(t, k, e)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiesced: every key resolves to one whole writer's object.
+	for i := 0; i < keys; i++ {
+		k := keyFor(i)
+		e, ok := a.GetInstr(k)
+		if !ok {
+			t.Fatalf("key %d missing after the hammer", i)
+		}
+		checkEntry(t, k, e)
+	}
+	if st := a.Stats(); st.Writes == 0 {
+		t.Error("handle a recorded no writes")
+	}
+}
+
+// TestCorpusConcurrentOpen: two goroutines opening a fresh root race on the
+// VERSION file; both must succeed and agree.
+func TestCorpusConcurrentOpen(t *testing.T) {
+	dir := t.TempDir()
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Open(dir)
+			if err == nil && !strings.HasSuffix(c.Dir(), dir[strings.LastIndex(dir, "/")+1:]) {
+				err = fmt.Errorf("unexpected dir %q", c.Dir())
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("open %d: %v", i, err)
+		}
+	}
+}

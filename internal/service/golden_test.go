@@ -1,0 +1,83 @@
+package service
+
+import (
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestStatusReportGolden pins the JSON schemas of the status and report
+// endpoints byte for byte, so API changes are deliberate. The responses are
+// fetched through the real HTTP stack for a fixed tiny job (no corpus, so
+// the cache section is all-cold and deterministic), volatile fields
+// (timestamps, wall-clock durations, the timing table) are normalized, and
+// everything else — field names, nesting, and the deterministic campaign
+// values — must match the golden files. Regenerate intentionally with:
+//
+//	go test ./internal/service -run TestStatusReportGolden -update
+func TestStatusReportGolden(t *testing.T) {
+	_, ts := startServer(t, Options{MaxJobs: 1, MaxWorkersPerJob: 2, DrainTimeout: time.Minute})
+
+	st := submitJob(t, ts.URL, `{"handlers":["push_r"],"path_cap":8}`)
+	pollUntil(t, ts.URL, st.ID, 2*time.Minute, StateDone)
+
+	_, statusRaw := doJSON(t, http.MethodGet, ts.URL+"/v1/campaigns/"+st.ID, "")
+	_, reportRaw := doJSON(t, http.MethodGet, ts.URL+"/v1/campaigns/"+st.ID+"/report", "")
+
+	compareGolden(t, filepath.Join("testdata", "status.golden"), normalizeJSON(t, statusRaw))
+	compareGolden(t, filepath.Join("testdata", "report.golden"), normalizeJSON(t, reportRaw))
+}
+
+// normalizeJSON re-renders a response with its volatile fields pinned to
+// fixed placeholders, leaving the schema and all deterministic values
+// intact.
+func normalizeJSON(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, raw)
+	}
+	for _, ts := range []string{"submitted_at", "started_at", "finished_at"} {
+		if _, ok := doc[ts]; ok {
+			doc[ts] = "1970-01-01T00:00:00Z"
+		}
+	}
+	if _, ok := doc["duration_ms"]; ok {
+		doc["duration_ms"] = 42
+	}
+	if _, ok := doc["timing"]; ok {
+		doc["timing"] = "(normalized: run-dependent wall-clock table)"
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("response differs from %s (API changes must be deliberate; run with -update to regenerate):\n--- want:\n%s\n--- got:\n%s",
+			path, want, got)
+	}
+}

@@ -1,0 +1,323 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"pokeemu/internal/campaign"
+	"pokeemu/internal/diff"
+)
+
+// Status is the JSON shape of GET /v1/campaigns/{id} (and of each element
+// of the list endpoint): job identity, lifecycle timestamps, live progress,
+// and the effective (normalized) config.
+type Status struct {
+	ID          string        `json:"id"`
+	State       string        `json:"state"`
+	Config      Request       `json:"config"`
+	SubmittedAt string        `json:"submitted_at"`
+	StartedAt   string        `json:"started_at,omitempty"`
+	FinishedAt  string        `json:"finished_at,omitempty"`
+	DurationMS  int64         `json:"duration_ms"`
+	Progress    *ProgressInfo `json:"progress,omitempty"`
+	Error       string        `json:"error,omitempty"`
+}
+
+// ProgressInfo is the latest progress event of a job.
+type ProgressInfo struct {
+	Stage string `json:"stage"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+// Report is the JSON shape of GET /v1/campaigns/{id}/report. Summary is the
+// deterministic campaign report — byte-identical to Result.Summary() for
+// the same config run via campaign.Run directly; Timing is the
+// run-dependent wall-clock/cache table.
+type Report struct {
+	ID            string         `json:"id"`
+	Summary       string         `json:"summary"`
+	Timing        string         `json:"timing"`
+	TotalTests    int            `json:"total_tests"`
+	TotalPaths    int            `json:"total_paths"`
+	LoFiDiffTests int            `json:"lofi_diff_tests"`
+	HiFiDiffTests int            `json:"hifi_diff_tests"`
+	InstrFaults   int            `json:"instr_faults"`
+	ExecFaults    int            `json:"exec_faults"`
+	ExecTimeouts  int            `json:"exec_timeouts"`
+	RootCauses    map[string]int `json:"root_causes,omitempty"`
+	Cache         CacheInfo      `json:"cache"`
+}
+
+// CacheInfo mirrors campaign.CacheStats with stable JSON names.
+type CacheInfo struct {
+	Enabled        bool `json:"enabled"`
+	SummaryHit     bool `json:"summary_hit"`
+	InstrHits      int  `json:"instr_hits"`
+	InstrMisses    int  `json:"instr_misses"`
+	TestsCached    int  `json:"tests_cached"`
+	TestsGenerated int  `json:"tests_generated"`
+	ExecHits       int  `json:"exec_hits"`
+	ExecMisses     int  `json:"exec_misses"`
+}
+
+// Divergences is the JSON shape of GET /v1/campaigns/{id}/divergences.
+type Divergences struct {
+	ID          string       `json:"id"`
+	Count       int          `json:"count"`
+	Divergences []Divergence `json:"divergences"`
+}
+
+// Divergence is one behavioral difference, with its root-cause class.
+type Divergence struct {
+	TestID    string            `json:"test_id"`
+	Handler   string            `json:"handler"`
+	Mnemonic  string            `json:"mnemonic"`
+	ImplA     string            `json:"impl_a"`
+	ImplB     string            `json:"impl_b"`
+	RootCause string            `json:"root_cause"`
+	Fields    []DivergenceField `json:"fields"`
+}
+
+// DivergenceField is one differing machine-state field (values in hex).
+type DivergenceField struct {
+	Field string `json:"field"`
+	A     string `json:"a"`
+	B     string `json:"b"`
+}
+
+// ListResponse is the JSON shape of GET /v1/campaigns.
+type ListResponse struct {
+	Jobs []Status `json:"jobs"`
+}
+
+// Health is the JSON shape of GET /healthz.
+type Health struct {
+	Status   string    `json:"status"`
+	Draining bool      `json:"draining"`
+	Corpus   string    `json:"corpus,omitempty"`
+	Jobs     JobGauges `json:"jobs"`
+}
+
+// routes wires the API. Every handler is wrapped with per-route request
+// counting and latency observation.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.instrument("submit", s.handleSubmit))
+	mux.HandleFunc("GET /v1/campaigns", s.instrument("list", s.handleList))
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.instrument("status", s.handleStatus))
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.instrument("cancel", s.handleCancel))
+	mux.HandleFunc("GET /v1/campaigns/{id}/report", s.instrument("report", s.handleReport))
+	mux.HandleFunc("GET /v1/campaigns/{id}/divergences", s.instrument("divergences", s.handleDivergences))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	return mux
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.observeHTTP(route, sw.code, time.Since(t0))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request: "+err.Error())
+		return
+	}
+	j, err := s.Submit(req)
+	if err != nil {
+		if errors.Is(err, ErrDraining) || errors.Is(err, ErrQueueFull) {
+			writeErr(w, http.StatusServiceUnavailable, err.Error())
+		} else {
+			writeErr(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/campaigns/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	resp := ListResponse{Jobs: []Status{}}
+	for _, j := range s.Jobs() {
+		resp.Jobs = append(resp.Jobs, j.status())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// lookup resolves {id} or writes a 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no such job %q", id))
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// finishedResult gates the result endpoints: only done jobs have one.
+func finishedResult(w http.ResponseWriter, j *Job) (*campaign.Result, bool) {
+	res := j.Result()
+	if res == nil {
+		writeErr(w, http.StatusConflict,
+			fmt.Sprintf("job %s is %s; results are available once it is done", j.ID, j.State()))
+		return nil, false
+	}
+	return res, true
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	res, ok := finishedResult(w, j)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, Report{
+		ID:            j.ID,
+		Summary:       res.Summary(),
+		Timing:        res.TimingTable(),
+		TotalTests:    res.TotalTests,
+		TotalPaths:    res.TotalPaths,
+		LoFiDiffTests: res.LoFiDiffTests,
+		HiFiDiffTests: res.HiFiDiffTests,
+		InstrFaults:   res.InstrFaults,
+		ExecFaults:    res.ExecFaults,
+		ExecTimeouts:  res.ExecTimeouts,
+		RootCauses:    res.RootCauses,
+		Cache: CacheInfo{
+			Enabled:        res.Cache.Enabled,
+			SummaryHit:     res.Cache.SummaryHit,
+			InstrHits:      res.Cache.InstrHits,
+			InstrMisses:    res.Cache.InstrMisses,
+			TestsCached:    res.Cache.TestsCached,
+			TestsGenerated: res.Cache.TestsGenerated,
+			ExecHits:       res.Cache.ExecHits,
+			ExecMisses:     res.Cache.ExecMisses,
+		},
+	})
+}
+
+func (s *Server) handleDivergences(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	res, ok := finishedResult(w, j)
+	if !ok {
+		return
+	}
+	resp := Divergences{ID: j.ID, Count: len(res.Differences), Divergences: []Divergence{}}
+	for _, d := range res.Differences {
+		dv := Divergence{
+			TestID:    d.TestID,
+			Handler:   d.Handler,
+			Mnemonic:  d.Mnemonic,
+			ImplA:     d.ImplA,
+			ImplB:     d.ImplB,
+			RootCause: diff.RootCause(d),
+		}
+		for _, f := range d.Fields {
+			dv.Fields = append(dv.Fields, DivergenceField{
+				Field: f.Field,
+				A:     fmt.Sprintf("%#x", f.A),
+				B:     fmt.Sprintf("%#x", f.B),
+			})
+		}
+		resp.Divergences = append(resp.Divergences, dv)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, Health{
+		Status:   "ok",
+		Draining: draining,
+		Corpus:   s.opts.CorpusDir,
+		Jobs:     s.gauges(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.gauges()))
+}
+
+// status snapshots a job for the API.
+func (j *Job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.ID,
+		State:       j.state,
+		Config:      j.Req,
+		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
+		Error:       j.errMsg,
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.DurationMS = end.Sub(j.started).Milliseconds()
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.progress.Stage != "" {
+		st.Progress = &ProgressInfo{Stage: j.progress.Stage, Done: j.progress.Done, Total: j.progress.Total}
+	}
+	return st
+}

@@ -1,0 +1,175 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics are the daemon's built-in counters and histograms, expvar-style:
+// no external dependencies, and one scrape of /metrics returns the whole
+// document as JSON. Counters are monotonic since process start; the queued/
+// running gauges in the rendered snapshot come from the live job table.
+type Metrics struct {
+	start time.Time
+
+	JobsSubmitted atomic.Int64
+	JobsStarted   atomic.Int64
+	JobsCompleted atomic.Int64
+	JobsFailed    atomic.Int64
+	JobsCanceled  atomic.Int64
+	JobsRejected  atomic.Int64
+
+	// TestsExecuted counts per-test execution completions streamed from
+	// job progress events; TestsReported sums TotalTests over completed
+	// jobs (the two differ when jobs are canceled mid-flight or replay
+	// cached outcomes).
+	TestsExecuted atomic.Int64
+	TestsReported atomic.Int64
+
+	JobDurationMS *Histogram
+	TestsPerJob   *Histogram
+
+	mu   sync.Mutex
+	http map[string]*routeStats
+}
+
+type routeStats struct {
+	count, errors int64
+	latency       *Histogram
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		start:         time.Now(),
+		JobDurationMS: newHistogram(5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000),
+		TestsPerJob:   newHistogram(1, 10, 50, 100, 500, 1000, 5000, 10000, 50000),
+		http:          make(map[string]*routeStats),
+	}
+}
+
+// observeHTTP records one served request on the named route.
+func (m *Metrics) observeHTTP(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.http[route]
+	if rs == nil {
+		rs = &routeStats{latency: newHistogram(0.5, 1, 2, 5, 10, 25, 50, 100, 250, 1000)}
+		m.http[route] = rs
+	}
+	rs.count++
+	if code >= 400 {
+		rs.errors++
+	}
+	rs.latency.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// JobGauges are point-in-time job-table counts merged into the snapshot.
+type JobGauges struct {
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+}
+
+// MetricsSnapshot is the JSON document served at /metrics.
+type MetricsSnapshot struct {
+	UptimeMS int64 `json:"uptime_ms"`
+	Jobs     struct {
+		Submitted int64 `json:"submitted"`
+		Started   int64 `json:"started"`
+		Completed int64 `json:"completed"`
+		Failed    int64 `json:"failed"`
+		Canceled  int64 `json:"canceled"`
+		Rejected  int64 `json:"rejected"`
+		Queued    int   `json:"queued"`
+		Running   int   `json:"running"`
+	} `json:"jobs"`
+	Tests struct {
+		Executed int64 `json:"executed"`
+		Reported int64 `json:"reported"`
+	} `json:"tests"`
+	JobDurationMS HistogramSnapshot        `json:"job_duration_ms"`
+	TestsPerJob   HistogramSnapshot        `json:"tests_per_job"`
+	HTTP          map[string]RouteSnapshot `json:"http"`
+}
+
+// RouteSnapshot is one route's request counters and latency histogram.
+type RouteSnapshot struct {
+	Count     int64             `json:"count"`
+	Errors    int64             `json:"errors"`
+	LatencyMS HistogramSnapshot `json:"latency_ms"`
+}
+
+// Snapshot renders every counter and histogram at once.
+func (m *Metrics) Snapshot(g JobGauges) MetricsSnapshot {
+	var s MetricsSnapshot
+	s.UptimeMS = time.Since(m.start).Milliseconds()
+	s.Jobs.Submitted = m.JobsSubmitted.Load()
+	s.Jobs.Started = m.JobsStarted.Load()
+	s.Jobs.Completed = m.JobsCompleted.Load()
+	s.Jobs.Failed = m.JobsFailed.Load()
+	s.Jobs.Canceled = m.JobsCanceled.Load()
+	s.Jobs.Rejected = m.JobsRejected.Load()
+	s.Jobs.Queued = g.Queued
+	s.Jobs.Running = g.Running
+	s.Tests.Executed = m.TestsExecuted.Load()
+	s.Tests.Reported = m.TestsReported.Load()
+	s.JobDurationMS = m.JobDurationMS.Snapshot()
+	s.TestsPerJob = m.TestsPerJob.Snapshot()
+	s.HTTP = make(map[string]RouteSnapshot)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for route, rs := range m.http {
+		s.HTTP[route] = RouteSnapshot{
+			Count:     rs.count,
+			Errors:    rs.errors,
+			LatencyMS: rs.latency.Snapshot(),
+		}
+	}
+	return s
+}
+
+// Histogram is a fixed-bucket counting histogram: Counts[i] holds
+// observations v <= Bounds[i] (and greater than the previous bound); the
+// final count is the overflow bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	count  int64
+	sum    float64
+}
+
+// HistogramSnapshot is the JSON form of a histogram: len(Counts) ==
+// len(Bounds)+1, the last entry counting observations above every bound.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+func newHistogram(bounds ...float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counts[sort.SearchFloat64s(h.bounds, v)]++
+	h.count++
+	h.sum += v
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Count:  h.count,
+		Sum:    h.sum,
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+	}
+}
