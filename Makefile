@@ -23,11 +23,13 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-# The two native fuzz targets: the instruction decoder's structural
-# invariants and the expression simplifier's soundness.
+# The three native fuzz targets: the instruction decoder's structural
+# invariants, the expression simplifier's soundness, and the bit-blaster
+# vs evaluator semantics oracle.
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/x86
 	$(GO) test -fuzz=FuzzExprSimplify -fuzztime=$(FUZZTIME) ./internal/expr
+	$(GO) test -fuzz=FuzzSemanticsOracle -fuzztime=$(FUZZTIME) ./internal/solver
 
 bench:
 	$(GO) test -bench=. -benchmem .

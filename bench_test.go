@@ -1,7 +1,7 @@
 // Package bench regenerates every quantitative artifact of the paper's
 // evaluation (Section 6) as Go benchmarks. Each benchmark corresponds to an
-// experiment row in EXPERIMENTS.md (E1–E9); custom metrics carry the counts
-// the paper reports, and ns/op carries the cost side. Run with:
+// experiment row in EXPERIMENTS.md (E1–E9, E11); custom metrics carry the
+// counts the paper reports, and ns/op carries the cost side. Run with:
 //
 //	go test -bench=. -benchmem .
 package bench
@@ -363,6 +363,62 @@ func BenchmarkE9CorpusSpeedup(b *testing.B) {
 	b.ReportMetric(cold.Seconds()*1000/float64(b.N), "cold-ms")
 	b.ReportMetric(warm.Seconds()*1000/float64(b.N), "warm-ms")
 	b.ReportMetric(float64(cold)/float64(maxi(1, int(warm))), "speedup")
+}
+
+// --- E11: solver hot path — interning, memoization, parallel exploration ---
+
+// e11Config is the cold-exploration workload: the full benchmark mix, no
+// corpus, so every iteration pays the complete symbolic-exploration cost.
+func e11Config(workers int) campaign.Config {
+	return campaign.Config{
+		MaxPathsPerInstr: 128,
+		Handlers:         mixHandlers,
+		Seed:             1,
+		Workers:          workers,
+		ExploreWorkers:   workers,
+	}
+}
+
+// BenchmarkE11ColdExplore is the tentpole's acceptance number: a cold
+// campaign (exploration-dominated — there is no corpus to resume from) at
+// Workers=4 against Workers=1, with the byte-identical-report contract
+// asserted every iteration. The reported "speedup" is only meaningful on a
+// multi-core host; on a single-CPU machine (GOMAXPROCS=1) it reads ~1.0 —
+// the parallel machinery costs nothing — while the determinism check still
+// runs. The hot-path win that survives any core count is the seed-vs-now
+// sequential comparison recorded in EXPERIMENTS.md E11 (interning, query
+// memoization, deficit-shared subtree budgets). The per-path determinism
+// behind the report comparison is TestParallelExploreDeterministic (symex)
+// and TestWorkerDeterminism (campaign).
+func BenchmarkE11ColdExplore(b *testing.B) {
+	var seq, par time.Duration
+	var res *campaign.Result
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		r1, err := campaign.Run(e11Config(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		seq += time.Since(t0)
+		t0 = time.Now()
+		r4, err := campaign.Run(e11Config(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		par += time.Since(t0)
+		if r1.Summary() != r4.Summary() {
+			b.Fatal("Workers=1 and Workers=4 reports differ")
+		}
+		res = r4
+	}
+	b.ReportMetric(seq.Seconds()*1000/float64(b.N), "w1-ms")
+	b.ReportMetric(par.Seconds()*1000/float64(b.N), "w4-ms")
+	b.ReportMetric(float64(seq)/float64(maxi(1, int(par))), "speedup")
+	b.ReportMetric(float64(res.Solver.Queries), "queries")
+	b.ReportMetric(100*float64(res.Solver.MemoHits)/
+		float64(maxi(1, int(res.Solver.MemoHits+res.Solver.MemoMisses))), "%memo-hit")
+	b.ReportMetric(100*float64(res.Solver.InternHits)/
+		float64(maxi(1, int(res.Solver.InternHits+res.Solver.InternMisses))), "%intern-hit")
 }
 
 // --- Substrate microbenchmarks (cost model underneath the experiments) ---

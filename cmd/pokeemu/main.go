@@ -9,8 +9,9 @@
 //	pokeemu paths -i push_r [-cap 8192]
 //	pokeemu gen -i push_r [-path 0]
 //	pokeemu campaign [-instrs N] [-cap N] [-handlers a,b,c] [-workers N]
-//	                 [-corpus DIR] [-resume] [-no-cache] [-timing] [-progress]
-//	                 [-test-steps N] [-test-timeout D]
+//	                 [-explore-workers N] [-corpus DIR] [-resume] [-no-cache]
+//	                 [-timing] [-progress] [-test-steps N] [-test-timeout D]
+//	                 [-pprof PREFIX]
 //	pokeemu random [-tests N] [-fuzz]
 //	pokeemu sequence -seq f9,11d8 [-cap N]
 //	pokeemu trace -prog b82a000000f4 [-on celer]
@@ -32,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -295,6 +297,8 @@ func cmdCampaign(args []string) {
 	handlers := fs.String("handlers", "", "comma-separated handler keys")
 	seed := fs.Int64("seed", 1, "exploration seed")
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers")
+	exploreWorkers := fs.Int("explore-workers", 0,
+		"workers inside each instruction's symbolic exploration (0 or 1 = sequential; never changes the report)")
 	maxSteps := fs.Int("maxsteps", 0, "per-path IR step cap (0 = default)")
 	corpusDir := fs.String("corpus", "", "persistent test corpus directory (\"\" = no cache)")
 	resume := fs.Bool("resume", false, "also cache and reuse per-test execution outcomes")
@@ -303,10 +307,19 @@ func cmdCampaign(args []string) {
 	testSteps := fs.Int("test-steps", 0, "per-test emulator step budget (0 = default)")
 	testTimeout := fs.Duration("test-timeout", 0, "per-test wall-clock budget (0 = unlimited)")
 	progress := fs.Bool("progress", false, "print per-stage progress to stderr as the campaign runs")
+	pprofPrefix := fs.String("pprof", "",
+		"write PREFIX.cpu.pprof and PREFIX.heap.pprof profiles of the campaign")
 	fs.Parse(args)
 
-	if err := validateCampaignFlags(*workers, *cap, *instrs, *maxSteps, *testSteps, *testTimeout); err != nil {
+	if err := validateCampaignFlags(*workers, *exploreWorkers, *cap, *instrs, *maxSteps, *testSteps, *testTimeout); err != nil {
 		die(err)
+	}
+	if *pprofPrefix != "" {
+		stopProf, err := startProfiles(*pprofPrefix)
+		if err != nil {
+			die(err)
+		}
+		defer stopProf()
 	}
 
 	cfg := campaign.Config{
@@ -314,6 +327,7 @@ func cmdCampaign(args []string) {
 		MaxInstrs:        *instrs,
 		Seed:             *seed,
 		Workers:          *workers,
+		ExploreWorkers:   *exploreWorkers,
 		MaxSteps:         *maxSteps,
 		CorpusDir:        *corpusDir,
 		NoCache:          *noCache,
@@ -343,12 +357,41 @@ func cmdCampaign(args []string) {
 	}
 }
 
+// startProfiles begins a CPU profile at prefix.cpu.pprof and returns a stop
+// function that finishes it and writes a heap profile to prefix.heap.pprof.
+func startProfiles(prefix string) (func(), error) {
+	cpuF, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpuF); err != nil {
+		cpuF.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cpuF.Close()
+		heapF, err := os.Create(prefix + ".heap.pprof")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pokeemu: heap profile:", err)
+			return
+		}
+		defer heapF.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(heapF); err != nil {
+			fmt.Fprintln(os.Stderr, "pokeemu: heap profile:", err)
+		}
+	}, nil
+}
+
 // validateCampaignFlags rejects flag values that would hang or silently
 // misbehave (a non-positive worker count, negative caps and budgets).
-func validateCampaignFlags(workers, cap, instrs, maxSteps, testSteps int, testTimeout time.Duration) error {
+func validateCampaignFlags(workers, exploreWorkers, cap, instrs, maxSteps, testSteps int, testTimeout time.Duration) error {
 	switch {
 	case workers <= 0:
 		return fmt.Errorf("-workers must be >= 1 (got %d)", workers)
+	case exploreWorkers < 0:
+		return fmt.Errorf("-explore-workers must be >= 0 (got %d)", exploreWorkers)
 	case cap <= 0:
 		return fmt.Errorf("-cap must be >= 1 (got %d)", cap)
 	case instrs < 0:

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	pokeemud [-addr HOST:PORT] [-corpus DIR] [-max-jobs N] [-max-queue N]
-//	         [-workers-per-job N] [-drain D]
+//	         [-workers-per-job N] [-drain D] [-pprof]
 //	pokeemud -smoke
 //
 // API (see the README for curl recipes):
@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ handlers, served behind -pprof
 	"os"
 	"os/signal"
 	"runtime"
@@ -56,6 +57,7 @@ func main() {
 	maxQueue := flag.Int("max-queue", 64, "max queued jobs before submissions get 503")
 	workersPerJob := flag.Int("workers-per-job", runtime.NumCPU(), "worker cap (and default) per campaign")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown window before running jobs are checkpoint-canceled")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 	smoke := flag.Bool("smoke", false, "run the self-contained smoke test and exit")
 	flag.Parse()
 
@@ -84,7 +86,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pokeemud:", err)
 		os.Exit(1)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	var handler http.Handler = srv.Handler()
+	if *pprofOn {
+		// net/http/pprof registers on http.DefaultServeMux at import; route
+		// /debug/pprof/ there and everything else to the service.
+		mux := http.NewServeMux()
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	hs := &http.Server{Handler: handler}
 	go func() {
 		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintln(os.Stderr, "pokeemud: serve:", err)

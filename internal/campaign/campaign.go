@@ -28,8 +28,10 @@ import (
 	"pokeemu/internal/core"
 	"pokeemu/internal/corpus"
 	"pokeemu/internal/diff"
+	"pokeemu/internal/expr"
 	"pokeemu/internal/harness"
 	"pokeemu/internal/machine"
+	"pokeemu/internal/solver"
 	"pokeemu/internal/symex"
 	"pokeemu/internal/testgen"
 	"pokeemu/internal/x86/sem"
@@ -53,6 +55,12 @@ type Config struct {
 	// sequential. The worker count never affects the Result: merges are
 	// index-ordered and deterministic.
 	Workers int
+	// ExploreWorkers bounds the pool inside each instruction's symbolic
+	// exploration (symex.Options.Workers): independent decision subtrees are
+	// explored in parallel and merged in canonical path order, so — like
+	// Workers — the value changes wall-clock time only, never the Result.
+	// It is deliberately excluded from corpus cache keys.
+	ExploreWorkers int
 
 	// CorpusDir roots the persistent test corpus; "" disables it.
 	CorpusDir string
@@ -115,6 +123,7 @@ func (c *Config) Validate() error {
 		{"MaxPathsPerInstr", c.MaxPathsPerInstr},
 		{"MaxInstrs", c.MaxInstrs},
 		{"Workers", c.Workers},
+		{"ExploreWorkers", c.ExploreWorkers},
 		{"MaxSteps", c.MaxSteps},
 		{"TestMaxSteps", c.TestMaxSteps},
 	} {
@@ -142,6 +151,10 @@ type InstrReport struct {
 	GenFailed int
 	InitFault int
 	Queries   int64
+	// ExploreWall is the wall-clock cost of this instruction's symbolic
+	// exploration (zero when it was served from the corpus). Run-dependent:
+	// rendered by TimingTable, never by Summary.
+	ExploreWall time.Duration
 	// Fault carries the panic message if exploration or generation crashed;
 	// the instruction then contributes a fault record instead of tests.
 	Fault string
@@ -157,6 +170,18 @@ type StageTiming struct {
 	ExecLoFi time.Duration
 	ExecHW   time.Duration
 	Compare  time.Duration
+}
+
+// SolverStats snapshots the solver/expression hot-path counters for one
+// run: deltas of the process-wide totals between campaign start and end.
+// Concurrent campaigns in one process (the service) see each other's
+// traffic, so treat these as throughput indicators, not exact attributions.
+type SolverStats struct {
+	Queries      int64 // solver CheckLits calls
+	MemoHits     int64 // answered by the assumption-set memo
+	MemoMisses   int64
+	InternHits   int64 // expression constructions served by the intern table
+	InternMisses int64
 }
 
 // CacheStats counts corpus traffic per pipeline stage.
@@ -211,6 +236,7 @@ type Result struct {
 
 	Timing StageTiming
 	Cache  CacheStats
+	Solver SolverStats
 }
 
 // execTest is one runnable test in the execution stage, whether generated
@@ -275,6 +301,16 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		testBudget.MaxSteps = harness.DefaultMaxSteps
 	}
 	res := &Result{RootCauses: make(map[string]int)}
+	queries0 := solver.QueriesTotal()
+	memoHits0, memoMisses0 := solver.MemoTotals()
+	internHits0, internMisses0, _ := expr.InternStats()
+	defer func() {
+		res.Solver.Queries = solver.QueriesTotal() - queries0
+		mh, mm := solver.MemoTotals()
+		res.Solver.MemoHits, res.Solver.MemoMisses = mh-memoHits0, mm-memoMisses0
+		ih, im, _ := expr.InternStats()
+		res.Solver.InternHits, res.Solver.InternMisses = ih-internHits0, im-internMisses0
+	}()
 
 	var crp *corpus.Corpus
 	if cfg.CorpusDir != "" {
@@ -295,10 +331,24 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			want[h] = true
 		}
 		var filtered []*core.UniqueInstr
+		matched := make(map[string]bool, len(want))
 		for _, u := range instrs {
 			if want[u.Key()] {
 				filtered = append(filtered, u)
+				matched[u.Key()] = true
 			}
+		}
+		// A typo'd handler key used to be dropped silently, turning the
+		// campaign into an empty run that "passed". Refuse it instead.
+		var unknown []string
+		for h := range want {
+			if !matched[h] {
+				unknown = append(unknown, h)
+			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			return nil, fmt.Errorf("campaign: unknown handler key(s): %s", strings.Join(unknown, ", "))
 		}
 		instrs = filtered
 	}
@@ -313,6 +363,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	opts := symex.DefaultOptions()
 	opts.MaxPaths = cfg.MaxPathsPerInstr
 	opts.Seed = cfg.Seed
+	opts.Workers = cfg.ExploreWorkers
 	if cfg.MaxSteps > 0 {
 		opts.MaxSteps = cfg.MaxSteps
 	}
@@ -381,16 +432,18 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			outs[i].err = err
 			return
 		}
+		tExp := time.Now()
 		er, err := e.ExploreState(u)
 		if err != nil {
 			outs[i].err = fmt.Errorf("campaign: exploring %s: %w", u.Key(), err)
 			return
 		}
 		rep := &InstrReport{
-			Key:       u.Key(),
-			Paths:     len(er.Tests),
-			Exhausted: er.Exhausted,
-			Queries:   er.Stats.SolverQueries,
+			Key:         u.Key(),
+			Paths:       len(er.Tests),
+			Exhausted:   er.Exhausted,
+			Queries:     er.Stats.SolverQueries,
+			ExploreWall: time.Since(tExp),
 		}
 		tGen := time.Now()
 		var tests []execTest
@@ -722,6 +775,41 @@ func (r *Result) TimingTable() string {
 		"-", fmt.Sprintf("%d test", r.LoFiDiffTests+r.HiFiDiffTests), "-")
 	if r.Cache.Enabled {
 		fmt.Fprintf(&b, "descriptor-parse summary cached: %v\n", r.Cache.SummaryHit)
+	}
+	rate := func(hits, misses int64) string {
+		if hits+misses == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
+	}
+	fmt.Fprintf(&b, "solver: %d queries, memo %d/%d hit (%s)\n",
+		r.Solver.Queries, r.Solver.MemoHits, r.Solver.MemoHits+r.Solver.MemoMisses,
+		rate(r.Solver.MemoHits, r.Solver.MemoMisses))
+	fmt.Fprintf(&b, "expr intern: %d/%d hit (%s)\n",
+		r.Solver.InternHits, r.Solver.InternHits+r.Solver.InternMisses,
+		rate(r.Solver.InternHits, r.Solver.InternMisses))
+	var explored []*InstrReport
+	for _, rep := range r.Reports {
+		if rep.ExploreWall > 0 {
+			explored = append(explored, rep)
+		}
+	}
+	if len(explored) > 0 {
+		sort.Slice(explored, func(i, j int) bool {
+			if explored[i].ExploreWall != explored[j].ExploreWall {
+				return explored[i].ExploreWall > explored[j].ExploreWall
+			}
+			return explored[i].Key < explored[j].Key
+		})
+		fmt.Fprintf(&b, "explore wall by handler:\n")
+		for i, rep := range explored {
+			if i == 10 {
+				fmt.Fprintf(&b, "  … %d more\n", len(explored)-i)
+				break
+			}
+			fmt.Fprintf(&b, "  %-28s %10s %6d paths\n",
+				rep.Key, rep.ExploreWall.Round(time.Millisecond), rep.Paths)
+		}
 	}
 	return b.String()
 }

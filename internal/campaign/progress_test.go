@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -186,5 +187,22 @@ func TestConfigValidate(t *testing.T) {
 	good := Config{}
 	if err := good.Validate(); err != nil {
 		t.Errorf("zero config rejected: %v", err)
+	}
+}
+
+// TestUnknownHandlerRejected pins the fix for silently-empty campaigns: a
+// handler key that matches no unique instruction must fail the run, not
+// filter everything out and report success over nothing.
+func TestUnknownHandlerRejected(t *testing.T) {
+	_, err := Run(Config{
+		MaxPathsPerInstr: 4,
+		Handlers:         []string{"push_r", "no_such_handler"},
+		Seed:             1,
+	})
+	if err == nil {
+		t.Fatal("Run accepted an unknown handler key")
+	}
+	if !strings.Contains(err.Error(), "no_such_handler") {
+		t.Errorf("error %q does not name the unknown handler", err)
 	}
 }

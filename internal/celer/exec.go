@@ -620,7 +620,13 @@ func (e *Emulator) shiftRotate(inst *x86.Inst, op, form string, osz uint8) *faul
 		am := a & mask(w)
 		if count >= uint32(w) {
 			r = 0
-			e.setFlagBit(x86.FlagCF, 0)
+			// At count == w the last bit shifted out is the operand's MSB;
+			// only counts beyond the width shift out nothing but zeros.
+			cf := uint32(0)
+			if count == uint32(w) {
+				cf = am >> (w - 1) & 1
+			}
+			e.setFlagBit(x86.FlagCF, cf)
 		} else {
 			r = am >> count
 			e.setFlagBit(x86.FlagCF, am>>(count-1)&1)

@@ -85,7 +85,7 @@ func checkWidth(w uint8) {
 // Const builds a literal of width w; the value is truncated to w bits.
 func Const(w uint8, v uint64) *Expr {
 	checkWidth(w)
-	return &Expr{Op: OpConst, Width: w, Val: v & Mask(w)}
+	return intern0(OpConst, w, v&Mask(w), "")
 }
 
 // Bool converts a Go bool to the canonical 1-bit constants.
@@ -105,7 +105,7 @@ var (
 // Var builds a free variable of width w.
 func Var(w uint8, name string) *Expr {
 	checkWidth(w)
-	return &Expr{Op: OpVar, Width: w, Name: name}
+	return intern0(OpVar, w, 0, name)
 }
 
 // IsConst reports whether e is a literal.
@@ -167,7 +167,7 @@ func Not(a *Expr) *Expr {
 	if a.Op == OpNot {
 		return a.Kids[0]
 	}
-	return &Expr{Op: OpNot, Width: a.Width, Kids: []*Expr{a}}
+	return intern1(OpNot, a.Width, 0, a)
 }
 
 // Neg builds two's-complement negation.
@@ -178,7 +178,7 @@ func Neg(a *Expr) *Expr {
 	if a.Op == OpNeg {
 		return a.Kids[0]
 	}
-	return &Expr{Op: OpNeg, Width: a.Width, Kids: []*Expr{a}}
+	return intern1(OpNeg, a.Width, 0, a)
 }
 
 // And builds bitwise conjunction.
@@ -202,7 +202,7 @@ func And(a, b *Expr) *Expr {
 	if structEq(a, b) {
 		return a
 	}
-	return &Expr{Op: OpAnd, Width: a.Width, Kids: []*Expr{a, b}}
+	return intern2(OpAnd, a.Width, a, b)
 }
 
 // Or builds bitwise disjunction.
@@ -225,7 +225,7 @@ func Or(a, b *Expr) *Expr {
 	if structEq(a, b) {
 		return a
 	}
-	return &Expr{Op: OpOr, Width: a.Width, Kids: []*Expr{a, b}}
+	return intern2(OpOr, a.Width, a, b)
 }
 
 // Xor builds bitwise exclusive-or.
@@ -248,7 +248,7 @@ func Xor(a, b *Expr) *Expr {
 	if structEq(a, b) {
 		return Const(a.Width, 0)
 	}
-	return &Expr{Op: OpXor, Width: a.Width, Kids: []*Expr{a, b}}
+	return intern2(OpXor, a.Width, a, b)
 }
 
 // Add builds modular addition.
@@ -267,7 +267,7 @@ func Add(a, b *Expr) *Expr {
 	if a.IsConst() && b.Op == OpAdd && b.Kids[0].IsConst() {
 		return Add(Const(a.Width, a.Val+b.Kids[0].Val), b.Kids[1])
 	}
-	return &Expr{Op: OpAdd, Width: a.Width, Kids: []*Expr{a, b}}
+	return intern2(OpAdd, a.Width, a, b)
 }
 
 // Sub builds modular subtraction.
@@ -285,7 +285,7 @@ func Sub(a, b *Expr) *Expr {
 	if structEq(a, b) {
 		return Const(a.Width, 0)
 	}
-	return &Expr{Op: OpSub, Width: a.Width, Kids: []*Expr{a, b}}
+	return intern2(OpSub, a.Width, a, b)
 }
 
 // Mul builds modular multiplication.
@@ -305,7 +305,7 @@ func Mul(a, b *Expr) *Expr {
 			return b
 		}
 	}
-	return &Expr{Op: OpMul, Width: a.Width, Kids: []*Expr{a, b}}
+	return intern2(OpMul, a.Width, a, b)
 }
 
 // UDiv builds unsigned division (x/0 = all-ones, per SMT-LIB).
@@ -320,7 +320,7 @@ func UDiv(a, b *Expr) *Expr {
 	if b.IsConst() && b.Val == 1 {
 		return a
 	}
-	return &Expr{Op: OpUDiv, Width: a.Width, Kids: []*Expr{a, b}}
+	return intern2(OpUDiv, a.Width, a, b)
 }
 
 // URem builds unsigned remainder (x%0 = x, per SMT-LIB).
@@ -335,7 +335,7 @@ func URem(a, b *Expr) *Expr {
 	if b.IsConst() && b.Val == 1 {
 		return Const(a.Width, 0)
 	}
-	return &Expr{Op: OpURem, Width: a.Width, Kids: []*Expr{a, b}}
+	return intern2(OpURem, a.Width, a, b)
 }
 
 func shiftAmount(b *Expr) (uint64, bool) {
@@ -362,7 +362,7 @@ func Shl(a, b *Expr) *Expr {
 			return Const(a.Width, 0)
 		}
 	}
-	return &Expr{Op: OpShl, Width: a.Width, Kids: []*Expr{a, b}}
+	return intern2(OpShl, a.Width, a, b)
 }
 
 // LShr builds a logical right shift.
@@ -381,7 +381,7 @@ func LShr(a, b *Expr) *Expr {
 			return Const(a.Width, 0)
 		}
 	}
-	return &Expr{Op: OpLShr, Width: a.Width, Kids: []*Expr{a, b}}
+	return intern2(OpLShr, a.Width, a, b)
 }
 
 // AShr builds an arithmetic right shift.
@@ -398,7 +398,7 @@ func AShr(a, b *Expr) *Expr {
 			return a
 		}
 	}
-	return &Expr{Op: OpAShr, Width: a.Width, Kids: []*Expr{a, b}}
+	return intern2(OpAShr, a.Width, a, b)
 }
 
 // Eq builds an equality test with a 1-bit result.
@@ -420,7 +420,7 @@ func Eq(a, b *Expr) *Expr {
 		}
 		return Not(b)
 	}
-	return &Expr{Op: OpEq, Width: 1, Kids: []*Expr{a, b}}
+	return intern2(OpEq, 1, a, b)
 }
 
 // Ne builds an inequality test with a 1-bit result.
@@ -441,7 +441,7 @@ func Ult(a, b *Expr) *Expr {
 	if a.IsConst() && a.Val == Mask(a.Width) {
 		return Zero
 	}
-	return &Expr{Op: OpUlt, Width: 1, Kids: []*Expr{a, b}}
+	return intern2(OpUlt, 1, a, b)
 }
 
 // Ule builds an unsigned less-or-equal test.
@@ -459,7 +459,7 @@ func Slt(a, b *Expr) *Expr {
 	if structEq(a, b) {
 		return Zero
 	}
-	return &Expr{Op: OpSlt, Width: 1, Kids: []*Expr{a, b}}
+	return intern2(OpSlt, 1, a, b)
 }
 
 // Sle builds a signed less-or-equal test.
@@ -489,7 +489,7 @@ func Ite(cond, t, f *Expr) *Expr {
 			return Not(cond)
 		}
 	}
-	return &Expr{Op: OpIte, Width: t.Width, Kids: []*Expr{cond, t, f}}
+	return intern3(OpIte, t.Width, cond, t, f)
 }
 
 // Extract selects bits [lo, lo+w-1] of a.
@@ -524,7 +524,7 @@ func Extract(a *Expr, lo, w uint8) *Expr {
 			return Const(w, 0)
 		}
 	}
-	return &Expr{Op: OpExtract, Width: w, Lo: lo, Kids: []*Expr{a}}
+	return intern1(OpExtract, w, lo, a)
 }
 
 // Concat joins hi (upper bits) and lo (lower bits).
@@ -544,7 +544,7 @@ func Concat(hi, lo *Expr) *Expr {
 		hi.Lo == lo.Lo+lo.Width {
 		return Extract(hi.Kids[0], lo.Lo, uint8(w))
 	}
-	return &Expr{Op: OpConcat, Width: uint8(w), Kids: []*Expr{hi, lo}}
+	return intern2(OpConcat, uint8(w), hi, lo)
 }
 
 // ZExt zero-extends a to width w.
@@ -562,7 +562,7 @@ func ZExt(a *Expr, w uint8) *Expr {
 	if a.Op == OpZExt {
 		return ZExt(a.Kids[0], w)
 	}
-	return &Expr{Op: OpZExt, Width: w, Kids: []*Expr{a}}
+	return intern1(OpZExt, w, 0, a)
 }
 
 // SExt sign-extends a to width w.
@@ -577,7 +577,7 @@ func SExt(a *Expr, w uint8) *Expr {
 	if a.IsConst() {
 		return Const(w, signExt(a.Val, a.Width))
 	}
-	return &Expr{Op: OpSExt, Width: w, Kids: []*Expr{a}}
+	return intern1(OpSExt, w, 0, a)
 }
 
 // String renders the term in a compact s-expression form.

@@ -1,0 +1,154 @@
+package expr
+
+import (
+	"sync"
+	"unsafe"
+)
+
+// Hash-consing intern table. Every constructor funnels its final allocation
+// through intern0/intern1/intern2/intern3, so structurally equal terms built
+// anywhere in the process share one *Expr. Pointer identity then makes the
+// solver's per-pointer caches (bit-blasting, hashing) hit across paths and
+// across handlers, and lets simplifier pointer compares (a == b) succeed
+// where they used to fall back to deep structural walks.
+//
+// The table is sharded to keep parallel exploration workers off a single
+// lock, and each shard is bounded: when a shard fills, it is reset (an
+// "epoch" change). Terms from an older epoch stay valid — they simply stop
+// being canonical, and later structurally-equal terms may get a distinct
+// pointer. Every consumer tolerates that: the solver falls back to
+// hash+structural equality, and the simplifier's structEq is pointer-equality
+// plus a deep walk. Interning is therefore purely an optimization layer; it
+// can drop entries at any time without affecting semantics.
+
+// internKey identifies a term up to pointer identity of its children. Kids
+// are already interned when the key is built, so comparing child pointers is
+// exactly structural comparison of the subtrees (within an epoch).
+type internKey struct {
+	op         Op
+	width, lo  uint8
+	val        uint64
+	name       string
+	k0, k1, k2 *Expr
+}
+
+const (
+	internShards   = 64
+	internShardCap = 1 << 13 // entries per shard before an epoch reset
+)
+
+type internShard struct {
+	mu     sync.Mutex
+	m      map[internKey]*Expr
+	hits   int64
+	misses int64
+	resets int64
+}
+
+var internTab [internShards]internShard
+
+func init() {
+	for i := range internTab {
+		internTab[i].m = make(map[internKey]*Expr)
+	}
+	// Seed the canonical 1-bit constants so Const(1, x) returns the same
+	// pointers the package-level One/Zero variables hold.
+	seed := func(e *Expr) {
+		k := internKey{op: OpConst, width: e.Width, val: e.Val}
+		internTab[shardOf(&k)].m[k] = e
+	}
+	seed(One)
+	seed(Zero)
+}
+
+// InternStats reports cumulative intern-table hits, misses, and epoch
+// resets for the whole process.
+func InternStats() (hits, misses, resets int64) {
+	for i := range internTab {
+		s := &internTab[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		resets += s.resets
+		s.mu.Unlock()
+	}
+	return
+}
+
+// InternSize returns the current number of interned terms across all
+// shards. It exists so tests can assert the table stays bounded.
+func InternSize() int {
+	n := 0
+	for i := range internTab {
+		s := &internTab[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// shardOf picks the shard for a key with an FNV-1a mix over the scalar
+// fields and the child pointers. Go's heap is non-moving, so a term's
+// pointer — and therefore its parents' shard — is stable for its lifetime.
+func shardOf(k *internKey) uint32 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(k.op) | uint64(k.width)<<8 | uint64(k.lo)<<16)
+	mix(k.val)
+	for i := 0; i < len(k.name); i++ {
+		mix(uint64(k.name[i]))
+	}
+	mix(uint64(uintptr(unsafe.Pointer(k.k0))))
+	mix(uint64(uintptr(unsafe.Pointer(k.k1))))
+	mix(uint64(uintptr(unsafe.Pointer(k.k2))))
+	return uint32(h % internShards)
+}
+
+func internGet(k internKey, make_ func() *Expr) *Expr {
+	s := &internTab[shardOf(&k)]
+	s.mu.Lock()
+	if e, ok := s.m[k]; ok {
+		s.hits++
+		s.mu.Unlock()
+		return e
+	}
+	s.misses++
+	if len(s.m) >= internShardCap {
+		s.m = make(map[internKey]*Expr)
+		s.resets++
+	}
+	e := make_()
+	s.m[k] = e
+	s.mu.Unlock()
+	return e
+}
+
+// intern0 interns leaves (constants and variables).
+func intern0(op Op, w uint8, val uint64, name string) *Expr {
+	return internGet(internKey{op: op, width: w, val: val, name: name}, func() *Expr {
+		return &Expr{Op: op, Width: w, Val: val, Name: name}
+	})
+}
+
+// intern1 interns unary nodes; lo carries OpExtract's low bit index.
+func intern1(op Op, w, lo uint8, k0 *Expr) *Expr {
+	return internGet(internKey{op: op, width: w, lo: lo, k0: k0}, func() *Expr {
+		return &Expr{Op: op, Width: w, Lo: lo, Kids: []*Expr{k0}}
+	})
+}
+
+func intern2(op Op, w uint8, k0, k1 *Expr) *Expr {
+	return internGet(internKey{op: op, width: w, k0: k0, k1: k1}, func() *Expr {
+		return &Expr{Op: op, Width: w, Kids: []*Expr{k0, k1}}
+	})
+}
+
+func intern3(op Op, w uint8, k0, k1, k2 *Expr) *Expr {
+	return internGet(internKey{op: op, width: w, k0: k0, k1: k1, k2: k2}, func() *Expr {
+		return &Expr{Op: op, Width: w, Kids: []*Expr{k0, k1, k2}}
+	})
+}

@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"testing"
+
+	"pokeemu/internal/expr"
+	"pokeemu/internal/machine"
+	"pokeemu/internal/solver"
+	"pokeemu/internal/x86"
+)
+
+// The cross-validation oracle is only as good as the agreement between its
+// four independent implementations of the bit-vector semantics: the pure
+// evaluator (expr.Eval), the bit-blaster (solver.BV), and the two
+// emulators. This table drives the same shift/div/extend edge-case vectors
+// through all four and requires one answer.
+//
+// Shift counts are given raw (pre-mask): the emulators mask CL to 5 bits
+// in the instruction, so the expr/solver terms shift by count&0x1f — the
+// point where the two layers historically disagreed.
+
+type oracleVector struct {
+	name string
+	w    uint8  // operand width: 8, 16, or 32
+	op   string // shl | shr | sar | div | zext | sext
+	a, b uint64 // operands; b is the raw CL count, the divisor, or unused
+}
+
+var oracleVectors = []oracleVector{
+	// Counts below, at, and beyond the operand width (after the 5-bit mask).
+	{"shl-w8-count7", 8, "shl", 0x81, 7},
+	{"shl-w8-count8", 8, "shl", 0x81, 8},
+	{"shl-w8-count40", 8, "shl", 0xff, 40}, // CL=40 masks to 8 == width
+	{"shl-w32-count31", 32, "shl", 0x80000001, 31},
+	{"shl-w32-count63", 32, "shl", 0x80000001, 63}, // masks to 31
+	{"shr-w8-count8-msb1", 8, "shr", 0x80, 8},
+	{"shr-w8-count40-msb1", 8, "shr", 0x80, 40}, // masks to 8 == width
+	{"shr-w8-count9", 8, "shr", 0xff, 9},
+	{"shr-w16-count48", 16, "shr", 0x8000, 48}, // masks to 16 == width
+	{"shr-w32-count1", 32, "shr", 0xffffffff, 1},
+	{"sar-w8-count8", 8, "sar", 0x80, 8},
+	{"sar-w8-count31", 8, "sar", 0x80, 31},
+	{"sar-w8-count31-pos", 8, "sar", 0x7f, 31},
+	{"sar-w16-count16", 16, "sar", 0x8000, 48},
+	{"sar-w32-count31", 32, "sar", 0x80000000, 31},
+	// Unsigned division and remainder (32-bit instruction form).
+	{"div-exact", 32, "div", 1000, 8},
+	{"div-rem", 32, "div", 1000, 37},
+	{"div-small-by-large", 32, "div", 3, 1000},
+	{"div-max", 32, "div", 0xffffffff, 1},
+	// Widening moves.
+	{"zext-8-to-32", 32, "zext", 0xabcdef85, 0},
+	{"sext-8-to-32-neg", 32, "sext", 0xabcdef85, 0},
+	{"sext-8-to-32-pos", 32, "sext", 0xabcdef75, 0},
+	{"sext-16-to-32", 32, "sext16", 0x1234f234, 0},
+}
+
+// term builds the expr-level form of a vector over the variable x.
+func (v *oracleVector) term(x *expr.Expr) *expr.Expr {
+	switch v.op {
+	case "shl":
+		return expr.Shl(x, expr.Const(v.w, v.b&0x1f))
+	case "shr":
+		return expr.LShr(x, expr.Const(v.w, v.b&0x1f))
+	case "sar":
+		return expr.AShr(x, expr.Const(v.w, v.b&0x1f))
+	case "div":
+		return expr.UDiv(x, expr.Const(v.w, v.b))
+	case "zext":
+		return expr.ZExt(expr.Extract(x, 0, 8), 32)
+	case "sext":
+		return expr.SExt(expr.Extract(x, 0, 8), 32)
+	case "sext16":
+		return expr.SExt(expr.Extract(x, 0, 16), 32)
+	}
+	panic("unknown op " + v.op)
+}
+
+// program assembles the x86 form: operand in EAX, count/divisor in ECX,
+// result left in EAX (and the remainder in EDX for div).
+func (v *oracleVector) program() []byte {
+	mov := func(r x86.Reg, val uint64) []byte { return x86.AsmMovRegImm32(r, uint32(val)) }
+	switch v.op {
+	case "shl", "shr", "sar":
+		grp2 := map[string]byte{"shl": 0xe0, "shr": 0xe8, "sar": 0xf8}[v.op]
+		var sh []byte
+		switch v.w {
+		case 8:
+			sh = []byte{0xd2, grp2} // group2 rm8, CL
+		case 16:
+			sh = []byte{0x66, 0xd3, grp2}
+		default:
+			sh = []byte{0xd3, grp2}
+		}
+		return cat(mov(x86.ECX, v.b), mov(x86.EAX, v.a), sh, hlt)
+	case "div":
+		return cat(mov(x86.EDX, 0), mov(x86.EAX, v.a), mov(x86.ECX, v.b),
+			[]byte{0xf7, 0xf1}, hlt) // div %ecx
+	case "zext":
+		return cat(mov(x86.EAX, v.a), []byte{0x0f, 0xb6, 0xc0}, hlt) // movzx %al, %eax
+	case "sext":
+		return cat(mov(x86.EAX, v.a), []byte{0x0f, 0xbe, 0xc0}, hlt) // movsx %al, %eax
+	case "sext16":
+		return cat(mov(x86.EAX, v.a), []byte{0x0f, 0xbf, 0xc0}, hlt) // movsx %ax, %eax
+	}
+	panic("unknown op " + v.op)
+}
+
+func TestOracleVectorsFourWay(t *testing.T) {
+	image := machine.BaselineImage()
+	emulators := []Factory{FidelisFactory(), CelerFactory()}
+	for _, v := range oracleVectors {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			x := expr.Var(v.w, "x")
+			term := v.term(x)
+			env := map[string]uint64{"x": v.a & expr.Mask(v.w)}
+
+			// Oracle 1: the pure evaluator defines the expected value.
+			want := expr.Eval(term, env)
+
+			// Oracle 2: the bit-blaster, with x pinned by assumption. The
+			// term must be encoded before the solve: ValueOf reads the
+			// solved model, and bits encoded afterwards are unassigned.
+			b := solver.NewBV()
+			b.Bits(term)
+			rem := expr.URem(x, expr.Const(v.w, v.b))
+			if v.op == "div" {
+				b.Bits(rem)
+			}
+			pin := b.LitFor(expr.Eq(x, expr.Const(v.w, v.a&expr.Mask(v.w))))
+			if st := b.CheckLits([]solver.Lit{pin}); st != solver.Sat {
+				t.Fatalf("pin check = %v", st)
+			}
+			if got := b.ValueOf(term); got != want {
+				t.Errorf("bit-blaster: %#x, evaluator: %#x", got, want)
+			}
+			if v.op == "div" {
+				if got, w := b.ValueOf(rem), expr.Eval(rem, env); got != w {
+					t.Errorf("bit-blaster remainder: %#x, evaluator: %#x", got, w)
+				}
+			}
+
+			// Oracles 3 and 4: the emulators executing the instruction form.
+			prog := v.program()
+			for _, res := range RunAll(emulators, image, prog, 0) {
+				if res.Snapshot.Exception != nil {
+					t.Fatalf("%s raised %v", res.Impl, res.Snapshot.Exception)
+				}
+				got := uint64(res.Snapshot.CPU.GPR[x86.EAX]) & expr.Mask(v.w)
+				// The shift result occupies only the low w bits of EAX; the
+				// high bits keep their pre-shift value and are not part of
+				// the vector's contract.
+				if got != want {
+					t.Errorf("%s: %#x, evaluator: %#x", res.Impl, got, want)
+				}
+				if v.op == "div" {
+					wantRem := expr.Eval(rem, env)
+					if gr := uint64(res.Snapshot.CPU.GPR[x86.EDX]); gr != wantRem {
+						t.Errorf("%s remainder: %#x, evaluator: %#x", res.Impl, gr, wantRem)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOracleVectorsDivideByZero pins the deliberate disagreement at the
+// boundary: SMT-LIB total-function semantics (x/0 = all-ones, x%0 = x) for
+// the evaluator and bit-blaster, a #DE exception for both emulators.
+func TestOracleVectorsDivideByZero(t *testing.T) {
+	x := expr.Var(32, "x")
+	env := map[string]uint64{"x": 1234}
+	q := expr.UDiv(x, expr.Const(32, 0))
+	r := expr.URem(x, expr.Const(32, 0))
+	if got := expr.Eval(q, env); got != expr.Mask(32) {
+		t.Errorf("eval x/0 = %#x, want all-ones", got)
+	}
+	if got := expr.Eval(r, env); got != 1234 {
+		t.Errorf("eval x%%0 = %#x, want the dividend", got)
+	}
+	b := solver.NewBV()
+	b.Bits(q)
+	b.Bits(r)
+	pin := b.LitFor(expr.Eq(x, expr.Const(32, 1234)))
+	if st := b.CheckLits([]solver.Lit{pin}); st != solver.Sat {
+		t.Fatalf("pin check = %v", st)
+	}
+	if got := b.ValueOf(q); got != expr.Mask(32) {
+		t.Errorf("bit-blaster x/0 = %#x, want all-ones", got)
+	}
+	if got := b.ValueOf(r); got != 1234 {
+		t.Errorf("bit-blaster x%%0 = %#x, want the dividend", got)
+	}
+
+	image := machine.BaselineImage()
+	prog := cat(x86.AsmMovRegImm32(x86.EDX, 0), x86.AsmMovRegImm32(x86.EAX, 1234),
+		x86.AsmMovRegImm32(x86.ECX, 0), []byte{0xf7, 0xf1}, hlt)
+	for _, res := range RunAll([]Factory{FidelisFactory(), CelerFactory()}, image, prog, 0) {
+		ex := res.Snapshot.Exception
+		if ex == nil || ex.Vector != 0 {
+			t.Errorf("%s: divide by zero raised %v, want #DE (vector 0)", res.Impl, ex)
+		}
+	}
+}

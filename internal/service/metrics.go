@@ -5,6 +5,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pokeemu/internal/expr"
+	"pokeemu/internal/solver"
 )
 
 // Metrics are the daemon's built-in counters and histograms, expvar-style:
@@ -88,6 +91,19 @@ type MetricsSnapshot struct {
 		Executed int64 `json:"executed"`
 		Reported int64 `json:"reported"`
 	} `json:"tests"`
+	// Solver mirrors the process-wide symbolic-execution hot-path counters:
+	// bit-vector solver queries, the assumption-set memo that answers
+	// repeated queries without solving, and the expression intern table that
+	// deduplicates term construction. Totals cover every job since start.
+	Solver struct {
+		Queries      int64 `json:"queries"`
+		MemoHits     int64 `json:"memo_hits"`
+		MemoMisses   int64 `json:"memo_misses"`
+		InternHits   int64 `json:"intern_hits"`
+		InternMisses int64 `json:"intern_misses"`
+		InternResets int64 `json:"intern_resets"`
+		InternSize   int   `json:"intern_size"`
+	} `json:"solver"`
 	JobDurationMS HistogramSnapshot        `json:"job_duration_ms"`
 	TestsPerJob   HistogramSnapshot        `json:"tests_per_job"`
 	HTTP          map[string]RouteSnapshot `json:"http"`
@@ -114,6 +130,10 @@ func (m *Metrics) Snapshot(g JobGauges) MetricsSnapshot {
 	s.Jobs.Running = g.Running
 	s.Tests.Executed = m.TestsExecuted.Load()
 	s.Tests.Reported = m.TestsReported.Load()
+	s.Solver.Queries = solver.QueriesTotal()
+	s.Solver.MemoHits, s.Solver.MemoMisses = solver.MemoTotals()
+	s.Solver.InternHits, s.Solver.InternMisses, s.Solver.InternResets = expr.InternStats()
+	s.Solver.InternSize = expr.InternSize()
 	s.JobDurationMS = m.JobDurationMS.Snapshot()
 	s.TestsPerJob = m.TestsPerJob.Snapshot()
 	s.HTTP = make(map[string]RouteSnapshot)

@@ -147,16 +147,20 @@ func (s *Server) CorpusDir() string { return s.opts.CorpusDir }
 // defaults (path_cap 256, seed 1, workers = the server's per-job cap);
 // negative values are rejected.
 type Request struct {
-	Handlers      []string `json:"handlers,omitempty"`
-	MaxInstrs     int      `json:"max_instrs,omitempty"`
-	PathCap       int      `json:"path_cap,omitempty"`
-	Seed          int64    `json:"seed,omitempty"`
-	Workers       int      `json:"workers,omitempty"`
-	MaxSteps      int      `json:"max_steps,omitempty"`
-	Resume        bool     `json:"resume,omitempty"`
-	NoCache       bool     `json:"no_cache,omitempty"`
-	TestMaxSteps  int      `json:"test_max_steps,omitempty"`
-	TestTimeoutMS int64    `json:"test_timeout_ms,omitempty"`
+	Handlers  []string `json:"handlers,omitempty"`
+	MaxInstrs int      `json:"max_instrs,omitempty"`
+	PathCap   int      `json:"path_cap,omitempty"`
+	Seed      int64    `json:"seed,omitempty"`
+	Workers   int      `json:"workers,omitempty"`
+	// ExploreWorkers bounds the pool inside each instruction's symbolic
+	// exploration; like workers it only affects wall-clock time, never the
+	// report. 0 or 1 runs exploration sequentially.
+	ExploreWorkers int   `json:"explore_workers,omitempty"`
+	MaxSteps       int   `json:"max_steps,omitempty"`
+	Resume         bool  `json:"resume,omitempty"`
+	NoCache        bool  `json:"no_cache,omitempty"`
+	TestMaxSteps   int   `json:"test_max_steps,omitempty"`
+	TestTimeoutMS  int64 `json:"test_timeout_ms,omitempty"`
 }
 
 // configFor normalizes the request in place (so the job's status echoes the
@@ -175,12 +179,16 @@ func (s *Server) configFor(req *Request) (campaign.Config, error) {
 	if req.Workers == 0 || req.Workers > s.opts.MaxWorkersPerJob {
 		req.Workers = s.opts.MaxWorkersPerJob
 	}
+	if req.ExploreWorkers > s.opts.MaxWorkersPerJob {
+		req.ExploreWorkers = s.opts.MaxWorkersPerJob
+	}
 	cfg := campaign.Config{
 		MaxPathsPerInstr: req.PathCap,
 		MaxInstrs:        req.MaxInstrs,
 		Handlers:         req.Handlers,
 		Seed:             req.Seed,
 		Workers:          req.Workers,
+		ExploreWorkers:   req.ExploreWorkers,
 		MaxSteps:         req.MaxSteps,
 		CorpusDir:        s.opts.CorpusDir,
 		NoCache:          req.NoCache,

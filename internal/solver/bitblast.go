@@ -1,7 +1,10 @@
 package solver
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"pokeemu/internal/expr"
 )
@@ -21,11 +24,50 @@ type BV struct {
 	hash  map[uint64][]hashEntry
 	vars  map[string][]Lit
 	hmemo map[*expr.Expr]uint64
+	memo  map[string]memoEntry
 
 	// Queries counts Check calls; Encoded counts encoded term nodes.
-	Queries int64
-	Encoded int64
+	// MemoHits/MemoMisses split Queries by whether the assumption-set memo
+	// answered without running the SAT core.
+	Queries    int64
+	Encoded    int64
+	MemoHits   int64
+	MemoMisses int64
 }
+
+// memoEntry caches the outcome of one assumption set: the status, and for
+// Sat the full model snapshot so a hit can restore it for Model() callers.
+type memoEntry struct {
+	st    Status
+	model []bool
+}
+
+const (
+	// checkMemoCap bounds the assumption-set memo; encodeCacheCap bounds the
+	// translation caches (ptr/hash/hmemo). Both are cleared wholesale when
+	// full: dropping entries only costs re-solving/re-encoding, never
+	// soundness, and a hard cap is what keeps an 8192-path exploration from
+	// growing memory without bound.
+	checkMemoCap   = 1 << 14
+	encodeCacheCap = 1 << 16
+)
+
+// Process-wide solver counters, aggregated across every BV instance (the
+// parallel explorer gives each worker its own BV). The campaign timing table
+// and the pokeemud /metrics endpoint read these.
+var (
+	memoHitsTotal   atomic.Int64
+	memoMissesTotal atomic.Int64
+	internalQueries atomic.Int64
+)
+
+// MemoTotals reports process-wide CheckLits memo hits and misses.
+func MemoTotals() (hits, misses int64) {
+	return memoHitsTotal.Load(), memoMissesTotal.Load()
+}
+
+// QueriesTotal reports process-wide CheckLits calls.
+func QueriesTotal() int64 { return internalQueries.Load() }
 
 type hashEntry struct {
 	e    *expr.Expr
@@ -40,6 +82,7 @@ func NewBV() *BV {
 		hash:  make(map[uint64][]hashEntry),
 		vars:  make(map[string][]Lit),
 		hmemo: make(map[*expr.Expr]uint64),
+		memo:  make(map[string]memoEntry),
 	}
 	t := b.sat.NewVar()
 	b.tru = MkLit(t, false)
@@ -264,6 +307,14 @@ func (b *BV) Bits(e *expr.Expr) []Lit {
 		}
 	}
 	lits := b.encode(e)
+	if len(b.ptr) >= encodeCacheCap {
+		// The translation caches are pure memoization over an append-only
+		// CNF; dropping them re-encodes future terms but loses nothing.
+		// b.vars must survive: it carries variable identity.
+		b.ptr = make(map[*expr.Expr][]Lit)
+		b.hash = make(map[uint64][]hashEntry)
+		b.hmemo = make(map[*expr.Expr]uint64)
+	}
 	b.ptr[e] = lits
 	b.hash[h] = append(b.hash[h], hashEntry{e, lits})
 	b.Encoded++
@@ -500,6 +551,8 @@ func (b *BV) Assert(e *expr.Expr) {
 	}
 	l := b.Bits(e)[0]
 	b.sat.AddClause(l)
+	// A new hard constraint can flip any memoized answer from Sat to Unsat.
+	b.memo = make(map[string]memoEntry)
 }
 
 // LitFor translates the 1-bit term e and returns its literal, for use as an
@@ -522,9 +575,52 @@ func (b *BV) Check(assumps []*expr.Expr) Status {
 }
 
 // CheckLits decides satisfiability under pre-translated assumption literals.
+//
+// Results are memoized per assumption *set* (the key is order-insensitive
+// and sign-aware: the sign bit lives inside each Lit). A Sat hit restores
+// the model snapshot taken when the entry was stored, so Model()/ModelVal()
+// behave exactly as after a real solve; variables first encoded after the
+// snapshot read as zero, which is a legal assignment for variables the
+// memoized query never constrained. Assert invalidates the memo.
 func (b *BV) CheckLits(lits []Lit) Status {
 	b.Queries++
-	return b.sat.Solve(lits)
+	internalQueries.Add(1)
+	key := memoKey(lits)
+	if ent, ok := b.memo[key]; ok {
+		b.MemoHits++
+		memoHitsTotal.Add(1)
+		if ent.st == Sat {
+			b.sat.model = append(b.sat.model[:0], ent.model...)
+		}
+		return ent.st
+	}
+	b.MemoMisses++
+	memoMissesTotal.Add(1)
+	st := b.sat.Solve(lits)
+	ent := memoEntry{st: st}
+	if st == Sat {
+		ent.model = append([]bool(nil), b.sat.model...)
+	}
+	if len(b.memo) >= checkMemoCap {
+		b.memo = make(map[string]memoEntry)
+	}
+	b.memo[key] = ent
+	return st
+}
+
+// memoKey canonicalizes an assumption set into a map key: sort a copy (the
+// caller's slice is never reordered) and pack the raw literals. Two queries
+// with the same literals in any order share one entry; a literal and its
+// negation differ in the packed value, so the key is sign-aware.
+func memoKey(lits []Lit) string {
+	s := make([]Lit, len(lits))
+	copy(s, lits)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	buf := make([]byte, 4*len(s))
+	for i, l := range s {
+		binary.LittleEndian.PutUint32(buf[i*4:], uint32(l))
+	}
+	return string(buf)
 }
 
 // Model extracts values for every bit-blasted variable after a Sat result.
@@ -545,6 +641,11 @@ func (b *BV) ModelVal(name string) uint64 {
 	}
 	return b.valueOf(lits)
 }
+
+// ValueOf returns the value of an already-encoded term under the current
+// SAT model. Callers must encode the term (Bits) before solving; bits
+// allocated after the model was produced read as zero.
+func (b *BV) ValueOf(e *expr.Expr) uint64 { return b.valueOf(b.Bits(e)) }
 
 func (b *BV) valueOf(lits []Lit) uint64 {
 	var v uint64

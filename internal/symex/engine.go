@@ -15,6 +15,11 @@ type Options struct {
 	MaxSteps     int   // cap on IR statements per path
 	Seed         int64 // RNG seed for the random frontier choice
 	SkipMinimize bool  // keep raw solver models (ablation)
+	// Workers bounds the pool exploring independent subtrees in parallel
+	// (≤ 1 means a pool of one). The explored path set, its order, and all
+	// deterministic statistics are byte-identical for every worker count:
+	// the split/merge algorithm is the same, only the pool size changes.
+	Workers int
 }
 
 // DefaultOptions mirror the paper's configuration.
@@ -35,13 +40,14 @@ type PathResult struct {
 
 // Stats aggregates exploration effort.
 type Stats struct {
-	Paths         int
-	AbortedPaths  int
-	SolverQueries int64
-	TreeNodes     int64
-	Exhausted     bool // every feasible path was explored
-	MinimizedBits int64
-	FlippedBits   int64
+	Paths          int
+	AbortedPaths   int
+	SolverQueries  int64
+	SolverMemoHits int64 // queries answered by the solver's assumption memo
+	TreeNodes      int64
+	Exhausted      bool // every feasible path was explored
+	MinimizedBits  int64
+	FlippedBits    int64
 	// StmtsCovered / StmtsTotal measure static IR statement coverage across
 	// all explored paths — the paper's observation that exhaustive path
 	// exploration yields very high static coverage of the per-instruction
@@ -75,6 +81,17 @@ type Engine struct {
 	walker   *walker
 	st       *SymState
 	steps    int
+	curDirs  []int // branch directions taken on the current path
+	curForks int   // genuine forks among them (sibling not known infeasible)
+
+	// split exploration (see parallel.go)
+	splitDepth int     // > 0: delegate subtrees below this many forks as tasks
+	forced     []int   // direction prefix this engine replays before exploring
+	tasks      [][]int // subtree prefixes recorded at the split depth
+	collected  []keyedPath
+	subs       []*Engine // task engines, canonical order, after Explore
+	explored   bool      // Explore ran; exhausted holds the global verdict
+	exhausted  bool
 
 	stmtHits []bool // statement coverage across all paths
 	stats    Stats
@@ -100,12 +117,24 @@ func NewEngine(initial *SymState, sideConds []*expr.Expr, opts Options) *Engine 
 	return en
 }
 
-// Stats returns exploration statistics so far.
+// Stats returns exploration statistics so far, aggregated over any
+// subtree task engines.
 func (en *Engine) Stats() Stats {
 	s := en.stats
 	s.SolverQueries = en.bv.Queries
+	s.SolverMemoHits = en.bv.MemoHits
 	s.TreeNodes = en.tree.Nodes
 	s.Exhausted = en.tree.FullyExplored()
+	for _, sub := range en.subs {
+		s.SolverQueries += sub.bv.Queries
+		s.SolverMemoHits += sub.bv.MemoHits
+		s.TreeNodes += sub.tree.Nodes
+		s.MinimizedBits += sub.stats.MinimizedBits
+		s.FlippedBits += sub.stats.FlippedBits
+	}
+	if en.explored {
+		s.Exhausted = en.exhausted
+	}
 	s.StmtsTotal = len(en.stmtHits)
 	for _, hit := range en.stmtHits {
 		if hit {
@@ -130,6 +159,10 @@ var errDeadEnd = fmt.Errorf("symex: dead end")
 // errStepCap signals the per-path step budget was hit.
 var errStepCap = fmt.Errorf("symex: step cap")
 
+// errSplit signals the path crossed the split depth; the subtree has been
+// recorded as a task for the parallel phase and closed in this tree.
+var errSplit = fmt.Errorf("symex: split frontier")
+
 // branch decides a symbolic two-way branch through the decision tree,
 // returning the direction taken.
 func (en *Engine) branch(cond *expr.Expr) (bool, error) {
@@ -141,6 +174,39 @@ func (en *Engine) branch(cond *expr.Expr) (bool, error) {
 		}
 		return condLit.Neg()
 	}
+	take := func(dir int) {
+		en.pathLits = append(en.pathLits, litFor(dir))
+		if dir == 1 {
+			en.pathCond = append(en.pathCond, cond)
+		} else {
+			en.pathCond = append(en.pathCond, expr.Not(cond))
+		}
+		w.descend(dir)
+		en.curDirs = append(en.curDirs, dir)
+	}
+	// Forced-prefix replay: a task engine retraces its subtree's spine
+	// without consuming randomness or solver queries. The sibling of each
+	// spine edge is closed ("another task's responsibility"), so this
+	// tree's FullyExplored means the delegated subtree is exhausted.
+	if n := len(en.curDirs); n < len(en.forced) {
+		dir := en.forced[n]
+		if w.known(dir) == feasUnknown {
+			w.setFeasibility(dir, true)
+			w.markSkipped(1 - dir)
+		}
+		take(dir)
+		return dir == 1, nil
+	}
+	// Frontier split: delegate the subtree as a task once the path has
+	// crossed splitDepth genuine forks. Depth in raw branch decisions does
+	// not work here — instruction programs open with long one-sided runs
+	// (side conditions, summary guards), so a raw-depth frontier degenerates
+	// to one or two tasks and the parallel phase has nothing to schedule.
+	if en.splitDepth > 0 && en.curForks >= en.splitDepth {
+		en.tasks = append(en.tasks, append([]int(nil), en.curDirs...))
+		w.abandon()
+		return false, errSplit
+	}
 	dirs := w.candidates()
 	shuffle(en.rng, dirs)
 	for _, dir := range dirs {
@@ -151,13 +217,15 @@ func (en *Engine) branch(cond *expr.Expr) (bool, error) {
 				continue
 			}
 		}
-		en.pathLits = append(en.pathLits, litFor(dir))
-		if dir == 1 {
-			en.pathCond = append(en.pathCond, cond)
-		} else {
-			en.pathCond = append(en.pathCond, expr.Not(cond))
+		// A fork is a node whose other side is not known infeasible. The
+		// count can only shrink as verdicts arrive (unknown -> infeasible),
+		// so later paths split at the same node or deeper, never at an
+		// ancestor of an already-delegated subtree — prefixes stay
+		// prefix-free.
+		if w.known(1-dir) != feasNo {
+			en.curForks++
 		}
-		w.descend(dir)
+		take(dir)
 		return dir == 1, nil
 	}
 	w.deadEnd()
@@ -167,20 +235,47 @@ func (en *Engine) branch(cond *expr.Expr) (bool, error) {
 // pickConcrete chooses one feasible concrete value for a term and pins it
 // on the path condition — the on-the-fly concretization used for memory and
 // table indexes ("all 2³² locations are equivalent").
+//
+// The choice is canonical: a pure function of the path condition and the
+// baseline, never of solver internals such as the last model. That is what
+// lets a parallel task replay a path prefix in a fresh solver and land on
+// the same concrete pins — and it biases pins toward the baseline, which
+// helps minimization.
 func (en *Engine) pickConcrete(e *expr.Expr) (uint64, error) {
 	if e.IsConst() {
 		return e.Val, nil
 	}
+	pinTo := func(val uint64) {
+		pin := expr.Eq(e, expr.Const(e.Width, val))
+		en.pathCond = append(en.pathCond, pin)
+		en.pathLits = append(en.pathLits, en.bv.LitFor(pin))
+	}
+	// Fast path: the baseline value is usually feasible.
+	baseVal := expr.Eval(e, en.st.Baseline)
+	basePin := en.bv.LitFor(expr.Eq(e, expr.Const(e.Width, baseVal)))
+	if en.bv.CheckLits(en.assumptions(basePin)) == solver.Sat {
+		pinTo(baseVal)
+		return baseVal, nil
+	}
 	if en.bv.CheckLits(en.assumptions()) != solver.Sat {
 		return 0, errDeadEnd // cannot happen on a consistent path
 	}
-	// Variables of e absent from the CNF are unconstrained; evaluating the
-	// model (zero for absent variables) still yields a feasible pin.
-	m := en.bv.Model()
-	val := expr.Eval(e, m)
-	pin := expr.Eq(e, expr.Const(e.Width, val))
-	en.pathCond = append(en.pathCond, pin)
-	en.pathLits = append(en.pathLits, en.bv.LitFor(pin))
+	// Fix bits MSB-first, keeping each baseline bit unless the solver
+	// forces its complement.
+	var val uint64
+	picked := en.assumptions()
+	for i := int(e.Width) - 1; i >= 0; i-- {
+		bit := expr.Extract(e, uint8(i), 1)
+		want := baseVal >> uint(i) & 1
+		lit := en.bv.LitFor(expr.Eq(bit, expr.Const(1, want)))
+		if en.bv.CheckLits(append(picked, lit)) != solver.Sat {
+			want ^= 1
+			lit = en.bv.LitFor(expr.Eq(bit, expr.Const(1, want)))
+		}
+		picked = append(picked, lit)
+		val |= want << uint(i)
+	}
+	pinTo(val)
 	return val, nil
 }
 
@@ -209,31 +304,12 @@ func (en *Engine) ConcretizeEnum(e *expr.Expr) (uint64, error) {
 	return val, nil
 }
 
-// Explore enumerates execution paths of prog until the tree is exhausted or
-// the path cap is reached, invoking visit for each completed path.
-func (en *Engine) Explore(prog *ir.Program, visit func(*PathResult)) {
-	for en.stats.Paths < en.opts.MaxPaths && !en.tree.FullyExplored() {
-		res, err := en.runOnce(prog)
-		if err == errDeadEnd {
-			continue // retry from the root; the tree has been updated
-		}
-		if res == nil {
-			break
-		}
-		en.stats.Paths++
-		if res.Aborted {
-			en.stats.AbortedPaths++
-		}
-		if visit != nil {
-			visit(res)
-		}
-	}
-}
-
 // runOnce executes one path of the program symbolically.
 func (en *Engine) runOnce(prog *ir.Program) (*PathResult, error) {
 	en.pathCond = en.pathCond[:0]
 	en.pathLits = en.pathLits[:0]
+	en.curDirs = en.curDirs[:0]
+	en.curForks = 0
 	en.walker = en.tree.walk()
 	en.st = en.initial.Clone()
 	en.steps = 0

@@ -11,8 +11,9 @@ import (
 // (summary records and, transitively, the expression node table). Any change
 // to the expr term language, the summary construction, or the record layout
 // below must bump it so persistent corpora are invalidated rather than
-// misread.
-const SerialVersion = 1
+// misread. Version 2: canonical concretization pins, canonical path order,
+// and solver query memoization changed which models exploration emits.
+const SerialVersion = 2
 
 // SummaryRecord is the serializable form of a Summary: the expression DAG
 // flattened into a node table (shared subterms appear once and are

@@ -69,6 +69,40 @@ func (s *SymState) Clone() *SymState {
 	return c
 }
 
+// fork returns a deep copy for a parallel exploration task. Unlike Clone,
+// the variable registries (Vars/Baseline/VarLoc/VarMem) are copied rather
+// than shared, so the lazy creation of memory variables in SymMemory.read
+// cannot race between tasks running on different goroutines. The explore
+// orchestrator merges newly created names back into the root state after
+// every task has joined.
+func (s *SymState) fork() *SymState {
+	c := &SymState{
+		base:     s.base,
+		locs:     make(map[x86.Loc]*expr.Expr, len(s.locs)),
+		Vars:     make(map[string]uint8, len(s.Vars)),
+		Baseline: make(map[string]uint64, len(s.Baseline)),
+		VarLoc:   make(map[string]x86.Loc, len(s.VarLoc)),
+		VarMem:   make(map[string]uint32, len(s.VarMem)),
+	}
+	for k, v := range s.locs {
+		c.locs[k] = v
+	}
+	for k, v := range s.Vars {
+		c.Vars[k] = v
+	}
+	for k, v := range s.Baseline {
+		c.Baseline[k] = v
+	}
+	for k, v := range s.VarLoc {
+		c.VarLoc[k] = v
+	}
+	for k, v := range s.VarMem {
+		c.VarMem[k] = v
+	}
+	c.mem = s.mem.clone(c)
+	return c
+}
+
 // MarkLocSymbolic replaces the location's value with a fresh variable and
 // records its baseline value. The mask selects which bits are symbolic;
 // concrete mask bits are pinned to the baseline via the returned side

@@ -86,6 +86,11 @@ func (w *walker) setFeasibility(dir int, ok bool) {
 // known returns the recorded feasibility of a direction.
 func (w *walker) known(dir int) feas { return w.cur.feas[dir] }
 
+// markSkipped closes a direction that is another engine's responsibility
+// (the sibling of a forced-prefix edge), so FullyExplored of a task's
+// sub-tree means "this task's subtree is exhausted", not the whole space.
+func (w *walker) markSkipped(dir int) { w.cur.done[dir] = true }
+
 // descend commits to a direction and moves to (creating if needed) the
 // child node.
 func (w *walker) descend(dir int) {
