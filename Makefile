@@ -1,13 +1,14 @@
 # Standard checks for the PokeEMU reproduction. `make check` is the full
-# gate: build, vet, tests, the race detector over every package, and the
-# daemon smoke run.
+# gate: build, vet, tests, the race detector over every package, the chaos
+# matrix, and the daemon smoke run.
 
 GO ?= go
 FUZZTIME ?= 30s
+CHAOS_SEEDS ?= 10
 SERVE_ADDR ?= 127.0.0.1:8344
 SERVE_CORPUS ?= .pokeemud-corpus
 
-.PHONY: build vet test race fuzz bench serve smoke check
+.PHONY: build vet test race fuzz chaos bench serve smoke check
 
 build:
 	$(GO) build ./...
@@ -23,13 +24,22 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-# The three native fuzz targets: the instruction decoder's structural
-# invariants, the expression simplifier's soundness, and the bit-blaster
-# vs evaluator semantics oracle.
+# The four native fuzz targets: the instruction decoder's structural
+# invariants, the expression simplifier's soundness, the bit-blaster vs
+# evaluator semantics oracle, and the fault-injection spec parser.
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/x86
 	$(GO) test -fuzz=FuzzExprSimplify -fuzztime=$(FUZZTIME) ./internal/expr
 	$(GO) test -fuzz=FuzzSemanticsOracle -fuzztime=$(FUZZTIME) ./internal/solver
+	$(GO) test -fuzz=FuzzFaultSpec -fuzztime=$(FUZZTIME) ./internal/faults
+
+# Chaos gate: the fault-injection matrix under the race detector, sweeping
+# a fixed seed range (CHAOS_SEEDS plans per fault mix). Every armed fault
+# must degrade the campaign deterministically — byte-identical reports
+# across worker counts — never hang it, crash it, or shorten its report.
+chaos:
+	$(GO) test -race -timeout 30m -run 'TestChaos' ./internal/campaign -chaos-seeds=$(CHAOS_SEEDS)
+	$(GO) test -race -run 'TestSchedulerFault|TestDegradedReport' ./internal/service
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -45,4 +55,4 @@ serve:
 smoke:
 	$(GO) run ./cmd/pokeemud -smoke
 
-check: build vet test race smoke
+check: build vet test race chaos smoke

@@ -11,7 +11,7 @@
 //	pokeemu campaign [-instrs N] [-cap N] [-handlers a,b,c] [-workers N]
 //	                 [-explore-workers N] [-corpus DIR] [-resume] [-no-cache]
 //	                 [-timing] [-progress] [-test-steps N] [-test-timeout D]
-//	                 [-pprof PREFIX]
+//	                 [-stage-timeout D] [-faults SPEC] [-pprof PREFIX]
 //	pokeemu random [-tests N] [-fuzz]
 //	pokeemu sequence -seq f9,11d8 [-cap N]
 //	pokeemu trace -prog b82a000000f4 [-on celer]
@@ -22,6 +22,11 @@
 // per-test execution outcomes; -no-cache ignores cached artifacts while
 // still refreshing them; -timing appends the per-stage wall-time and
 // cache-hit-rate table to the report.
+//
+// Chaos testing: -faults SPEC (or the POKEEMU_FAULTS environment variable)
+// arms the deterministic fault-injection registry for the run, e.g.
+// "seed=7;corpus.write:p=0.2:err". Injected faults degrade the campaign
+// (explicit degraded section in the report) instead of failing it.
 package main
 
 import (
@@ -43,6 +48,7 @@ import (
 	"pokeemu/internal/campaign"
 	"pokeemu/internal/core"
 	"pokeemu/internal/emu"
+	"pokeemu/internal/faults"
 	"pokeemu/internal/harness"
 	"pokeemu/internal/machine"
 	"pokeemu/internal/randtest"
@@ -52,6 +58,11 @@ import (
 )
 
 func main() {
+	if spec := os.Getenv(faults.EnvVar); spec != "" {
+		if _, err := faults.ArmSpec(spec); err != nil {
+			die(fmt.Errorf("%s: %w", faults.EnvVar, err))
+		}
+	}
 	if len(os.Args) < 2 {
 		usage()
 	}
@@ -306,13 +317,22 @@ func cmdCampaign(args []string) {
 	timing := fs.Bool("timing", false, "append the per-stage timing and cache-hit table")
 	testSteps := fs.Int("test-steps", 0, "per-test emulator step budget (0 = default)")
 	testTimeout := fs.Duration("test-timeout", 0, "per-test wall-clock budget (0 = unlimited)")
+	stageTimeout := fs.Duration("stage-timeout", 0,
+		"per-stage deadline; units still queued at the deadline are skipped and ledgered as degraded (0 = unlimited)")
+	faultSpec := fs.String("faults", "",
+		"fault-injection spec, e.g. \"seed=7;corpus.write:p=0.2:err\" (overrides $"+faults.EnvVar+")")
 	progress := fs.Bool("progress", false, "print per-stage progress to stderr as the campaign runs")
 	pprofPrefix := fs.String("pprof", "",
 		"write PREFIX.cpu.pprof and PREFIX.heap.pprof profiles of the campaign")
 	fs.Parse(args)
 
-	if err := validateCampaignFlags(*workers, *exploreWorkers, *cap, *instrs, *maxSteps, *testSteps, *testTimeout); err != nil {
+	if err := validateCampaignFlags(*workers, *exploreWorkers, *cap, *instrs, *maxSteps, *testSteps, *testTimeout, *stageTimeout); err != nil {
 		die(err)
+	}
+	if *faultSpec != "" {
+		if _, err := faults.ArmSpec(*faultSpec); err != nil {
+			die(err)
+		}
 	}
 	if *pprofPrefix != "" {
 		stopProf, err := startProfiles(*pprofPrefix)
@@ -334,6 +354,7 @@ func cmdCampaign(args []string) {
 		Resume:           *resume,
 		TestMaxSteps:     *testSteps,
 		TestTimeout:      *testTimeout,
+		StageTimeout:     *stageTimeout,
 	}
 	if *handlers != "" {
 		cfg.Handlers = strings.Split(*handlers, ",")
@@ -386,7 +407,7 @@ func startProfiles(prefix string) (func(), error) {
 
 // validateCampaignFlags rejects flag values that would hang or silently
 // misbehave (a non-positive worker count, negative caps and budgets).
-func validateCampaignFlags(workers, exploreWorkers, cap, instrs, maxSteps, testSteps int, testTimeout time.Duration) error {
+func validateCampaignFlags(workers, exploreWorkers, cap, instrs, maxSteps, testSteps int, testTimeout, stageTimeout time.Duration) error {
 	switch {
 	case workers <= 0:
 		return fmt.Errorf("-workers must be >= 1 (got %d)", workers)
@@ -402,6 +423,8 @@ func validateCampaignFlags(workers, exploreWorkers, cap, instrs, maxSteps, testS
 		return fmt.Errorf("-test-steps must be >= 0 (got %d)", testSteps)
 	case testTimeout < 0:
 		return fmt.Errorf("-test-timeout must be >= 0 (got %v)", testTimeout)
+	case stageTimeout < 0:
+		return fmt.Errorf("-stage-timeout must be >= 0 (got %v)", stageTimeout)
 	}
 	return nil
 }

@@ -49,23 +49,25 @@ func TestValidateCampaignFlags(t *testing.T) {
 	cases := []struct {
 		name                                            string
 		workers, exWorkers, cap, instrs, steps, tsSteps int
-		timeout                                         time.Duration
+		timeout, stage                                  time.Duration
 		wantErr                                         string
 	}{
-		{"ok-defaults", 4, 0, 256, 0, 0, 0, 0, ""},
-		{"ok-explore-workers", 4, 8, 256, 0, 0, 0, 0, ""},
-		{"zero-workers", 0, 0, 256, 0, 0, 0, 0, "-workers"},
-		{"negative-workers", -3, 0, 256, 0, 0, 0, 0, "-workers"},
-		{"negative-explore-workers", 4, -1, 256, 0, 0, 0, 0, "-explore-workers"},
-		{"zero-cap", 1, 0, 0, 0, 0, 0, 0, "-cap"},
-		{"negative-instrs", 1, 0, 8, -1, 0, 0, 0, "-instrs"},
-		{"negative-maxsteps", 1, 0, 8, 0, -1, 0, 0, "-maxsteps"},
-		{"negative-test-steps", 1, 0, 8, 0, 0, -9, 0, "-test-steps"},
-		{"negative-test-timeout", 1, 0, 8, 0, 0, 0, -time.Second, "-test-timeout"},
+		{"ok-defaults", 4, 0, 256, 0, 0, 0, 0, 0, ""},
+		{"ok-explore-workers", 4, 8, 256, 0, 0, 0, 0, 0, ""},
+		{"ok-stage-timeout", 4, 0, 256, 0, 0, 0, 0, time.Minute, ""},
+		{"zero-workers", 0, 0, 256, 0, 0, 0, 0, 0, "-workers"},
+		{"negative-workers", -3, 0, 256, 0, 0, 0, 0, 0, "-workers"},
+		{"negative-explore-workers", 4, -1, 256, 0, 0, 0, 0, 0, "-explore-workers"},
+		{"zero-cap", 1, 0, 0, 0, 0, 0, 0, 0, "-cap"},
+		{"negative-instrs", 1, 0, 8, -1, 0, 0, 0, 0, "-instrs"},
+		{"negative-maxsteps", 1, 0, 8, 0, -1, 0, 0, 0, "-maxsteps"},
+		{"negative-test-steps", 1, 0, 8, 0, 0, -9, 0, 0, "-test-steps"},
+		{"negative-test-timeout", 1, 0, 8, 0, 0, 0, -time.Second, 0, "-test-timeout"},
+		{"negative-stage-timeout", 1, 0, 8, 0, 0, 0, 0, -time.Second, "-stage-timeout"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := validateCampaignFlags(c.workers, c.exWorkers, c.cap, c.instrs, c.steps, c.tsSteps, c.timeout)
+			err := validateCampaignFlags(c.workers, c.exWorkers, c.cap, c.instrs, c.steps, c.tsSteps, c.timeout, c.stage)
 			if c.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

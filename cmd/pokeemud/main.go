@@ -27,9 +27,15 @@
 // continues where it stopped.
 //
 // -smoke starts the daemon on an ephemeral port, drives one tiny campaign
-// through the HTTP API end to end (submit → poll → report → metrics), shuts
-// down gracefully, and exits 0 on success — the self-contained health gate
-// `make smoke` runs in CI.
+// through the HTTP API end to end (submit → poll → report → metrics), then
+// repeats the round-trip with a deterministic corpus-write fault armed and
+// requires an explicit degraded report plus a degraded /healthz — never a
+// silently short report. It shuts down gracefully and exits 0 on success;
+// this is the self-contained health gate `make smoke` runs in CI.
+//
+// The POKEEMU_FAULTS environment variable arms the deterministic
+// fault-injection registry for the whole daemon (chaos runs), e.g.
+// POKEEMU_FAULTS="seed=7;corpus.write:p=0.1:err" pokeemud.
 package main
 
 import (
@@ -47,10 +53,17 @@ import (
 	"syscall"
 	"time"
 
+	"pokeemu/internal/faults"
 	"pokeemu/internal/service"
 )
 
 func main() {
+	if spec := os.Getenv(faults.EnvVar); spec != "" {
+		if _, err := faults.ArmSpec(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "pokeemud: %s: %v\n", faults.EnvVar, err)
+			os.Exit(2)
+		}
+	}
 	addr := flag.String("addr", "127.0.0.1:8344", "listen address")
 	corpusDir := flag.String("corpus", ".pokeemud-corpus", "shared corpus directory (\"\" disables the corpus)")
 	maxJobs := flag.Int("max-jobs", 2, "max concurrently running campaigns")
@@ -183,6 +196,7 @@ func runSmoke() int {
 		return fail("submit = %d, %v", resp.StatusCode, err)
 	}
 	fmt.Printf("pokeemud: smoke: submitted %s\n", st.ID)
+	firstID := st.ID
 
 	t0 := time.Now()
 	for st.State != service.StateDone {
@@ -213,6 +227,66 @@ func runSmoke() int {
 		return fail("metrics out of step: %+v", m.Jobs)
 	}
 
+	// Second round-trip under chaos: with every corpus write failing, a cold
+	// job (different handler, so nothing is cached) must still complete, but
+	// with an explicit degraded section and a degraded health status.
+	if _, err := faults.ArmSpec("seed=7;corpus.write:p=1:err"); err != nil {
+		return fail("arm faults: %v", err)
+	}
+	defer faults.Disarm()
+	resp, err = http.Post(base+"/v1/campaigns", "application/json",
+		strings.NewReader(`{"handlers":["leave"],"path_cap":8}`))
+	if err != nil {
+		return fail("chaos submit: %v", err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 202 {
+		return fail("chaos submit = %d, %v", resp.StatusCode, err)
+	}
+	fmt.Printf("pokeemud: smoke: submitted %s with corpus-write faults armed\n", st.ID)
+	t1 := time.Now()
+	for st.State != service.StateDone {
+		if st.State == service.StateFailed || st.State == service.StateCanceled {
+			return fail("chaos job %s ended %s: %s (injected I/O faults must degrade, not fail)",
+				st.ID, st.State, st.Error)
+		}
+		if time.Since(t1) > 2*time.Minute {
+			return fail("chaos job %s stuck in %s", st.ID, st.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+		if code, err := get("/v1/campaigns/"+st.ID, &st); err != nil || code != 200 {
+			return fail("chaos poll = %d, %v", code, err)
+		}
+	}
+	var drep service.Report
+	if code, err := get("/v1/campaigns/"+st.ID+"/report", &drep); err != nil || code != 200 {
+		return fail("chaos report = %d, %v", code, err)
+	}
+	if drep.TotalTests == 0 {
+		return fail("chaos report lost its tests: %+v", drep)
+	}
+	if drep.Degraded == nil || drep.Degraded.CorpusWrites == 0 ||
+		!strings.Contains(drep.Summary, "degraded:") {
+		return fail("chaos report hides the injected write faults: %+v", drep.Degraded)
+	}
+	var h service.Health
+	if code, err := get("/healthz", &h); err != nil || code != 200 {
+		return fail("chaos healthz = %d, %v", code, err)
+	}
+	if h.Status != "degraded" || h.Degraded == nil || h.Degraded.JobsDegraded != 1 {
+		return fail("healthz does not surface the degraded job: %+v", h)
+	}
+	faults.Disarm()
+	if code, err := get("/metrics", &m); err != nil || code != 200 {
+		return fail("metrics = %d, %v", code, err)
+	}
+	if m.Jobs.Completed != 2 {
+		return fail("chaos job not counted completed: %+v", m.Jobs)
+	}
+	fmt.Printf("pokeemud: smoke: chaos round-trip ok (%s: %d tests, %d degraded units)\n",
+		st.ID, drep.TotalTests, drep.Degraded.Units)
+
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
@@ -222,6 +296,6 @@ func runSmoke() int {
 		return fail("http shutdown: %v", err)
 	}
 	fmt.Printf("pokeemud: smoke: ok (%s: %d tests, %d lo-fi diffs, %v)\n",
-		st.ID, rep.TotalTests, rep.LoFiDiffTests, time.Since(t0).Round(time.Millisecond))
+		firstID, rep.TotalTests, rep.LoFiDiffTests, time.Since(t0).Round(time.Millisecond))
 	return 0
 }

@@ -18,6 +18,7 @@ package campaign
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"pokeemu/internal/corpus"
 	"pokeemu/internal/diff"
 	"pokeemu/internal/expr"
+	"pokeemu/internal/faults"
 	"pokeemu/internal/harness"
 	"pokeemu/internal/machine"
 	"pokeemu/internal/solver"
@@ -79,6 +81,15 @@ type Config struct {
 	// unlimited). A nonzero value can make reports run-dependent — a test
 	// that times out records a fault and is excluded from diffing.
 	TestTimeout time.Duration
+	// StageTimeout caps wall-clock time per fan-out stage (explore,
+	// execute); 0 = unlimited. When a stage deadline expires, in-flight
+	// units finish, queued units are skipped, and the campaign degrades
+	// gracefully instead of failing: every skipped unit is counted in
+	// Result.Degraded with an explicit reason, so the report is never
+	// silently short. Like TestTimeout, a nonzero value can make reports
+	// run-dependent (which units were in flight at the deadline depends on
+	// scheduling).
+	StageTimeout time.Duration
 
 	// Progress, when non-nil, receives an Event as each pipeline stage
 	// starts and as each unit of work within it completes. It is called
@@ -133,6 +144,9 @@ func (c *Config) Validate() error {
 	}
 	if c.TestTimeout < 0 {
 		return fmt.Errorf("campaign: TestTimeout must be >= 0 (got %v)", c.TestTimeout)
+	}
+	if c.StageTimeout < 0 {
+		return fmt.Errorf("campaign: StageTimeout must be >= 0 (got %v)", c.StageTimeout)
 	}
 	return nil
 }
@@ -197,6 +211,67 @@ type CacheStats struct {
 
 	ExecHits   int // executions replayed from cached outcomes (-resume)
 	ExecMisses int // executions actually run
+	// ExecDecodeFailed counts cached outcomes that were present but
+	// undecodable (corrupt or stale entries); each was re-executed, so it
+	// also counts as a miss. Non-zero means the corpus needs attention.
+	ExecDecodeFailed int
+
+	// Corpus I/O resilience counters (deltas for this run's corpus handle):
+	// retries are extra attempts that then succeeded; failures exhausted
+	// every attempt.
+	ReadRetries   int64
+	WriteRetries  int64
+	ReadFailures  int64
+	WriteFailures int64
+}
+
+// Degradation reason strings. Fixed text, never raw error messages:
+// organic I/O errors carry run-dependent details (temp file names, errno
+// phrasing), and the degraded section is part of the deterministic report.
+const (
+	ReasonStageDeadline = "stage deadline exceeded (unit skipped)"
+	ReasonCorpusWrite   = "corpus write failed (entry not persisted)"
+	ReasonCorpusRead    = "corpus read failed (recomputed)"
+	ReasonCorpusOpen    = "corpus unavailable (ran uncached)"
+)
+
+// Degraded is the campaign's graceful-degradation ledger: everything the
+// run lost or had to recompute, counted per kind with aggregate reasons. A
+// campaign that loses units still terminates with a complete report — this
+// section is what makes the loss explicit instead of silently shortening
+// the test count. Empty (all zeros) on a healthy run, and then omitted
+// from Summary entirely, so healthy reports are byte-identical to the
+// pre-degradation format.
+//
+// Determinism: counts are derived from index-ordered merges and keyed
+// fault decisions, so for a seed-deterministic fault plan the section is
+// byte-identical for any Workers value.
+type Degraded struct {
+	Instrs       int `json:"instrs,omitempty"`        // instructions that contributed a fault instead of tests
+	Execs        int `json:"execs,omitempty"`         // test executions lost (crash, budget, deadline)
+	CorpusWrites int `json:"corpus_writes,omitempty"` // cache entries that failed to persist (results still in-memory)
+	CorpusReads  int `json:"corpus_reads,omitempty"`  // cache reads that failed and were recomputed
+
+	// Reasons aggregates why, keyed by fixed reason strings (or the
+	// deterministic fault message for crashed units).
+	Reasons map[string]int `json:"reasons,omitempty"`
+}
+
+// Empty reports whether the run lost nothing.
+func (d *Degraded) Empty() bool {
+	return d.Instrs == 0 && d.Execs == 0 && d.CorpusWrites == 0 && d.CorpusReads == 0
+}
+
+// Total is the number of degraded units across all kinds.
+func (d *Degraded) Total() int {
+	return d.Instrs + d.Execs + d.CorpusWrites + d.CorpusReads
+}
+
+func (d *Degraded) note(reason string) {
+	if d.Reasons == nil {
+		d.Reasons = make(map[string]int)
+	}
+	d.Reasons[reason]++
 }
 
 // Fault is one isolated failure: a worker that panicked or a test that
@@ -234,6 +309,10 @@ type Result struct {
 	ExecTimeouts int
 	Faults       []Fault
 
+	// Degraded is the graceful-degradation ledger: what the run lost and
+	// why. Empty on a healthy run.
+	Degraded Degraded
+
 	Timing StageTiming
 	Cache  CacheStats
 	Solver SolverStats
@@ -256,6 +335,7 @@ type instrOut struct {
 	gen    time.Duration
 	cached bool
 	err    error
+	putErr error // corpus write failure for this instruction's entry
 }
 
 // trio is one test's execution outcome across the three implementations.
@@ -264,6 +344,8 @@ type trio struct {
 	tFi, tCe, tHw time.Duration
 	cached        bool
 	fault         string
+	putErr        error // corpus write failure for this test's exec entry
+	decodeFailed  bool  // cached entry present but undecodable; re-executed
 }
 
 func (t *trio) timedOut() bool {
@@ -316,9 +398,19 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.CorpusDir != "" {
 		var err error
 		if crp, err = corpus.Open(cfg.CorpusDir); err != nil {
-			return nil, err
+			// A version mismatch means the on-disk data is unsafe to reuse
+			// or overwrite — refuse. Anything else (I/O failure initializing
+			// the root) degrades the run to cache-disabled: the campaign
+			// still completes, and the ledger makes the loss explicit.
+			if errors.Is(err, corpus.ErrVersionMismatch) {
+				return nil, err
+			}
+			crp = nil
+			res.Degraded.CorpusWrites++
+			res.Degraded.note(ReasonCorpusOpen)
+		} else {
+			res.Cache.Enabled = true
 		}
-		res.Cache.Enabled = true
 	}
 
 	// Stage 1a: instruction-set exploration.
@@ -369,10 +461,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	sumKey := corpus.SummaryKey{Config: configLabel, SymexVersion: symex.SerialVersion}
 	var (
-		exOnce     sync.Once
-		ex         *core.Explorer
-		exErr      error
-		summaryHit bool
+		exOnce        sync.Once
+		ex            *core.Explorer
+		exErr         error
+		summaryHit    bool
+		summaryPutErr error
 	)
 	buildExplorer := func() (*core.Explorer, error) {
 		exOnce.Do(func() {
@@ -393,7 +486,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			ex, exErr = core.NewExplorer(opts)
 			if exErr == nil && crp != nil {
 				sums := ex.Summaries()
-				_ = crp.PutSummary(&corpus.SummaryEntry{
+				// A failed summary write only costs the next cold run a
+				// re-summarization, but it must not be silent: it lands in
+				// the degraded ledger after the pool drains.
+				summaryPutErr = crp.PutSummary(&corpus.SummaryEntry{
 					Key:   sumKey,
 					Paths: ex.SummaryPaths,
 					Data:  symex.EncodeSummary(sums.Data),
@@ -404,17 +500,33 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return ex, exErr
 	}
 
+	// stageCtx derives a per-stage deadline when configured; expiry skips
+	// queued units (counted in the degraded ledger) without failing the
+	// campaign, while parent-context cancellation stays fatal.
+	stageCtx := func() (context.Context, context.CancelFunc) {
+		if cfg.StageTimeout > 0 {
+			return context.WithTimeout(ctx, cfg.StageTimeout)
+		}
+		return ctx, func() {}
+	}
+
 	workers := cfg.Workers
 	outs := make([]instrOut, len(instrs))
 	emit(StageExplore, "", 0, len(instrs))
 	var exploreDone atomic.Int64
-	instrFaults := runPool(ctx, workers, len(instrs), func(i int) {
+	exploreCtx, exploreCancel := stageCtx()
+	instrFaults, instrRan := runPool(exploreCtx, workers, len(instrs), func(i int) {
 		defer func() {
 			emit(StageExplore, instrs[i].Key(), int(exploreDone.Add(1)), len(instrs))
 		}()
 		u := instrs[i]
 		if cfg.testHookInstr != nil {
 			cfg.testHookInstr(u.Key())
+		}
+		// Injected worker crash, keyed by instruction: the panic rides the
+		// pool's per-index isolation into a deterministic fault record.
+		if err := faults.Hit(faults.CampaignExplore, u.Key()); err != nil {
+			panic(err)
 		}
 		key := corpus.InstrKey{
 			Handler: u.Key(), PathCap: cfg.MaxPathsPerInstr, MaxSteps: cfg.MaxSteps,
@@ -474,7 +586,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		outs[i] = instrOut{rep: rep, tests: tests, gen: time.Since(tGen)}
 		if crp != nil {
-			_ = crp.PutInstr(&corpus.InstrEntry{
+			// This run keeps its in-memory tests either way, but a failed
+			// write means the next run re-explores; record it instead of
+			// dropping it on the floor.
+			outs[i].putErr = crp.PutInstr(&corpus.InstrEntry{
 				Key: key, HandlerName: u.Spec.Name, Mnemonic: u.Spec.Mn,
 				Paths: rep.Paths, Exhausted: rep.Exhausted, Queries: rep.Queries,
 				Generated: rep.Generated, GenFailed: rep.GenFailed,
@@ -482,23 +597,39 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			})
 		}
 	})
+	exploreCancel()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("campaign: canceled during exploration: %w", err)
 	}
 
 	// Deterministic index-ordered merge.
+	if summaryPutErr != nil {
+		res.Degraded.CorpusWrites++
+		res.Degraded.note(ReasonCorpusWrite)
+	}
 	var tests []execTest
 	for i := range outs {
 		o := &outs[i]
-		if msg := instrFaults[i]; msg != "" {
+		if !instrRan[i] {
+			// Stage deadline expired before this unit was claimed: it is a
+			// fault (the instruction contributed nothing) and a degraded
+			// unit, never a silent omission.
+			*o = instrOut{rep: &InstrReport{Key: instrs[i].Key(), Fault: ReasonStageDeadline}}
+		} else if msg := instrFaults[i]; msg != "" {
 			*o = instrOut{rep: &InstrReport{Key: instrs[i].Key(), Fault: msg}}
 		}
 		if o.err != nil {
 			return nil, o.err
 		}
+		if o.putErr != nil {
+			res.Degraded.CorpusWrites++
+			res.Degraded.note(ReasonCorpusWrite)
+		}
 		if o.rep.Fault != "" {
 			res.InstrFaults++
 			res.Faults = append(res.Faults, Fault{Stage: "explore", Key: o.rep.Key, Err: o.rep.Fault})
+			res.Degraded.Instrs++
+			res.Degraded.note(o.rep.Fault)
 		}
 		res.Reports = append(res.Reports, o.rep)
 		res.TotalPaths += o.rep.Paths
@@ -546,12 +677,18 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	outcomes := make([]trio, len(tests))
 	emit(StageExecute, "", 0, len(tests))
 	var execDone atomic.Int64
-	execFaults := runPool(ctx, workers, len(tests), func(i int) {
+	execCtx, execCancel := stageCtx()
+	execFaults, execRan := runPool(execCtx, workers, len(tests), func(i int) {
 		defer func() {
 			emit(StageExecute, tests[i].id, int(execDone.Add(1)), len(tests))
 		}()
 		if cfg.testHookExec != nil {
 			cfg.testHookExec(tests[i].id)
+		}
+		// Injected worker crash, keyed by test ID (stable across runs and
+		// worker counts).
+		if err := faults.Hit(faults.CampaignExec, tests[i].id); err != nil {
+			panic(err)
 		}
 		var ek corpus.ExecKey
 		if crp != nil && cfg.Resume {
@@ -567,6 +704,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 						outcomes[i].cached = true
 						return
 					}
+					// Present but undecodable: fall through to a real
+					// execution, and count the corrupt entry.
+					outcomes[i].decodeFailed = true
 				}
 			}
 		}
@@ -581,22 +721,36 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		outcomes[i].tHw = time.Since(t)
 		if crp != nil && cfg.Resume && !outcomes[i].timedOut() {
 			if ent, err := encodeExecEntry(ek, &outcomes[i], image); err == nil {
-				_ = crp.PutExec(ent)
+				outcomes[i].putErr = crp.PutExec(ent)
 			}
 		}
 	})
+	execCancel()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("campaign: canceled during execution: %w", err)
 	}
 
 	for i := range outcomes {
 		o := &outcomes[i]
-		if msg := execFaults[i]; msg != "" {
+		if !execRan[i] {
+			o.fault = ReasonStageDeadline
+		} else if msg := execFaults[i]; msg != "" {
 			o.fault = msg
+		}
+		if o.putErr != nil {
+			res.Degraded.CorpusWrites++
+			res.Degraded.note(ReasonCorpusWrite)
+		}
+		if o.decodeFailed {
+			res.Cache.ExecDecodeFailed++
+			res.Degraded.CorpusReads++
+			res.Degraded.note(ReasonCorpusRead)
 		}
 		if o.fault != "" {
 			res.ExecFaults++
 			res.Faults = append(res.Faults, Fault{Stage: "execute", Key: tests[i].id, Err: o.fault})
+			res.Degraded.Execs++
+			res.Degraded.note(o.fault)
 			continue
 		}
 		res.Timing.ExecHiFi += o.tFi
@@ -611,6 +765,8 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			res.ExecTimeouts++
 			res.Faults = append(res.Faults, Fault{Stage: "execute", Key: tests[i].id,
 				Err: fmt.Sprintf("wall-clock budget %v exceeded", cfg.TestTimeout)})
+			res.Degraded.Execs++
+			res.Degraded.note("wall-clock budget exceeded (excluded from diffing)")
 		}
 	}
 
@@ -647,6 +803,20 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	res.Timing.Compare = time.Since(t1)
 	emit(StageCompare, "", 1, 1)
+
+	// Harvest corpus resilience counters. The handle was opened by this run,
+	// so its counters are this campaign's own traffic. A read that exhausted
+	// every retry degraded to a recompute — correct output, lost cache — and
+	// is ledgered like any other loss.
+	if crp != nil {
+		st := crp.Stats()
+		res.Cache.ReadRetries, res.Cache.WriteRetries = st.ReadRetries, st.WriteRetries
+		res.Cache.ReadFailures, res.Cache.WriteFailures = st.ReadFailures, st.WriteFailures
+		res.Degraded.CorpusReads += int(st.ReadFailures)
+		for i := int64(0); i < st.ReadFailures; i++ {
+			res.Degraded.note(ReasonCorpusRead)
+		}
+	}
 	return res, nil
 }
 
@@ -742,6 +912,22 @@ func (r *Result) Summary() string {
 	for _, f := range r.Faults {
 		fmt.Fprintf(&b, "  fault: %-8s %-24s %s\n", f.Stage, f.Key, f.Err)
 	}
+	// The graceful-degradation ledger. Omitted entirely on a healthy run,
+	// so healthy reports are byte-identical to the pre-degradation format;
+	// when present, reasons render in sorted order for determinism.
+	if !r.Degraded.Empty() {
+		d := &r.Degraded
+		fmt.Fprintf(&b, "degraded: %d units (instrs %d, execs %d, corpus writes %d, corpus reads %d)\n",
+			d.Total(), d.Instrs, d.Execs, d.CorpusWrites, d.CorpusReads)
+		reasons := make([]string, 0, len(d.Reasons))
+		for reason := range d.Reasons {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		for _, reason := range reasons {
+			fmt.Fprintf(&b, "  degraded: %-55s %6d units\n", reason, d.Reasons[reason])
+		}
+	}
 	return b.String()
 }
 
@@ -775,6 +961,13 @@ func (r *Result) TimingTable() string {
 		"-", fmt.Sprintf("%d test", r.LoFiDiffTests+r.HiFiDiffTests), "-")
 	if r.Cache.Enabled {
 		fmt.Fprintf(&b, "descriptor-parse summary cached: %v\n", r.Cache.SummaryHit)
+	}
+	// Corpus I/O resilience: printed only when something retried or failed,
+	// so healthy-run output is unchanged.
+	if c := r.Cache; c.ReadRetries+c.WriteRetries+c.ReadFailures+c.WriteFailures > 0 ||
+		c.ExecDecodeFailed > 0 {
+		fmt.Fprintf(&b, "corpus io: read retries %d, failures %d; write retries %d, failures %d; undecodable exec entries %d\n",
+			c.ReadRetries, c.ReadFailures, c.WriteRetries, c.WriteFailures, c.ExecDecodeFailed)
 	}
 	rate := func(hits, misses int64) string {
 		if hits+misses == 0 {

@@ -1,0 +1,329 @@
+package campaign
+
+// Chaos harness: every fault point the campaign engine crosses is armed in
+// turn (corpus read/write EIO, solver decision timeout, worker crash in
+// both fan-out stages, stage deadline), and each armed campaign must
+// terminate with an accurate degraded ledger — no hang, no escaped panic,
+// no silently shortened report — and render a byte-identical Summary for
+// Workers=1 and Workers=8. That last property is the whole point of the
+// seed-deterministic fault registry: keyed fault decisions are a pure
+// function of unit identity, so degradation commutes with scheduling
+// exactly like healthy results do.
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"pokeemu/internal/corpus"
+	"pokeemu/internal/faults"
+)
+
+var chaosSeeds = flag.Int("chaos-seeds", 3,
+	"fault-plan seeds swept by TestChaosSeedSweep (EXPERIMENTS.md E12 uses 100)")
+
+// chaosCase is one row of the chaos matrix.
+type chaosCase struct {
+	name string
+	spec string // fault plan; "" = config-only chaos (stage deadline)
+
+	handlers       []string
+	prewarm        []string // handlers cached healthily first; nil = open the corpus only
+	noCorpus       bool     // run without a corpus at all
+	exploreWorkers int
+	stageTimeout   time.Duration
+
+	check func(t *testing.T, res *Result)
+}
+
+func chaosMatrix() []chaosCase {
+	return []chaosCase{
+		{
+			// Transient read errors on a warm corpus: the keyed p=0.6 rule
+			// fails a deterministic subset of object reads three attempts
+			// deep; every failure degrades to a recompute, never to a
+			// short report.
+			name:     "corpus-read-eio",
+			spec:     "seed=1;corpus.read:p=0.6:err=EIO",
+			handlers: []string{"push_r", "leave"},
+			prewarm:  []string{"push_r", "leave"},
+			check: func(t *testing.T, res *Result) {
+				if res.Degraded.CorpusReads == 0 {
+					t.Error("no corpus reads degraded under p=0.6 EIO")
+				}
+				if res.ExploredInstrs != 2 || res.InstrFaults != 0 {
+					t.Errorf("explored %d instrs with %d faults, want 2 with 0 (reads must degrade to recomputes)",
+						res.ExploredInstrs, res.InstrFaults)
+				}
+				if res.TotalTests == 0 {
+					t.Error("report silently lost every test")
+				}
+				if !strings.Contains(res.Summary(), ReasonCorpusRead) {
+					t.Error("summary omits the corpus-read degradation reason")
+				}
+			},
+		},
+		{
+			// Every corpus write fails: the campaign still finishes from
+			// its in-memory results, and each of the three lost entries
+			// (descriptor summary + two instruction entries) is ledgered.
+			// This pins the silent-drop fix: these Put errors used to be
+			// discarded with `_ =`.
+			name:     "corpus-write-lost",
+			spec:     "corpus.write:p=1:err",
+			handlers: []string{"push_r", "leave"},
+			prewarm:  nil, // VERSION must exist before arming, nothing else
+			check: func(t *testing.T, res *Result) {
+				if res.Degraded.CorpusWrites != 3 {
+					t.Errorf("Degraded.CorpusWrites = %d, want 3 (summary + 2 instr entries)",
+						res.Degraded.CorpusWrites)
+				}
+				if res.Cache.WriteFailures != 3 {
+					t.Errorf("Cache.WriteFailures = %d, want 3", res.Cache.WriteFailures)
+				}
+				if res.TotalTests == 0 {
+					t.Error("campaign lost its in-memory tests to cache-write failures")
+				}
+				if got := res.Degraded.Reasons[ReasonCorpusWrite]; got != 3 {
+					t.Errorf("reason %q counted %d times, want 3", ReasonCorpusWrite, got)
+				}
+			},
+		},
+		{
+			// A decision-procedure timeout on the 5th solver query of the
+			// (single) cold instruction: the panic rides the worker's
+			// isolation into one instruction fault.
+			name:           "solver-timeout",
+			spec:           "solver.query:n=5:err=decision timeout",
+			handlers:       []string{"leave"},
+			prewarm:        []string{"push_r"}, // summaries cached; leave stays cold
+			exploreWorkers: 0,
+			check: func(t *testing.T, res *Result) {
+				if res.InstrFaults != 1 || res.Degraded.Instrs != 1 {
+					t.Errorf("instr faults/degraded = %d/%d, want 1/1", res.InstrFaults, res.Degraded.Instrs)
+				}
+				if len(res.Faults) != 1 || !strings.Contains(res.Faults[0].Err, "injected: solver.query: decision timeout") {
+					t.Errorf("faults = %+v, want one injected solver timeout", res.Faults)
+				}
+				if res.TotalTests != 0 {
+					t.Errorf("TotalTests = %d, want 0 (the only instruction timed out)", res.TotalTests)
+				}
+			},
+		},
+		{
+			// A keyed 30% of execution workers crash: every lost test is
+			// counted, everything else still diffs.
+			name:     "exec-worker-panic",
+			spec:     "seed=2;campaign.exec:p=0.3:panic=injected worker crash",
+			handlers: []string{"push_r"},
+			prewarm:  []string{"push_r"},
+			check: func(t *testing.T, res *Result) {
+				if res.ExecFaults == 0 {
+					t.Error("no exec workers crashed under p=0.3")
+				}
+				if res.Degraded.Execs != res.ExecFaults {
+					t.Errorf("Degraded.Execs = %d, ExecFaults = %d; every lost execution must be ledgered",
+						res.Degraded.Execs, res.ExecFaults)
+				}
+				if res.ExecFaults == res.TotalTests {
+					t.Error("every test crashed; expected a keyed subset")
+				}
+				if !strings.Contains(res.Summary(), "injected: campaign.exec: injected worker crash") {
+					t.Error("summary omits the injected exec crash")
+				}
+			},
+		},
+		{
+			// One instruction's exploration worker crashes (key-gated):
+			// exactly that instruction degrades, the other ships tests.
+			name:     "explore-worker-panic",
+			spec:     "campaign.explore:key=leave:panic=injected worker crash",
+			handlers: []string{"push_r", "leave"},
+			prewarm:  []string{"push_r", "leave"},
+			check: func(t *testing.T, res *Result) {
+				if res.InstrFaults != 1 || res.Degraded.Instrs != 1 {
+					t.Errorf("instr faults/degraded = %d/%d, want 1/1", res.InstrFaults, res.Degraded.Instrs)
+				}
+				if res.TotalTests == 0 {
+					t.Error("healthy instruction lost its tests too")
+				}
+				if len(res.Faults) != 1 || !strings.Contains(res.Faults[0].Key, "leave") {
+					t.Errorf("faults = %+v, want exactly the leave instruction", res.Faults)
+				}
+			},
+		},
+		{
+			// Stage deadline in the past: every unit is skipped, every
+			// skip is ledgered, and the campaign still terminates with a
+			// complete (if empty) report instead of hanging or erroring.
+			name:         "stage-deadline",
+			handlers:     []string{"push_r", "leave"},
+			prewarm:      []string{"push_r", "leave"},
+			stageTimeout: time.Nanosecond,
+			check: func(t *testing.T, res *Result) {
+				if res.Degraded.Instrs != 2 {
+					t.Errorf("Degraded.Instrs = %d, want 2 (all units skipped)", res.Degraded.Instrs)
+				}
+				if res.TotalTests != 0 {
+					t.Errorf("TotalTests = %d, want 0", res.TotalTests)
+				}
+				for _, rep := range res.Reports {
+					if rep.Fault != ReasonStageDeadline {
+						t.Errorf("report %s fault = %q, want %q", rep.Key, rep.Fault, ReasonStageDeadline)
+					}
+				}
+				if got := res.Degraded.Reasons[ReasonStageDeadline]; got != 2 {
+					t.Errorf("reason %q counted %d times, want 2", ReasonStageDeadline, got)
+				}
+			},
+		},
+	}
+}
+
+// runChaosCase prepares a fresh corpus (prewarmed healthily), arms the
+// case's fault plan, and runs the campaign at the given worker count. The
+// fresh-directory-per-run discipline is what makes the Workers=1 and
+// Workers=8 summaries comparable: both start from byte-identical corpus
+// state, so any summary divergence is a scheduling leak.
+func runChaosCase(t *testing.T, tc chaosCase, workers int) *Result {
+	t.Helper()
+	faults.Disarm()
+	cfg := Config{
+		MaxPathsPerInstr: 8,
+		Handlers:         tc.handlers,
+		Seed:             1,
+		Workers:          workers,
+		ExploreWorkers:   tc.exploreWorkers,
+		StageTimeout:     tc.stageTimeout,
+	}
+	if !tc.noCorpus {
+		dir := t.TempDir()
+		cfg.CorpusDir = dir
+		if tc.prewarm != nil {
+			pre := cfg
+			pre.Handlers = tc.prewarm
+			pre.StageTimeout = 0
+			if _, err := Run(pre); err != nil {
+				t.Fatalf("prewarm: %v", err)
+			}
+		} else if _, err := corpus.Open(dir); err != nil {
+			t.Fatalf("corpus open: %v", err)
+		}
+	}
+	if tc.spec != "" {
+		if _, err := faults.ArmSpec(tc.spec); err != nil {
+			t.Fatalf("arming %q: %v", tc.spec, err)
+		}
+	}
+	defer faults.Disarm()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("chaos campaign errored instead of degrading: %v", err)
+	}
+	return res
+}
+
+// TestChaosMatrix drives every fault point and asserts the two acceptance
+// properties per case: the degraded ledger is accurate (case-specific
+// checks), and the rendered Summary is byte-identical for Workers=1 vs 8.
+func TestChaosMatrix(t *testing.T) {
+	t.Cleanup(faults.Disarm)
+	for _, tc := range chaosMatrix() {
+		t.Run(tc.name, func(t *testing.T) {
+			var sums [2]string
+			for i, workers := range []int{1, 8} {
+				res := runChaosCase(t, tc, workers)
+				tc.check(t, res)
+				sums[i] = res.Summary()
+			}
+			if sums[0] != sums[1] {
+				t.Errorf("degraded summaries differ between Workers=1 and Workers=8:\n--- 1 worker:\n%s\n--- 8 workers:\n%s",
+					sums[0], sums[1])
+			}
+		})
+	}
+}
+
+// TestChaosSeedSweep reruns a crash-heavy fault plan across -chaos-seeds
+// plan seeds, requiring a byte-identical degraded summary for Workers=1 vs
+// Workers=5 at every seed (EXPERIMENTS.md E12 runs this at 100 seeds via
+// `make chaos-full`). The corpus is prewarmed once and only read afterward
+// — crashed workers panic before any write — so every armed run starts
+// from identical corpus state.
+func TestChaosSeedSweep(t *testing.T) {
+	t.Cleanup(faults.Disarm)
+	faults.Disarm()
+	dir := t.TempDir()
+	base := Config{
+		MaxPathsPerInstr: 8,
+		Handlers:         []string{"push_r", "leave"},
+		Seed:             1,
+		CorpusDir:        dir,
+	}
+	if _, err := Run(base); err != nil {
+		t.Fatalf("prewarm: %v", err)
+	}
+	degradedTotal := 0
+	for seed := 1; seed <= *chaosSeeds; seed++ {
+		spec := fmt.Sprintf(
+			"seed=%d;campaign.explore:p=0.25:panic=injected worker crash;campaign.exec:p=0.25:panic=injected worker crash",
+			seed)
+		var sums [2]string
+		for i, workers := range []int{1, 5} {
+			if _, err := faults.ArmSpec(spec); err != nil {
+				t.Fatal(err)
+			}
+			cfg := base
+			cfg.Workers = workers
+			res, err := Run(cfg)
+			faults.Disarm()
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if res.Degraded.Total() != res.Degraded.Instrs+res.Degraded.Execs {
+				t.Fatalf("seed %d: unexpected non-crash degradation: %+v", seed, res.Degraded)
+			}
+			sums[i] = res.Summary()
+			degradedTotal += res.Degraded.Total()
+		}
+		if sums[0] != sums[1] {
+			t.Errorf("seed %d: summaries differ between Workers=1 and Workers=5:\n--- 1 worker:\n%s\n--- 5 workers:\n%s",
+				seed, sums[0], sums[1])
+		}
+	}
+	if degradedTotal == 0 {
+		t.Errorf("no degradation across %d fault-plan seeds; the sweep is vacuous", *chaosSeeds)
+	}
+}
+
+// TestChaosSummaryGolden pins the degraded report format byte for byte: a
+// campaign that loses an instruction to a crash and every corpus write to
+// EIO must render exactly this summary, with the degraded section after
+// the fault list. The healthy-run golden (testdata/summary.golden, which
+// predates fault injection) doubles as proof that an empty ledger renders
+// nothing.
+func TestChaosSummaryGolden(t *testing.T) {
+	t.Cleanup(faults.Disarm)
+	faults.Disarm()
+	dir := t.TempDir()
+	if _, err := corpus.Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faults.ArmSpec("corpus.write:p=1:err;campaign.explore:key=leave:panic=injected worker crash"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+	res, err := Run(Config{
+		MaxPathsPerInstr: 8,
+		Handlers:         []string{"push_r", "leave"},
+		Seed:             1,
+		Workers:          4,
+		CorpusDir:        dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "testdata/summary_degraded.golden", []byte(res.Summary()))
+}

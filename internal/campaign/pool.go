@@ -14,17 +14,19 @@ import (
 //
 // Cancellation: once ctx is done, workers stop pulling new indices and
 // drain; tasks already in flight run to completion. Unstarted indices keep
-// their zero-value slots, so the caller must check ctx before consuming the
-// results.
+// their zero-value slots and ran[i]==false, so the caller can either abort
+// (parent cancellation) or degrade gracefully (stage deadline), counting
+// exactly which units were skipped.
 //
 // The determinism contract: tasks communicate results only through
 // caller-owned, index-disjoint slots, and the caller merges them in index
 // order afterward. Task scheduling order is therefore unobservable, which is
 // what makes the final Result byte-identical for any worker count.
-func runPool(ctx context.Context, workers, n int, task func(i int)) []string {
-	faults := make([]string, n)
+func runPool(ctx context.Context, workers, n int, task func(i int)) (faults []string, ran []bool) {
+	faults = make([]string, n)
+	ran = make([]bool, n)
 	if n == 0 {
-		return faults
+		return faults, ran
 	}
 	if workers < 1 {
 		workers = 1
@@ -33,6 +35,7 @@ func runPool(ctx context.Context, workers, n int, task func(i int)) []string {
 		workers = n
 	}
 	run := func(i int) {
+		ran[i] = true
 		defer func() {
 			if r := recover(); r != nil {
 				// Record the panic value only (stack traces contain
@@ -58,5 +61,5 @@ func runPool(ctx context.Context, workers, n int, task func(i int)) []string {
 		}()
 	}
 	wg.Wait()
-	return faults
+	return faults, ran
 }

@@ -25,19 +25,35 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"pokeemu/internal/faults"
 	"pokeemu/internal/symex"
 )
 
 // FormatVersion is the on-disk layout version of the corpus itself.
 const FormatVersion = 1
+
+// Transient-I/O retry policy: every object read and write is attempted up
+// to ioAttempts times with doubling backoff from ioBackoff, so a fleeting
+// EIO (or an injected one — the corpus.read/write/rename fault points)
+// costs a retry, not a lost artifact. A read that still fails degrades to
+// a cache miss (the caller recomputes); a write that still fails returns
+// an error the campaign routes into its degraded ledger instead of
+// dropping silently.
+const (
+	ioAttempts = 3
+	ioBackoff  = time.Millisecond
+)
 
 // Corpus is handle to one on-disk corpus root.
 type Corpus struct {
@@ -47,13 +63,32 @@ type Corpus struct {
 	misses atomic.Int64
 	writes atomic.Int64
 
+	readRetries   atomic.Int64
+	writeRetries  atomic.Int64
+	readFailures  atomic.Int64
+	writeFailures atomic.Int64
+
 	mu sync.Mutex // serializes directory creation
 }
 
-// Stats counts corpus traffic since Open.
+// Stats counts corpus traffic since Open. ReadRetries/WriteRetries count
+// extra I/O attempts after a transient failure; ReadFailures/WriteFailures
+// count operations that exhausted every attempt (a failed read degrades to
+// a miss, a failed write surfaces as an error from Put*).
 type Stats struct {
 	Hits, Misses, Writes int64
+
+	ReadRetries   int64
+	WriteRetries  int64
+	ReadFailures  int64
+	WriteFailures int64
 }
+
+// ErrVersionMismatch marks a corpus root written by an incompatible format
+// version. Unlike I/O failures (which callers may degrade past by running
+// uncached), a mismatch means the on-disk data is not safe to reuse or
+// overwrite, so callers must refuse it.
+var ErrVersionMismatch = errors.New("corpus format version mismatch")
 
 // Open opens (creating if necessary) the corpus rooted at dir. An existing
 // root with a different format version is rejected.
@@ -65,11 +100,11 @@ func Open(dir string) (*Corpus, error) {
 	if b, err := os.ReadFile(verFile); err == nil {
 		got := strings.TrimSpace(string(b))
 		if got != strconv.Itoa(FormatVersion) {
-			return nil, fmt.Errorf("corpus: %s has format version %s, want %d",
-				dir, got, FormatVersion)
+			return nil, fmt.Errorf("corpus: %s has format version %s, want %d: %w",
+				dir, got, FormatVersion, ErrVersionMismatch)
 		}
 	} else {
-		if err := writeAtomic(verFile, []byte(strconv.Itoa(FormatVersion)+"\n")); err != nil {
+		if err := writeAtomic(verFile, []byte(strconv.Itoa(FormatVersion)+"\n"), "VERSION"); err != nil {
 			return nil, err
 		}
 	}
@@ -81,7 +116,11 @@ func (c *Corpus) Dir() string { return c.dir }
 
 // Stats returns traffic counters.
 func (c *Corpus) Stats() Stats {
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Writes: c.writes.Load()}
+	return Stats{
+		Hits: c.hits.Load(), Misses: c.misses.Load(), Writes: c.writes.Load(),
+		ReadRetries: c.readRetries.Load(), WriteRetries: c.writeRetries.Load(),
+		ReadFailures: c.readFailures.Load(), WriteFailures: c.writeFailures.Load(),
+	}
 }
 
 // objectPath maps a key hash to its file.
@@ -90,10 +129,11 @@ func (c *Corpus) objectPath(hash string) string {
 }
 
 // get loads the object with the given key hash into v. A missing or
-// unreadable (torn, corrupt) object is a miss, never an error: the caller
-// recomputes and overwrites.
+// unreadable (torn, corrupt, persistently erroring) object is a miss,
+// never an error: the caller recomputes and overwrites. Transient read
+// errors are retried with backoff before degrading to a miss.
 func (c *Corpus) get(hash string, v any) bool {
-	b, err := os.ReadFile(c.objectPath(hash))
+	b, err := c.readObject(hash)
 	if err != nil {
 		c.misses.Add(1)
 		return false
@@ -106,7 +146,39 @@ func (c *Corpus) get(hash string, v any) bool {
 	return true
 }
 
-// put stores v under the given key hash atomically.
+// readObject reads one object file with bounded retry. A missing file is
+// returned immediately (the common miss); any other error — including an
+// injected corpus.read fault — is retried with doubling backoff and
+// counted as a ReadFailure once every attempt is exhausted.
+func (c *Corpus) readObject(hash string) ([]byte, error) {
+	path := c.objectPath(hash)
+	var lastErr error
+	for attempt := 0; attempt < ioAttempts; attempt++ {
+		if attempt > 0 {
+			c.readRetries.Add(1)
+			time.Sleep(ioBackoff << (attempt - 1))
+		}
+		if err := faults.Hit(faults.CorpusRead, hash); err != nil {
+			lastErr = err
+			continue
+		}
+		b, err := os.ReadFile(path)
+		if err == nil {
+			return b, nil
+		}
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	c.readFailures.Add(1)
+	return nil, lastErr
+}
+
+// put stores v under the given key hash atomically, retrying transient
+// write and rename failures with backoff. A put that exhausts its attempts
+// returns an error; callers must surface it (the campaign counts it in the
+// report's degraded section) rather than drop it.
 func (c *Corpus) put(hash string, v any) error {
 	path := c.objectPath(hash)
 	c.mu.Lock()
@@ -119,18 +191,32 @@ func (c *Corpus) put(hash string, v any) error {
 	if err != nil {
 		return fmt.Errorf("corpus: encoding %s: %w", hash, err)
 	}
-	if err := writeAtomic(path, b); err != nil {
-		return err
+	var lastErr error
+	for attempt := 0; attempt < ioAttempts; attempt++ {
+		if attempt > 0 {
+			c.writeRetries.Add(1)
+			time.Sleep(ioBackoff << (attempt - 1))
+		}
+		if lastErr = writeAtomic(path, b, hash); lastErr == nil {
+			c.writes.Add(1)
+			return nil
+		}
 	}
-	c.writes.Add(1)
-	return nil
+	c.writeFailures.Add(1)
+	return fmt.Errorf("corpus: writing %s after %d attempts: %w", hash, ioAttempts, lastErr)
 }
 
 // writeAtomic writes data to path via a uniquely-named temp file and rename,
 // so readers never observe a partial object and concurrent writers of the
 // same key race benignly (last rename wins; contents are identical anyway,
-// being derived from the key).
-func writeAtomic(path string, data []byte) error {
+// being derived from the key). faultKey names the write at the
+// corpus.write (before the temp write) and corpus.rename (between write
+// and commit) fault points, the two places a torn or lost object can
+// originate.
+func writeAtomic(path string, data []byte, faultKey string) error {
+	if err := faults.Hit(faults.CorpusWrite, faultKey); err != nil {
+		return err
+	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("corpus: %w", err)
@@ -140,6 +226,10 @@ func writeAtomic(path string, data []byte) error {
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("corpus: writing %s: %v/%v", path, werr, cerr)
+	}
+	if err := faults.Hit(faults.CorpusRename, faultKey); err != nil {
+		os.Remove(tmp.Name())
+		return err
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())

@@ -1,0 +1,152 @@
+package corpus
+
+// Retry-policy tests: the corpus's bounded retry-with-backoff must heal
+// transient faults (a times-capped injected error fires once, the retry
+// succeeds) and degrade predictably when faults persist (a read exhausts
+// its attempts and becomes a miss; a write exhausts its attempts and
+// surfaces an error the caller must ledger).
+
+import (
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pokeemu/internal/faults"
+)
+
+// tempFiles lists leftover atomic-write temp files under the corpus root.
+func tempFiles(c *Corpus) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(c.Dir(), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasPrefix(d.Name(), ".tmp-") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out, err
+}
+
+func TestWriteRetryHealsTransientFault(t *testing.T) {
+	t.Cleanup(faults.Disarm)
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faults.ArmSpec("corpus.write:times=1:err=transient EIO"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutInstr(testEntry("push_r")); err != nil {
+		t.Fatalf("put with one transient write fault = %v, want recovery", err)
+	}
+	faults.Disarm()
+	if _, ok := c.GetInstr(testKey("push_r")); !ok {
+		t.Fatal("entry missing after recovered write")
+	}
+	st := c.Stats()
+	if st.WriteRetries == 0 || st.WriteFailures != 0 {
+		t.Errorf("stats = %+v, want retries > 0 and no failures", st)
+	}
+}
+
+func TestRenameRetryHealsTransientFault(t *testing.T) {
+	t.Cleanup(faults.Disarm)
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faults.ArmSpec("corpus.rename:times=1:err=transient rename"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutInstr(testEntry("leave")); err != nil {
+		t.Fatalf("put with one transient rename fault = %v, want recovery", err)
+	}
+	faults.Disarm()
+	if _, ok := c.GetInstr(testKey("leave")); !ok {
+		t.Fatal("entry missing after recovered rename")
+	}
+	// The injected rename failure must not leave a temp file behind.
+	ents, err := tempFiles(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Errorf("temp files left after rename fault: %v", ents)
+	}
+}
+
+func TestReadRetryHealsTransientFault(t *testing.T) {
+	t.Cleanup(faults.Disarm)
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutInstr(testEntry("push_r")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faults.ArmSpec("corpus.read:times=1:err=transient EIO"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetInstr(testKey("push_r")); !ok {
+		t.Fatal("one transient read fault was not retried into a hit")
+	}
+	st := c.Stats()
+	if st.ReadRetries == 0 || st.ReadFailures != 0 {
+		t.Errorf("stats = %+v, want retries > 0 and no failures", st)
+	}
+}
+
+func TestReadExhaustionDegradesToMiss(t *testing.T) {
+	t.Cleanup(faults.Disarm)
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutInstr(testEntry("push_r")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faults.ArmSpec("corpus.read:p=1:err=EIO"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetInstr(testKey("push_r")); ok {
+		t.Fatal("persistently failing read reported a hit")
+	}
+	faults.Disarm()
+	st := c.Stats()
+	if st.ReadFailures != 1 {
+		t.Errorf("ReadFailures = %d, want 1", st.ReadFailures)
+	}
+	// The object is intact: reads succeed again once the fault clears.
+	if _, ok := c.GetInstr(testKey("push_r")); !ok {
+		t.Fatal("object unreadable after faults cleared")
+	}
+}
+
+func TestWriteExhaustionSurfacesError(t *testing.T) {
+	t.Cleanup(faults.Disarm)
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faults.ArmSpec("corpus.write:p=1:err=EIO"); err != nil {
+		t.Fatal(err)
+	}
+	err = c.PutInstr(testEntry("push_r"))
+	if err == nil {
+		t.Fatal("persistently failing write reported success")
+	}
+	if !strings.Contains(err.Error(), "attempts") || !faults.IsInjected(err) {
+		t.Errorf("error %v should name the attempt budget and wrap the injected fault", err)
+	}
+	faults.Disarm()
+	st := c.Stats()
+	if st.WriteFailures != 1 {
+		t.Errorf("WriteFailures = %d, want 1", st.WriteFailures)
+	}
+	if _, ok := c.GetInstr(testKey("push_r")); ok {
+		t.Fatal("failed write still produced a readable object")
+	}
+}

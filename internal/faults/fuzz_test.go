@@ -1,0 +1,75 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzFaultSpec pins the parser's no-panic contract: any input either
+// yields a usable plan or a descriptive error — never a panic, and never a
+// plan whose rules escape the registered point inventory. Armed plans come
+// from operator-controlled env vars and HTTP-adjacent config, so the
+// parser is an input boundary.
+func FuzzFaultSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"corpus.read:err",
+		"seed=7;corpus.read:p=0.5:err;corpus.write:p=0.5:err",
+		"solver.query:n=40:err=decision timeout",
+		"campaign.explore:key=leave:panic=injected worker crash",
+		"campaign.exec:p=0.25:panic",
+		"service.schedule:n=1:err=injected overload",
+		"corpus.rename:every=3:times=2:err",
+		"symex.task:delay=1ms",
+		"corpus.read:p=1.5",
+		"seed=18446744073709551615;corpus.read:err",
+		"corpus.read:p=0.5:err;;;",
+		"corpus.read:err=msg with = sign",
+		"seed=1:err",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("Parse(%q) returned both a plan and error %v", spec, err)
+			}
+			return
+		}
+		if p == nil || len(p.rules) == 0 {
+			t.Fatalf("Parse(%q) succeeded with no rules", spec)
+		}
+		evaluate := true
+		for _, r := range p.rules {
+			if _, ok := Points[r.point]; !ok {
+				t.Fatalf("Parse(%q) accepted unregistered point %q", spec, r.point)
+			}
+			if r.act == actDelay && r.delay > time.Millisecond {
+				evaluate = false // don't actually sleep long delays below
+			}
+		}
+		if !evaluate {
+			return
+		}
+		// A successfully parsed plan must evaluate without panicking for
+		// err-mode rules; panic-mode rules must panic with *Error only.
+		for name := range Points {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(*Error); !ok {
+							t.Fatalf("hit(%q) panicked with %T %v, want *Error", name, r, r)
+						}
+					}
+				}()
+				for i := 0; i < 4; i++ {
+					if e := p.hit(name, "fuzz-key"); e != nil && !IsInjected(e) {
+						t.Fatalf("hit(%q) = non-injected error %v", name, e)
+					}
+				}
+			}()
+		}
+	})
+}

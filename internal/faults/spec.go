@@ -1,0 +1,126 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse compiles a POKEEMU_FAULTS spec string into a Plan. Malformed
+// specs — unknown points, unknown options, out-of-range values, multiple
+// actions on one rule — return errors; Parse never panics (FuzzFaultSpec
+// pins this). The empty spec is an error: callers treat "" as "leave
+// injection disarmed" before calling Parse.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{spec: spec, byPoint: make(map[string][]*rule)}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(part, "seed="); ok && !strings.Contains(v, ":") {
+			seed, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q: %v", v, err)
+			}
+			p.Seed = seed
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		p.rules = append(p.rules, r)
+		p.byPoint[r.point] = append(p.byPoint[r.point], r)
+	}
+	if len(p.rules) == 0 {
+		return nil, fmt.Errorf("faults: spec %q contains no rules", spec)
+	}
+	return p, nil
+}
+
+func parseRule(part string) (*rule, error) {
+	fields := strings.Split(part, ":")
+	name := strings.TrimSpace(fields[0])
+	if _, ok := Points[name]; !ok {
+		return nil, fmt.Errorf("faults: unknown fault point %q (known: see faults.Points)", name)
+	}
+	r := &rule{point: name, prob: -1}
+	haveAct := false
+	setAct := func(a action, msg string) error {
+		if haveAct {
+			return fmt.Errorf("faults: rule %q has more than one action", part)
+		}
+		haveAct = true
+		r.act, r.msg = a, msg
+		return nil
+	}
+	for _, f := range fields[1:] {
+		f = strings.TrimSpace(f)
+		opt, val, hasVal := strings.Cut(f, "=")
+		switch opt {
+		case "p":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(v) || v < 0 || v > 1 {
+				return nil, fmt.Errorf("faults: rule %q: p must be in [0,1] (got %q)", part, val)
+			}
+			r.prob = v
+		case "n":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("faults: rule %q: n must be >= 1 (got %q)", part, val)
+			}
+			r.nth = v
+		case "every":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("faults: rule %q: every must be >= 1 (got %q)", part, val)
+			}
+			r.every = v
+		case "times":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("faults: rule %q: times must be >= 1 (got %q)", part, val)
+			}
+			r.times = v
+		case "key":
+			if !hasVal || val == "" {
+				return nil, fmt.Errorf("faults: rule %q: key needs a non-empty substring", part)
+			}
+			r.keySub = val
+		case "err":
+			msg := "I/O error"
+			if hasVal && val != "" {
+				msg = val
+			}
+			if err := setAct(actErr, msg); err != nil {
+				return nil, err
+			}
+		case "panic":
+			msg := "injected crash"
+			if hasVal && val != "" {
+				msg = val
+			}
+			if err := setAct(actPanic, msg); err != nil {
+				return nil, err
+			}
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("faults: rule %q: bad delay %q", part, val)
+			}
+			if err := setAct(actDelay, ""); err != nil {
+				return nil, err
+			}
+			r.delay = d
+		default:
+			return nil, fmt.Errorf("faults: rule %q: unknown option %q", part, opt)
+		}
+	}
+	if !haveAct {
+		r.act, r.msg = actErr, "I/O error"
+	}
+	return r, nil
+}

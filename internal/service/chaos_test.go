@@ -1,0 +1,133 @@
+package service
+
+// Service-level chaos: the scheduler fault point and the degraded-report
+// surface. A fault at the scheduling slot costs exactly one job; a job
+// whose campaign degrades serves an explicit degraded section in its
+// report and flips /healthz to "degraded" — never a silently short report
+// behind a green health check.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pokeemu/internal/campaign"
+	"pokeemu/internal/faults"
+)
+
+// TestSchedulerFaultFailsJobNotDaemon arms an n=1 scheduler fault: the
+// first job fails at its slot with the injected overload, the daemon and
+// the next job are untouched, and /healthz reports the failure.
+func TestSchedulerFaultFailsJobNotDaemon(t *testing.T) {
+	t.Cleanup(faults.Disarm)
+	s, ts := startServer(t, Options{
+		MaxJobs:      1,
+		DrainTimeout: time.Minute,
+		runCampaign: func(ctx context.Context, cfg campaign.Config) (*campaign.Result, error) {
+			return stubResult(3), nil
+		},
+	})
+	if _, err := faults.ArmSpec("service.schedule:n=1:err=injected overload"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+
+	bad := submitJob(t, ts.URL, `{}`)
+	st := pollUntil(t, ts.URL, bad.ID, time.Minute, StateFailed)
+	if !strings.Contains(st.Error, "injected: service.schedule: injected overload") {
+		t.Errorf("failed job error %q does not carry the injected fault", st.Error)
+	}
+
+	var h Health
+	code, b := doJSON(t, http.MethodGet, ts.URL+"/healthz", "")
+	if code != http.StatusOK {
+		t.Fatalf("healthz = %d (the daemon is alive; only the status field degrades)", code)
+	}
+	if err := json.Unmarshal(b, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || h.Degraded == nil || h.Degraded.JobsFailed != 1 {
+		t.Errorf("healthz after scheduler fault = %+v, want degraded with jobs_failed 1", h)
+	}
+
+	// The n=1 rule is spent: the next job schedules and completes.
+	good := submitJob(t, ts.URL, `{}`)
+	pollUntil(t, ts.URL, good.ID, time.Minute, StateDone)
+	if f, c := s.Metrics().JobsFailed.Load(), s.Metrics().JobsCompleted.Load(); f != 1 || c != 1 {
+		t.Errorf("metrics failed/completed = %d/%d, want 1/1", f, c)
+	}
+}
+
+// TestDegradedReportGoldenAndHealth runs a real campaign job with every
+// corpus write failing and pins the degraded report JSON byte for byte:
+// the report carries a degraded section (2 lost cache writes: summary +
+// instr entry) and /healthz turns "degraded" with the unit count. The
+// healthy-run golden (testdata/report.golden) doubles as proof that the
+// degraded key is omitted entirely from healthy reports.
+func TestDegradedReportGoldenAndHealth(t *testing.T) {
+	t.Cleanup(faults.Disarm)
+	_, ts := startServer(t, Options{
+		MaxJobs:          1,
+		MaxWorkersPerJob: 2,
+		CorpusDir:        t.TempDir(), // opened (VERSION written) before arming
+		DrainTimeout:     time.Minute,
+	})
+	if _, err := faults.ArmSpec("corpus.write:p=1:err"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+
+	st := submitJob(t, ts.URL, `{"handlers":["push_r"],"path_cap":8}`)
+	pollUntil(t, ts.URL, st.ID, 2*time.Minute, StateDone)
+
+	_, reportRaw := doJSON(t, http.MethodGet, ts.URL+"/v1/campaigns/"+st.ID+"/report", "")
+	compareGolden(t, filepath.Join("testdata", "report_degraded.golden"), normalizeJSON(t, reportRaw))
+
+	var rep Report
+	if err := json.Unmarshal(reportRaw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded == nil || rep.Degraded.CorpusWrites != 2 || rep.Degraded.Units != 2 {
+		t.Fatalf("report degraded section = %+v, want 2 lost corpus writes", rep.Degraded)
+	}
+	if !strings.Contains(rep.Summary, "degraded: 2 units") {
+		t.Error("summary text omits the degraded section")
+	}
+
+	var h Health
+	if _, b := doJSON(t, http.MethodGet, ts.URL+"/healthz", ""); true {
+		if err := json.Unmarshal(b, &h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Status != "degraded" || h.Degraded == nil ||
+		h.Degraded.JobsDegraded != 1 || h.Degraded.DegradedUnits != 2 {
+		t.Errorf("healthz = %+v, want degraded with 1 degraded job / 2 units", h)
+	}
+}
+
+// TestStageTimeoutRequestValidation covers the new stage_timeout_ms knob:
+// negative is a 400, positive reaches the campaign config.
+func TestStageTimeoutRequestValidation(t *testing.T) {
+	var got campaign.Config
+	_, ts := startServer(t, Options{
+		MaxJobs:      1,
+		DrainTimeout: time.Minute,
+		runCampaign: func(ctx context.Context, cfg campaign.Config) (*campaign.Result, error) {
+			got = cfg
+			return stubResult(1), nil
+		},
+	})
+	if code, b := doJSON(t, http.MethodPost, ts.URL+"/v1/campaigns", `{"stage_timeout_ms":-1}`); code != http.StatusBadRequest {
+		t.Errorf("negative stage_timeout_ms = %d: %s, want 400", code, b)
+	}
+	st := submitJob(t, ts.URL, `{"stage_timeout_ms":60000}`)
+	pollUntil(t, ts.URL, st.ID, time.Minute, StateDone)
+	if got.StageTimeout != time.Minute {
+		t.Errorf("StageTimeout = %v, want 1m", got.StageTimeout)
+	}
+}

@@ -50,6 +50,20 @@ type Report struct {
 	ExecTimeouts  int            `json:"exec_timeouts"`
 	RootCauses    map[string]int `json:"root_causes,omitempty"`
 	Cache         CacheInfo      `json:"cache"`
+	// Degraded is the campaign's graceful-degradation ledger: present only
+	// when the run lost units or cache entries, so healthy reports are
+	// byte-identical to the pre-degradation format.
+	Degraded *DegradedInfo `json:"degraded,omitempty"`
+}
+
+// DegradedInfo mirrors campaign.Degraded with stable JSON names.
+type DegradedInfo struct {
+	Units        int            `json:"units"`
+	Instrs       int            `json:"instrs"`
+	Execs        int            `json:"execs"`
+	CorpusWrites int            `json:"corpus_writes"`
+	CorpusReads  int            `json:"corpus_reads"`
+	Reasons      map[string]int `json:"reasons,omitempty"`
 }
 
 // CacheInfo mirrors campaign.CacheStats with stable JSON names.
@@ -62,6 +76,13 @@ type CacheInfo struct {
 	TestsGenerated int  `json:"tests_generated"`
 	ExecHits       int  `json:"exec_hits"`
 	ExecMisses     int  `json:"exec_misses"`
+	// I/O resilience counters, omitted when zero so healthy-run reports
+	// keep their pre-degradation bytes.
+	ExecDecodeFailed int   `json:"exec_decode_failed,omitempty"`
+	ReadRetries      int64 `json:"read_retries,omitempty"`
+	WriteRetries     int64 `json:"write_retries,omitempty"`
+	ReadFailures     int64 `json:"read_failures,omitempty"`
+	WriteFailures    int64 `json:"write_failures,omitempty"`
 }
 
 // Divergences is the JSON shape of GET /v1/campaigns/{id}/divergences.
@@ -94,12 +115,23 @@ type ListResponse struct {
 	Jobs []Status `json:"jobs"`
 }
 
-// Health is the JSON shape of GET /healthz.
+// Health is the JSON shape of GET /healthz. Status is "ok" until a job
+// fails or finishes degraded, then "degraded" with the detail populated —
+// the HTTP code stays 200 (the daemon itself is alive; liveness probes
+// must not restart it over a lost unit).
 type Health struct {
-	Status   string    `json:"status"`
-	Draining bool      `json:"draining"`
-	Corpus   string    `json:"corpus,omitempty"`
-	Jobs     JobGauges `json:"jobs"`
+	Status   string          `json:"status"`
+	Draining bool            `json:"draining"`
+	Corpus   string          `json:"corpus,omitempty"`
+	Jobs     JobGauges       `json:"jobs"`
+	Degraded *DegradedHealth `json:"degraded,omitempty"`
+}
+
+// DegradedHealth details why Health.Status is "degraded".
+type DegradedHealth struct {
+	JobsFailed    int `json:"jobs_failed"`    // jobs that died (panic, scheduler fault, hard error)
+	JobsDegraded  int `json:"jobs_degraded"`  // done jobs whose campaigns lost units
+	DegradedUnits int `json:"degraded_units"` // total units lost across those jobs
 }
 
 // routes wires the API. Every handler is wrapped with per-route request
@@ -235,16 +267,38 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		ExecTimeouts:  res.ExecTimeouts,
 		RootCauses:    res.RootCauses,
 		Cache: CacheInfo{
-			Enabled:        res.Cache.Enabled,
-			SummaryHit:     res.Cache.SummaryHit,
-			InstrHits:      res.Cache.InstrHits,
-			InstrMisses:    res.Cache.InstrMisses,
-			TestsCached:    res.Cache.TestsCached,
-			TestsGenerated: res.Cache.TestsGenerated,
-			ExecHits:       res.Cache.ExecHits,
-			ExecMisses:     res.Cache.ExecMisses,
+			Enabled:          res.Cache.Enabled,
+			SummaryHit:       res.Cache.SummaryHit,
+			InstrHits:        res.Cache.InstrHits,
+			InstrMisses:      res.Cache.InstrMisses,
+			TestsCached:      res.Cache.TestsCached,
+			TestsGenerated:   res.Cache.TestsGenerated,
+			ExecHits:         res.Cache.ExecHits,
+			ExecMisses:       res.Cache.ExecMisses,
+			ExecDecodeFailed: res.Cache.ExecDecodeFailed,
+			ReadRetries:      res.Cache.ReadRetries,
+			WriteRetries:     res.Cache.WriteRetries,
+			ReadFailures:     res.Cache.ReadFailures,
+			WriteFailures:    res.Cache.WriteFailures,
 		},
+		Degraded: degradedInfo(&res.Degraded),
 	})
+}
+
+// degradedInfo converts the campaign ledger for the API; nil (omitted from
+// the JSON) when the run lost nothing.
+func degradedInfo(d *campaign.Degraded) *DegradedInfo {
+	if d.Empty() {
+		return nil
+	}
+	return &DegradedInfo{
+		Units:        d.Total(),
+		Instrs:       d.Instrs,
+		Execs:        d.Execs,
+		CorpusWrites: d.CorpusWrites,
+		CorpusReads:  d.CorpusReads,
+		Reasons:      d.Reasons,
+	}
 }
 
 func (s *Server) handleDivergences(w http.ResponseWriter, r *http.Request) {
@@ -282,12 +336,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, Health{
+	h := Health{
 		Status:   "ok",
 		Draining: draining,
 		Corpus:   s.opts.CorpusDir,
 		Jobs:     s.gauges(),
-	})
+	}
+	var dh DegradedHealth
+	for _, j := range s.Jobs() {
+		if j.State() == StateFailed {
+			dh.JobsFailed++
+		}
+		if d := j.Degraded(); d != nil {
+			dh.JobsDegraded++
+			dh.DegradedUnits += d.Total()
+		}
+	}
+	if dh.JobsFailed > 0 || dh.JobsDegraded > 0 {
+		h.Status = "degraded"
+		h.Degraded = &dh
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -33,6 +33,7 @@ import (
 
 	"pokeemu/internal/campaign"
 	"pokeemu/internal/corpus"
+	"pokeemu/internal/faults"
 )
 
 // Submission errors surfaced as HTTP 503 by the handler layer.
@@ -161,6 +162,10 @@ type Request struct {
 	NoCache        bool  `json:"no_cache,omitempty"`
 	TestMaxSteps   int   `json:"test_max_steps,omitempty"`
 	TestTimeoutMS  int64 `json:"test_timeout_ms,omitempty"`
+	// StageTimeoutMS caps each fan-out stage's wall clock; on expiry the
+	// campaign degrades (skipped units are counted in the report's degraded
+	// section) instead of failing. 0 = unlimited.
+	StageTimeoutMS int64 `json:"stage_timeout_ms,omitempty"`
 }
 
 // configFor normalizes the request in place (so the job's status echoes the
@@ -169,6 +174,9 @@ type Request struct {
 func (s *Server) configFor(req *Request) (campaign.Config, error) {
 	if req.TestTimeoutMS < 0 {
 		return campaign.Config{}, fmt.Errorf("campaign: test_timeout_ms must be >= 0 (got %d)", req.TestTimeoutMS)
+	}
+	if req.StageTimeoutMS < 0 {
+		return campaign.Config{}, fmt.Errorf("campaign: stage_timeout_ms must be >= 0 (got %d)", req.StageTimeoutMS)
 	}
 	if req.Seed == 0 {
 		req.Seed = 1
@@ -195,6 +203,7 @@ func (s *Server) configFor(req *Request) (campaign.Config, error) {
 		Resume:           req.Resume,
 		TestMaxSteps:     req.TestMaxSteps,
 		TestTimeout:      time.Duration(req.TestTimeoutMS) * time.Millisecond,
+		StageTimeout:     time.Duration(req.StageTimeoutMS) * time.Millisecond,
 	}
 	if err := cfg.Validate(); err != nil {
 		return campaign.Config{}, err
@@ -304,6 +313,14 @@ func (s *Server) runJob(j *Job) {
 				err = fmt.Errorf("job panic: %v", r)
 			}
 		}()
+		// Injected scheduler failure, keyed by job ID: an err-mode rule
+		// fails the job at its slot (overload/admission failure), a
+		// panic-mode rule exercises the recover above. Either way the
+		// daemon and its other jobs are untouched.
+		if ferr := faults.Hit(faults.ServiceSchedule, j.ID); ferr != nil {
+			err = ferr
+			return
+		}
 		res, err = s.run(j.ctx, j.cfg)
 	}()
 	canceled := err != nil && j.ctx.Err() != nil
@@ -392,6 +409,18 @@ func (j *Job) Result() *campaign.Result {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.result
+}
+
+// Degraded returns a done job's degradation ledger, or nil if the job has
+// no result or lost nothing.
+func (j *Job) Degraded() *campaign.Degraded {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result == nil || j.result.Degraded.Empty() {
+		return nil
+	}
+	d := j.result.Degraded
+	return &d
 }
 
 // Duration is the running time (so far, for a live job).

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"pokeemu/internal/expr"
+	"pokeemu/internal/faults"
 )
 
 // BV is the bit-vector decision procedure: it lowers expr terms to CNF via
@@ -586,6 +587,14 @@ func (b *BV) CheckLits(lits []Lit) Status {
 	b.Queries++
 	internalQueries.Add(1)
 	key := memoKey(lits)
+	// Injected decision-procedure timeout. The solver has no error return
+	// (Unsat/Sat/Unknown are all answers), so an injected timeout panics and
+	// rides the same per-instruction isolation that absorbs organic solver
+	// bugs; the key is the assumption-set memo key, so n=/every= triggers
+	// count queries and key= can target one assumption set.
+	if err := faults.Hit(faults.SolverQuery, key); err != nil {
+		panic(err)
+	}
 	if ent, ok := b.memo[key]; ok {
 		b.MemoHits++
 		memoHitsTotal.Add(1)

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pokeemu/internal/faults"
 	"pokeemu/internal/ir"
 )
 
@@ -263,6 +264,12 @@ func (en *Engine) Explore(prog *ir.Program, visit func(*PathResult)) {
 // until the engine's own cap or its subtree is exhausted, accumulating
 // keyed paths.
 func (en *Engine) exploreSeq(prog *ir.Program) {
+	// Injected task crash: keyed by the direction prefix, so the same task
+	// units fault whatever the pool size — phase 2's canonical re-panic then
+	// reports it identically for any worker count.
+	if err := faults.Hit(faults.SymexTask, dirKey(en.forced)); err != nil {
+		panic(err)
+	}
 	for len(en.collected) < en.opts.MaxPaths && !en.tree.FullyExplored() {
 		res, err := en.runOnce(prog)
 		if err != nil {
