@@ -8,7 +8,12 @@ CHAOS_SEEDS ?= 10
 SERVE_ADDR ?= 127.0.0.1:8344
 SERVE_CORPUS ?= .pokeemud-corpus
 
-.PHONY: build vet test race fuzz chaos bench serve smoke check
+# Per-package statement-coverage floors enforced by `make cover`
+# (package:floor pairs; floors sit a few points under current coverage so
+# routine edits pass but a dropped test file fails).
+COVER_FLOORS ?= triage:85 diff:90
+
+.PHONY: build vet test race fuzz chaos cover bench serve smoke check
 
 build:
 	$(GO) build ./...
@@ -24,14 +29,16 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-# The four native fuzz targets: the instruction decoder's structural
+# The five native fuzz targets: the instruction decoder's structural
 # invariants, the expression simplifier's soundness, the bit-blaster vs
-# evaluator semantics oracle, and the fault-injection spec parser.
+# evaluator semantics oracle, the fault-injection spec parser, and the
+# triage minimizer's shrink/signature-preservation invariants.
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/x86
 	$(GO) test -fuzz=FuzzExprSimplify -fuzztime=$(FUZZTIME) ./internal/expr
 	$(GO) test -fuzz=FuzzSemanticsOracle -fuzztime=$(FUZZTIME) ./internal/solver
 	$(GO) test -fuzz=FuzzFaultSpec -fuzztime=$(FUZZTIME) ./internal/faults
+	$(GO) test -fuzz=FuzzTriageMinimize -fuzztime=$(FUZZTIME) ./internal/triage
 
 # Chaos gate: the fault-injection matrix under the race detector, sweeping
 # a fixed seed range (CHAOS_SEEDS plans per fault mix). Every armed fault
@@ -40,6 +47,20 @@ fuzz:
 chaos:
 	$(GO) test -race -timeout 30m -run 'TestChaos' ./internal/campaign -chaos-seeds=$(CHAOS_SEEDS)
 	$(GO) test -race -run 'TestSchedulerFault|TestDegradedReport' ./internal/service
+
+# Coverage gate: measure statement coverage for each package listed in
+# COVER_FLOORS and fail if any falls below its floor.
+cover:
+	@set -e; for pair in $(COVER_FLOORS); do \
+		pkg=$${pair%%:*}; floor=$${pair##*:}; \
+		profile=$$(mktemp); \
+		$(GO) test -coverprofile=$$profile ./internal/$$pkg >/dev/null; \
+		pct=$$($(GO) tool cover -func=$$profile | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+		rm -f $$profile; \
+		echo "cover: internal/$$pkg $$pct% (floor $$floor%)"; \
+		awk "BEGIN { exit !($$pct >= $$floor) }" || \
+			{ echo "cover: internal/$$pkg below floor" >&2; exit 1; }; \
+	done
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -55,4 +76,4 @@ serve:
 smoke:
 	$(GO) run ./cmd/pokeemud -smoke
 
-check: build vet test race chaos smoke
+check: build vet test race chaos cover smoke

@@ -12,9 +12,19 @@
 //	                 [-explore-workers N] [-corpus DIR] [-resume] [-no-cache]
 //	                 [-timing] [-progress] [-test-steps N] [-test-timeout D]
 //	                 [-stage-timeout D] [-faults SPEC] [-pprof PREFIX]
+//	pokeemu triage [campaign flags] [-baseline FILE] [-minimize] [-budget N]
+//	               [-update-baseline] [-json FILE] [-gate]
+//	pokeemu triage -diff OLD.json NEW.json [-gate]
 //	pokeemu random [-tests N] [-fuzz]
 //	pokeemu sequence -seq f9,11d8 [-cap N]
 //	pokeemu trace -prog b82a000000f4 [-on celer]
+//
+// Triage: runs a campaign, partitions its divergences against the -baseline
+// file (known vs. new), clusters them, and with -minimize ddmin-shrinks each
+// divergent case while preserving its divergence signature. -update-baseline
+// records this run's clusters back into the baseline; -gate exits nonzero
+// when any new divergence appears — the CI regression gate. The -diff form
+// compares two saved report JSON files and prints only the delta.
 //
 // Campaign corpus flags: -corpus DIR roots the persistent test corpus
 // (content-addressed cache of exploration and generation results) so a warm
@@ -47,6 +57,7 @@ import (
 
 	"pokeemu/internal/campaign"
 	"pokeemu/internal/core"
+	"pokeemu/internal/corpus"
 	"pokeemu/internal/emu"
 	"pokeemu/internal/faults"
 	"pokeemu/internal/harness"
@@ -54,6 +65,7 @@ import (
 	"pokeemu/internal/randtest"
 	"pokeemu/internal/symex"
 	"pokeemu/internal/testgen"
+	"pokeemu/internal/triage"
 	"pokeemu/internal/x86"
 )
 
@@ -75,6 +87,8 @@ func main() {
 		cmdGen(os.Args[2:])
 	case "campaign":
 		cmdCampaign(os.Args[2:])
+	case "triage":
+		cmdTriage(os.Args[2:])
 	case "random":
 		cmdRandom(os.Args[2:])
 	case "sequence":
@@ -159,7 +173,7 @@ func runTrace(w io.Writer, impl string, prog []byte, steps int) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: pokeemu explore | paths | gen | campaign | random | sequence | trace")
+		"usage: pokeemu explore | paths | gen | campaign | triage | random | sequence | trace")
 	os.Exit(2)
 }
 
@@ -315,6 +329,8 @@ func cmdCampaign(args []string) {
 	resume := fs.Bool("resume", false, "also cache and reuse per-test execution outcomes")
 	noCache := fs.Bool("no-cache", false, "ignore cached artifacts (still refreshes the corpus)")
 	timing := fs.Bool("timing", false, "append the per-stage timing and cache-hit table")
+	baselinePath := fs.String("baseline", "",
+		"baseline file of known divergences; the summary then partitions differences into known and new")
 	testSteps := fs.Int("test-steps", 0, "per-test emulator step budget (0 = default)")
 	testTimeout := fs.Duration("test-timeout", 0, "per-test wall-clock budget (0 = unlimited)")
 	stageTimeout := fs.Duration("stage-timeout", 0,
@@ -359,6 +375,16 @@ func cmdCampaign(args []string) {
 	if *handlers != "" {
 		cfg.Handlers = strings.Split(*handlers, ",")
 	}
+	if *baselinePath != "" {
+		bl, err := triage.LoadBaseline(*baselinePath)
+		if err != nil {
+			die(err)
+		}
+		if bl == nil {
+			bl = triage.NewBaseline()
+		}
+		cfg.Baseline = bl
+	}
 	if *progress {
 		cfg.Progress = progressPrinter(os.Stderr)
 	}
@@ -376,6 +402,160 @@ func cmdCampaign(args []string) {
 		fmt.Println()
 		fmt.Print(res.TimingTable())
 	}
+}
+
+// cmdTriage runs a campaign and triages its divergences: baseline partition,
+// clustering, optional ddmin minimization, optional baseline update, and the
+// CI gate. With -diff it instead compares two saved report files.
+func cmdTriage(args []string) {
+	fs := flag.NewFlagSet("triage", flag.ExitOnError)
+	instrs := fs.Int("instrs", 0, "max unique instructions (0 = all)")
+	cap := fs.Int("cap", 256, "paths per instruction")
+	handlers := fs.String("handlers", "", "comma-separated handler keys")
+	seed := fs.Int64("seed", 1, "exploration seed")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers (campaign and minimization)")
+	exploreWorkers := fs.Int("explore-workers", 0,
+		"workers inside each instruction's symbolic exploration (0 or 1 = sequential)")
+	maxSteps := fs.Int("maxsteps", 0, "per-path IR step cap (0 = default)")
+	corpusDir := fs.String("corpus", "", "persistent test corpus directory; also caches minimized cases")
+	resume := fs.Bool("resume", false, "also cache and reuse per-test execution outcomes")
+	noCache := fs.Bool("no-cache", false, "ignore cached artifacts (still refreshes the corpus)")
+	testSteps := fs.Int("test-steps", 0, "per-test emulator step budget (0 = default)")
+	timing := fs.Bool("timing", false, "append the campaign timing and cache-hit table")
+	progress := fs.Bool("progress", false, "print per-stage progress to stderr")
+
+	baselinePath := fs.String("baseline", "",
+		"baseline file of known divergences (\"\" or missing file = everything is new)")
+	minimize := fs.Bool("minimize", false, "ddmin-shrink every divergent case, preserving its signature")
+	budget := fs.Int("budget", 0, "oracle-run budget per minimized case (0 = default)")
+	updateBaseline := fs.Bool("update-baseline", false,
+		"merge this run's clusters into -baseline and save it")
+	jsonOut := fs.String("json", "", "write the triage report JSON to FILE")
+	diffMode := fs.Bool("diff", false, "diff two saved reports: pokeemu triage -diff OLD.json NEW.json")
+	gate := fs.Bool("gate", false,
+		"exit 1 on any new divergence (run mode) or any delta (-diff mode)")
+	fs.Parse(args)
+
+	if *diffMode {
+		rest := fs.Args()
+		if len(rest) != 2 {
+			die(fmt.Errorf("triage -diff needs exactly two report files (got %d)", len(rest)))
+		}
+		oldRep, err := loadReport(rest[0])
+		if err != nil {
+			die(err)
+		}
+		newRep, err := loadReport(rest[1])
+		if err != nil {
+			die(err)
+		}
+		d := triage.DiffReports(oldRep, newRep)
+		fmt.Print(d.Render())
+		if *gate && !d.Empty() {
+			os.Exit(1)
+		}
+		return
+	}
+	if *updateBaseline && *baselinePath == "" {
+		die(fmt.Errorf("-update-baseline needs -baseline FILE"))
+	}
+
+	var bl *triage.Baseline
+	if *baselinePath != "" {
+		var err error
+		if bl, err = triage.LoadBaseline(*baselinePath); err != nil {
+			die(err)
+		}
+	}
+	cfg := campaign.Config{
+		MaxPathsPerInstr: *cap,
+		MaxInstrs:        *instrs,
+		Seed:             *seed,
+		Workers:          *workers,
+		ExploreWorkers:   *exploreWorkers,
+		MaxSteps:         *maxSteps,
+		CorpusDir:        *corpusDir,
+		NoCache:          *noCache,
+		Resume:           *resume,
+		TestMaxSteps:     *testSteps,
+		Baseline:         bl,
+	}
+	if cfg.Baseline == nil && *baselinePath != "" {
+		cfg.Baseline = triage.NewBaseline()
+	}
+	if *handlers != "" {
+		cfg.Handlers = strings.Split(*handlers, ",")
+	}
+	if *progress {
+		cfg.Progress = progressPrinter(os.Stderr)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := campaign.RunContext(ctx, cfg)
+	if err != nil {
+		die(err)
+	}
+
+	opts := triage.Options{
+		Minimize:     *minimize,
+		Budget:       *budget,
+		TestMaxSteps: *testSteps,
+		Workers:      *workers,
+		Baseline:     bl,
+	}
+	if *corpusDir != "" && !*noCache {
+		// The triage cache rides in the same corpus; an unusable corpus just
+		// means uncached minimization, exactly like the campaign's fallback.
+		if crp, err := corpus.Open(*corpusDir); err == nil {
+			opts.Corpus = crp
+		}
+	}
+	rep, err := triage.Run(res.TriageCases, opts)
+	if err != nil {
+		die(err)
+	}
+
+	fmt.Print(res.Summary())
+	fmt.Println()
+	fmt.Print(rep.Render())
+	if *timing {
+		fmt.Println()
+		fmt.Print(res.TimingTable())
+	}
+	if *jsonOut != "" {
+		data, err := rep.Encode()
+		if err != nil {
+			die(err)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			die(err)
+		}
+	}
+	if *updateBaseline {
+		if bl == nil {
+			bl = triage.NewBaseline()
+		}
+		added := bl.Update(rep)
+		if err := bl.Save(*baselinePath); err != nil {
+			die(err)
+		}
+		fmt.Printf("baseline: %s updated (%d clusters added, %d total)\n",
+			*baselinePath, added, bl.Len())
+	}
+	if *gate && rep.New > 0 {
+		fmt.Fprintf(os.Stderr, "pokeemu: triage gate: %d new divergent tests (%d new clusters)\n",
+			rep.New, rep.NewCluster)
+		os.Exit(1)
+	}
+}
+
+// loadReport reads a saved triage report JSON file.
+func loadReport(path string) (*triage.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return triage.DecodeReport(data)
 }
 
 // startProfiles begins a CPU profile at prefix.cpu.pprof and returns a stop

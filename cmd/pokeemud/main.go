@@ -18,6 +18,9 @@
 //	DELETE /v1/campaigns/{id}              cancel a queued or running job
 //	GET    /v1/campaigns/{id}/report      deterministic report + timing table
 //	GET    /v1/campaigns/{id}/divergences  per-test differences with root causes
+//	GET    /v1/campaigns/{id}/triage       triage report (?minimize=1&budget=N)
+//	GET    /v1/baseline                    the service-wide known-divergence baseline
+//	PUT    /v1/baseline                    replace the baseline (and persist it)
 //	GET    /healthz                        liveness + job gauges
 //	GET    /metrics                        counters and latency/size histograms
 //
@@ -286,6 +289,85 @@ func runSmoke() int {
 	}
 	fmt.Printf("pokeemud: smoke: chaos round-trip ok (%s: %d tests, %d degraded units)\n",
 		st.ID, drep.TotalTests, drep.Degraded.Units)
+
+	// Triage round-trip: minimize the chaos job's divergences, record the
+	// suggested baseline, and prove a re-run against it reports zero new
+	// divergences — the CI regression gate, end to end over HTTP.
+	var trip service.TriageResponse
+	if code, err := get("/v1/campaigns/"+st.ID+"/triage?minimize=1", &trip); err != nil || code != 200 {
+		return fail("triage = %d, %v", code, err)
+	}
+	if trip.Report == nil || trip.Report.New == 0 || trip.SuggestedBaseline == nil {
+		return fail("triage found no new divergences to baseline: %+v", trip.Report)
+	}
+	for _, c := range trip.Report.Cases {
+		if c.Minimized == nil || !c.Minimized.Reproduced {
+			return fail("triage case %s did not reproduce under minimization", c.TestID)
+		}
+		if c.Minimized.FinalBytes > c.Minimized.OrigBytes {
+			return fail("triage case %s grew: %d -> %d bytes",
+				c.TestID, c.Minimized.OrigBytes, c.Minimized.FinalBytes)
+		}
+	}
+	blBody, err := json.Marshal(trip.SuggestedBaseline)
+	if err != nil {
+		return fail("encode baseline: %v", err)
+	}
+	putReq, err := http.NewRequest(http.MethodPut, base+"/v1/baseline", strings.NewReader(string(blBody)))
+	if err != nil {
+		return fail("baseline put: %v", err)
+	}
+	resp, err = http.DefaultClient.Do(putReq)
+	if err != nil {
+		return fail("baseline put: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return fail("baseline put = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/v1/campaigns", "application/json",
+		strings.NewReader(`{"handlers":["leave"],"path_cap":8}`))
+	if err != nil {
+		return fail("baselined submit: %v", err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 202 {
+		return fail("baselined submit = %d, %v", resp.StatusCode, err)
+	}
+	t2 := time.Now()
+	for st.State != service.StateDone {
+		if st.State == service.StateFailed || st.State == service.StateCanceled {
+			return fail("baselined job %s ended %s: %s", st.ID, st.State, st.Error)
+		}
+		if time.Since(t2) > 2*time.Minute {
+			return fail("baselined job %s stuck in %s", st.ID, st.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+		if code, err := get("/v1/campaigns/"+st.ID, &st); err != nil || code != 200 {
+			return fail("baselined poll = %d, %v", code, err)
+		}
+	}
+	var brep service.Report
+	if code, err := get("/v1/campaigns/"+st.ID+"/report", &brep); err != nil || code != 200 {
+		return fail("baselined report = %d, %v", code, err)
+	}
+	if brep.Baseline == nil || !strings.Contains(brep.Summary, "baseline:") {
+		return fail("baselined report has no baseline partition: %+v", brep.Baseline)
+	}
+	if brep.Baseline.New != 0 {
+		return fail("baselined re-run still reports %d new divergences", brep.Baseline.New)
+	}
+	var btrip service.TriageResponse
+	if code, err := get("/v1/campaigns/"+st.ID+"/triage?minimize=1", &btrip); err != nil || code != 200 {
+		return fail("baselined triage = %d, %v", code, err)
+	}
+	if btrip.Report.New != 0 || btrip.Report.Known != btrip.Report.Total {
+		return fail("baselined triage not fully suppressed: new %d of %d",
+			btrip.Report.New, btrip.Report.Total)
+	}
+	fmt.Printf("pokeemud: smoke: triage round-trip ok (%s: %d known, 0 new after baseline)\n",
+		st.ID, btrip.Report.Known)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

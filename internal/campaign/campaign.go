@@ -36,6 +36,7 @@ import (
 	"pokeemu/internal/solver"
 	"pokeemu/internal/symex"
 	"pokeemu/internal/testgen"
+	"pokeemu/internal/triage"
 	"pokeemu/internal/x86/sem"
 )
 
@@ -73,6 +74,12 @@ type Config struct {
 	// interrupted campaign picks up where it stopped instead of re-running
 	// finished tests.
 	Resume bool
+
+	// Baseline, when non-nil, partitions divergences into known (suppressed
+	// by the baseline) and new; the counts land in Result.KnownDiffs /
+	// NewDiffs and the Summary gains a baseline line. The Result's difference
+	// list is unaffected — the baseline classifies, never hides.
+	Baseline *triage.Baseline
 
 	// TestMaxSteps caps emulator steps per test execution (deterministic
 	// budget; 0 = harness.DefaultMaxSteps).
@@ -303,6 +310,18 @@ type Result struct {
 	Differences []*diff.Difference
 	RootCauses  map[string]int
 
+	// TriageCases mirrors Differences in the triage engine's input shape:
+	// one CaseInfo per divergent test, carrying the runnable program and its
+	// test-instruction offset so the ddmin minimizer can reproduce and shrink
+	// the case later without re-running the campaign.
+	TriageCases []triage.CaseInfo
+
+	// Baseline partition (populated when Config.Baseline was set).
+	BaselineUsed    bool
+	BaselineEntries int
+	KnownDiffs      int // divergent tests matching a baseline entry
+	NewDiffs        int // divergent tests not in the baseline — the regressions
+
 	// Isolated failures (crashed handlers, budget overruns).
 	InstrFaults  int
 	ExecFaults   int
@@ -325,6 +344,7 @@ type execTest struct {
 	handler  string // semantics handler name (drives the undef filter)
 	mnemonic string
 	prog     []byte
+	testOff  int // offset of the test instruction in prog (triage split point)
 }
 
 // instrOut is one instruction's contribution, filled by its worker and
@@ -572,7 +592,8 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			}
 			rep.Generated++
 			tests = append(tests, execTest{
-				id: tc.ID, handler: tc.Handler, mnemonic: tc.Mnemonic, prog: p.Code,
+				id: tc.ID, handler: tc.Handler, mnemonic: tc.Mnemonic,
+				prog: p.Code, testOff: p.TestOffset,
 			})
 			cachedTests = append(cachedTests, corpus.CachedTest{
 				ID: tc.ID, PathIndex: tc.PathIndex,
@@ -581,7 +602,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 					ErrCode: tc.Outcome.ErrCode, HasErr: tc.Outcome.HasErr,
 					Soft: tc.Outcome.Soft,
 				},
-				Diffs: tc.Diffs(), Prog: p.Code,
+				Diffs: tc.Diffs(), Prog: p.Code, TestOffset: p.TestOffset,
 			})
 		}
 		outs[i] = instrOut{rep: rep, tests: tests, gen: time.Since(tGen)}
@@ -771,8 +792,32 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	// Stage 4: difference analysis (sequential; inherently deterministic).
+	// Every divergence also becomes a triage CaseInfo (identity + runnable
+	// program), and — with a baseline configured — is classified known/new.
 	emit(StageCompare, "", 0, 1)
 	t1 := time.Now()
+	res.BaselineUsed = cfg.Baseline != nil
+	res.BaselineEntries = cfg.Baseline.Len()
+	record := func(i int, implB string, ds []diff.FieldDiff) {
+		d := &diff.Difference{
+			TestID: tests[i].id, Handler: tests[i].handler, Mnemonic: tests[i].mnemonic,
+			ImplA: "hardware", ImplB: implB, Fields: ds,
+		}
+		res.Differences = append(res.Differences, d)
+		res.RootCauses[diff.RootCause(d)]++
+		sig := d.Signature()
+		res.TriageCases = append(res.TriageCases, triage.CaseInfo{
+			TestID: tests[i].id, Handler: tests[i].handler, Mnemonic: tests[i].mnemonic,
+			ImplA: "hardware", ImplB: implB,
+			Signature: sig, RootCause: diff.RootCause(d),
+			Prog: tests[i].prog, TestOffset: tests[i].testOff,
+		})
+		if cfg.Baseline.Match(implB, sig) {
+			res.KnownDiffs++
+		} else {
+			res.NewDiffs++
+		}
+	}
 	for i := range tests {
 		if i&1023 == 0 && ctx.Err() != nil {
 			return nil, fmt.Errorf("campaign: canceled during comparison: %w", ctx.Err())
@@ -784,21 +829,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		filter := diff.UndefFilterFor(tests[i].handler)
 		if ds := diff.Compare(o.hw.Snapshot, o.ce.Snapshot, filter); len(ds) > 0 {
 			res.LoFiDiffTests++
-			d := &diff.Difference{
-				TestID: tests[i].id, Handler: tests[i].handler, Mnemonic: tests[i].mnemonic,
-				ImplA: "hardware", ImplB: "celer", Fields: ds,
-			}
-			res.Differences = append(res.Differences, d)
-			res.RootCauses[diff.RootCause(d)]++
+			record(i, "celer", ds)
 		}
 		if ds := diff.Compare(o.hw.Snapshot, o.fi.Snapshot, filter); len(ds) > 0 {
 			res.HiFiDiffTests++
-			d := &diff.Difference{
-				TestID: tests[i].id, Handler: tests[i].handler, Mnemonic: tests[i].mnemonic,
-				ImplA: "hardware", ImplB: "fidelis", Fields: ds,
-			}
-			res.Differences = append(res.Differences, d)
-			res.RootCauses[diff.RootCause(d)]++
+			record(i, "fidelis", ds)
 		}
 	}
 	res.Timing.Compare = time.Since(t1)
@@ -835,7 +870,8 @@ func outFromEntry(ent *corpus.InstrEntry) instrOut {
 	tests := make([]execTest, 0, len(ent.Tests))
 	for _, ct := range ent.Tests {
 		tests = append(tests, execTest{
-			id: ct.ID, handler: ent.HandlerName, mnemonic: ent.Mnemonic, prog: ct.Prog,
+			id: ct.ID, handler: ent.HandlerName, mnemonic: ent.Mnemonic,
+			prog: ct.Prog, testOff: ct.TestOffset,
 		})
 	}
 	return instrOut{rep: rep, tests: tests, cached: true}
@@ -899,6 +935,12 @@ func (r *Result) Summary() string {
 	fmt.Fprintf(&b, "test programs: %d\n", r.TotalTests)
 	fmt.Fprintf(&b, "differences vs hardware: lo-fi %d tests, hi-fi %d tests\n",
 		r.LoFiDiffTests, r.HiFiDiffTests)
+	// Baseline partition: rendered only when a baseline was configured, so
+	// baseline-free reports keep the historical byte format.
+	if r.BaselineUsed {
+		fmt.Fprintf(&b, "baseline: %d suppressed clusters; known %d tests, new %d tests\n",
+			r.BaselineEntries, r.KnownDiffs, r.NewDiffs)
+	}
 	causes := make([]string, 0, len(r.RootCauses))
 	for c := range r.RootCauses {
 		causes = append(causes, c)
@@ -959,6 +1001,10 @@ func (r *Result) TimingTable() string {
 	fmt.Fprintf(&b, "%-12s %10s\n", "  hardware", r.Timing.ExecHW.Round(time.Millisecond))
 	fmt.Fprintf(&b, "%-12s %10s %10s %10s %9s\n", "compare", r.Timing.Compare.Round(time.Millisecond),
 		"-", fmt.Sprintf("%d test", r.LoFiDiffTests+r.HiFiDiffTests), "-")
+	if r.BaselineUsed {
+		fmt.Fprintf(&b, "baseline: %d entries; %d known, %d new divergent tests\n",
+			r.BaselineEntries, r.KnownDiffs, r.NewDiffs)
+	}
 	if r.Cache.Enabled {
 		fmt.Fprintf(&b, "descriptor-parse summary cached: %v\n", r.Cache.SummaryHit)
 	}

@@ -291,6 +291,9 @@ type CachedTest struct {
 	Outcome   Outcome           `json:"outcome"`
 	Diffs     map[string]uint64 `json:"diffs,omitempty"`
 	Prog      []byte            `json:"prog"`
+	// TestOffset locates the test instruction within Prog (everything before
+	// it is the state initializer); the triage minimizer's split point.
+	TestOffset int `json:"test_offset"`
 }
 
 // InstrEntry is the cached result of exploring and generating one
@@ -423,5 +426,56 @@ func (c *Corpus) GetExec(k ExecKey) (*ExecEntry, bool) {
 
 // PutExec stores an execution outcome.
 func (c *Corpus) PutExec(e *ExecEntry) error {
+	return c.put(e.Key.Hash(), e)
+}
+
+// ---------------------------------------------------------------------------
+// Minimized-case entries (the triage engine's ddmin results, cached so
+// re-triaging a campaign — or another job sharing the corpus — replays the
+// minimization instead of re-running its oracles).
+
+// TriageKey identifies one minimized divergent case. Every input that can
+// change the minimizer's output participates: the original program content,
+// the implementation pair and handler (they define the oracle and its
+// undefined-behavior filter), both budgets, and the minimizer version.
+type TriageKey struct {
+	ProgSHA       string `json:"prog_sha"` // sha256 of boot code + original program
+	Handler       string `json:"handler"`
+	ImplA         string `json:"impl_a"`
+	ImplB         string `json:"impl_b"`
+	MaxSteps      int    `json:"max_steps"`
+	Budget        int    `json:"budget"`
+	TriageVersion int    `json:"triage_version"`
+}
+
+// Hash returns the content address of the key.
+func (k TriageKey) Hash() string {
+	return hashKey("triage",
+		k.ProgSHA, k.Handler, k.ImplA, k.ImplB,
+		strconv.Itoa(k.MaxSteps), strconv.Itoa(k.Budget), strconv.Itoa(k.TriageVersion))
+}
+
+// TriageEntry is one cached minimization result. Min is the triage
+// package's serialized Minimized record, stored opaquely so the corpus
+// stays decoupled from the triage types.
+type TriageEntry struct {
+	Key TriageKey       `json:"key"`
+	Min json.RawMessage `json:"min"`
+}
+
+// GetTriage looks up a cached minimization.
+func (c *Corpus) GetTriage(k TriageKey) (*TriageEntry, bool) {
+	var e TriageEntry
+	if !c.get(k.Hash(), &e) {
+		return nil, false
+	}
+	if e.Key != k {
+		return nil, false
+	}
+	return &e, true
+}
+
+// PutTriage stores a minimization result.
+func (c *Corpus) PutTriage(e *TriageEntry) error {
 	return c.put(e.Key.Hash(), e)
 }

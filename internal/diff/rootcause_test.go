@@ -1,0 +1,166 @@
+package diff
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"pokeemu/internal/machine"
+	"pokeemu/internal/x86"
+)
+
+// TestRootCauseExceptionVectorOnly pins the classification of deltas whose
+// only divergence is the terminal exception: a #UD on either side is a
+// decoder acceptance difference regardless of mnemonic, any other vector
+// delta is a segmentation-enforcement difference.
+func TestRootCauseExceptionVectorOnly(t *testing.T) {
+	cases := []struct {
+		name string
+		d    *Difference
+		want string
+	}{
+		{"ud on side A", &Difference{Mnemonic: "mov", Fields: []FieldDiff{
+			{Field: "exc.vector", A: uint64(x86.ExcUD), B: 0xffff}}},
+			"decoder: encoding acceptance difference"},
+		{"ud on side B", &Difference{Mnemonic: "mov", Fields: []FieldDiff{
+			{Field: "exc.vector", A: 0xffff, B: uint64(x86.ExcUD)}}},
+			"decoder: encoding acceptance difference"},
+		{"gp vs none", &Difference{Mnemonic: "mov", Fields: []FieldDiff{
+			{Field: "exc.vector", A: uint64(x86.ExcGP), B: 0xffff}}},
+			"segmentation: limits/rights not enforced"},
+		{"gp vs pf", &Difference{Mnemonic: "mov", Fields: []FieldDiff{
+			{Field: "exc.vector", A: uint64(x86.ExcGP), B: uint64(x86.ExcPF)}}},
+			"segmentation: limits/rights not enforced"},
+		{"vector with error code", &Difference{Mnemonic: "pop", Fields: []FieldDiff{
+			{Field: "exc.vector", A: uint64(x86.ExcSS), B: 0xffff},
+			{Field: "exc.err", A: 0x10, B: 0xffffffff}}},
+			"segmentation: limits/rights not enforced"},
+	}
+	for _, c := range cases {
+		if got := RootCause(c.d); got != c.want {
+			t.Errorf("%s: got %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+// TestRootCauseMemoryOnly pins the classification of deltas confined to
+// memory, which depends entirely on which region the bytes fall in.
+func TestRootCauseMemoryOnly(t *testing.T) {
+	cases := []struct {
+		name string
+		d    *Difference
+		want string
+	}{
+		{"page table only", &Difference{Mnemonic: "mov", Fields: []FieldDiff{
+			{Field: "mem[0x3040]", A: 1, B: 0}}},
+			"memory access order across a page boundary"},
+		{"page directory only", &Difference{Mnemonic: "mov", Fields: []FieldDiff{
+			{Field: "mem[0x2040]", A: 1, B: 0}}},
+			"memory access order across a page boundary"},
+		{"gdt only", &Difference{Mnemonic: "mov", Fields: []FieldDiff{
+			{Field: "mem[0x208008]", A: 1, B: 0}}},
+			"segment load: accessed bit not written back"},
+		{"plain memory only", &Difference{Mnemonic: "mov", Fields: []FieldDiff{
+			{Field: "mem[0x300000]", A: 1, B: 0}}},
+			"other: mov|mem"},
+		{"gdt beats paging region", &Difference{Mnemonic: "mov", Fields: []FieldDiff{
+			{Field: "mem[0x208008]", A: 1, B: 0},
+			{Field: "mem[0x3040]", A: 1, B: 0}}},
+			"segment load: accessed bit not written back"},
+	}
+	for _, c := range cases {
+		if got := RootCause(c.d); got != c.want {
+			t.Errorf("%s: got %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+// TestClusterPermutationStability feeds Cluster every ordering of the same
+// difference set and requires identical cluster keys and identical per-key
+// membership — clustering must depend on the set, not the input order.
+func TestClusterPermutationStability(t *testing.T) {
+	diffs := []*Difference{
+		{TestID: "a#0", Mnemonic: "leave", Fields: []FieldDiff{{Field: "esp"}}},
+		{TestID: "a#1", Mnemonic: "leave", Fields: []FieldDiff{{Field: "esp"}}},
+		{TestID: "b#0", Mnemonic: "leave", Fields: []FieldDiff{{Field: "ebp"}}},
+		{TestID: "c#0", Mnemonic: "mov", Fields: []FieldDiff{{Field: "exc.vector"}}},
+	}
+	shape := func(clusters map[string][]*Difference) map[string][]string {
+		out := make(map[string][]string, len(clusters))
+		for sig, ds := range clusters {
+			ids := make([]string, 0, len(ds))
+			for _, d := range ds {
+				ids = append(ids, d.TestID)
+			}
+			sort.Strings(ids)
+			out[sig] = ids
+		}
+		return out
+	}
+	want := shape(Cluster(diffs))
+	if len(want) != 3 {
+		t.Fatalf("clusters = %d, want 3", len(want))
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 24; trial++ {
+		perm := make([]*Difference, len(diffs))
+		for i, j := range rng.Perm(len(diffs)) {
+			perm[i] = diffs[j]
+		}
+		if got := shape(Cluster(perm)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: clusters changed under permutation:\ngot  %v\nwant %v",
+				trial, got, want)
+		}
+	}
+}
+
+// TestCompareFieldOrderDeterministic pins Compare's output ordering: on a
+// snapshot pair differing in registers, flags, an exception, and bytes on
+// several memory pages, repeated comparisons must produce the identical
+// field sequence — the ordering the triage report and golden files rely on.
+func TestCompareFieldOrderDeterministic(t *testing.T) {
+	img := machine.BaselineImage()
+	ma := machine.NewBaseline(img)
+	mb := machine.NewBaseline(img)
+	mb.GPR[x86.EAX] = 7
+	mb.GPR[x86.ESP] -= 4
+	mb.EFLAGS |= 1 << x86.FlagCF
+	// Bytes on three distinct pages, written in descending address order so
+	// a map-iteration bug cannot accidentally present them sorted.
+	mb.Mem.Write8(0x305000, 0xaa)
+	mb.Mem.Write8(0x300004, 0xbb)
+	mb.Mem.Write8(0x208008, 0xcc)
+	exc := &machine.ExceptionInfo{Vector: x86.ExcGP, ErrCode: 0x50, HasErr: true}
+	sa, sb := ma.Snapshot(nil), mb.Snapshot(exc)
+
+	first := Compare(sa, sb, Filter{})
+	if len(first) < 7 {
+		t.Fatalf("expected a multi-field delta, got %v", first)
+	}
+	for i := 0; i < 50; i++ {
+		if got := Compare(sa, sb, Filter{}); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d: field order changed:\ngot  %v\nwant %v", i, got, first)
+		}
+	}
+	// Memory fields must come last and in ascending address order.
+	var memAt []int
+	for i, f := range first {
+		if len(f.Field) > 4 && f.Field[:4] == "mem[" {
+			memAt = append(memAt, i)
+		}
+	}
+	if len(memAt) != 3 {
+		t.Fatalf("memory fields = %d, want 3: %v", len(memAt), first)
+	}
+	if memAt[len(memAt)-1] != len(first)-1 {
+		t.Errorf("memory fields are not trailing: %v", first)
+	}
+	for i := 1; i < len(memAt); i++ {
+		if first[memAt[i-1]].Field >= first[memAt[i]].Field {
+			t.Errorf("memory fields out of order: %s before %s",
+				first[memAt[i-1]].Field, first[memAt[i]].Field)
+		}
+	}
+}

@@ -79,6 +79,22 @@ type Result struct {
 	TimedOut bool
 }
 
+// ByName returns a fresh factory for an implementation name. Every call
+// builds new translation caches, so callers that need scheduling-independent
+// results (the triage minimizer re-running oracles per case) get isolated
+// state.
+func ByName(name string) (Factory, bool) {
+	switch name {
+	case "fidelis":
+		return FidelisFactory(), true
+	case "celer":
+		return CelerFactory(), true
+	case "hardware":
+		return HardwareFactory(), true
+	}
+	return Factory{}, false
+}
+
 // Run executes a test the way the paper does (Figure 4): boot the guest
 // from the shared image, run the fixed baseline state initializer as guest
 // code, then the test program; interception of exceptions and halts is

@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"pokeemu/internal/campaign"
 	"pokeemu/internal/diff"
+	"pokeemu/internal/triage"
 )
 
 // Status is the JSON shape of GET /v1/campaigns/{id} (and of each element
@@ -54,6 +57,16 @@ type Report struct {
 	// when the run lost units or cache entries, so healthy reports are
 	// byte-identical to the pre-degradation format.
 	Degraded *DegradedInfo `json:"degraded,omitempty"`
+	// Baseline is the known/new partition, present only when the job ran
+	// against a baseline — baseline-free reports keep their historical bytes.
+	Baseline *BaselineInfo `json:"baseline,omitempty"`
+}
+
+// BaselineInfo summarizes a job's baseline partition.
+type BaselineInfo struct {
+	Entries int `json:"entries"` // suppressed clusters in the baseline
+	Known   int `json:"known"`   // divergent tests matching a baseline entry
+	New     int `json:"new"`     // divergent tests not in the baseline
 }
 
 // DegradedInfo mirrors campaign.Degraded with stable JSON names.
@@ -144,6 +157,9 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.instrument("cancel", s.handleCancel))
 	mux.HandleFunc("GET /v1/campaigns/{id}/report", s.instrument("report", s.handleReport))
 	mux.HandleFunc("GET /v1/campaigns/{id}/divergences", s.instrument("divergences", s.handleDivergences))
+	mux.HandleFunc("GET /v1/campaigns/{id}/triage", s.instrument("triage", s.handleTriage))
+	mux.HandleFunc("GET /v1/baseline", s.instrument("baseline", s.handleBaselineGet))
+	mux.HandleFunc("PUT /v1/baseline", s.instrument("baseline", s.handleBaselinePut))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return mux
@@ -282,7 +298,17 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 			WriteFailures:    res.Cache.WriteFailures,
 		},
 		Degraded: degradedInfo(&res.Degraded),
+		Baseline: baselineInfo(res),
 	})
+}
+
+// baselineInfo converts the result's baseline partition for the API; nil
+// (omitted from the JSON) when the job ran without a baseline.
+func baselineInfo(res *campaign.Result) *BaselineInfo {
+	if !res.BaselineUsed {
+		return nil
+	}
+	return &BaselineInfo{Entries: res.BaselineEntries, Known: res.KnownDiffs, New: res.NewDiffs}
 }
 
 // degradedInfo converts the campaign ledger for the API; nil (omitted from
@@ -330,6 +356,90 @@ func (s *Server) handleDivergences(w http.ResponseWriter, r *http.Request) {
 		resp.Divergences = append(resp.Divergences, dv)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// TriageResponse is the JSON shape of GET /v1/campaigns/{id}/triage: the
+// full triage report, its human rendering, and the baseline that would
+// suppress every cluster seen — ready to PUT back to /v1/baseline.
+type TriageResponse struct {
+	ID                string           `json:"id"`
+	Rendered          string           `json:"rendered"`
+	Report            *triage.Report   `json:"report"`
+	SuggestedBaseline *triage.Baseline `json:"suggested_baseline"`
+}
+
+// handleTriage triages a done job's divergences on demand. Query parameters:
+// minimize=1 ddmin-shrinks every case (cached in the shared corpus, so
+// repeat requests replay instead of re-running oracles); budget=N bounds
+// oracle runs per case. The partition uses the baseline the job ran with, so
+// the triage report always agrees with the job's campaign summary.
+func (s *Server) handleTriage(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	res, ok := finishedResult(w, j)
+	if !ok {
+		return
+	}
+	opts := triage.Options{
+		TestMaxSteps: j.Req.TestMaxSteps,
+		Workers:      j.Req.Workers,
+		Baseline:     j.cfg.Baseline,
+		Corpus:       s.crp,
+	}
+	q := r.URL.Query()
+	opts.Minimize = q.Get("minimize") == "1" || q.Get("minimize") == "true"
+	if v := q.Get("budget"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad budget %q", v))
+			return
+		}
+		opts.Budget = n
+	}
+	rep, err := triage.Run(res.TriageCases, opts)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, TriageResponse{
+		ID:                j.ID,
+		Rendered:          rep.Render(),
+		Report:            rep,
+		SuggestedBaseline: rep.SuggestedBaseline(),
+	})
+}
+
+// handleBaselineGet serves the service-wide baseline (an empty one when none
+// has been recorded, so clients can always fetch-modify-PUT).
+func (s *Server) handleBaselineGet(w http.ResponseWriter, r *http.Request) {
+	bl := s.Baseline()
+	if bl == nil {
+		bl = triage.NewBaseline()
+	}
+	writeJSON(w, http.StatusOK, bl)
+}
+
+// handleBaselinePut replaces the service-wide baseline. The body is the
+// versioned baseline format (as served by GET /v1/baseline or suggested by
+// the triage endpoint); jobs submitted afterwards partition against it.
+func (s *Server) handleBaselinePut(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request: "+err.Error())
+		return
+	}
+	bl, err := triage.DecodeBaseline(data)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.SetBaseline(bl); err != nil {
+		writeErr(w, http.StatusInternalServerError, "persisting baseline: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, bl)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"pokeemu/internal/campaign"
 	"pokeemu/internal/corpus"
 	"pokeemu/internal/faults"
+	"pokeemu/internal/triage"
 )
 
 // Submission errors surfaced as HTTP 503 by the handler layer.
@@ -87,12 +89,22 @@ type Server struct {
 	ctx    context.Context // canceled to abort every running job
 	cancel context.CancelFunc
 
+	// crp is the shared corpus handle ("" CorpusDir leaves it nil); the
+	// triage endpoint uses it to cache minimized cases across jobs.
+	crp *corpus.Corpus
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string // submission order, for listing
 	nextID   int
 	queue    chan *Job
 	draining bool
+	// baseline is the service-wide known-divergence set: every job submitted
+	// after it is set partitions its differences against it, and the triage
+	// endpoint uses the snapshot the job ran with. The pointer is replaced
+	// wholesale on PUT (a Baseline is immutable once installed), so running
+	// jobs keep a consistent view.
+	baseline *triage.Baseline
 
 	slots sync.WaitGroup // one per scheduler slot goroutine
 }
@@ -110,8 +122,10 @@ func New(opts Options) (*Server, error) {
 	if opts.MaxWorkersPerJob <= 0 {
 		opts.MaxWorkersPerJob = runtime.NumCPU()
 	}
+	var crp *corpus.Corpus
 	if opts.CorpusDir != "" {
-		if _, err := corpus.Open(opts.CorpusDir); err != nil {
+		var err error
+		if crp, err = corpus.Open(opts.CorpusDir); err != nil {
 			return nil, err
 		}
 	}
@@ -119,9 +133,19 @@ func New(opts Options) (*Server, error) {
 		opts:    opts,
 		metrics: newMetrics(),
 		run:     opts.runCampaign,
+		crp:     crp,
 		jobs:    make(map[string]*Job),
 		nextID:  1,
 		queue:   make(chan *Job, opts.MaxQueue),
+	}
+	// A baseline persisted next to the corpus survives daemon restarts; a
+	// missing file just means no known divergences yet.
+	if p := s.baselinePath(); p != "" {
+		bl, err := triage.LoadBaseline(p)
+		if err != nil {
+			return nil, err
+		}
+		s.baseline = bl
 	}
 	if s.run == nil {
 		s.run = campaign.RunContext
@@ -143,6 +167,34 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // CorpusDir returns the shared corpus root ("" if disabled).
 func (s *Server) CorpusDir() string { return s.opts.CorpusDir }
+
+// baselinePath is where the service persists its baseline ("" when no corpus
+// is configured — the baseline is then in-memory only).
+func (s *Server) baselinePath() string {
+	if s.opts.CorpusDir == "" {
+		return ""
+	}
+	return filepath.Join(s.opts.CorpusDir, "baseline.json")
+}
+
+// Baseline returns the current service-wide baseline (nil if none is set).
+func (s *Server) Baseline() *triage.Baseline {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.baseline
+}
+
+// SetBaseline installs a new baseline for subsequent jobs and persists it
+// next to the corpus when one is configured.
+func (s *Server) SetBaseline(b *triage.Baseline) error {
+	s.mu.Lock()
+	s.baseline = b
+	s.mu.Unlock()
+	if p := s.baselinePath(); p != "" {
+		return b.Save(p)
+	}
+	return nil
+}
 
 // Request is the JSON body of POST /v1/campaigns. Zero values take
 // defaults (path_cap 256, seed 1, workers = the server's per-job cap);
@@ -204,6 +256,9 @@ func (s *Server) configFor(req *Request) (campaign.Config, error) {
 		TestMaxSteps:     req.TestMaxSteps,
 		TestTimeout:      time.Duration(req.TestTimeoutMS) * time.Millisecond,
 		StageTimeout:     time.Duration(req.StageTimeoutMS) * time.Millisecond,
+		// The job captures the baseline current at submission; a later PUT
+		// replaces the server's pointer without disturbing running jobs.
+		Baseline: s.Baseline(),
 	}
 	if err := cfg.Validate(); err != nil {
 		return campaign.Config{}, err

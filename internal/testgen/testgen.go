@@ -20,9 +20,11 @@ import (
 
 // Version identifies the generator's output format: the gadget library, the
 // ordering rules, and the baseline initializer. Any change that could alter
-// the bytes of a generated test program must bump it, so corpus entries
-// produced by an older generator are regenerated instead of reused.
-const Version = 1
+// the bytes of a generated test program — or what cached entries record
+// about it (v2 added the test-instruction offset, the triage minimizer's
+// split point) — must bump it, so corpus entries produced by an older
+// generator are regenerated instead of reused.
+const Version = 2
 
 // BaselineInit returns the fixed baseline state initializer (Section 4.1),
 // loaded at machine.BootBase: it loads the descriptor table registers,

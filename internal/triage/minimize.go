@@ -1,0 +1,305 @@
+package triage
+
+import (
+	"pokeemu/internal/diff"
+	"pokeemu/internal/harness"
+	"pokeemu/internal/machine"
+	"pokeemu/internal/testgen"
+	"pokeemu/internal/x86"
+)
+
+// Version identifies the minimizer algorithm and the Minimized encoding; it
+// is part of every cached triage entry's corpus key, so an algorithm change
+// re-minimizes instead of replaying stale results.
+const Version = 1
+
+// DefaultBudget bounds oracle runs per minimized case. Every candidate the
+// minimizer tries costs one oracle run (two emulator executions plus a state
+// diff); the budget makes the per-case cost deterministic and proportional,
+// never quadratic blowup on a pathological case.
+const DefaultBudget = 256
+
+// CaseInfo is one divergent test as the campaign's compare stage saw it:
+// identity, the implementation pair, the divergence signature and root
+// cause, and the runnable program (initializer gadgets, then the test
+// instruction at TestOffset, then hlt). It is the minimizer's input and the
+// unit the triage report is built from.
+type CaseInfo struct {
+	TestID   string `json:"test_id"`
+	Handler  string `json:"handler"`
+	Mnemonic string `json:"mnemonic"`
+	ImplA    string `json:"impl_a"` // oracle side (e.g. "hardware")
+	ImplB    string `json:"impl_b"` // emulator under test (e.g. "celer")
+
+	Signature string `json:"signature"`
+	RootCause string `json:"root_cause"`
+
+	Prog       []byte `json:"prog"`
+	TestOffset int    `json:"test_offset"` // offset of the test instruction in Prog
+}
+
+// Minimized is the result of shrinking one case. The final program is
+// Prog (kept initializer atoms + possibly truncated test instruction + hlt)
+// and reproduces exactly the original Signature when Reproduced is true.
+type Minimized struct {
+	Reproduced bool   `json:"reproduced"`
+	Signature  string `json:"signature"`
+	Prog       []byte `json:"prog"`
+	TestOffset int    `json:"test_offset"`
+
+	OrigBytes  int `json:"orig_bytes"`
+	FinalBytes int `json:"final_bytes"`
+	OrigAtoms  int `json:"orig_atoms"` // initializer instructions before minimization
+	FinalAtoms int `json:"final_atoms"`
+
+	DroppedAtoms   int `json:"dropped_atoms"`   // initializer instructions removed
+	ZeroedBytes    int `json:"zeroed_bytes"`    // immediate bytes zeroed in kept atoms
+	TruncatedBytes int `json:"truncated_bytes"` // bytes cut off the test instruction
+	OracleRuns     int `json:"oracle_runs"`
+}
+
+// Oracle executes a candidate program on the case's implementation pair and
+// returns the divergence signature, or "" when the two final states agree.
+type Oracle func(prog []byte) string
+
+// OracleFor builds the differential oracle for a case: both implementations
+// boot the shared baseline image through the fixed baseline initializer,
+// run the candidate program under the step budget, and the final states are
+// compared under the case's undefined-behavior filter — exactly the
+// campaign's compare stage for one test. Factories are created fresh per
+// oracle, so concurrent minimizations share no mutable state.
+func OracleFor(c CaseInfo, maxSteps int) (Oracle, error) {
+	fa, ok := harness.ByName(c.ImplA)
+	if !ok {
+		return nil, &UnknownImplError{Name: c.ImplA}
+	}
+	fb, ok := harness.ByName(c.ImplB)
+	if !ok {
+		return nil, &UnknownImplError{Name: c.ImplB}
+	}
+	if maxSteps <= 0 {
+		maxSteps = harness.DefaultMaxSteps
+	}
+	image := machine.BaselineImage()
+	boot := testgen.BaselineInit()
+	budget := harness.Budget{MaxSteps: maxSteps}
+	filter := diff.UndefFilterFor(c.Handler)
+	d := diff.Difference{
+		TestID: c.TestID, Handler: c.Handler, Mnemonic: c.Mnemonic,
+		ImplA: c.ImplA, ImplB: c.ImplB,
+	}
+	return func(prog []byte) string {
+		ra := harness.RunBootBudget(fa, image, boot, prog, budget)
+		rb := harness.RunBootBudget(fb, image, boot, prog, budget)
+		ds := diff.Compare(ra.Snapshot, rb.Snapshot, filter)
+		if len(ds) == 0 {
+			return ""
+		}
+		d := d // copy; Signature reads Fields
+		d.Fields = ds
+		return d.Signature()
+	}, nil
+}
+
+// UnknownImplError reports a case naming an implementation the harness does
+// not provide.
+type UnknownImplError struct{ Name string }
+
+func (e *UnknownImplError) Error() string {
+	return "triage: unknown implementation " + e.Name
+}
+
+// splitAtoms decodes the initializer prefix into single-instruction atoms,
+// the minimizer's unit of removal. Undecodable residue (possible on
+// fuzz-constructed cases, never on testgen output) is kept as one opaque
+// atom so rebuilding always reproduces the original bytes.
+func splitAtoms(init []byte) [][]byte {
+	var atoms [][]byte
+	for len(init) > 0 {
+		inst, err := x86.Decode(init)
+		if err != nil || inst.Len <= 0 || inst.Len > len(init) {
+			atoms = append(atoms, init)
+			break
+		}
+		atoms = append(atoms, init[:inst.Len])
+		init = init[inst.Len:]
+	}
+	return atoms
+}
+
+// splitCase cuts a case's program into initializer atoms, test-instruction
+// bytes, and the terminating hlt (re-appended on every rebuild).
+func splitCase(c CaseInfo) (atoms [][]byte, instr []byte) {
+	off := c.TestOffset
+	if off < 0 || off > len(c.Prog) {
+		off = 0
+	}
+	atoms = splitAtoms(c.Prog[:off])
+	instr = c.Prog[off:]
+	hlt := x86.AsmHlt()
+	if len(instr) >= len(hlt) && instr[len(instr)-1] == hlt[0] {
+		instr = instr[:len(instr)-len(hlt)]
+	}
+	return atoms, instr
+}
+
+// buildProg reassembles a candidate program from atoms and instruction
+// bytes, terminated by hlt.
+func buildProg(atoms [][]byte, instr []byte) []byte {
+	var out []byte
+	for _, a := range atoms {
+		out = append(out, a...)
+	}
+	out = append(out, instr...)
+	return append(out, x86.AsmHlt()...)
+}
+
+// zeroImm returns a copy of the atom with its trailing immediate bytes
+// zeroed and the number of bytes changed; (nil, 0) when the atom has no
+// immediate or already carries a zero one. The variant is only a candidate:
+// the oracle decides whether the zeroed state value still reproduces the
+// divergence, so mis-zeroing an exotic encoding is harmless.
+func zeroImm(atom []byte) ([]byte, int) {
+	inst, err := x86.Decode(atom)
+	if err != nil || inst.Len != len(atom) || inst.ImmSize == 0 {
+		return nil, 0
+	}
+	out := append([]byte(nil), atom...)
+	changed := 0
+	for i := len(out) - inst.ImmSize; i < len(out); i++ {
+		if out[i] != 0 {
+			out[i] = 0
+			changed++
+		}
+	}
+	if changed == 0 {
+		return nil, 0
+	}
+	return out, changed
+}
+
+// Minimize shrinks one divergent case with a fixed, fully deterministic
+// schedule — the result depends only on the case, the step budget, and the
+// oracle budget, never on scheduling or worker counts:
+//
+//  1. reproduce the divergence and record its signature;
+//  2. ddmin over the initializer atoms (drop chunks at doubling
+//     granularity, keeping any removal that preserves the signature);
+//  3. zero the immediate of each surviving atom (the test-state fields the
+//     divergence does not actually depend on);
+//  4. truncate the test-instruction bytes to the shortest prefix that still
+//     reproduces the signature.
+//
+// Every accepted step re-ran the oracle and preserved the signature, so the
+// returned program — never larger than the input — diverges exactly the way
+// the original did. A case whose divergence does not reproduce (or an
+// exhausted budget before the first check) is returned unshrunk with
+// Reproduced=false.
+func Minimize(c CaseInfo, maxSteps, budget int) (*Minimized, error) {
+	oracle, err := OracleFor(c, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	atoms, instr := splitCase(c)
+	// The canonical original is the rebuilt program (atoms + instr + hlt):
+	// identical to c.Prog for testgen output, and normalized (hlt appended)
+	// for hand- or fuzz-constructed cases, so FinalBytes <= OrigBytes holds
+	// unconditionally.
+	orig := buildProg(atoms, instr)
+	m := &Minimized{
+		Prog:      orig,
+		OrigBytes: len(orig), FinalBytes: len(orig),
+		OrigAtoms: len(atoms), FinalAtoms: len(atoms),
+		TestOffset: len(orig) - len(instr) - len(x86.AsmHlt()),
+	}
+
+	m.OracleRuns++
+	sig := oracle(orig)
+	if sig == "" {
+		return m, nil
+	}
+	m.Reproduced = true
+	m.Signature = sig
+
+	// check runs one budgeted oracle attempt on a candidate.
+	check := func(as [][]byte, in []byte) bool {
+		if m.OracleRuns >= budget {
+			return false
+		}
+		m.OracleRuns++
+		return oracle(buildProg(as, in)) == sig
+	}
+
+	// Phase 2: ddmin over initializer atoms.
+	n := 2
+	for len(atoms) > 0 {
+		if len(atoms) == 1 {
+			if check(nil, instr) {
+				atoms = nil
+			}
+			break
+		}
+		if n > len(atoms) {
+			n = len(atoms)
+		}
+		chunk := (len(atoms) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(atoms); start += chunk {
+			end := start + chunk
+			if end > len(atoms) {
+				end = len(atoms)
+			}
+			cand := make([][]byte, 0, len(atoms)-(end-start))
+			cand = append(cand, atoms[:start]...)
+			cand = append(cand, atoms[end:]...)
+			if check(cand, instr) {
+				atoms = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(atoms) {
+				break
+			}
+			n *= 2
+		}
+	}
+	m.DroppedAtoms = m.OrigAtoms - len(atoms)
+
+	// Phase 3: zero surviving state-initializer immediates.
+	for i := range atoms {
+		z, changed := zeroImm(atoms[i])
+		if changed == 0 {
+			continue
+		}
+		cand := append([][]byte(nil), atoms...)
+		cand[i] = z
+		if check(cand, instr) {
+			atoms[i] = z
+			m.ZeroedBytes += changed
+		}
+	}
+
+	// Phase 4: truncate the test instruction to its shortest reproducing
+	// prefix.
+	for l := 1; l < len(instr); l++ {
+		if check(atoms, instr[:l]) {
+			m.TruncatedBytes = len(instr) - l
+			instr = instr[:l]
+			break
+		}
+	}
+
+	m.Prog = buildProg(atoms, instr)
+	m.FinalBytes = len(m.Prog)
+	m.FinalAtoms = len(atoms)
+	m.TestOffset = len(m.Prog) - len(instr) - len(x86.AsmHlt())
+	return m, nil
+}

@@ -1,0 +1,91 @@
+package triage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ClusterChange is one cluster present in both reports whose test count
+// moved.
+type ClusterChange struct {
+	Impl      string `json:"impl"`
+	Signature string `json:"signature"`
+	RootCause string `json:"root_cause"`
+	OldCount  int    `json:"old_count"`
+	NewCount  int    `json:"new_count"`
+}
+
+// Delta is the regression diff between two triage reports: only what
+// changed, so a CI log shows the drift and nothing else. Appeared clusters
+// are the regressions a gate fails on; Disappeared clusters are fixed (or
+// masked) divergences; Changed clusters kept their signature but shifted
+// test counts.
+type Delta struct {
+	OldTotal int `json:"old_total"`
+	NewTotal int `json:"new_total"`
+
+	Appeared    []ClusterSummary `json:"appeared,omitempty"`
+	Disappeared []ClusterSummary `json:"disappeared,omitempty"`
+	Changed     []ClusterChange  `json:"changed,omitempty"`
+}
+
+// Empty reports whether the two reports cluster identically.
+func (d *Delta) Empty() bool {
+	return len(d.Appeared) == 0 && len(d.Disappeared) == 0 && len(d.Changed) == 0
+}
+
+// DiffReports compares two triage reports by cluster (impl + signature) and
+// emits only the delta. Both inputs keep their clusters sorted, so the
+// output ordering is deterministic.
+func DiffReports(old, new *Report) *Delta {
+	d := &Delta{OldTotal: old.Total, NewTotal: new.Total}
+	type ckey struct{ impl, sig string }
+	oldBy := make(map[ckey]ClusterSummary, len(old.Clusters))
+	for _, cl := range old.Clusters {
+		oldBy[ckey{cl.Impl, cl.Signature}] = cl
+	}
+	seen := make(map[ckey]bool, len(new.Clusters))
+	for _, cl := range new.Clusters {
+		k := ckey{cl.Impl, cl.Signature}
+		seen[k] = true
+		prev, ok := oldBy[k]
+		switch {
+		case !ok:
+			d.Appeared = append(d.Appeared, cl)
+		case prev.Count != cl.Count:
+			d.Changed = append(d.Changed, ClusterChange{
+				Impl: cl.Impl, Signature: cl.Signature, RootCause: cl.RootCause,
+				OldCount: prev.Count, NewCount: cl.Count,
+			})
+		}
+	}
+	for _, cl := range old.Clusters {
+		if !seen[ckey{cl.Impl, cl.Signature}] {
+			d.Disappeared = append(d.Disappeared, cl)
+		}
+	}
+	return d
+}
+
+// Render formats the delta; an empty delta renders as a single "no
+// divergence delta" line.
+func (d *Delta) Render() string {
+	if d.Empty() {
+		return fmt.Sprintf("no divergence delta (%d -> %d tests, clusters unchanged)\n",
+			d.OldTotal, d.NewTotal)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "divergence delta: %d -> %d tests; +%d / -%d clusters, %d changed\n",
+		d.OldTotal, d.NewTotal, len(d.Appeared), len(d.Disappeared), len(d.Changed))
+	for _, cl := range d.Appeared {
+		fmt.Fprintf(&b, "  + %-8s %-44s %4d tests  %s\n", cl.Impl, cl.Signature, cl.Count, cl.RootCause)
+	}
+	for _, cl := range d.Disappeared {
+		fmt.Fprintf(&b, "  - %-8s %-44s %4d tests  %s\n", cl.Impl, cl.Signature, cl.Count, cl.RootCause)
+	}
+	for _, ch := range d.Changed {
+		fmt.Fprintf(&b, "  ~ %-8s %-44s %4d -> %d tests  %s\n",
+			ch.Impl, ch.Signature, ch.OldCount, ch.NewCount, ch.RootCause)
+	}
+	return b.String()
+}

@@ -1,0 +1,228 @@
+// Golden and determinism tests for the triage engine, driven by a real
+// campaign (an external test package: campaign imports triage, so these
+// tests cannot live inside it).
+package triage_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pokeemu/internal/campaign"
+	"pokeemu/internal/corpus"
+	"pokeemu/internal/triage"
+)
+
+func openCorpus(t *testing.T) *corpus.Corpus {
+	t.Helper()
+	crp, err := corpus.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return crp
+}
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// divergentCases runs one small campaign with a handler whose lo-fi
+// implementation carries a seeded defect, and memoizes its triage cases:
+// every test in this file shares the same deterministic input set.
+var divergentCases = sync.OnceValues(func() ([]triage.CaseInfo, error) {
+	res, err := campaign.Run(campaign.Config{
+		MaxPathsPerInstr: 8,
+		Handlers:         []string{"leave", "push_r"},
+		Seed:             1,
+		Workers:          4,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.TriageCases, nil
+})
+
+func mustCases(t *testing.T) []triage.CaseInfo {
+	t.Helper()
+	cases, err := divergentCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("seeded campaign produced no divergences")
+	}
+	return cases
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("output differs from %s (run with -update to regenerate):\n--- want:\n%s\n--- got:\n%s",
+			path, want, got)
+	}
+}
+
+// TestTriageReportGolden pins the rendered triage report — clustering,
+// baseline partition, and per-case minimization stats — byte for byte.
+func TestTriageReportGolden(t *testing.T) {
+	rep, err := triage.Run(mustCases(t), triage.Options{Minimize: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "report.golden"), []byte(rep.Render()))
+}
+
+// TestBaselineGolden pins the on-disk baseline format: the file a CI
+// pipeline commits, so its bytes must be stable.
+func TestBaselineGolden(t *testing.T) {
+	rep, err := triage.Run(mustCases(t), triage.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.SuggestedBaseline().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "baseline.golden"), data)
+}
+
+// TestReportDiffGolden pins the regression-diff rendering: a second triage
+// run with one cluster's cases removed must show exactly that cluster as
+// disappeared (or its count changed), nothing else.
+func TestReportDiffGolden(t *testing.T) {
+	cases := mustCases(t)
+	full, err := triage.Run(cases, triage.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop every case of the first cluster's signature to fabricate a fix.
+	gone := full.Clusters[0].Signature
+	var remaining []triage.CaseInfo
+	for _, c := range cases {
+		if c.Signature != gone {
+			remaining = append(remaining, c)
+		}
+	}
+	reduced, err := triage.Run(remaining, triage.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	out.WriteString(triage.DiffReports(full, full).Render())
+	out.WriteString(triage.DiffReports(full, reduced).Render())
+	out.WriteString(triage.DiffReports(reduced, full).Render())
+	compareGolden(t, filepath.Join("testdata", "reportdiff.golden"), out.Bytes())
+}
+
+// TestTriageWorkersDeterminism is the chaos-style scheduling test: the full
+// minimizing triage run must render and encode byte-identically for
+// Workers=1 and a heavily parallel pool. Run under -race via make race.
+func TestTriageWorkersDeterminism(t *testing.T) {
+	cases := mustCases(t)
+	seq, err := triage.Run(cases, triage.Options{Minimize: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 8} {
+		par, err := triage.Run(cases, triage.Options{Minimize: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Render() != par.Render() {
+			t.Errorf("Workers=1 vs %d: rendered reports differ", workers)
+		}
+		a, err := seq.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("Workers=1 vs %d: encoded reports differ", workers)
+		}
+	}
+}
+
+// TestTriageMinimizePreservesSignatures is the acceptance check on real
+// campaign divergences: every case reproduces, shrinks (never grows), and
+// its minimized program still produces the original signature.
+func TestTriageMinimizePreservesSignatures(t *testing.T) {
+	rep, err := triage.Run(mustCases(t), triage.Options{Minimize: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Cases {
+		m := c.Minimized
+		if m == nil {
+			t.Fatalf("%s: not minimized", c.TestID)
+		}
+		if !m.Reproduced {
+			t.Errorf("%s: campaign divergence did not reproduce", c.TestID)
+			continue
+		}
+		if m.Signature != c.Signature {
+			t.Errorf("%s: signature drifted: %q -> %q", c.TestID, c.Signature, m.Signature)
+		}
+		if m.FinalBytes > m.OrigBytes {
+			t.Errorf("%s: grew %d -> %d bytes", c.TestID, m.OrigBytes, m.FinalBytes)
+		}
+	}
+}
+
+// TestTriageBaselineRoundTrip is the cross-run regression gate in miniature:
+// triage, record the suggested baseline, re-triage the same divergences
+// against it, and require zero new.
+func TestTriageBaselineRoundTrip(t *testing.T) {
+	cases := mustCases(t)
+	first, err := triage.Run(cases, triage.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.New != first.Total || first.Known != 0 {
+		t.Fatalf("baseline-free run not all-new: %d new of %d", first.New, first.Total)
+	}
+	second, err := triage.Run(cases, triage.Options{
+		Workers: 4, Baseline: first.SuggestedBaseline(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.New != 0 || second.Known != second.Total || second.NewCluster != 0 {
+		t.Errorf("baselined re-run still new: %d new, %d known of %d",
+			second.New, second.Known, second.Total)
+	}
+}
+
+// TestTriageCorpusCacheStability: a triage run with a warm minimization
+// cache must render byte-identically to the cold run that filled it.
+func TestTriageCorpusCacheStability(t *testing.T) {
+	crp := openCorpus(t)
+	cases := mustCases(t)
+	cold, err := triage.Run(cases, triage.Options{Minimize: true, Workers: 4, Corpus: crp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := triage.Run(cases, triage.Options{Minimize: true, Workers: 4, Corpus: crp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Render() != warm.Render() {
+		t.Error("warm (cached) triage run renders differently from the cold run")
+	}
+}
