@@ -11,9 +11,9 @@ SERVE_CORPUS ?= .pokeemud-corpus
 # Per-package statement-coverage floors enforced by `make cover`
 # (package:floor pairs; floors sit a few points under current coverage so
 # routine edits pass but a dropped test file fails).
-COVER_FLOORS ?= triage:85 diff:90
+COVER_FLOORS ?= triage:85 diff:90 equivcheck:85
 
-.PHONY: build vet test race fuzz chaos cover bench serve smoke check
+.PHONY: build vet test race fuzz chaos cover bench serve smoke equivcheck check
 
 build:
 	$(GO) build ./...
@@ -29,16 +29,18 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-# The five native fuzz targets: the instruction decoder's structural
+# The six native fuzz targets: the instruction decoder's structural
 # invariants, the expression simplifier's soundness, the bit-blaster vs
-# evaluator semantics oracle, the fault-injection spec parser, and the
-# triage minimizer's shrink/signature-preservation invariants.
+# evaluator semantics oracle, the fault-injection spec parser, the triage
+# minimizer's shrink/signature-preservation invariants, and the equivcheck
+# verdict vs concrete-differential oracle.
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/x86
 	$(GO) test -fuzz=FuzzExprSimplify -fuzztime=$(FUZZTIME) ./internal/expr
 	$(GO) test -fuzz=FuzzSemanticsOracle -fuzztime=$(FUZZTIME) ./internal/solver
 	$(GO) test -fuzz=FuzzFaultSpec -fuzztime=$(FUZZTIME) ./internal/faults
 	$(GO) test -fuzz=FuzzTriageMinimize -fuzztime=$(FUZZTIME) ./internal/triage
+	$(GO) test -fuzz=FuzzVsOracle -fuzztime=$(FUZZTIME) ./internal/equivcheck
 
 # Chaos gate: the fault-injection matrix under the race detector, sweeping
 # a fixed seed range (CHAOS_SEEDS plans per fault mix). Every armed fault
@@ -76,4 +78,11 @@ serve:
 smoke:
 	$(GO) run ./cmd/pokeemud -smoke
 
-check: build vet test race chaos cover smoke
+# Symbolic disequivalence gate: prove the seeded handler subset under a
+# pinned budget. Any UNKNOWN or any DIVERGES outside the pinned known set
+# (the alias-encoding findings) fails the build.
+equivcheck:
+	$(GO) run ./cmd/pokeemu equivcheck -handlers gate -budget 200 \
+		-gate -known internal/equivcheck/testdata/known_diverges.json
+
+check: build vet test race chaos cover smoke equivcheck

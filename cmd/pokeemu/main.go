@@ -18,6 +18,18 @@
 //	pokeemu random [-tests N] [-fuzz]
 //	pokeemu sequence -seq f9,11d8 [-cap N]
 //	pokeemu trace -prog b82a000000f4 [-on celer]
+//	pokeemu equivcheck [-handlers a,b,c] [-cap N] [-budget N] [-workers N]
+//	                   [-corpus DIR] [-no-cache] [-json FILE] [-timing]
+//	                   [-gate] [-known FILE]
+//
+// Equivcheck: symbolic disequivalence checking between the Hi-Fi and Lo-Fi
+// implementations. Each handler's fidelis IR program and celer translation
+// are executed symbolically over one shared symbolic pre-state and the
+// solver decides, per output, whether any input distinguishes them: EQUIV
+// is a proof (within the modeled state space), DIVERGES carries a decoded,
+// concretely replayed counterexample, UNKNOWN names the exhausted stage.
+// -gate exits nonzero on any UNKNOWN or any DIVERGES outside the -known
+// file; -corpus caches verdicts so warm runs issue zero solver queries.
 //
 // Triage: runs a campaign, partitions its divergences against the -baseline
 // file (known vs. new), clusters them, and with -minimize ddmin-shrinks each
@@ -59,6 +71,7 @@ import (
 	"pokeemu/internal/core"
 	"pokeemu/internal/corpus"
 	"pokeemu/internal/emu"
+	"pokeemu/internal/equivcheck"
 	"pokeemu/internal/faults"
 	"pokeemu/internal/harness"
 	"pokeemu/internal/machine"
@@ -95,8 +108,86 @@ func main() {
 		cmdSequence(os.Args[2:])
 	case "trace":
 		cmdTrace(os.Args[2:])
+	case "equivcheck":
+		cmdEquivcheck(os.Args[2:])
 	default:
 		usage()
+	}
+}
+
+// cmdEquivcheck runs the symbolic disequivalence checker over a handler
+// set and prints the deterministic verdict report.
+func cmdEquivcheck(args []string) {
+	fs := flag.NewFlagSet("equivcheck", flag.ExitOnError)
+	handlers := fs.String("handlers", "",
+		"comma-separated handler keys; \"gate\" = the seeded gate subset (\"\" = every handler)")
+	cap := fs.Int("cap", equivcheck.DefaultPathCap, "fidelis path cap per handler")
+	budget := fs.Int64("budget", 0, "solver query budget per handler (0 = unlimited)")
+	conflicts := fs.Int64("conflicts", equivcheck.DefaultMaxConflicts,
+		"per-query SAT conflict budget; exceeding it yields UNKNOWN (0 = unlimited)")
+	workers := fs.Int("workers", runtime.NumCPU(),
+		"parallel handler checks (never changes the report)")
+	corpusDir := fs.String("corpus", "", "corpus directory for verdict caching (\"\" = no cache)")
+	noCache := fs.Bool("no-cache", false, "ignore cached verdicts (still refreshes the corpus)")
+	jsonOut := fs.String("json", "", "write the report JSON to FILE")
+	timing := fs.Bool("timing", false, "append the wall-time and verdict-cache table")
+	gate := fs.Bool("gate", false, "exit 1 on any UNKNOWN or any DIVERGES outside -known")
+	known := fs.String("known", "", "known-diverges JSON file for -gate")
+	fs.Parse(args)
+
+	if *workers <= 0 {
+		die(fmt.Errorf("-workers must be >= 1 (got %d)", *workers))
+	}
+	opts := equivcheck.Options{
+		MaxPaths:     *cap,
+		Budget:       *budget,
+		MaxConflicts: *conflicts,
+		Workers:      *workers,
+		NoCache:      *noCache,
+	}
+	switch *handlers {
+	case "":
+	case "gate":
+		opts.Handlers = equivcheck.DefaultGateHandlers
+	default:
+		opts.Handlers = strings.Split(*handlers, ",")
+	}
+	if *corpusDir != "" {
+		crp, err := corpus.Open(*corpusDir)
+		if err != nil {
+			die(err)
+		}
+		opts.Corpus = crp
+	}
+	rep, err := equivcheck.Run(opts)
+	if err != nil {
+		die(err)
+	}
+	fmt.Print(rep.Render())
+	if *timing {
+		fmt.Println()
+		fmt.Print(rep.Timing.Table())
+	}
+	if *jsonOut != "" {
+		data, err := rep.Encode()
+		if err != nil {
+			die(err)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			die(err)
+		}
+	}
+	if *gate {
+		kd, err := equivcheck.LoadKnownDiverges(*known)
+		if err != nil {
+			die(err)
+		}
+		if violations := rep.Gate(kd); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "pokeemu: equivcheck gate:", v)
+			}
+			os.Exit(1)
+		}
 	}
 }
 
@@ -173,7 +264,7 @@ func runTrace(w io.Writer, impl string, prog []byte, steps int) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: pokeemu explore | paths | gen | campaign | triage | random | sequence | trace")
+		"usage: pokeemu explore | paths | gen | campaign | triage | random | sequence | trace | equivcheck")
 	os.Exit(2)
 }
 

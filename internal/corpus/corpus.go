@@ -430,6 +430,63 @@ func (c *Corpus) PutExec(e *ExecEntry) error {
 }
 
 // ---------------------------------------------------------------------------
+// Equivalence-checking verdict entries (the symbolic disequivalence
+// checker's per-handler results, cached so a warm equivcheck run answers
+// without issuing a single solver query).
+
+// EquivKey identifies one handler's cached disequivalence verdict. Every
+// input that can change the verdict participates: the handler, the fidelis
+// semantics configuration, the path cap and solver budget, and the checker
+// and test-generator version numbers.
+type EquivKey struct {
+	Handler      string `json:"handler"` // unique-instruction key (core.UniqueInstr.Key)
+	Config       string `json:"config"`  // fidelis semantics configuration label
+	PathCap      int    `json:"path_cap"`
+	Budget       int64  `json:"budget"`
+	MaxConflicts int64  `json:"max_conflicts"` // per-query SAT conflict budget
+	SemVersion   int    `json:"sem_version"`   // equivcheck semantics version
+	GenVersion   int    `json:"gen_version"`   // testgen version (counterexample programs)
+}
+
+// Hash returns the content address of the key.
+func (k EquivKey) Hash() string {
+	return hashKey("equiv",
+		k.Handler,
+		k.Config,
+		strconv.Itoa(k.PathCap),
+		strconv.FormatInt(k.Budget, 10),
+		strconv.FormatInt(k.MaxConflicts, 10),
+		strconv.Itoa(k.SemVersion),
+		strconv.Itoa(k.GenVersion),
+	)
+}
+
+// EquivEntry is one cached verdict. Verdict is the equivcheck package's
+// serialized HandlerVerdict, stored opaquely so the corpus stays decoupled
+// from the checker types (the same pattern as TriageEntry.Min).
+type EquivEntry struct {
+	Key     EquivKey        `json:"key"`
+	Verdict json.RawMessage `json:"verdict"`
+}
+
+// GetEquiv looks up a cached verdict.
+func (c *Corpus) GetEquiv(k EquivKey) (*EquivEntry, bool) {
+	var e EquivEntry
+	if !c.get(k.Hash(), &e) {
+		return nil, false
+	}
+	if e.Key != k {
+		return nil, false
+	}
+	return &e, true
+}
+
+// PutEquiv stores a verdict.
+func (c *Corpus) PutEquiv(e *EquivEntry) error {
+	return c.put(e.Key.Hash(), e)
+}
+
+// ---------------------------------------------------------------------------
 // Minimized-case entries (the triage engine's ddmin results, cached so
 // re-triaging a campaign — or another job sharing the corpus — replays the
 // minimization instead of re-running its oracles).

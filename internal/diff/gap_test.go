@@ -1,0 +1,80 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+
+	"pokeemu/internal/machine"
+	"pokeemu/internal/x86"
+)
+
+// TestFlagOnlyBoundaryDivergence: a divergence confined to OF and CF at the
+// signed-overflow boundary (0x7fffffff + 1) — the shape celer's count>1
+// shift bug and equivcheck's flag counterexamples produce. It must compare
+// as a single eflags field, classify as undefined status flags, and vanish
+// under the shift filter that masks OF.
+func TestFlagOnlyBoundaryDivergence(t *testing.T) {
+	img := machine.BaselineImage()
+	ma := machine.NewBaseline(img)
+	mb := machine.NewBaseline(img)
+	// Both sides computed 0x7fffffff+1; one sets OF (signed overflow), the
+	// other left it stale — and they also disagree on CF.
+	ma.GPR[x86.EAX] = 0x80000000
+	mb.GPR[x86.EAX] = 0x80000000
+	ma.EFLAGS |= 1 << x86.FlagOF
+	mb.EFLAGS |= 1 << x86.FlagCF
+
+	ds := Compare(ma.Snapshot(nil), mb.Snapshot(nil), Filter{})
+	if len(ds) != 1 || ds[0].Field != "eflags" {
+		t.Fatalf("diffs = %v, want only eflags", ds)
+	}
+	d := &Difference{TestID: "t", Handler: "shl_rmv_imm8", Mnemonic: "shl", Fields: ds}
+	if got := RootCause(d); got != "undefined status flags" {
+		t.Errorf("RootCause = %q, want undefined status flags", got)
+	}
+	if !strings.Contains(d.Signature(), "eflags") {
+		t.Errorf("Signature = %q, want an eflags kind", d.Signature())
+	}
+
+	// The shift filter masks OF but not CF: the CF half of the divergence
+	// must survive filtering.
+	shiftFilter := UndefFilterFor("shl_rmv_imm8")
+	if shiftFilter.EFLAGSMask&(1<<x86.FlagOF) == 0 {
+		t.Fatal("shift filter does not mask OF")
+	}
+	if ds := Compare(ma.Snapshot(nil), mb.Snapshot(nil), shiftFilter); len(ds) != 1 {
+		t.Errorf("OF-masked compare = %v, want the CF delta to survive", ds)
+	}
+	// Masking both undefined-ish bits removes the divergence entirely.
+	both := Filter{EFLAGSMask: 1<<x86.FlagOF | 1<<x86.FlagCF}
+	if ds := Compare(ma.Snapshot(nil), mb.Snapshot(nil), both); len(ds) != 0 {
+		t.Errorf("fully masked compare = %v, want none", ds)
+	}
+}
+
+// TestMemoryOnlyDivergence: a divergence confined to plain data memory must
+// survive any EFLAGS filter, produce mem[...] fields in address order, and
+// cluster under the plain "mem" kind.
+func TestMemoryOnlyDivergence(t *testing.T) {
+	img := machine.BaselineImage()
+	ma := machine.NewBaseline(img)
+	mb := machine.NewBaseline(img)
+	mb.Mem.Write8(0x300010, 0xaa)
+	mb.Mem.Write8(0x300004, 0x55)
+
+	f := UndefFilterFor("div_rm8") // masks every status flag
+	ds := Compare(ma.Snapshot(nil), mb.Snapshot(nil), f)
+	if len(ds) != 2 {
+		t.Fatalf("diffs = %v, want two memory bytes", ds)
+	}
+	if ds[0].Field != "mem[0x300004]" || ds[1].Field != "mem[0x300010]" {
+		t.Errorf("memory fields out of address order: %v", ds)
+	}
+	d := &Difference{TestID: "t", Handler: "mov_rmv_rv", Mnemonic: "mov", Fields: ds}
+	if sig := d.Signature(); sig != "mov|mem" {
+		t.Errorf("Signature = %q, want mov|mem", sig)
+	}
+	if got := RootCause(d); got == "undefined status flags" {
+		t.Errorf("memory-only divergence misclassified as %q", got)
+	}
+}

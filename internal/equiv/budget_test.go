@@ -1,0 +1,41 @@
+package equiv
+
+import (
+	"testing"
+
+	"pokeemu/internal/x86"
+	"pokeemu/internal/x86/sem"
+)
+
+// TestIncompleteAtPathBudget: capping exploration below an instruction's
+// path count must surface as Complete=false — the caller's signal that the
+// verdict is budget-limited (equivcheck's UNKNOWN), never silently treated
+// as a proof over the full state space.
+func TestIncompleteAtPathBudget(t *testing.T) {
+	// div %dh: divide-by-zero and quotient-overflow forks give >1 path.
+	enc := []byte{0xf6, 0xf6}
+	full, err := CheckInstruction(enc, sem.BochsConfig, sem.BochsConfig,
+		gprOuts(x86.EAX), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Complete {
+		t.Fatalf("div exploration incomplete even at cap 256: %v", full)
+	}
+	if full.PathsA < 2 {
+		t.Fatalf("div explored %d paths; the budget test needs a multi-path instruction",
+			full.PathsA)
+	}
+	capped, err := CheckInstruction(enc, sem.BochsConfig, sem.BochsConfig,
+		gprOuts(x86.EAX), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Complete {
+		t.Errorf("capped exploration (1 path of %d) still claims Complete", full.PathsA)
+	}
+	// The capped report still carries verdicts for what it did explore.
+	if len(capped.Checked) == 0 {
+		t.Error("capped report has no checked outputs")
+	}
+}

@@ -1,0 +1,1073 @@
+// Package equivcheck implements symbolic disequivalence checking between
+// the Hi-Fi (fidelis) and Lo-Fi (celer) emulators, in the style of
+// Tamarin's concolic disequivalence checking: both implementations of one
+// instruction are executed over a single shared symbolic pre-state, their
+// path conditions are conjoined pairwise, and the solver is asked whether
+// any input makes a pair of final states differ on some output. UNSAT on
+// every pair and output certifies equivalence over the symbolic state
+// space; a SAT model is decoded into a ready-to-run counterexample test
+// case that feeds the existing concrete triage pipeline.
+//
+// The fidelis side reuses the symbolic execution engine over the compiled
+// IR. The celer side has no IR — it is concrete Go code — so this file
+// lifts celer's translation by hand: a symbolic interpreter that mirrors
+// internal/celer/exec.go statement by statement over internal/expr terms,
+// including celer's deliberate bug classes (alias encodings rejected with
+// #UD, undefined flags left unchanged, and so on). Only register and
+// immediate operand forms are lifted; memory, stack, string, and system
+// forms report an UnsupportedError and surface as UNKNOWN verdicts with
+// the lift stage named in the degradation ledger.
+package equivcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"pokeemu/internal/expr"
+	"pokeemu/internal/ir"
+	"pokeemu/internal/machine"
+	"pokeemu/internal/x86"
+)
+
+// symFlagBits are the EFLAGS bits treated as symbolic inputs — the same
+// set internal/equiv marks, so both sides share the st_* variables.
+var symFlagBits = []uint8{x86.FlagCF, x86.FlagPF, x86.FlagAF, x86.FlagZF,
+	x86.FlagSF, x86.FlagDF, x86.FlagOF}
+
+// trackedFlagBits adds the bits celer can read or write beyond the
+// symbolic set (IF for cli/sti); they start at their concrete baseline.
+var trackedFlagBits = append([]uint8{x86.FlagIF}, symFlagBits...)
+
+// UnsupportedError marks an instruction form the celer lifter does not
+// model; the checker reports UNKNOWN with this stage string.
+type UnsupportedError struct{ Reason string }
+
+func (e *UnsupportedError) Error() string {
+	return "equivcheck: celer lift unsupported: " + e.Reason
+}
+
+func unsupported(format string, args ...any) error {
+	return &UnsupportedError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// cstate is celer's symbolic machine state: the register file and the
+// tracked EFLAGS bits. Reg-form instructions touch nothing else.
+type cstate struct {
+	gpr   [8]*expr.Expr // 32-bit terms
+	flags map[uint8]*expr.Expr
+}
+
+func (s *cstate) clone() *cstate {
+	c := &cstate{gpr: s.gpr, flags: make(map[uint8]*expr.Expr, len(s.flags))}
+	for k, v := range s.flags {
+		c.flags[k] = v
+	}
+	return c
+}
+
+// get reads one output location as a term (the checker's comparison hook).
+func (s *cstate) get(loc x86.Loc) *expr.Expr {
+	switch loc.Kind {
+	case x86.LocGPR:
+		return s.gpr[loc.Index]
+	case x86.LocFlag:
+		return s.flags[loc.Index]
+	}
+	panic("equivcheck: unsupported output location " + loc.String())
+}
+
+// celerPath is one symbolic execution path of celer's translation: the
+// conjunction of its branch conditions, its termination outcome, and the
+// final state (meaningful only for OutEnd paths).
+type celerPath struct {
+	cond    []*expr.Expr
+	outcome ir.Outcome
+	st      *cstate
+}
+
+// lifter threads the in-progress main path; fault forks are emitted as
+// completed paths with a condition snapshot, and the negation joins the
+// main path's condition.
+type lifter struct {
+	inst *x86.Inst
+	osz  uint8
+	st   *cstate
+	cond []*expr.Expr
+	done []*celerPath
+}
+
+// liftCeler symbolically executes celer's decode + translation of inst
+// over the shared st_* pre-state variables, with base supplying concrete
+// values for untracked state. Paths are returned in deterministic order:
+// fault forks in program order, the fall-through success path last.
+func liftCeler(inst *x86.Inst, base *machine.Machine) ([]*celerPath, error) {
+	st := &cstate{flags: make(map[uint8]*expr.Expr)}
+	for r := 0; r < 8; r++ {
+		st.gpr[r] = expr.Var(32, "st_"+x86.Reg(r).String())
+	}
+	for _, bit := range trackedFlagBits {
+		st.flags[bit] = expr.Const(1, uint64(base.EFLAGS>>bit&1))
+	}
+	for _, bit := range symFlagBits {
+		st.flags[bit] = expr.Var(1, "st_"+x86.Flag(bit).String())
+	}
+
+	l := &lifter{inst: inst, osz: uint8(inst.OpSize), st: st}
+
+	// celer's decoder rejects alias encodings with #UD (finding 7) before
+	// any translation happens.
+	if inst.Spec.AliasEnc {
+		l.raise(x86.ExcUD)
+		return l.done, nil
+	}
+	// LOCK legality check from celer's translate.
+	if inst.Lock && (!inst.Spec.LockOK || inst.IsRegForm() || !inst.HasModRM) {
+		l.raise(x86.ExcUD)
+		return l.done, nil
+	}
+	if err := l.exec(); err != nil {
+		return nil, err
+	}
+	return l.done, nil
+}
+
+// raise terminates the current path with a fault.
+func (l *lifter) raise(vec uint8) {
+	l.done = append(l.done, &celerPath{
+		cond:    append([]*expr.Expr(nil), l.cond...),
+		outcome: ir.Outcome{Kind: ir.OutRaise, Vector: vec},
+		st:      l.st,
+	})
+}
+
+// fork emits a fault path guarded by cond and constrains the main path to
+// its negation. Constant conditions collapse to a single path, exactly as
+// concrete execution would.
+func (l *lifter) fork(cond *expr.Expr, vec uint8) bool {
+	if cond.IsTrue() {
+		l.raise(vec)
+		return true // main path is dead
+	}
+	if cond.IsFalse() {
+		return false
+	}
+	saved := l.cond
+	l.cond = append(append([]*expr.Expr(nil), saved...), cond)
+	l.raise(vec)
+	l.cond = append(saved, expr.Not(cond))
+	return false
+}
+
+// end terminates the main path normally.
+func (l *lifter) end() {
+	l.done = append(l.done, &celerPath{
+		cond:    l.cond,
+		outcome: ir.Outcome{Kind: ir.OutEnd},
+		st:      l.st,
+	})
+}
+
+// halt terminates the main path with the halt outcome (celer's hlt).
+func (l *lifter) halt() {
+	l.done = append(l.done, &celerPath{
+		cond:    l.cond,
+		outcome: ir.Outcome{Kind: ir.OutHalt},
+		st:      l.st,
+	})
+}
+
+// --- register/flag helpers mirroring celer/mem.go ------------------------
+
+func (l *lifter) gprRead(idx, w uint8) *expr.Expr {
+	switch w {
+	case 32:
+		return l.st.gpr[idx]
+	case 16:
+		return expr.Extract(l.st.gpr[idx], 0, 16)
+	case 8:
+		if idx < 4 {
+			return expr.Extract(l.st.gpr[idx], 0, 8)
+		}
+		return expr.Extract(l.st.gpr[idx-4], 8, 8)
+	}
+	panic("equivcheck: bad width")
+}
+
+func (l *lifter) gprWrite(idx, w uint8, v *expr.Expr) {
+	if v.Width != w {
+		panic("equivcheck: gpr write width mismatch")
+	}
+	switch w {
+	case 32:
+		l.st.gpr[idx] = v
+	case 16:
+		l.st.gpr[idx] = expr.Concat(expr.Extract(l.st.gpr[idx], 16, 16), v)
+	case 8:
+		if idx < 4 {
+			l.st.gpr[idx] = expr.Concat(expr.Extract(l.st.gpr[idx], 8, 24), v)
+		} else {
+			old := l.st.gpr[idx-4]
+			l.st.gpr[idx-4] = expr.Concat(expr.Extract(old, 16, 16),
+				expr.Concat(v, expr.Extract(old, 0, 8)))
+		}
+	default:
+		panic("equivcheck: bad width")
+	}
+}
+
+func (l *lifter) flag(bit uint8) *expr.Expr { return l.st.flags[bit] }
+
+func (l *lifter) setFlag(bit uint8, v *expr.Expr) {
+	if v.Width != 1 {
+		panic("equivcheck: flag width mismatch")
+	}
+	l.st.flags[bit] = v
+}
+
+func (l *lifter) setFlagConst(bit uint8, v uint64) {
+	l.setFlag(bit, expr.Const(1, v))
+}
+
+func bit(e *expr.Expr, i uint8) *expr.Expr { return expr.Extract(e, i, 1) }
+
+func msb(e *expr.Expr) *expr.Expr { return bit(e, e.Width-1) }
+
+// parity8 is celer's parity8: even parity of the low byte.
+func parity8(r *expr.Expr) *expr.Expr {
+	p := bit(r, 0)
+	for i := uint8(1); i < 8; i++ {
+		p = expr.Xor(p, bit(r, i))
+	}
+	return expr.Not(p)
+}
+
+func (l *lifter) setSZP(r *expr.Expr) {
+	l.setFlag(x86.FlagSF, msb(r))
+	l.setFlag(x86.FlagZF, expr.Eq(r, expr.Const(r.Width, 0)))
+	l.setFlag(x86.FlagPF, parity8(r))
+}
+
+// addFlags mirrors celer's addFlags: CF from the carry out of a w+1-bit
+// sum, OF/AF from the classic xor identities.
+func (l *lifter) addFlags(a, b, cin, r *expr.Expr) {
+	w := a.Width
+	wide := expr.Add(expr.Add(expr.ZExt(a, w+1), expr.ZExt(b, w+1)),
+		expr.ZExt(cin, w+1))
+	l.setFlag(x86.FlagCF, bit(wide, w))
+	l.setFlag(x86.FlagOF,
+		bit(expr.And(expr.Not(expr.Xor(a, b)), expr.Xor(a, r)), w-1))
+	l.setFlag(x86.FlagAF, bit(expr.Xor(expr.Xor(a, b), r), 4))
+	l.setSZP(r)
+}
+
+func (l *lifter) subFlags(a, b, cin, r *expr.Expr) {
+	w := a.Width
+	wide := expr.Sub(expr.Sub(expr.ZExt(a, w+1), expr.ZExt(b, w+1)),
+		expr.ZExt(cin, w+1))
+	l.setFlag(x86.FlagCF, bit(wide, w))
+	l.setFlag(x86.FlagOF,
+		bit(expr.And(expr.Xor(a, b), expr.Xor(a, r)), w-1))
+	l.setFlag(x86.FlagAF, bit(expr.Xor(expr.Xor(a, b), r), 4))
+	l.setSZP(r)
+}
+
+func (l *lifter) logicFlags(r *expr.Expr) {
+	l.setFlagConst(x86.FlagCF, 0)
+	l.setFlagConst(x86.FlagOF, 0)
+	// AF deliberately left unchanged, like celer (finding 8).
+	l.setSZP(r)
+}
+
+// condValue mirrors celer's condition-code evaluation.
+func (l *lifter) condValue(cc uint8) *expr.Expr {
+	var v *expr.Expr
+	one := func(bit uint8) *expr.Expr { return l.flag(bit) }
+	switch cc >> 1 {
+	case 0:
+		v = one(x86.FlagOF)
+	case 1:
+		v = one(x86.FlagCF)
+	case 2:
+		v = one(x86.FlagZF)
+	case 3:
+		v = expr.Or(one(x86.FlagCF), one(x86.FlagZF))
+	case 4:
+		v = one(x86.FlagSF)
+	case 5:
+		v = one(x86.FlagPF)
+	case 6:
+		v = expr.Ne(one(x86.FlagSF), one(x86.FlagOF))
+	case 7:
+		v = expr.Or(one(x86.FlagZF), expr.Ne(one(x86.FlagSF), one(x86.FlagOF)))
+	}
+	if cc&1 == 1 {
+		v = expr.Not(v)
+	}
+	return v
+}
+
+var ccNames = [16]string{
+	"o", "no", "b", "ae", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+func ccOf(name string) (uint8, bool) {
+	for i, n := range ccNames {
+		if n == name {
+			return uint8(i), true
+		}
+	}
+	return 0, false
+}
+
+// rmReg returns the register index named by a reg-form r/m operand, or an
+// error for memory forms (the lifter models no memory).
+func (l *lifter) rmReg() (uint8, error) {
+	if !l.inst.IsRegForm() {
+		return 0, unsupported("memory operand")
+	}
+	return l.inst.RM(), nil
+}
+
+func (l *lifter) immConst(w uint8) *expr.Expr {
+	return expr.Const(w, uint64(uint32(l.inst.Imm))&expr.Mask(w))
+}
+
+// --- the exec dispatch, mirroring celer/exec.go ---------------------------
+
+func (l *lifter) exec() error {
+	name := l.inst.Spec.Name
+	op := name
+	form := ""
+	if us := strings.IndexByte(name, '_'); us >= 0 {
+		op, form = name[:us], name[us+1:]
+	}
+
+	switch op {
+	case "add", "or", "adc", "sbb", "and", "sub", "xor", "cmp", "test":
+		return l.binALU(op, form)
+	case "inc", "dec":
+		return l.incDec(op == "inc", form)
+	case "not", "neg":
+		return l.notNeg(op == "neg", form)
+	case "mul", "imul", "imul1":
+		return l.mulOne(op != "mul", form)
+	case "imul2", "imul3":
+		return l.imulMulti(op == "imul3")
+	case "div", "idiv":
+		return l.divide(op == "idiv", form)
+	case "rol", "ror", "rcl", "rcr", "shl", "shr", "sar":
+		return l.shiftRotate(op, form)
+	case "bt", "bts", "btr", "btc":
+		return l.bitTest(op, form)
+	}
+
+	switch name {
+	case "nop":
+		l.end()
+		return nil
+	case "ud2":
+		l.raise(x86.ExcUD)
+		return nil
+	case "hlt":
+		l.halt()
+		return nil
+	case "mov_rm8_r8", "mov_rmv_rv", "mov_r8_rm8", "mov_rv_rmv",
+		"mov_rm8_imm8", "mov_rmv_immv":
+		return l.movGeneric(strings.TrimPrefix(name, "mov_"))
+	case "mov_r8_imm8":
+		l.gprWrite(l.inst.Opcode&7, 8, l.immConst(8))
+		l.end()
+		return nil
+	case "mov_r_immv":
+		l.gprWrite(l.inst.Opcode&7, l.osz, l.immConst(l.osz))
+		l.end()
+		return nil
+	case "movzx_rv_rm8", "movzx_rv_rm16", "movsx_rv_rm8", "movsx_rv_rm16":
+		return l.movExtend(name)
+	case "xchg_eax_r":
+		r := l.inst.Opcode & 7
+		a, b := l.gprRead(0, l.osz), l.gprRead(r, l.osz)
+		l.gprWrite(0, l.osz, b)
+		l.gprWrite(r, l.osz, a)
+		l.end()
+		return nil
+	case "xchg_rm8_r8", "xchg_rmv_rv":
+		w := l.osz
+		if name == "xchg_rm8_r8" {
+			w = 8
+		}
+		rm, err := l.rmReg()
+		if err != nil {
+			return err
+		}
+		a := l.gprRead(rm, w)
+		b := l.gprRead(l.inst.RegField(), w)
+		l.gprWrite(rm, w, b)
+		l.gprWrite(l.inst.RegField(), w, a)
+		l.end()
+		return nil
+	case "xadd_rm8_r8", "xadd_rmv_rv":
+		w := l.osz
+		if name == "xadd_rm8_r8" {
+			w = 8
+		}
+		rm, err := l.rmReg()
+		if err != nil {
+			return err
+		}
+		a := l.gprRead(rm, w)
+		b := l.gprRead(l.inst.RegField(), w)
+		sum := expr.Add(a, b)
+		l.addFlags(a, b, expr.Const(1, 0), sum)
+		// celer writes the source register first, then the destination, so
+		// the destination wins when both name the same register.
+		l.gprWrite(l.inst.RegField(), w, a)
+		l.gprWrite(rm, w, sum)
+		l.end()
+		return nil
+	case "cmpxchg_rm8_r8", "cmpxchg_rmv_rv":
+		return l.cmpxchg(name == "cmpxchg_rm8_r8")
+	case "bswap":
+		// celer ignores the operand size and swaps all 32 bits.
+		r := l.inst.Opcode & 7
+		v := l.st.gpr[r]
+		l.st.gpr[r] = expr.Concat(
+			expr.Concat(bits8(v, 0), bits8(v, 8)),
+			expr.Concat(bits8(v, 16), bits8(v, 24)))
+		l.end()
+		return nil
+	case "cwde":
+		if l.osz == 32 {
+			l.gprWrite(0, 32, expr.SExt(l.gprRead(0, 16), 32))
+		} else {
+			l.gprWrite(0, 16, expr.SExt(l.gprRead(0, 8), 16))
+		}
+		l.end()
+		return nil
+	case "cdq":
+		sign := msb(l.gprRead(0, l.osz))
+		l.gprWrite(2, l.osz, expr.Ite(sign,
+			expr.Const(l.osz, expr.Mask(l.osz)), expr.Const(l.osz, 0)))
+		l.end()
+		return nil
+	case "lahf":
+		// AH = SF:ZF:0:AF:0:PF:1:CF, bit 7 down to bit 0.
+		ah := expr.Concat(l.flag(x86.FlagSF),
+			expr.Concat(l.flag(x86.FlagZF),
+				expr.Concat(expr.Const(1, 0),
+					expr.Concat(l.flag(x86.FlagAF),
+						expr.Concat(expr.Const(1, 0),
+							expr.Concat(l.flag(x86.FlagPF),
+								expr.Concat(expr.Const(1, 1), l.flag(x86.FlagCF))))))))
+		l.gprWrite(4, 8, ah)
+		l.end()
+		return nil
+	case "sahf":
+		ah := l.gprRead(4, 8)
+		l.setFlag(x86.FlagCF, bit(ah, 0))
+		l.setFlag(x86.FlagPF, bit(ah, 2))
+		l.setFlag(x86.FlagAF, bit(ah, 4))
+		l.setFlag(x86.FlagZF, bit(ah, 6))
+		l.setFlag(x86.FlagSF, bit(ah, 7))
+		l.end()
+		return nil
+	case "clc":
+		l.setFlagConst(x86.FlagCF, 0)
+		l.end()
+		return nil
+	case "stc":
+		l.setFlagConst(x86.FlagCF, 1)
+		l.end()
+		return nil
+	case "cmc":
+		l.setFlag(x86.FlagCF, expr.Not(l.flag(x86.FlagCF)))
+		l.end()
+		return nil
+	case "cld":
+		l.setFlagConst(x86.FlagDF, 0)
+		l.end()
+		return nil
+	case "std":
+		l.setFlagConst(x86.FlagDF, 1)
+		l.end()
+		return nil
+	case "cli":
+		l.setFlagConst(x86.FlagIF, 0)
+		l.end()
+		return nil
+	case "sti":
+		l.setFlagConst(x86.FlagIF, 1)
+		l.end()
+		return nil
+	case "aam":
+		imm := uint64(uint32(l.inst.Imm)) & 0xff
+		if imm == 0 {
+			l.raise(x86.ExcDE)
+			return nil
+		}
+		al := l.gprRead(0, 8)
+		d := expr.Const(8, imm)
+		rem := expr.URem(al, d)
+		l.gprWrite(4, 8, expr.UDiv(al, d))
+		l.gprWrite(0, 8, rem)
+		l.setSZP(rem)
+		l.setFlagConst(x86.FlagCF, 0)
+		l.setFlagConst(x86.FlagOF, 0)
+		l.setFlagConst(x86.FlagAF, 0)
+		l.end()
+		return nil
+	case "aad":
+		imm := uint64(uint32(l.inst.Imm)) & 0xff
+		r := expr.Add(l.gprRead(0, 8),
+			expr.Mul(l.gprRead(4, 8), expr.Const(8, imm)))
+		l.gprWrite(0, 16, expr.ZExt(r, 16))
+		l.setSZP(r)
+		l.setFlagConst(x86.FlagCF, 0)
+		l.setFlagConst(x86.FlagOF, 0)
+		l.setFlagConst(x86.FlagAF, 0)
+		l.end()
+		return nil
+	}
+
+	if cc, ok := ccOf(strings.TrimPrefix(name, "set")); ok &&
+		strings.HasPrefix(name, "set") && len(name) <= 5 {
+		rm, err := l.rmReg()
+		if err != nil {
+			return err
+		}
+		l.gprWrite(rm, 8, expr.ZExt(l.condValue(cc), 8))
+		l.end()
+		return nil
+	}
+	if cc, ok := ccOf(strings.TrimPrefix(name, "cmov")); ok &&
+		strings.HasPrefix(name, "cmov") {
+		rm, err := l.rmReg()
+		if err != nil {
+			return err
+		}
+		v := l.gprRead(rm, l.osz)
+		old := l.gprRead(l.inst.RegField(), l.osz)
+		l.gprWrite(l.inst.RegField(), l.osz, expr.Ite(l.condValue(cc), v, old))
+		l.end()
+		return nil
+	}
+
+	return unsupported("handler %s", name)
+}
+
+func bits8(v *expr.Expr, lo uint8) *expr.Expr { return expr.Extract(v, lo, 8) }
+
+func (l *lifter) binALU(op, form string) error {
+	i := strings.IndexByte(form, '_')
+	if i < 0 {
+		return unsupported("form %s", form)
+	}
+	dstTok, srcTok := form[:i], form[i+1:]
+	readOnly := op == "cmp" || op == "test"
+
+	type operand struct {
+		isReg bool
+		reg   uint8
+		w     uint8
+		val   *expr.Expr
+	}
+	read := func(tok string) (operand, error) {
+		switch tok {
+		case "rm8", "rmv":
+			w := l.osz
+			if tok == "rm8" {
+				w = 8
+			}
+			rm, err := l.rmReg()
+			if err != nil {
+				return operand{}, err
+			}
+			return operand{isReg: true, reg: rm, w: w, val: l.gprRead(rm, w)}, nil
+		case "r8":
+			r := l.inst.RegField()
+			return operand{isReg: true, reg: r, w: 8, val: l.gprRead(r, 8)}, nil
+		case "rv":
+			r := l.inst.RegField()
+			return operand{isReg: true, reg: r, w: l.osz, val: l.gprRead(r, l.osz)}, nil
+		case "al":
+			return operand{isReg: true, reg: 0, w: 8, val: l.gprRead(0, 8)}, nil
+		case "eax":
+			return operand{isReg: true, reg: 0, w: l.osz, val: l.gprRead(0, l.osz)}, nil
+		case "imm8", "immv", "imm8s":
+			return operand{}, nil // width fixed up below
+		}
+		return operand{}, unsupported("operand token %s", tok)
+	}
+	dst, err := read(dstTok)
+	if err != nil {
+		return err
+	}
+	w := dst.w
+	if w == 0 {
+		w = l.osz
+	}
+	src, err := read(srcTok)
+	if err != nil {
+		return err
+	}
+	a := dst.val
+	b := src.val
+	if b == nil {
+		b = l.immConst(w)
+	} else if b.Width != w {
+		// Never happens for the architected forms, but keep widths honest.
+		return unsupported("operand width mismatch in %s", form)
+	}
+
+	var r *expr.Expr
+	switch op {
+	case "add":
+		r = expr.Add(a, b)
+		l.addFlags(a, b, expr.Const(1, 0), r)
+	case "adc":
+		cin := l.flag(x86.FlagCF)
+		r = expr.Add(expr.Add(a, b), expr.ZExt(cin, w))
+		l.addFlags(a, b, cin, r)
+	case "sub", "cmp":
+		r = expr.Sub(a, b)
+		l.subFlags(a, b, expr.Const(1, 0), r)
+	case "sbb":
+		cin := l.flag(x86.FlagCF)
+		r = expr.Sub(expr.Sub(a, b), expr.ZExt(cin, w))
+		l.subFlags(a, b, cin, r)
+	case "and", "test":
+		r = expr.And(a, b)
+		l.logicFlags(r)
+	case "or":
+		r = expr.Or(a, b)
+		l.logicFlags(r)
+	case "xor":
+		r = expr.Xor(a, b)
+		l.logicFlags(r)
+	}
+	if !readOnly {
+		l.gprWrite(dst.reg, w, r)
+	}
+	l.end()
+	return nil
+}
+
+func (l *lifter) incDec(isInc bool, form string) error {
+	var reg, w uint8
+	switch form {
+	case "r":
+		reg, w = l.inst.Opcode&7, l.osz
+	case "rm8", "rmv":
+		w = l.osz
+		if form == "rm8" {
+			w = 8
+		}
+		rm, err := l.rmReg()
+		if err != nil {
+			return err
+		}
+		reg = rm
+	default:
+		return unsupported("inc/dec form %s", form)
+	}
+	a := l.gprRead(reg, w)
+	one := expr.Const(w, 1)
+	var r *expr.Expr
+	if isInc {
+		r = expr.Add(a, one)
+		l.setFlag(x86.FlagOF,
+			bit(expr.And(expr.Not(expr.Xor(a, one)), expr.Xor(a, r)), w-1))
+	} else {
+		r = expr.Sub(a, one)
+		l.setFlag(x86.FlagOF,
+			bit(expr.And(expr.Xor(a, one), expr.Xor(a, r)), w-1))
+	}
+	l.setFlag(x86.FlagAF, bit(expr.Xor(expr.Xor(a, one), r), 4))
+	l.setSZP(r)
+	// CF untouched, like celer.
+	l.gprWrite(reg, w, r)
+	l.end()
+	return nil
+}
+
+func (l *lifter) notNeg(isNeg bool, form string) error {
+	w := l.osz
+	if form == "rm8" {
+		w = 8
+	}
+	rm, err := l.rmReg()
+	if err != nil {
+		return err
+	}
+	a := l.gprRead(rm, w)
+	if isNeg {
+		r := expr.Neg(a)
+		l.subFlags(expr.Const(w, 0), a, expr.Const(1, 0), r)
+		l.gprWrite(rm, w, r)
+	} else {
+		l.gprWrite(rm, w, expr.Not(a))
+	}
+	l.end()
+	return nil
+}
+
+func (l *lifter) mulOne(signed bool, form string) error {
+	w := l.osz
+	if form == "rm8" {
+		w = 8
+	}
+	rm, err := l.rmReg()
+	if err != nil {
+		return err
+	}
+	mv := l.gprRead(rm, w)
+	a := l.gprRead(0, w)
+	ext := expr.ZExt
+	if signed {
+		ext = expr.SExt
+	}
+	wide := expr.Mul(ext(a, 2*w), ext(mv, 2*w))
+	lo := expr.Extract(wide, 0, w)
+	hi := expr.Extract(wide, w, w)
+	if w == 8 {
+		l.gprWrite(0, 16, wide)
+	} else {
+		l.gprWrite(0, w, lo)
+		l.gprWrite(2, w, hi)
+	}
+	var over *expr.Expr
+	if signed {
+		over = expr.Ne(expr.SExt(lo, 2*w), wide)
+	} else {
+		over = expr.Ne(hi, expr.Const(w, 0))
+	}
+	l.setFlag(x86.FlagCF, over)
+	l.setFlag(x86.FlagOF, over)
+	// SF/ZF/AF/PF left unchanged (undefined), like celer.
+	l.end()
+	return nil
+}
+
+func (l *lifter) imulMulti(threeOp bool) error {
+	w := l.osz
+	rm, err := l.rmReg()
+	if err != nil {
+		return err
+	}
+	mv := l.gprRead(rm, w)
+	var a *expr.Expr
+	if threeOp {
+		a = l.immConst(w)
+	} else {
+		a = l.gprRead(l.inst.RegField(), w)
+	}
+	wide := expr.Mul(expr.SExt(a, 2*w), expr.SExt(mv, 2*w))
+	r := expr.Extract(wide, 0, w)
+	over := expr.Ne(expr.SExt(r, 2*w), wide)
+	l.gprWrite(l.inst.RegField(), w, r)
+	l.setFlag(x86.FlagCF, over)
+	l.setFlag(x86.FlagOF, over)
+	l.end()
+	return nil
+}
+
+func (l *lifter) divide(signed bool, form string) error {
+	w := l.osz
+	if form == "rm8" {
+		w = 8
+	}
+	rm, err := l.rmReg()
+	if err != nil {
+		return err
+	}
+	d := l.gprRead(rm, w)
+	if l.fork(expr.Eq(d, expr.Const(w, 0)), x86.ExcDE) {
+		return nil
+	}
+	w2 := 2 * w
+	var dividend *expr.Expr
+	if w == 8 {
+		dividend = l.gprRead(0, 16)
+	} else {
+		dividend = expr.Concat(l.gprRead(2, w), l.gprRead(0, w))
+	}
+	var q, r, over *expr.Expr
+	if signed {
+		// Signed division built from unsigned: divide magnitudes, then fix
+		// the signs (quotient by the sign product, remainder by the
+		// dividend's sign). The single non-representable case — the most
+		// negative dividend divided by -1 — fails the fit check below, so
+		// its garbage magnitude result is confined to a #DE path.
+		negD := msb(dividend)
+		negV := msb(d)
+		dv := expr.SExt(d, w2)
+		absD := expr.Ite(negD, expr.Neg(dividend), dividend)
+		absV := expr.Ite(negV, expr.Neg(dv), dv)
+		uq := expr.UDiv(absD, absV)
+		ur := expr.URem(absD, absV)
+		q = expr.Ite(expr.Xor(negD, negV), expr.Neg(uq), uq)
+		r = expr.Ite(negD, expr.Neg(ur), ur)
+		over = expr.Ne(expr.SExt(expr.Extract(q, 0, w), w2), q)
+	} else {
+		q = expr.UDiv(dividend, expr.ZExt(d, w2))
+		r = expr.URem(dividend, expr.ZExt(d, w2))
+		over = expr.Ugt(q, expr.Const(w2, expr.Mask(w)))
+	}
+	if l.fork(over, x86.ExcDE) {
+		return nil
+	}
+	qw := expr.Extract(q, 0, w)
+	rw := expr.Extract(r, 0, w)
+	if w == 8 {
+		l.gprWrite(0, 16, expr.Concat(rw, qw))
+	} else {
+		l.gprWrite(0, w, qw)
+		l.gprWrite(2, w, rw)
+	}
+	// All flags undefined: left unchanged, like celer.
+	l.end()
+	return nil
+}
+
+func (l *lifter) cmpxchg(byteForm bool) error {
+	w := l.osz
+	if byteForm {
+		w = 8
+	}
+	rm, err := l.rmReg()
+	if err != nil {
+		return err
+	}
+	old := l.gprRead(rm, w)
+	acc := l.gprRead(0, w)
+	src := l.gprRead(l.inst.RegField(), w)
+	l.subFlags(acc, old, expr.Const(1, 0), expr.Sub(acc, old))
+	eq := expr.Eq(acc, old)
+	// Mirror celer's write order: the accumulator update happens before the
+	// destination write, and the miss path writes back the originally read
+	// value (reg forms cannot fault, so only aliasing matters).
+	l.gprWrite(0, w, expr.Ite(eq, acc, old))
+	l.gprWrite(rm, w, expr.Ite(eq, src, old))
+	l.end()
+	return nil
+}
+
+func (l *lifter) shiftRotate(op, form string) error {
+	i := strings.IndexByte(form, '_')
+	if i < 0 {
+		return unsupported("shift form %s", form)
+	}
+	dstTok, amtTok := form[:i], form[i+1:]
+	w := l.osz
+	if dstTok == "rm8" {
+		w = 8
+	}
+	rm, err := l.rmReg()
+	if err != nil {
+		return err
+	}
+	a := l.gprRead(rm, w)
+
+	var ct8 *expr.Expr
+	switch amtTok {
+	case "imm8":
+		ct8 = expr.Const(8, uint64(uint32(l.inst.Imm))&0x1f)
+	case "1":
+		ct8 = expr.Const(8, 1)
+	case "cl":
+		ct8 = expr.And(l.gprRead(1, 8), expr.Const(8, 0x1f))
+	default:
+		return unsupported("shift amount %s", amtTok)
+	}
+	isZero := expr.Eq(ct8, expr.Const(8, 0))
+	isOne := expr.Eq(ct8, expr.Const(8, 1))
+	ctw := ct8
+	if w > 8 {
+		ctw = expr.ZExt(ct8, w)
+	}
+
+	// guard applies celer's count==0 early return (state unchanged) and the
+	// count==1-only OF update (finding 8: OF untouched for larger counts).
+	oldFlags := l.st.clone().flags
+	guard := func(r *expr.Expr, newOF *expr.Expr) {
+		for bitIdx, nf := range l.st.flags {
+			if of, ok := oldFlags[bitIdx]; ok && nf != of {
+				l.st.flags[bitIdx] = expr.Ite(isZero, of, nf)
+			}
+		}
+		if newOF != nil {
+			l.setFlag(x86.FlagOF, expr.Ite(isOne, newOF, oldFlags[x86.FlagOF]))
+		}
+		l.gprWrite(rm, w, expr.Ite(isZero, a, r))
+	}
+
+	switch op {
+	case "shl":
+		wide := expr.Shl(expr.ZExt(a, 64), expr.ZExt(ct8, 64))
+		r := expr.Extract(wide, 0, w)
+		// Bit w of the exact 64-bit product is automatically 0 for counts
+		// beyond the width, matching celer's forced cf = 0.
+		cf := bit(wide, w)
+		l.setFlag(x86.FlagCF, cf)
+		l.setSZP(r)
+		guard(r, expr.Xor(msb(r), cf))
+	case "shr":
+		r := expr.LShr(a, ctw)
+		// Bit count-1: yields the MSB at count == w and 0 beyond, exactly
+		// celer's three cases in one term.
+		cf := bit(expr.LShr(a, expr.Sub(ctw, expr.Const(w, 1))), 0)
+		l.setFlag(x86.FlagCF, cf)
+		l.setSZP(r)
+		guard(r, msb(a))
+	case "sar":
+		r := expr.AShr(a, ctw) // AShr clamps counts at w-1, like celer
+		cf := expr.Ite(expr.Ugt(ctw, expr.Const(w, uint64(w)-1)),
+			msb(a),
+			bit(expr.LShr(a, expr.Sub(ctw, expr.Const(w, 1))), 0))
+		l.setFlag(x86.FlagCF, cf)
+		l.setSZP(r)
+		guard(r, expr.Const(1, 0))
+	case "rol", "ror":
+		n := expr.And(ctw, expr.Const(w, uint64(w)-1))
+		comp := expr.Sub(expr.Const(w, uint64(w)), n)
+		var r *expr.Expr
+		if op == "rol" {
+			r = expr.Or(expr.Shl(a, n), expr.LShr(a, comp))
+		} else {
+			r = expr.Or(expr.LShr(a, n), expr.Shl(a, comp))
+		}
+		var cf, of *expr.Expr
+		if op == "rol" {
+			cf = bit(r, 0)
+			of = expr.Xor(msb(r), bit(r, 0))
+		} else {
+			cf = msb(r)
+			of = expr.Xor(msb(r), bit(r, w-2))
+		}
+		l.setFlag(x86.FlagCF, cf)
+		guard(r, of)
+	case "rcl", "rcr":
+		ww := w + 1
+		x := expr.Concat(l.flag(x86.FlagCF), a)
+		n := expr.URem(expr.ZExt(ct8, ww), expr.Const(ww, uint64(ww)))
+		comp := expr.Sub(expr.Const(ww, uint64(ww)), n)
+		var rx *expr.Expr
+		if op == "rcl" {
+			rx = expr.Or(expr.Shl(x, n), expr.LShr(x, comp))
+		} else {
+			rx = expr.Or(expr.LShr(x, n), expr.Shl(x, comp))
+		}
+		r := expr.Extract(rx, 0, w)
+		ncf := bit(rx, w)
+		l.setFlag(x86.FlagCF, ncf)
+		var of *expr.Expr
+		if op == "rcl" {
+			of = expr.Xor(msb(r), ncf)
+		} else {
+			of = expr.Xor(msb(r), bit(r, w-2))
+		}
+		guard(r, of)
+	}
+	l.end()
+	return nil
+}
+
+func (l *lifter) bitTest(op, form string) error {
+	w := l.osz
+	rm, err := l.rmReg()
+	if err != nil {
+		return err
+	}
+	a := l.gprRead(rm, w)
+	var idx *expr.Expr
+	if strings.HasSuffix(form, "imm8") {
+		idx = expr.Const(w, uint64(uint32(l.inst.Imm))&uint64(w-1))
+	} else {
+		idx = expr.And(l.gprRead(l.inst.RegField(), w),
+			expr.Const(w, uint64(w)-1))
+	}
+	l.setFlag(x86.FlagCF, bit(expr.LShr(a, idx), 0))
+	if op != "bt" {
+		bm := expr.Shl(expr.Const(w, 1), idx)
+		var r *expr.Expr
+		switch op {
+		case "bts":
+			r = expr.Or(a, bm)
+		case "btr":
+			r = expr.And(a, expr.Not(bm))
+		case "btc":
+			r = expr.Xor(a, bm)
+		}
+		l.gprWrite(rm, w, r)
+	}
+	l.end()
+	return nil
+}
+
+func (l *lifter) movGeneric(form string) error {
+	switch form {
+	case "rm8_r8":
+		rm, err := l.rmReg()
+		if err != nil {
+			return err
+		}
+		l.gprWrite(rm, 8, l.gprRead(l.inst.RegField(), 8))
+	case "rmv_rv":
+		rm, err := l.rmReg()
+		if err != nil {
+			return err
+		}
+		l.gprWrite(rm, l.osz, l.gprRead(l.inst.RegField(), l.osz))
+	case "r8_rm8":
+		rm, err := l.rmReg()
+		if err != nil {
+			return err
+		}
+		l.gprWrite(l.inst.RegField(), 8, l.gprRead(rm, 8))
+	case "rv_rmv":
+		rm, err := l.rmReg()
+		if err != nil {
+			return err
+		}
+		l.gprWrite(l.inst.RegField(), l.osz, l.gprRead(rm, l.osz))
+	case "rm8_imm8":
+		rm, err := l.rmReg()
+		if err != nil {
+			return err
+		}
+		l.gprWrite(rm, 8, l.immConst(8))
+	case "rmv_immv":
+		rm, err := l.rmReg()
+		if err != nil {
+			return err
+		}
+		l.gprWrite(rm, l.osz, l.immConst(l.osz))
+	default:
+		return unsupported("mov form %s", form)
+	}
+	l.end()
+	return nil
+}
+
+func (l *lifter) movExtend(name string) error {
+	rm, err := l.rmReg()
+	if err != nil {
+		return err
+	}
+	srcW := uint8(8)
+	if strings.HasSuffix(name, "rm16") {
+		srcW = 16
+	}
+	v := l.gprRead(rm, srcW)
+	if srcW >= l.osz {
+		// movzx/movsx r16, r/m16 under the 66 prefix: plain move.
+		l.gprWrite(l.inst.RegField(), l.osz, expr.Extract(v, 0, l.osz))
+	} else if strings.HasPrefix(name, "movzx") {
+		l.gprWrite(l.inst.RegField(), l.osz, expr.ZExt(v, l.osz))
+	} else {
+		l.gprWrite(l.inst.RegField(), l.osz, expr.SExt(v, l.osz))
+	}
+	l.end()
+	return nil
+}

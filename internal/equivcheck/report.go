@@ -1,0 +1,157 @@
+package equivcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Render produces the deterministic text report: the verdict table in
+// input order, one detail block per counterexample, and the degradation
+// ledger. It never includes wall-clock or cache information, so renders
+// are byte-identical across worker counts and cache temperatures.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "equivcheck: config %s, %d handlers, path cap %d, budget %s\n",
+		r.Config, len(r.Handlers), r.PathCap, budgetString(r.Budget))
+	fmt.Fprintf(&b, "%-26s %-9s %5s %5s %6s %8s  %s\n",
+		"HANDLER", "VERDICT", "HIFI", "LOFI", "PAIRS", "QUERIES", "DETAIL")
+	for _, v := range r.Handlers {
+		detail := ""
+		switch {
+		case v.Verdict == VerdictUnknown:
+			detail = v.Stage
+		case v.CE != nil:
+			detail = "output " + v.CE.Output
+		}
+		fmt.Fprintf(&b, "%-26s %-9s %5d %5d %6d %8d  %s\n",
+			v.Handler, v.Verdict, v.PathsFidelis, v.PathsCeler,
+			v.Pairs, v.Queries, detail)
+	}
+	fmt.Fprintf(&b, "summary: %d EQUIV, %d DIVERGES, %d UNKNOWN; %d solver queries\n",
+		r.Equiv, r.Diverges, r.Unknown, r.Queries)
+
+	for _, v := range r.Handlers {
+		if v.CE == nil {
+			continue
+		}
+		ce := v.CE
+		fmt.Fprintf(&b, "\ndiverges: %s\n", v.Handler)
+		fmt.Fprintf(&b, "  output: %s (fidelis path %d %s vs celer path %d %s)\n",
+			ce.Output, ce.PathFidelis, ce.OutcomeFidelis,
+			ce.PathCeler, ce.OutcomeCeler)
+		fmt.Fprintf(&b, "  witness: %s\n", assignmentString(ce.Assignment))
+		switch {
+		case ce.BuildErr != "":
+			fmt.Fprintf(&b, "  replay: test generation failed: %s\n", ce.BuildErr)
+		case ce.Replayed:
+			fmt.Fprintf(&b, "  replay: reproduced (%s), root cause: %s\n",
+				strings.Join(ce.Fields, " "), ce.RootCause)
+		default:
+			fmt.Fprintf(&b, "  replay: NOT reproduced (prover bug?)\n")
+		}
+	}
+
+	if r.Unknown > 0 {
+		fmt.Fprintf(&b, "\ndegraded:\n")
+		for _, v := range r.Handlers {
+			if v.Verdict == VerdictUnknown {
+				fmt.Fprintf(&b, "  %-26s %s\n", v.Handler, v.Stage)
+			}
+		}
+	}
+	return b.String()
+}
+
+func budgetString(budget int64) string {
+	if budget <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprint(budget)
+}
+
+// assignmentString renders a witness assignment with sorted variable names.
+func assignmentString(asn map[string]uint64) string {
+	names := make([]string, 0, len(asn))
+	for n := range asn {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%#x", n, asn[n]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Encode serializes the report as indented JSON (the -json file format and
+// the shape embedded in the service response).
+func (r *Report) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeReport parses a report produced by Encode.
+func DecodeReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("equivcheck: decoding report: %w", err)
+	}
+	return &r, nil
+}
+
+// KnownDiverges is the pinned set of expected DIVERGES handlers (the
+// alias-encoding findings): the gate fails only on divergences outside it.
+type KnownDiverges struct {
+	Handlers []string `json:"handlers"`
+}
+
+// LoadKnownDiverges reads a known-diverges file. A missing path ("" or
+// nonexistent) means an empty set: every divergence is new.
+func LoadKnownDiverges(path string) (*KnownDiverges, error) {
+	if path == "" {
+		return &KnownDiverges{}, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &KnownDiverges{}, nil
+		}
+		return nil, err
+	}
+	var k KnownDiverges
+	if err := json.Unmarshal(data, &k); err != nil {
+		return nil, fmt.Errorf("equivcheck: %s: %w", path, err)
+	}
+	return &k, nil
+}
+
+// Gate evaluates the CI gate: any UNKNOWN verdict or any DIVERGES handler
+// outside the known set is a violation. An empty return passes.
+func (r *Report) Gate(known *KnownDiverges) []string {
+	knownSet := make(map[string]bool)
+	if known != nil {
+		for _, h := range known.Handlers {
+			knownSet[h] = true
+		}
+	}
+	var violations []string
+	for _, v := range r.Handlers {
+		switch v.Verdict {
+		case VerdictUnknown:
+			violations = append(violations,
+				fmt.Sprintf("%s: UNKNOWN (%s)", v.Handler, v.Stage))
+		case VerdictDiverges:
+			if !knownSet[v.Handler] {
+				violations = append(violations,
+					fmt.Sprintf("%s: new DIVERGES (output %s)", v.Handler, v.CE.Output))
+			}
+		}
+	}
+	return violations
+}

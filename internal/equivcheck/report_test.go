@@ -1,0 +1,99 @@
+package equivcheck
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReportRoundTrip: Encode/DecodeReport must be lossless for everything
+// the report pins (verdicts, counterexamples, counters) — it is the format
+// `-json` writes and `pokeemu equivcheck`'s consumers parse back.
+func TestReportRoundTrip(t *testing.T) {
+	rep := gateReport()
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Error("Encode -> Decode -> Encode is not a fixed point")
+	}
+	if back.Render() != rep.Render() {
+		t.Error("decoded report renders differently")
+	}
+	if _, err := DecodeReport([]byte("{not json")); err == nil {
+		t.Error("DecodeReport accepted malformed input")
+	}
+}
+
+// TestTimingTable: the -timing side channel renders its counters.
+func TestTimingTable(t *testing.T) {
+	tm := &Timing{Wall: 1500 * time.Millisecond, CacheHits: 3, CacheMisses: 4}
+	got := tm.Table()
+	for _, want := range []string{"1.5s", "3 hit", "4 miss"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Table() = %q, missing %q", got, want)
+		}
+	}
+}
+
+// TestRenderBudgetHeader: a finite query budget appears in the header (the
+// unlimited form is covered by the report golden).
+func TestRenderBudgetHeader(t *testing.T) {
+	rep := &Report{Config: ConfigLabel, PathCap: 1, Budget: 42}
+	if got := rep.Render(); !strings.Contains(got, "budget 42") {
+		t.Errorf("Render() header = %q, want a budget 42 line", got)
+	}
+}
+
+// TestLoadKnownDiverges: the seeded file parses, an empty path means an
+// empty set, and missing/malformed files fail loudly.
+func TestLoadKnownDiverges(t *testing.T) {
+	known, err := LoadKnownDiverges(filepath.Join("testdata", "known_diverges.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(known.Handlers) != 20 {
+		t.Errorf("seeded known-diverges file lists %d handlers, want 20", len(known.Handlers))
+	}
+	empty, err := LoadKnownDiverges("")
+	if err != nil || len(empty.Handlers) != 0 {
+		t.Errorf(`LoadKnownDiverges("") = %v handlers, err %v; want empty, nil`, empty, err)
+	}
+	// A nonexistent path is documented as "empty set", not an error.
+	missing, err := LoadKnownDiverges(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || len(missing.Handlers) != 0 {
+		t.Errorf("missing file = %v handlers, err %v; want empty, nil", missing, err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadKnownDiverges(bad); err == nil {
+		t.Error("malformed file did not error")
+	}
+}
+
+// TestUnsupportedError: lift failures carry the handler context in their
+// message — it becomes the UNKNOWN stage string users see.
+func TestUnsupportedError(t *testing.T) {
+	err := unsupported("handler %s", "shld_cl")
+	var ue *UnsupportedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("unsupported() did not produce an UnsupportedError: %v", err)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "shld_cl") {
+		t.Errorf("Error() = %q, want the handler name", msg)
+	}
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"pokeemu/internal/equivcheck"
+)
+
+// EquivcheckResponse is the JSON shape of GET /v1/equivcheck: the rendered
+// verdict table plus the full structured report. Rendered and Report are
+// deterministic — byte-identical to `pokeemu equivcheck` with the same
+// parameters — while cache effectiveness (answered from the shared corpus
+// versus proved fresh) is reported separately because it depends on what
+// earlier requests already computed.
+type EquivcheckResponse struct {
+	Config      string             `json:"config"`
+	Rendered    string             `json:"rendered"`
+	Report      *equivcheck.Report `json:"report"`
+	CacheHits   int64              `json:"cache_hits"`
+	CacheMisses int64              `json:"cache_misses"`
+}
+
+// queryInt parses an optional non-negative integer query parameter.
+func queryInt(q string, name string) (int64, error) {
+	if q == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseInt(q, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad %s %q", name, q)
+	}
+	return n, nil
+}
+
+// handleEquivcheck proves (or refutes) fidelis/celer equivalence per handler
+// on demand. Query parameters: handlers= comma-separated handler keys
+// (default: the seeded gate subset; "all" checks every handler), paths= the
+// fidelis path cap, budget= the per-handler solver-query budget, conflicts=
+// the per-query SAT conflict budget, workers= the parallel width (never
+// changes the report), nocache=1 to ignore cached verdicts. Verdicts are
+// cached in the shared corpus keyed by (handler, semantics version, budgets),
+// so a warm request answers without any solver queries.
+func (s *Server) handleEquivcheck(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	opts := equivcheck.Options{
+		Handlers: equivcheck.DefaultGateHandlers,
+		Corpus:   s.crp,
+	}
+	switch hs := q.Get("handlers"); hs {
+	case "":
+	case "all":
+		opts.Handlers = nil
+	default:
+		opts.Handlers = strings.Split(hs, ",")
+	}
+	paths, err := queryInt(q.Get("paths"), "paths")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts.MaxPaths = int(paths)
+	if opts.Budget, err = queryInt(q.Get("budget"), "budget"); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if opts.MaxConflicts, err = queryInt(q.Get("conflicts"), "conflicts"); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	workers, err := queryInt(q.Get("workers"), "workers")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if workers > int64(s.opts.MaxWorkersPerJob) {
+		workers = int64(s.opts.MaxWorkersPerJob)
+	}
+	opts.Workers = int(workers)
+	opts.NoCache = q.Get("nocache") == "1" || q.Get("nocache") == "true"
+
+	rep, err := equivcheck.Run(opts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.metrics.recordEquivcheck(rep)
+	writeJSON(w, http.StatusOK, EquivcheckResponse{
+		Config:      rep.Config,
+		Rendered:    rep.Render(),
+		Report:      rep,
+		CacheHits:   int64(rep.Timing.CacheHits),
+		CacheMisses: int64(rep.Timing.CacheMisses),
+	})
+}

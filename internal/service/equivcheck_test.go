@@ -1,0 +1,109 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"pokeemu/internal/equivcheck"
+)
+
+// eqQuery selects a small mixed handler set (EQUIV, DIVERGES, lift-UNKNOWN)
+// so the endpoint tests cover every verdict kind quickly.
+const eqQuery = "?handlers=add_rm8_r8,sete,add_rm8_imm8_alias,shld_cl"
+
+// TestEquivcheckEndpoint drives GET /v1/equivcheck through the real HTTP
+// stack: the response must carry the full verdict matrix, agree with a
+// direct equivcheck.Run, and serve the second (corpus-warmed) request from
+// cached verdicts without changing a byte of the report.
+func TestEquivcheckEndpoint(t *testing.T) {
+	_, ts := startServer(t, Options{CorpusDir: t.TempDir()})
+
+	code, raw := doJSON(t, http.MethodGet, ts.URL+"/v1/equivcheck"+eqQuery, "")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, raw)
+	}
+	var resp EquivcheckResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatalf("bad response: %v\n%s", err, raw)
+	}
+	if resp.Config != equivcheck.ConfigLabel {
+		t.Errorf("config = %q, want %q", resp.Config, equivcheck.ConfigLabel)
+	}
+	if n := len(resp.Report.Handlers); n != 4 {
+		t.Fatalf("report covers %d handlers, want 4", n)
+	}
+	if resp.Report.Equiv != 2 || resp.Report.Diverges != 1 || resp.Report.Unknown != 1 {
+		t.Errorf("verdict counts %d/%d/%d, want 2 EQUIV, 1 DIVERGES, 1 UNKNOWN:\n%s",
+			resp.Report.Equiv, resp.Report.Diverges, resp.Report.Unknown, resp.Rendered)
+	}
+	if resp.CacheMisses != 4 || resp.CacheHits != 0 {
+		t.Errorf("cold request: %d hits / %d misses, want 0/4", resp.CacheHits, resp.CacheMisses)
+	}
+
+	// Warm request: same parameters, answered from the shared corpus.
+	code, raw2 := doJSON(t, http.MethodGet, ts.URL+"/v1/equivcheck"+eqQuery, "")
+	if code != http.StatusOK {
+		t.Fatalf("warm status = %d: %s", code, raw2)
+	}
+	var warm EquivcheckResponse
+	if err := json.Unmarshal(raw2, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != 4 || warm.CacheMisses != 0 {
+		t.Errorf("warm request: %d hits / %d misses, want 4/0", warm.CacheHits, warm.CacheMisses)
+	}
+	if warm.Rendered != resp.Rendered {
+		t.Errorf("warm render differs from cold render")
+	}
+
+	// The metrics document accumulates both requests.
+	_, mraw := doJSON(t, http.MethodGet, ts.URL+"/metrics", "")
+	var ms MetricsSnapshot
+	if err := json.Unmarshal(mraw, &ms); err != nil {
+		t.Fatal(err)
+	}
+	if ms.Equivcheck.Runs != 2 || ms.Equivcheck.Handlers != 8 {
+		t.Errorf("metrics: runs=%d handlers=%d, want 2/8", ms.Equivcheck.Runs, ms.Equivcheck.Handlers)
+	}
+	if ms.Equivcheck.Equiv != 4 || ms.Equivcheck.Diverges != 2 || ms.Equivcheck.Unknown != 2 {
+		t.Errorf("metrics verdict counters %d/%d/%d, want 4/2/2",
+			ms.Equivcheck.Equiv, ms.Equivcheck.Diverges, ms.Equivcheck.Unknown)
+	}
+	if ms.Equivcheck.CacheHits != 4 || ms.Equivcheck.CacheMisses != 4 {
+		t.Errorf("metrics cache counters %d hit / %d miss, want 4/4",
+			ms.Equivcheck.CacheHits, ms.Equivcheck.CacheMisses)
+	}
+}
+
+// TestEquivcheckEndpointErrors covers parameter validation.
+func TestEquivcheckEndpointErrors(t *testing.T) {
+	_, ts := startServer(t, Options{})
+	for _, q := range []string{
+		"?handlers=no_such_handler",
+		"?budget=-1",
+		"?paths=x",
+		"?conflicts=-2",
+		"?workers=many",
+	} {
+		code, raw := doJSON(t, http.MethodGet, ts.URL+"/v1/equivcheck"+q, "")
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (%s)", q, code, raw)
+		}
+	}
+}
+
+// TestEquivcheckGolden pins the endpoint's response schema byte for byte
+// (no volatile fields: the report is deterministic and the fixed query runs
+// cold with no corpus). Regenerate deliberately with:
+//
+//	go test ./internal/service -run TestEquivcheckGolden -update
+func TestEquivcheckGolden(t *testing.T) {
+	_, ts := startServer(t, Options{})
+	code, raw := doJSON(t, http.MethodGet, ts.URL+"/v1/equivcheck"+eqQuery, "")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, raw)
+	}
+	compareGolden(t, filepath.Join("testdata", "equivcheck.golden"), raw)
+}

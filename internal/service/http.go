@@ -158,6 +158,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}/report", s.instrument("report", s.handleReport))
 	mux.HandleFunc("GET /v1/campaigns/{id}/divergences", s.instrument("divergences", s.handleDivergences))
 	mux.HandleFunc("GET /v1/campaigns/{id}/triage", s.instrument("triage", s.handleTriage))
+	mux.HandleFunc("GET /v1/equivcheck", s.instrument("equivcheck", s.handleEquivcheck))
 	mux.HandleFunc("GET /v1/baseline", s.instrument("baseline", s.handleBaselineGet))
 	mux.HandleFunc("PUT /v1/baseline", s.instrument("baseline", s.handleBaselinePut))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pokeemu/internal/equivcheck"
 	"pokeemu/internal/expr"
 	"pokeemu/internal/solver"
 )
@@ -31,6 +32,17 @@ type Metrics struct {
 	TestsExecuted atomic.Int64
 	TestsReported atomic.Int64
 
+	// Equivcheck counters accumulate over every /v1/equivcheck request:
+	// runs, per-handler verdicts by kind, and how many verdicts were
+	// answered from the shared corpus versus proved fresh.
+	EquivRuns        atomic.Int64
+	EquivHandlers    atomic.Int64
+	EquivEquiv       atomic.Int64
+	EquivDiverges    atomic.Int64
+	EquivUnknown     atomic.Int64
+	EquivCacheHits   atomic.Int64
+	EquivCacheMisses atomic.Int64
+
 	JobDurationMS *Histogram
 	TestsPerJob   *Histogram
 
@@ -50,6 +62,17 @@ func newMetrics() *Metrics {
 		TestsPerJob:   newHistogram(1, 10, 50, 100, 500, 1000, 5000, 10000, 50000),
 		http:          make(map[string]*routeStats),
 	}
+}
+
+// recordEquivcheck folds one equivcheck report into the counters.
+func (m *Metrics) recordEquivcheck(rep *equivcheck.Report) {
+	m.EquivRuns.Add(1)
+	m.EquivHandlers.Add(int64(len(rep.Handlers)))
+	m.EquivEquiv.Add(int64(rep.Equiv))
+	m.EquivDiverges.Add(int64(rep.Diverges))
+	m.EquivUnknown.Add(int64(rep.Unknown))
+	m.EquivCacheHits.Add(int64(rep.Timing.CacheHits))
+	m.EquivCacheMisses.Add(int64(rep.Timing.CacheMisses))
 }
 
 // observeHTTP records one served request on the named route.
@@ -91,6 +114,18 @@ type MetricsSnapshot struct {
 		Executed int64 `json:"executed"`
 		Reported int64 `json:"reported"`
 	} `json:"tests"`
+	// Equivcheck accumulates over every /v1/equivcheck request served since
+	// start: per-handler symbolic verdicts by kind, and verdict-cache
+	// effectiveness against the shared corpus.
+	Equivcheck struct {
+		Runs        int64 `json:"runs"`
+		Handlers    int64 `json:"handlers"`
+		Equiv       int64 `json:"equiv"`
+		Diverges    int64 `json:"diverges"`
+		Unknown     int64 `json:"unknown"`
+		CacheHits   int64 `json:"cache_hits"`
+		CacheMisses int64 `json:"cache_misses"`
+	} `json:"equivcheck"`
 	// Solver mirrors the process-wide symbolic-execution hot-path counters:
 	// bit-vector solver queries, the assumption-set memo that answers
 	// repeated queries without solving, and the expression intern table that
@@ -130,6 +165,13 @@ func (m *Metrics) Snapshot(g JobGauges) MetricsSnapshot {
 	s.Jobs.Running = g.Running
 	s.Tests.Executed = m.TestsExecuted.Load()
 	s.Tests.Reported = m.TestsReported.Load()
+	s.Equivcheck.Runs = m.EquivRuns.Load()
+	s.Equivcheck.Handlers = m.EquivHandlers.Load()
+	s.Equivcheck.Equiv = m.EquivEquiv.Load()
+	s.Equivcheck.Diverges = m.EquivDiverges.Load()
+	s.Equivcheck.Unknown = m.EquivUnknown.Load()
+	s.Equivcheck.CacheHits = m.EquivCacheHits.Load()
+	s.Equivcheck.CacheMisses = m.EquivCacheMisses.Load()
 	s.Solver.Queries = solver.QueriesTotal()
 	s.Solver.MemoHits, s.Solver.MemoMisses = solver.MemoTotals()
 	s.Solver.InternHits, s.Solver.InternMisses, s.Solver.InternResets = expr.InternStats()

@@ -34,6 +34,12 @@ type BV struct {
 	Encoded    int64
 	MemoHits   int64
 	MemoMisses int64
+
+	// MaxConflicts bounds each Check's SAT search (0 = unlimited); an
+	// exhausted budget returns Unknown deterministically. Unknown results
+	// are never memoized, so raising the budget on the same instance
+	// re-solves instead of replaying the give-up.
+	MaxConflicts int64
 }
 
 // memoEntry caches the outcome of one assumption set: the status, and for
@@ -605,7 +611,11 @@ func (b *BV) CheckLits(lits []Lit) Status {
 	}
 	b.MemoMisses++
 	memoMissesTotal.Add(1)
+	b.sat.MaxConflicts = b.MaxConflicts
 	st := b.sat.Solve(lits)
+	if st == Unknown {
+		return st
+	}
 	ent := memoEntry{st: st}
 	if st == Sat {
 		ent.model = append([]bool(nil), b.sat.model...)

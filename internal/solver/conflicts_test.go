@@ -1,0 +1,85 @@
+package solver
+
+import (
+	"testing"
+
+	"pokeemu/internal/expr"
+)
+
+// hardUnsat builds a query that needs real search: commutativity of 6-bit
+// multiplication, a*b != b*a. Unsatisfiable, but the bit-blasted proof
+// costs far more than a handful of conflicts.
+func hardUnsat() *expr.Expr {
+	a, b := expr.Var(6, "a"), expr.Var(6, "b")
+	return expr.Ne(expr.Mul(a, b), expr.Mul(b, a))
+}
+
+// TestMaxConflictsUnknown: a tiny conflict budget must degrade the hard
+// query to Unknown — deterministically, on every call — while the same
+// query without a budget proves Unsat.
+func TestMaxConflictsUnknown(t *testing.T) {
+	ne := hardUnsat()
+
+	limited := NewBV()
+	limited.MaxConflicts = 3
+	lit := limited.LitFor(ne)
+	if st := limited.CheckLits([]Lit{lit}); st != Unknown {
+		t.Fatalf("CheckLits with MaxConflicts=3 = %v, want Unknown", st)
+	}
+	// Determinism: the same budget gives the same answer again (and the
+	// Unknown must not have been memoized as a final verdict).
+	if st := limited.CheckLits([]Lit{lit}); st != Unknown {
+		t.Fatalf("second CheckLits with MaxConflicts=3 = %v, want Unknown", st)
+	}
+
+	// Lifting the budget on the same instance must now prove Unsat — if the
+	// earlier Unknown had been memoized, this would wrongly repeat it.
+	limited.MaxConflicts = 0
+	if st := limited.CheckLits([]Lit{lit}); st != Unsat {
+		t.Fatalf("CheckLits after lifting the budget = %v, want Unsat", st)
+	}
+
+	unlimited := NewBV()
+	if st := unlimited.CheckLits([]Lit{unlimited.LitFor(ne)}); st != Unsat {
+		t.Fatalf("CheckLits without a budget = %v, want Unsat", st)
+	}
+}
+
+// TestMaxConflictsSatUnaffected: easy queries stay decidable under a small
+// budget, and Sat answers still come with models.
+func TestMaxConflictsSatUnaffected(t *testing.T) {
+	b := NewBV()
+	b.MaxConflicts = 1
+	a := expr.Var(8, "a")
+	eq := expr.Eq(a, expr.Const(8, 0x42))
+	if st := b.CheckLits([]Lit{b.LitFor(eq)}); st != Sat {
+		t.Fatalf("trivial Sat query under MaxConflicts=1 = %v, want Sat", st)
+	}
+	if got := b.Model()["a"]; got != 0x42 {
+		t.Fatalf("model[a] = %#x, want 0x42", got)
+	}
+}
+
+// TestMaxConflictsSoundAfterUnknown: an aborted search must leave the
+// solver usable — subsequent unrelated queries answer correctly (learned
+// clauses from the aborted run are sound to keep).
+func TestMaxConflictsSoundAfterUnknown(t *testing.T) {
+	b := NewBV()
+	b.MaxConflicts = 3
+	if st := b.CheckLits([]Lit{b.LitFor(hardUnsat())}); st != Unknown {
+		t.Fatalf("hard query = %v, want Unknown", st)
+	}
+	b.MaxConflicts = 0
+	a := expr.Var(8, "x")
+	sat := b.LitFor(expr.Ugt(a, expr.Const(8, 0xf0)))
+	if st := b.CheckLits([]Lit{sat}); st != Sat {
+		t.Fatalf("follow-up Sat query = %v, want Sat", st)
+	}
+	if m := b.Model()["x"]; m <= 0xf0 {
+		t.Fatalf("model[x] = %#x, want > 0xf0", m)
+	}
+	unsat := b.LitFor(expr.Ult(expr.ZExt(a, 9), expr.Const(9, 0)))
+	if st := b.CheckLits([]Lit{unsat}); st != Unsat {
+		t.Fatalf("follow-up Unsat query = %v, want Unsat", st)
+	}
+}

@@ -28,7 +28,7 @@ func buildFuzzTerm(data []byte) (*expr.Expr, map[string]uint8) {
 	ops := 0
 	for i := 1; i < len(data) && ops < 24; i++ {
 		ops++
-		switch op := data[i] % 22; {
+		switch op := data[i] % 26; {
 		case op == 0:
 			var v uint64
 			if i+8 < len(data) {
@@ -96,6 +96,29 @@ func buildFuzzTerm(data []byte) (*expr.Expr, map[string]uint8) {
 			}
 			y, x := pop(), pop()
 			stack = append(stack, expr.Ite(expr.Eq(x, y), expr.Xor(x, y), expr.Or(x, y)))
+		// Opcodes 22-25 mirror the term shapes the equivcheck celer lifter
+		// emits, so the oracle covers the lifting path's simplifier rewrites.
+		case op == 22 && w < 64: // rcl/rcr: rotate through a w+1-bit concat
+			x := pop()
+			wide := expr.Concat(expr.Extract(x, 0, 1), x)
+			n := expr.URem(expr.ZExt(x, w+1), expr.Const(w+1, uint64(w)+1))
+			comp := expr.Sub(expr.Const(w+1, uint64(w)+1), n)
+			rx := expr.Or(expr.Shl(wide, n), expr.LShr(wide, comp))
+			stack = append(stack, expr.Extract(rx, 0, w))
+		case op == 23: // aam: division/remainder by a small constant
+			x := pop()
+			d := expr.Const(w, uint64(data[i]%9)+1)
+			stack = append(stack, expr.Xor(expr.UDiv(x, d), expr.URem(x, d)))
+		case op == 24: // ror: shift by the width-complement of a masked count
+			x := pop()
+			n := expr.And(x, expr.Const(w, uint64(w)-1))
+			comp := expr.Sub(expr.Const(w, uint64(w)), n)
+			stack = append(stack, expr.Or(expr.LShr(x, n), expr.Shl(x, comp)))
+		case op == 25: // idiv magnitude fix-up: sign-guarded negation chain
+			x := pop()
+			neg := expr.Extract(x, w-1, 1)
+			absX := expr.Ite(neg, expr.Neg(x), x)
+			stack = append(stack, expr.Ite(neg, expr.Neg(absX), absX))
 		}
 	}
 	return stack[len(stack)-1], vars
@@ -116,6 +139,9 @@ func FuzzSemanticsOracle(f *testing.F) {
 	f.Add([]byte{5, 18, 19, 1, 14, 2, 15, 20})          // ext/extract at width 64
 	f.Add([]byte{1, 1, 21, 16, 17, 5})                  // ite/eq chain at width 4
 	f.Add([]byte{2, 1, 3, 2, 4, 5, 6, 7, 8, 9, 10, 11}) // everything, width 8
+	f.Add([]byte{2, 22, 23, 24, 25})                    // lifted celer shapes, width 8
+	f.Add([]byte{4, 1, 22, 2, 24, 25})                  // lifted shapes at width 32
+	f.Add([]byte{0, 22, 25, 23})                        // lifted shapes at width 1
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e, vars := buildFuzzTerm(data)
 		if e == nil {

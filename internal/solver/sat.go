@@ -81,6 +81,14 @@ type CDCL struct {
 	Conflicts int64
 	Decisions int64
 	Props     int64
+
+	// MaxConflicts bounds the conflicts a single Solve call may spend
+	// before giving up with Unknown (0 = unlimited). Unlike a wall-clock
+	// timeout this budget is deterministic: the same query sequence yields
+	// the same answer on every run and every machine, which is what lets
+	// the equivalence checker report a reproducible UNKNOWN verdict
+	// instead of a machine-speed-dependent one.
+	MaxConflicts int64
 }
 
 // NewSat returns an empty solver.
@@ -378,11 +386,20 @@ func (s *CDCL) Solve(assumps []Lit) Status {
 	restartNum := int64(1)
 	conflictBudget := 100 * luby(restartNum)
 	conflictsHere := int64(0)
+	conflictsTotal := int64(0)
 	for {
 		confl := s.propagate()
 		if confl != noReason {
 			s.Conflicts++
 			conflictsHere++
+			conflictsTotal++
+			if s.MaxConflicts > 0 && conflictsTotal > s.MaxConflicts {
+				// Budget exhausted: back out cleanly. Clauses learned so
+				// far stay attached (they are implied, so later calls
+				// remain sound and still deterministic).
+				s.cancelUntil(0)
+				return Unknown
+			}
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				return Unsat
