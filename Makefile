@@ -11,9 +11,9 @@ SERVE_CORPUS ?= .pokeemud-corpus
 # Per-package statement-coverage floors enforced by `make cover`
 # (package:floor pairs; floors sit a few points under current coverage so
 # routine edits pass but a dropped test file fails).
-COVER_FLOORS ?= triage:85 diff:90 equivcheck:85
+COVER_FLOORS ?= triage:85 diff:90 equivcheck:85 coverage:90 hybrid:85
 
-.PHONY: build vet test race fuzz chaos cover bench serve smoke equivcheck check
+.PHONY: build vet test race fuzz chaos cover bench serve smoke equivcheck hybrid check
 
 build:
 	$(GO) build ./...
@@ -29,11 +29,12 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-# The six native fuzz targets: the instruction decoder's structural
+# The seven native fuzz targets: the instruction decoder's structural
 # invariants, the expression simplifier's soundness, the bit-blaster vs
 # evaluator semantics oracle, the fault-injection spec parser, the triage
-# minimizer's shrink/signature-preservation invariants, and the equivcheck
-# verdict vs concrete-differential oracle.
+# minimizer's shrink/signature-preservation invariants, the equivcheck
+# verdict vs concrete-differential oracle, and the hybrid mutator's
+# atom-discipline/aliasing/determinism invariants.
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/x86
 	$(GO) test -fuzz=FuzzExprSimplify -fuzztime=$(FUZZTIME) ./internal/expr
@@ -41,6 +42,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzFaultSpec -fuzztime=$(FUZZTIME) ./internal/faults
 	$(GO) test -fuzz=FuzzTriageMinimize -fuzztime=$(FUZZTIME) ./internal/triage
 	$(GO) test -fuzz=FuzzVsOracle -fuzztime=$(FUZZTIME) ./internal/equivcheck
+	$(GO) test -fuzz=FuzzMutator -fuzztime=$(FUZZTIME) ./internal/hybrid
 
 # Chaos gate: the fault-injection matrix under the race detector, sweeping
 # a fixed seed range (CHAOS_SEEDS plans per fault mix). Every armed fault
@@ -85,4 +87,11 @@ equivcheck:
 	$(GO) run ./cmd/pokeemu equivcheck -handlers gate -budget 200 \
 		-gate -known internal/equivcheck/testdata/known_diverges.json
 
-check: build vet test race chaos cover smoke equivcheck
+# Hybrid smoke gate: the short seeded coverage-guided fuzzing run pinned
+# against its report golden, plus the worker-count determinism tests, all
+# under the race detector.
+hybrid:
+	$(GO) test -race -timeout 30m -run 'TestHybrid' ./internal/campaign ./internal/hybrid ./internal/service
+	$(GO) test -race -run 'TestRunDeterministic|TestRunWithReseed' ./internal/hybrid
+
+check: build vet test race chaos cover smoke equivcheck hybrid

@@ -431,9 +431,19 @@ func cmdCampaign(args []string) {
 	progress := fs.Bool("progress", false, "print per-stage progress to stderr as the campaign runs")
 	pprofPrefix := fs.String("pprof", "",
 		"write PREFIX.cpu.pprof and PREFIX.heap.pprof profiles of the campaign")
+	hybridOn := fs.Bool("hybrid", false,
+		"run the coverage-guided hybrid fuzzing stage after comparison")
+	hybridBudget := fs.Int("hybrid-budget", 256,
+		"mutated-input executions the hybrid stage spends (with -hybrid)")
+	hybridSeed := fs.Int64("hybrid-seed", 0, "hybrid fuzzer RNG seed (0 = -seed)")
+	hybridWorkers := fs.Int("hybrid-workers", 0,
+		"hybrid mutator pool size (0 = -workers; never changes the report)")
 	fs.Parse(args)
 
 	if err := validateCampaignFlags(*workers, *exploreWorkers, *cap, *instrs, *maxSteps, *testSteps, *testTimeout, *stageTimeout); err != nil {
+		die(err)
+	}
+	if err := validateHybridFlags(*hybridOn, *hybridBudget, *hybridWorkers); err != nil {
 		die(err)
 	}
 	if *faultSpec != "" {
@@ -462,6 +472,13 @@ func cmdCampaign(args []string) {
 		TestMaxSteps:     *testSteps,
 		TestTimeout:      *testTimeout,
 		StageTimeout:     *stageTimeout,
+	}
+	if *hybridOn {
+		cfg.Hybrid = campaign.HybridConfig{
+			Budget:         *hybridBudget,
+			Seed:           *hybridSeed,
+			MutatorWorkers: *hybridWorkers,
+		}
 	}
 	if *handlers != "" {
 		cfg.Handlers = strings.Split(*handlers, ",")
@@ -696,6 +713,16 @@ func validateCampaignFlags(workers, exploreWorkers, cap, instrs, maxSteps, testS
 		return fmt.Errorf("-test-timeout must be >= 0 (got %v)", testTimeout)
 	case stageTimeout < 0:
 		return fmt.Errorf("-stage-timeout must be >= 0 (got %v)", stageTimeout)
+	}
+	return nil
+}
+
+func validateHybridFlags(on bool, budget, workers int) error {
+	switch {
+	case on && budget <= 0:
+		return fmt.Errorf("-hybrid-budget must be >= 1 (got %d)", budget)
+	case workers < 0:
+		return fmt.Errorf("-hybrid-workers must be >= 0 (got %d)", workers)
 	}
 	return nil
 }

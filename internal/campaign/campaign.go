@@ -18,6 +18,7 @@ package campaign
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -28,10 +29,12 @@ import (
 
 	"pokeemu/internal/core"
 	"pokeemu/internal/corpus"
+	"pokeemu/internal/coverage"
 	"pokeemu/internal/diff"
 	"pokeemu/internal/expr"
 	"pokeemu/internal/faults"
 	"pokeemu/internal/harness"
+	"pokeemu/internal/hybrid"
 	"pokeemu/internal/machine"
 	"pokeemu/internal/solver"
 	"pokeemu/internal/symex"
@@ -81,6 +84,12 @@ type Config struct {
 	// list is unaffected — the baseline classifies, never hides.
 	Baseline *triage.Baseline
 
+	// Hybrid configures the coverage-guided hybrid fuzzing stage that runs
+	// after comparison, seeded with this campaign's tests and divergence
+	// verdicts. Budget 0 disables the stage entirely: the Result and report
+	// are byte-identical to a hybrid-free campaign.
+	Hybrid HybridConfig
+
 	// TestMaxSteps caps emulator steps per test execution (deterministic
 	// budget; 0 = harness.DefaultMaxSteps).
 	TestMaxSteps int
@@ -112,11 +121,28 @@ type Config struct {
 	testHookExec func(id string)
 }
 
+// HybridConfig scopes the optional coverage-guided fuzzing stage
+// (internal/hybrid): a deterministic mutational fuzzer over the campaign's
+// test initializers, with promising inputs handed back to symbolic
+// exploration as concrete path seeds.
+type HybridConfig struct {
+	// Budget is the number of mutated-input executions to spend; 0 disables
+	// the stage.
+	Budget int
+	// Seed is the fuzzer's RNG seed (0 = the campaign Seed). The stage is a
+	// pure function of it.
+	Seed int64
+	// MutatorWorkers sizes the fuzzer's worker pool (0 = Workers). Like
+	// Workers, it never affects the Result.
+	MutatorWorkers int
+}
+
 // Pipeline stages reported through Config.Progress.
 const (
 	StageExplore = "explore" // per-instruction exploration + generation
 	StageExecute = "execute" // three-way test execution
 	StageCompare = "compare" // difference analysis
+	StageHybrid  = "hybrid"  // coverage-guided hybrid fuzzing
 )
 
 // Event is one progress notification: Done of Total units of Stage are
@@ -155,6 +181,12 @@ func (c *Config) Validate() error {
 	if c.StageTimeout < 0 {
 		return fmt.Errorf("campaign: StageTimeout must be >= 0 (got %v)", c.StageTimeout)
 	}
+	if c.Hybrid.Budget < 0 {
+		return fmt.Errorf("campaign: Hybrid.Budget must be >= 0 (got %d)", c.Hybrid.Budget)
+	}
+	if c.Hybrid.MutatorWorkers < 0 {
+		return fmt.Errorf("campaign: Hybrid.MutatorWorkers must be >= 0 (got %d)", c.Hybrid.MutatorWorkers)
+	}
 	return nil
 }
 
@@ -191,6 +223,7 @@ type StageTiming struct {
 	ExecLoFi time.Duration
 	ExecHW   time.Duration
 	Compare  time.Duration
+	Hybrid   time.Duration
 }
 
 // SolverStats snapshots the solver/expression hot-path counters for one
@@ -218,6 +251,9 @@ type CacheStats struct {
 
 	ExecHits   int // executions replayed from cached outcomes (-resume)
 	ExecMisses int // executions actually run
+	// FuzzHit reports that the whole hybrid fuzzing stage was served from a
+	// cached result (same seeds, budget, seed, and versions).
+	FuzzHit bool
 	// ExecDecodeFailed counts cached outcomes that were present but
 	// undecodable (corrupt or stale entries); each was re-executed, so it
 	// also counts as a miss. Non-zero means the corpus needs attention.
@@ -240,6 +276,7 @@ const (
 	ReasonCorpusWrite   = "corpus write failed (entry not persisted)"
 	ReasonCorpusRead    = "corpus read failed (recomputed)"
 	ReasonCorpusOpen    = "corpus unavailable (ran uncached)"
+	ReasonHybridMutate  = "hybrid mutation skipped (budget spent, no candidate)"
 )
 
 // Degraded is the campaign's graceful-degradation ledger: everything the
@@ -258,6 +295,7 @@ type Degraded struct {
 	Execs        int `json:"execs,omitempty"`         // test executions lost (crash, budget, deadline)
 	CorpusWrites int `json:"corpus_writes,omitempty"` // cache entries that failed to persist (results still in-memory)
 	CorpusReads  int `json:"corpus_reads,omitempty"`  // cache reads that failed and were recomputed
+	HybridExecs  int `json:"hybrid_execs,omitempty"`  // hybrid mutation jobs that spent budget without a candidate
 
 	// Reasons aggregates why, keyed by fixed reason strings (or the
 	// deterministic fault message for crashed units).
@@ -266,12 +304,13 @@ type Degraded struct {
 
 // Empty reports whether the run lost nothing.
 func (d *Degraded) Empty() bool {
-	return d.Instrs == 0 && d.Execs == 0 && d.CorpusWrites == 0 && d.CorpusReads == 0
+	return d.Instrs == 0 && d.Execs == 0 && d.CorpusWrites == 0 && d.CorpusReads == 0 &&
+		d.HybridExecs == 0
 }
 
 // Total is the number of degraded units across all kinds.
 func (d *Degraded) Total() int {
-	return d.Instrs + d.Execs + d.CorpusWrites + d.CorpusReads
+	return d.Instrs + d.Execs + d.CorpusWrites + d.CorpusReads + d.HybridExecs
 }
 
 func (d *Degraded) note(reason string) {
@@ -321,6 +360,14 @@ type Result struct {
 	BaselineEntries int
 	KnownDiffs      int // divergent tests matching a baseline entry
 	NewDiffs        int // divergent tests not in the baseline — the regressions
+
+	// Hybrid fuzzing outcome (populated when Config.Hybrid.Budget > 0).
+	// Divergences found on mutated inputs stay here, deliberately separate
+	// from Differences: the symex-generated headline numbers keep their
+	// meaning, and the hybrid yield is reported on its own.
+	HybridUsed  bool
+	HybridStats hybrid.Stats
+	HybridDivs  []hybrid.Divergence
 
 	// Isolated failures (crashed handlers, budget overruns).
 	InstrFaults  int
@@ -839,6 +886,95 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	res.Timing.Compare = time.Since(t1)
 	emit(StageCompare, "", 1, 1)
 
+	// Stage 5 (optional): coverage-guided hybrid fuzzing, seeded with this
+	// campaign's tests and their divergence verdicts. The whole stage result
+	// is content-addressed in the corpus (seeds + budget + seed + versions),
+	// so a warm re-run replays it without executing a single mutation.
+	if cfg.Hybrid.Budget > 0 {
+		emit(StageHybrid, "", 0, 1)
+		tH := time.Now()
+		divsByTest := make(map[string][]hybrid.Divergence)
+		for _, d := range res.Differences {
+			divsByTest[d.TestID] = append(divsByTest[d.TestID], hybrid.Divergence{
+				InputID: d.TestID, Handler: d.Handler, Mnemonic: d.Mnemonic,
+				Impl: d.ImplB, Signature: d.Signature(),
+			})
+		}
+		var seeds []hybrid.Seed
+		for i := range tests {
+			o := &outcomes[i]
+			if o.fault != "" || o.timedOut() {
+				continue
+			}
+			seeds = append(seeds, hybrid.Seed{
+				ID: tests[i].id, Handler: tests[i].handler, Mnemonic: tests[i].mnemonic,
+				Prog: tests[i].prog, TestOff: tests[i].testOff,
+				Divs: divsByTest[tests[i].id],
+			})
+		}
+		hseed := cfg.Hybrid.Seed
+		if hseed == 0 {
+			hseed = cfg.Seed
+		}
+		hworkers := cfg.Hybrid.MutatorWorkers
+		if hworkers == 0 {
+			hworkers = workers
+		}
+		fk := corpus.FuzzInputKey{
+			SeedsSHA: hybrid.SeedsSHA(boot, seeds),
+			Budget:   cfg.Hybrid.Budget, Seed: hseed,
+			MaxSteps: testBudget.MaxSteps, RoundSize: hybrid.DefaultRoundSize,
+			ReseedPaths: hybrid.DefaultReseedPaths, MaxReseeds: hybrid.DefaultMaxReseeds,
+			Config: configLabel, CovVersion: coverage.Version,
+			HybridVersion: hybrid.Version, GenVersion: testgen.Version,
+		}
+		var hres *hybrid.Result
+		if crp != nil && !cfg.NoCache {
+			if ent, ok := crp.GetFuzz(fk); ok {
+				var dec hybrid.Result
+				if json.Unmarshal(ent.Result, &dec) == nil {
+					hres = &dec
+					res.Cache.FuzzHit = true
+				}
+			}
+		}
+		if hres == nil {
+			var err error
+			hres, err = hybrid.Run(ctx, hybrid.Config{
+				Budget: cfg.Hybrid.Budget, Seed: hseed, Workers: hworkers,
+				MaxSteps: testBudget.MaxSteps, Image: image, Boot: boot,
+				Explorer: buildExplorer, Instrs: instrs,
+			}, seeds)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: hybrid fuzzing: %w", err)
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("campaign: canceled during hybrid fuzzing: %w", err)
+			}
+			if crp != nil {
+				if raw, err := json.Marshal(hres); err == nil {
+					if perr := crp.PutFuzz(&corpus.FuzzEntry{Key: fk, Result: raw}); perr != nil {
+						res.Degraded.CorpusWrites++
+						res.Degraded.note(ReasonCorpusWrite)
+					}
+				}
+			}
+		}
+		res.HybridUsed = true
+		res.HybridStats = hres.Stats
+		res.HybridDivs = hres.Divergences
+		// Skipped mutation jobs spent budget without producing a candidate
+		// (injected faults, chaos runs): ledger them like any other loss.
+		if n := hres.Stats.Skipped; n > 0 {
+			res.Degraded.HybridExecs = n
+			for i := 0; i < n; i++ {
+				res.Degraded.note(ReasonHybridMutate)
+			}
+		}
+		res.Timing.Hybrid = time.Since(tH)
+		emit(StageHybrid, "", 1, 1)
+	}
+
 	// Harvest corpus resilience counters. The handle was opened by this run,
 	// so its counters are this campaign's own traffic. A read that exhausted
 	// every retry degraded to a recompute — correct output, lost cache — and
@@ -949,6 +1085,28 @@ func (r *Result) Summary() string {
 	for _, c := range causes {
 		fmt.Fprintf(&b, "  root cause: %-55s %6d tests\n", c, r.RootCauses[c])
 	}
+	// Hybrid fuzzing block: rendered only when the stage ran, so
+	// hybrid-free reports keep the historical byte format. Every number is
+	// deterministic (worker-count independent).
+	if r.HybridUsed {
+		st := r.HybridStats
+		fmt.Fprintf(&b, "hybrid: %d execs (%d skipped), %d deduped, %d new-coverage, %d divergent, %d promising\n",
+			st.Execs, st.Skipped, st.Deduped, st.NewCoverage, st.Divergent, st.Promising)
+		fmt.Fprintf(&b, "hybrid corpus: %d signatures (seeds %d/%d), %d edges, reseeds %d (+%d tests)\n",
+			st.Signatures, st.SeedSignatures, st.Seeds, st.Edges, st.Reseeds, st.ReseedTests)
+		divSigs := make(map[string]int)
+		for _, d := range r.HybridDivs {
+			divSigs[d.Impl+" "+d.Signature]++
+		}
+		keys := make([]string, 0, len(divSigs))
+		for k := range divSigs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  hybrid divergence: %-53s %6d inputs\n", k, divSigs[k])
+		}
+	}
 	fmt.Fprintf(&b, "faults: explore %d, execute %d, timeouts %d\n",
 		r.InstrFaults, r.ExecFaults, r.ExecTimeouts)
 	for _, f := range r.Faults {
@@ -959,8 +1117,14 @@ func (r *Result) Summary() string {
 	// when present, reasons render in sorted order for determinism.
 	if !r.Degraded.Empty() {
 		d := &r.Degraded
-		fmt.Fprintf(&b, "degraded: %d units (instrs %d, execs %d, corpus writes %d, corpus reads %d)\n",
-			d.Total(), d.Instrs, d.Execs, d.CorpusWrites, d.CorpusReads)
+		// The hybrid count is appended only when nonzero, keeping
+		// hybrid-free degraded reports byte-identical to the prior format.
+		hyb := ""
+		if d.HybridExecs > 0 {
+			hyb = fmt.Sprintf(", hybrid %d", d.HybridExecs)
+		}
+		fmt.Fprintf(&b, "degraded: %d units (instrs %d, execs %d, corpus writes %d, corpus reads %d%s)\n",
+			d.Total(), d.Instrs, d.Execs, d.CorpusWrites, d.CorpusReads, hyb)
 		reasons := make([]string, 0, len(d.Reasons))
 		for reason := range d.Reasons {
 			reasons = append(reasons, reason)
@@ -1001,6 +1165,18 @@ func (r *Result) TimingTable() string {
 	fmt.Fprintf(&b, "%-12s %10s\n", "  hardware", r.Timing.ExecHW.Round(time.Millisecond))
 	fmt.Fprintf(&b, "%-12s %10s %10s %10s %9s\n", "compare", r.Timing.Compare.Round(time.Millisecond),
 		"-", fmt.Sprintf("%d test", r.LoFiDiffTests+r.HiFiDiffTests), "-")
+	if r.HybridUsed {
+		cached := "-"
+		if r.Cache.FuzzHit {
+			cached = "1 stage"
+		}
+		fmt.Fprintf(&b, "%-12s %10s %10s %10s %9s\n", "hybrid",
+			r.Timing.Hybrid.Round(time.Millisecond), cached,
+			fmt.Sprintf("%d exec", r.HybridStats.Execs), "-")
+		for _, hc := range r.HybridStats.PerHandler {
+			fmt.Fprintf(&b, "  coverage %-26s %6d edges %6d sigs\n", hc.Handler, hc.Edges, hc.Sigs)
+		}
+	}
 	if r.BaselineUsed {
 		fmt.Fprintf(&b, "baseline: %d entries; %d known, %d new divergent tests\n",
 			r.BaselineEntries, r.KnownDiffs, r.NewDiffs)

@@ -34,6 +34,7 @@ type chaosCase struct {
 	noCorpus       bool     // run without a corpus at all
 	exploreWorkers int
 	stageTimeout   time.Duration
+	hybrid         HybridConfig
 
 	check func(t *testing.T, res *Result)
 }
@@ -155,6 +156,42 @@ func chaosMatrix() []chaosCase {
 			},
 		},
 		{
+			// A keyed half of the hybrid fuzzer's mutation jobs is skipped:
+			// the budget is still fully spent, every skip lands in the
+			// degraded ledger under the fixed reason, and the degraded
+			// hybrid summary stays byte-identical across worker counts.
+			name:     "hybrid-mutate-skip",
+			spec:     "seed=3;hybrid.mutate:p=0.5:err",
+			handlers: []string{"push_r"},
+			prewarm:  []string{"push_r"},
+			hybrid:   HybridConfig{Budget: 24},
+			check: func(t *testing.T, res *Result) {
+				if !res.HybridUsed {
+					t.Fatal("hybrid stage did not run")
+				}
+				st := res.HybridStats
+				if st.Execs != 24 {
+					t.Errorf("hybrid spent %d execs, want the full budget 24", st.Execs)
+				}
+				if st.Skipped == 0 {
+					t.Error("no mutation jobs skipped under p=0.5")
+				}
+				if st.Skipped == st.Execs {
+					t.Error("every mutation skipped; expected a keyed subset")
+				}
+				if res.Degraded.HybridExecs != st.Skipped {
+					t.Errorf("Degraded.HybridExecs = %d, Skipped = %d; every lost job must be ledgered",
+						res.Degraded.HybridExecs, st.Skipped)
+				}
+				if got := res.Degraded.Reasons[ReasonHybridMutate]; got != st.Skipped {
+					t.Errorf("reason %q counted %d times, want %d", ReasonHybridMutate, got, st.Skipped)
+				}
+				if !strings.Contains(res.Summary(), ", hybrid ") {
+					t.Error("degraded summary omits the hybrid count")
+				}
+			},
+		},
+		{
 			// Stage deadline in the past: every unit is skipped, every
 			// skip is ledgered, and the campaign still terminates with a
 			// complete (if empty) report instead of hanging or erroring.
@@ -197,6 +234,7 @@ func runChaosCase(t *testing.T, tc chaosCase, workers int) *Result {
 		Workers:          workers,
 		ExploreWorkers:   tc.exploreWorkers,
 		StageTimeout:     tc.stageTimeout,
+		Hybrid:           tc.hybrid,
 	}
 	if !tc.noCorpus {
 		dir := t.TempDir()
@@ -205,6 +243,9 @@ func runChaosCase(t *testing.T, tc chaosCase, workers int) *Result {
 			pre := cfg
 			pre.Handlers = tc.prewarm
 			pre.StageTimeout = 0
+			// Prewarm only the symex pipeline: a cached hybrid stage would
+			// let the armed run replay it and dodge the fault entirely.
+			pre.Hybrid = HybridConfig{}
 			if _, err := Run(pre); err != nil {
 				t.Fatalf("prewarm: %v", err)
 			}

@@ -267,8 +267,14 @@ func (ex *Explorer) ExploreState(u *UniqueInstr) (*ExploreResult, error) {
 // exploreProgram is the shared exploration core behind ExploreState and
 // ExploreSequence.
 func (ex *Explorer) exploreProgram(u *UniqueInstr, prog *ir.Program) (*ExploreResult, error) {
+	return ex.exploreProgramOpts(u, prog, ex.opts)
+}
+
+// exploreProgramOpts is exploreProgram under explicit engine options (the
+// guided variant narrows the path cap and sets a guiding assignment).
+func (ex *Explorer) exploreProgramOpts(u *UniqueInstr, prog *ir.Program, opts symex.Options) (*ExploreResult, error) {
 	st, side := ex.buildSymbolicState()
-	en := symex.NewEngine(st, side, ex.opts)
+	en := symex.NewEngine(st, side, opts)
 
 	res := &ExploreResult{Instr: u}
 	i := 0

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"pokeemu/internal/expr"
+	"pokeemu/internal/machine"
+	"pokeemu/internal/x86"
+	"pokeemu/internal/x86/sem"
+)
+
+// StateProbe describes the Figure 3 symbolic-variable layout — names, widths,
+// and the machine locations they model — so a concrete machine state can be
+// read back into a variable assignment. Hybrid campaigns use this to turn a
+// fuzzer-found input (replayed concretely to the test instruction) into the
+// guiding assignment for targeted exploration.
+type StateProbe struct {
+	Vars   map[string]uint8
+	VarLoc map[string]x86.Loc
+	VarMem map[string]uint32
+}
+
+// Probe builds the probe once; the layout is identical for every
+// instruction, so one probe serves a whole campaign.
+func (ex *Explorer) Probe() *StateProbe {
+	st, _ := ex.buildSymbolicState()
+	return &StateProbe{Vars: st.Vars, VarLoc: st.VarLoc, VarMem: st.VarMem}
+}
+
+// AssignmentFromMachine reads the concrete value of every symbolic state
+// variable out of m (a guest paused at the test instruction).
+func (p *StateProbe) AssignmentFromMachine(m *machine.Machine) map[string]uint64 {
+	out := make(map[string]uint64, len(p.Vars))
+	for name, w := range p.Vars {
+		if loc, ok := p.VarLoc[name]; ok {
+			out[name] = m.Get(loc) & expr.Mask(w)
+		} else if addr, ok := p.VarMem[name]; ok {
+			out[name] = m.Load(addr, 1) & expr.Mask(w)
+		}
+	}
+	return out
+}
+
+// ExploreStateGuided explores one instruction starting from a concrete
+// assignment: every symbolic branch tries the direction the assignment
+// satisfies first, so the first completed path is (up to infeasibility) the
+// assignment's own path and a small maxPaths cap enumerates its nearest
+// neighbors. This is the symex half of the hybrid loop — the fuzzer finds
+// an input with new coverage, and exploration radiates from its path.
+func (ex *Explorer) ExploreStateGuided(u *UniqueInstr, guide map[string]uint64, maxPaths int) (*ExploreResult, error) {
+	inst, err := x86.Decode(u.Repr)
+	if err != nil {
+		return nil, fmt.Errorf("core: representative does not decode: %w", err)
+	}
+	opts := ex.opts
+	opts.Guide = guide
+	opts.Workers = 1
+	if maxPaths > 0 {
+		opts.MaxPaths = maxPaths
+	}
+	return ex.exploreProgramOpts(u, sem.Compile(inst, ex.cfg), opts)
+}

@@ -520,6 +520,75 @@ type TriageEntry struct {
 	Min json.RawMessage `json:"min"`
 }
 
+// ---------------------------------------------------------------------------
+// Hybrid fuzzing-stage entries (the coverage-guided mutational fuzzer's
+// whole deterministic result for one seed set and budget, cached so a warm
+// hybrid campaign replays the stage byte-identically without re-executing a
+// single mutated input).
+
+// FuzzInputKey identifies one hybrid fuzzing stage. Every input that can
+// change the stage's deterministic result participates: the seed test set
+// (content hash), the fuzzer budget and RNG seed, the execution and reseed
+// caps, the semantics configuration, and the coverage-map and fuzzer
+// version numbers. MutatorWorkers deliberately does not participate — the
+// result is worker-count-independent by contract.
+type FuzzInputKey struct {
+	SeedsSHA    string `json:"seeds_sha"` // sha256 over every seed program
+	Budget      int    `json:"budget"`
+	Seed        int64  `json:"seed"`
+	MaxSteps    int    `json:"max_steps"`
+	RoundSize   int    `json:"round_size"`
+	ReseedPaths int    `json:"reseed_paths"`
+	MaxReseeds  int    `json:"max_reseeds"`
+	Config      string `json:"config"` // semantics configuration label
+
+	CovVersion    int `json:"cov_version"`    // coverage.Version
+	HybridVersion int `json:"hybrid_version"` // hybrid.Version
+	GenVersion    int `json:"gen_version"`    // testgen version (reseed programs)
+}
+
+// Hash returns the content address of the key.
+func (k FuzzInputKey) Hash() string {
+	return hashKey("fuzz",
+		k.SeedsSHA,
+		strconv.Itoa(k.Budget),
+		strconv.FormatInt(k.Seed, 10),
+		strconv.Itoa(k.MaxSteps),
+		strconv.Itoa(k.RoundSize),
+		strconv.Itoa(k.ReseedPaths),
+		strconv.Itoa(k.MaxReseeds),
+		k.Config,
+		strconv.Itoa(k.CovVersion),
+		strconv.Itoa(k.HybridVersion),
+		strconv.Itoa(k.GenVersion),
+	)
+}
+
+// FuzzEntry is one cached hybrid stage result. Result is the hybrid
+// package's serialized Result, stored opaquely so the corpus stays
+// decoupled from the fuzzer types (the TriageEntry.Min pattern).
+type FuzzEntry struct {
+	Key    FuzzInputKey    `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+// GetFuzz looks up a cached hybrid stage result.
+func (c *Corpus) GetFuzz(k FuzzInputKey) (*FuzzEntry, bool) {
+	var e FuzzEntry
+	if !c.get(k.Hash(), &e) {
+		return nil, false
+	}
+	if e.Key != k {
+		return nil, false
+	}
+	return &e, true
+}
+
+// PutFuzz stores a hybrid stage result.
+func (c *Corpus) PutFuzz(e *FuzzEntry) error {
+	return c.put(e.Key.Hash(), e)
+}
+
 // GetTriage looks up a cached minimization.
 func (c *Corpus) GetTriage(k TriageKey) (*TriageEntry, bool) {
 	var e TriageEntry

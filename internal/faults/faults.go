@@ -63,6 +63,7 @@ const (
 	CampaignExplore = "campaign.explore" // per-instruction explore/generate task; key = instruction key
 	CampaignExec    = "campaign.exec"    // per-test execution task; key = test ID
 	ServiceSchedule = "service.schedule" // job scheduler slot; key = job ID
+	HybridMutate    = "hybrid.mutate"    // hybrid fuzzer mutation job; key = job ID
 )
 
 // Points is the fault-point inventory: every name Hit is called with, and
@@ -76,6 +77,7 @@ var Points = map[string]string{
 	CampaignExplore: "per-instruction explore/generate worker (key: instruction key); a fire crashes the worker",
 	CampaignExec:    "per-test execution worker (key: test ID); a fire crashes the worker",
 	ServiceSchedule: "service job slot (key: job ID); a fire fails the job at scheduling time",
+	HybridMutate:    "hybrid fuzzer mutation job (key: job ID); a fire skips the mutation",
 }
 
 // EnvVar is the environment variable both binaries consult at startup for

@@ -18,6 +18,7 @@ package fidelis
 import (
 	"sync"
 
+	"pokeemu/internal/coverage"
 	"pokeemu/internal/emu"
 	"pokeemu/internal/ir"
 	"pokeemu/internal/machine"
@@ -63,6 +64,7 @@ type Emulator struct {
 	m     *machine.Machine
 	cfg   sem.Config
 	cache *Cache
+	cov   *coverage.Map
 
 	// Decoded counts instructions executed.
 	Decoded int64
@@ -86,6 +88,23 @@ func NewShared(m *machine.Machine, cfg sem.Config, cache *Cache) *Emulator {
 
 // CacheHits reports translation-cache reuse.
 func (e *Emulator) CacheHits() int64 { return e.cache.Hits }
+
+// SetCoverage attaches an edge-coverage map: every subsequent instruction
+// and delivery body records its IR control-flow edges into cov. With no map
+// attached, execution takes the uninstrumented ir.Run path and pays nothing.
+func (e *Emulator) SetCoverage(cov *coverage.Map) { e.cov = cov }
+
+// runProg executes an IR body, instrumented only when a coverage map is
+// attached.
+func (e *Emulator) runProg(prog *ir.Program, maxSteps int) (ir.Outcome, error) {
+	if e.cov == nil {
+		return ir.Run(prog, e.m, maxSteps)
+	}
+	pid := coverage.ProgID(prog.Name)
+	return ir.RunEdges(prog, e.m, maxSteps, func(from, to int) {
+		e.cov.Add(pid, from, to)
+	})
+}
 
 // Name implements emu.Emulator.
 func (e *Emulator) Name() string { return "fidelis" }
@@ -133,7 +152,7 @@ func (e *Emulator) Step() emu.Event {
 	e.Decoded++
 
 	prog := e.Program(inst)
-	out, err := ir.Run(prog, m, stepBudget)
+	out, err := e.runProg(prog, stepBudget)
 	if err != nil {
 		return emu.Event{Kind: emu.EventTimeout}
 	}
@@ -154,7 +173,7 @@ func (e *Emulator) Step() emu.Event {
 // itself raises, the machine is shut down (triple-fault analogue).
 func (e *Emulator) deliver(exc *machine.ExceptionInfo) emu.Event {
 	prog := sem.CompileDelivery(exc.Vector, exc.ErrCode, exc.HasErr, e.cfg)
-	out, err := ir.Run(prog, e.m, stepBudget)
+	out, err := e.runProg(prog, stepBudget)
 	if err != nil || out.Kind == ir.OutRaise {
 		e.m.Halted = true
 		return emu.Event{Kind: emu.EventShutdown, Exception: exc}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pokeemu/internal/celer"
+	"pokeemu/internal/coverage"
 	"pokeemu/internal/emu"
 	"pokeemu/internal/fidelis"
 	"pokeemu/internal/hwsim"
@@ -42,6 +43,18 @@ type Factory struct {
 func FidelisFactory() Factory {
 	return Factory{Name: "fidelis", New: func(m *machine.Machine) emu.Emulator {
 		return fidelis.New(m)
+	}}
+}
+
+// CoverageFactory builds the Hi-Fi interpreter with an edge-coverage map
+// attached: the run's IR control-flow edges accumulate into cov. The
+// snapshot is identical to an uninstrumented fidelis run, so hybrid
+// campaigns diff the instrumented leg directly.
+func CoverageFactory(cov *coverage.Map) Factory {
+	return Factory{Name: "fidelis", New: func(m *machine.Machine) emu.Emulator {
+		e := fidelis.New(m)
+		e.SetCoverage(cov)
+		return e
 	}}
 }
 

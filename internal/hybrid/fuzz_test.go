@@ -1,0 +1,130 @@
+package hybrid
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSplitAtomsRoundtrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x90},                         // nop
+		{0x90, 0x40, 0xc9},             // nop; inc eax; leave
+		{0xb8, 0x01, 0x02, 0x03, 0x04}, // mov eax, imm32
+		{0x0f},                         // truncated: opaque residue atom
+		{0x90, 0x0f},                   // decodable prefix + residue
+	}
+	for _, in := range cases {
+		atoms := SplitAtoms(in)
+		if got := joinAtoms(atoms); !bytes.Equal(got, in) {
+			t.Errorf("SplitAtoms(% x) does not roundtrip: % x", in, got)
+		}
+	}
+}
+
+func TestMutateOperators(t *testing.T) {
+	init := []byte{0xb8, 0x01, 0x02, 0x03, 0x04, 0x90, 0x40}
+	donor := []byte{0xc9, 0x91, 0x92}
+	for _, op := range Ops {
+		rng := rand.New(rand.NewSource(11))
+		out := Mutate(rng, init, donor, op)
+		if len(out) > 0 && &out[0] == &init[0] {
+			t.Errorf("%s: returned slice aliases the input", op)
+		}
+		if len(out) > maxInitLen {
+			t.Errorf("%s: output %d bytes exceeds cap", op, len(out))
+		}
+		// Deterministic: same rng state, same output.
+		again := Mutate(rand.New(rand.NewSource(11)), init, donor, op)
+		if !bytes.Equal(out, again) {
+			t.Errorf("%s: not deterministic under a fixed seed", op)
+		}
+	}
+}
+
+func TestMutateEmptyInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, op := range Ops {
+		out := Mutate(rng, nil, []byte{0x90, 0x40}, op)
+		if op == "splice" {
+			continue // splice may pull donor atoms into an empty initializer
+		}
+		if len(out) != 0 {
+			t.Errorf("%s on empty init produced % x", op, out)
+		}
+	}
+	if out := Mutate(rng, nil, nil, "splice"); len(out) != 0 {
+		t.Errorf("splice with empty init and donor produced % x", out)
+	}
+}
+
+// TestChunkSwapPreservesBytes pins the atom discipline: chunk-swap permutes
+// whole initializer instructions, so the byte multiset is unchanged.
+func TestChunkSwapPreservesBytes(t *testing.T) {
+	init := []byte{0x90, 0x40, 0xb8, 0x01, 0x02, 0x03, 0x04, 0xc9}
+	for seed := int64(0); seed < 32; seed++ {
+		out := Mutate(rand.New(rand.NewSource(seed)), init, nil, "chunkswap")
+		a, b := append([]byte(nil), init...), append([]byte(nil), out...)
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: chunkswap changed the byte multiset: % x -> % x", seed, init, out)
+		}
+	}
+}
+
+// TestSpliceRespectsAtoms pins the boundary discipline: a splice is a
+// prefix of the initializer's atoms plus a suffix of the donor's atoms —
+// never a cut through the middle of an instruction.
+func TestSpliceRespectsAtoms(t *testing.T) {
+	init := []byte{0xb8, 0x01, 0x02, 0x03, 0x04, 0x90} // mov imm32; nop
+	donor := []byte{0x40, 0x41, 0xc9}                  // inc; inc; leave
+	ia, da := SplitAtoms(init), SplitAtoms(donor)
+	for seed := int64(0); seed < 64; seed++ {
+		out := Mutate(rand.New(rand.NewSource(seed)), init, donor, "splice")
+		ok := false
+		for p := 0; p <= len(ia) && !ok; p++ {
+			for s := 0; s <= len(da) && !ok; s++ {
+				want := joinAtoms(append(append([][]byte(nil), ia[:p]...), da[s:]...))
+				ok = bytes.Equal(out, want)
+			}
+		}
+		if !ok {
+			t.Fatalf("seed %d: splice output % x is not atoms(init)-prefix + atoms(donor)-suffix", seed, out)
+		}
+	}
+}
+
+// FuzzMutator is the make-fuzz property harness: for arbitrary initializer
+// bytes and any operator, mutation must terminate, respect the length cap,
+// keep atom splits consistent (roundtrip), and never touch the input slice.
+func FuzzMutator(f *testing.F) {
+	f.Add([]byte{0x90, 0x40, 0xc9}, []byte{0xb8, 1, 2, 3, 4}, int64(1), uint8(0))
+	f.Add([]byte{}, []byte{0x90}, int64(2), uint8(4))
+	f.Add([]byte{0x0f, 0xff}, []byte{}, int64(3), uint8(5))
+	f.Fuzz(func(t *testing.T, init, donor []byte, seed int64, opSel uint8) {
+		if len(init) > maxInitLen || len(donor) > maxInitLen {
+			t.Skip()
+		}
+		op := Ops[int(opSel)%len(Ops)]
+		before := append([]byte(nil), init...)
+		out := Mutate(rand.New(rand.NewSource(seed)), init, donor, op)
+		if !bytes.Equal(init, before) {
+			t.Fatalf("%s: mutated the input slice in place", op)
+		}
+		if len(out) > maxInitLen {
+			t.Fatalf("%s: output %d bytes exceeds cap %d", op, len(out), maxInitLen)
+		}
+		if got := joinAtoms(SplitAtoms(out)); !bytes.Equal(got, out) {
+			t.Fatalf("%s: output does not atom-roundtrip", op)
+		}
+		// Dedup-by-signature idempotence precondition: mutation is a pure
+		// function of (rng, inputs, op).
+		again := Mutate(rand.New(rand.NewSource(seed)), before, donor, op)
+		if !bytes.Equal(out, again) {
+			t.Fatalf("%s: not deterministic", op)
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package hybrid
+
+import (
+	"math/rand"
+
+	"pokeemu/internal/x86"
+)
+
+// maxInitLen caps a mutated initializer so splice chains cannot grow a
+// program past the code region the harness loads it into.
+const maxInitLen = 2048
+
+// Ops are the mutation operators, drawn uniformly by the scheduler. The
+// byte-level operators perturb initializer state values (testgen immediates
+// mostly); the atom-level operators recombine whole initializer
+// instructions across the corpus, respecting instruction boundaries.
+var Ops = []string{"bitflip", "byteset", "wordflip", "arith", "splice", "chunkswap"}
+
+// SplitAtoms decodes an initializer into single-instruction atoms, the
+// boundary-respecting unit for splice and chunk-swap. Undecodable residue
+// (possible after byte-level mutations) is kept as one opaque atom, so
+// concatenating the atoms always reproduces the input bytes.
+func SplitAtoms(init []byte) [][]byte {
+	var atoms [][]byte
+	for len(init) > 0 {
+		inst, err := x86.Decode(init)
+		if err != nil || inst.Len <= 0 || inst.Len > len(init) {
+			atoms = append(atoms, init)
+			break
+		}
+		atoms = append(atoms, init[:inst.Len])
+		init = init[inst.Len:]
+	}
+	return atoms
+}
+
+func joinAtoms(atoms [][]byte) []byte {
+	var out []byte
+	for _, a := range atoms {
+		out = append(out, a...)
+	}
+	return out
+}
+
+// Mutate applies one named operator to an initializer, drawing randomness
+// from rng and splice material from donor (another corpus input's
+// initializer). It always returns a fresh slice, never longer than
+// maxInitLen; inputs it cannot meaningfully mutate (empty initializers,
+// oversized splices) fall back to weaker operators or a plain copy, so the
+// caller can count on a candidate — duplicates are cheap, they dedupe by
+// signature.
+func Mutate(rng *rand.Rand, init, donor []byte, op string) []byte {
+	out := append([]byte(nil), init...)
+	if len(out) == 0 && (op != "splice" || len(donor) == 0) {
+		return out
+	}
+	switch op {
+	case "bitflip":
+		i := rng.Intn(len(out))
+		out[i] ^= 1 << rng.Intn(8)
+	case "byteset":
+		out[rng.Intn(len(out))] = byte(rng.Intn(256))
+	case "wordflip":
+		i := rng.Intn(len(out))
+		out[i] ^= 0xff
+		if i+1 < len(out) {
+			out[i+1] ^= 0xff
+		}
+	case "arith":
+		delta := byte(rng.Intn(16) + 1)
+		if rng.Intn(2) == 1 {
+			delta = -delta
+		}
+		out[rng.Intn(len(out))] += delta
+	case "splice":
+		a := SplitAtoms(out)
+		b := SplitAtoms(donor)
+		cand := joinAtoms(append(append([][]byte(nil), a[:rng.Intn(len(a)+1)]...),
+			b[rng.Intn(len(b)+1):]...))
+		if len(cand) > maxInitLen {
+			return Mutate(rng, init, nil, "bitflip")
+		}
+		out = cand
+		if out == nil {
+			out = []byte{}
+		}
+	case "chunkswap":
+		a := SplitAtoms(out)
+		if len(a) >= 2 {
+			i, j := rng.Intn(len(a)), rng.Intn(len(a))
+			a[i], a[j] = a[j], a[i]
+			out = joinAtoms(a)
+		}
+	}
+	return out
+}

@@ -60,6 +60,25 @@ type Report struct {
 	// Baseline is the known/new partition, present only when the job ran
 	// against a baseline — baseline-free reports keep their historical bytes.
 	Baseline *BaselineInfo `json:"baseline,omitempty"`
+	// Hybrid summarizes the coverage-guided fuzzing stage, present only
+	// when the job requested a hybrid budget.
+	Hybrid *HybridInfo `json:"hybrid,omitempty"`
+}
+
+// HybridInfo summarizes a job's hybrid fuzzing stage.
+type HybridInfo struct {
+	Execs          int  `json:"execs"`
+	Skipped        int  `json:"skipped,omitempty"`
+	Deduped        int  `json:"deduped"`
+	NewCoverage    int  `json:"new_coverage"`
+	Divergent      int  `json:"divergent"`
+	Promising      int  `json:"promising"`
+	Reseeds        int  `json:"reseeds"`
+	ReseedTests    int  `json:"reseed_tests"`
+	Signatures     int  `json:"signatures"`
+	SeedSignatures int  `json:"seed_signatures"`
+	Edges          int  `json:"edges"`
+	Cached         bool `json:"cached,omitempty"` // stage served from the corpus
 }
 
 // BaselineInfo summarizes a job's baseline partition.
@@ -76,6 +95,7 @@ type DegradedInfo struct {
 	Execs        int            `json:"execs"`
 	CorpusWrites int            `json:"corpus_writes"`
 	CorpusReads  int            `json:"corpus_reads"`
+	HybridExecs  int            `json:"hybrid_execs,omitempty"`
 	Reasons      map[string]int `json:"reasons,omitempty"`
 }
 
@@ -300,7 +320,24 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		},
 		Degraded: degradedInfo(&res.Degraded),
 		Baseline: baselineInfo(res),
+		Hybrid:   hybridInfo(res),
 	})
+}
+
+// hybridInfo converts the result's hybrid stage for the API; nil (omitted
+// from the JSON) when the job ran without a hybrid budget.
+func hybridInfo(res *campaign.Result) *HybridInfo {
+	if !res.HybridUsed {
+		return nil
+	}
+	st := res.HybridStats
+	return &HybridInfo{
+		Execs: st.Execs, Skipped: st.Skipped, Deduped: st.Deduped,
+		NewCoverage: st.NewCoverage, Divergent: st.Divergent, Promising: st.Promising,
+		Reseeds: st.Reseeds, ReseedTests: st.ReseedTests,
+		Signatures: st.Signatures, SeedSignatures: st.SeedSignatures, Edges: st.Edges,
+		Cached: res.Cache.FuzzHit,
+	}
 }
 
 // baselineInfo converts the result's baseline partition for the API; nil
@@ -324,6 +361,7 @@ func degradedInfo(d *campaign.Degraded) *DegradedInfo {
 		Execs:        d.Execs,
 		CorpusWrites: d.CorpusWrites,
 		CorpusReads:  d.CorpusReads,
+		HybridExecs:  d.HybridExecs,
 		Reasons:      d.Reasons,
 	}
 }

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"pokeemu/internal/campaign"
+)
+
+// TestHybridJobEndToEnd submits a hybrid campaign over HTTP and checks the
+// whole reporting chain: the report carries the hybrid section, it matches
+// a direct campaign.Run byte for byte, and /metrics accumulates the fuzz
+// execution and coverage counters.
+func TestHybridJobEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := startServer(t, Options{CorpusDir: dir, MaxJobs: 2, DrainTimeout: time.Minute})
+
+	st := submitJob(t, ts.URL, `{"handlers":["push_r"],"path_cap":16,"hybrid_budget":16}`)
+	done := pollUntil(t, ts.URL, st.ID, 2*time.Minute, StateDone)
+	if done.Progress == nil || done.Progress.Stage != campaign.StageHybrid {
+		t.Errorf("finished hybrid job progress = %+v, want hybrid stage", done.Progress)
+	}
+	rep := fetchReport(t, ts.URL, st.ID)
+	if rep.Hybrid == nil {
+		t.Fatal("report omits the hybrid section")
+	}
+	if rep.Hybrid.Execs != 16 {
+		t.Errorf("hybrid execs = %d, want the full budget 16", rep.Hybrid.Execs)
+	}
+	if rep.Hybrid.Signatures <= rep.Hybrid.SeedSignatures || rep.Hybrid.Edges == 0 {
+		t.Errorf("hybrid coverage yield missing: %+v", rep.Hybrid)
+	}
+
+	// The same config run directly against the shared corpus replays the
+	// cached hybrid stage and must render the identical report.
+	direct, err := campaign.Run(campaign.Config{
+		MaxPathsPerInstr: 16,
+		Handlers:         []string{"push_r"},
+		Seed:             1,
+		CorpusDir:        dir,
+		Hybrid:           campaign.HybridConfig{Budget: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !direct.Cache.FuzzHit {
+		t.Error("direct run did not reuse the job's cached hybrid stage")
+	}
+	if rep.Summary != direct.Summary() {
+		t.Errorf("HTTP hybrid report differs from direct run:\nhttp:\n%s\ndirect:\n%s",
+			rep.Summary, direct.Summary())
+	}
+
+	code, b := doJSON(t, http.MethodGet, ts.URL+"/metrics", "")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d: %s", code, b)
+	}
+	var m MetricsSnapshot
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Hybrid.Runs != 1 || m.Hybrid.Execs != 16 {
+		t.Errorf("metrics hybrid runs/execs = %d/%d, want 1/16", m.Hybrid.Runs, m.Hybrid.Execs)
+	}
+	if m.Hybrid.Signatures == 0 || m.Hybrid.Edges == 0 {
+		t.Errorf("metrics hybrid coverage counters empty: %+v", m.Hybrid)
+	}
+}
+
+// TestHybridRequestValidation pins request-level rejection of bad hybrid
+// parameters.
+func TestHybridRequestValidation(t *testing.T) {
+	_, ts := startServer(t, Options{MaxJobs: 1, DrainTimeout: time.Minute})
+	code, b := doJSON(t, http.MethodPost, ts.URL+"/v1/campaigns",
+		`{"handlers":["push_r"],"hybrid_budget":-1}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("negative hybrid_budget accepted: %d %s", code, b)
+	}
+}

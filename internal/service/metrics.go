@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pokeemu/internal/campaign"
 	"pokeemu/internal/equivcheck"
 	"pokeemu/internal/expr"
 	"pokeemu/internal/solver"
@@ -43,6 +44,18 @@ type Metrics struct {
 	EquivCacheHits   atomic.Int64
 	EquivCacheMisses atomic.Int64
 
+	// Hybrid counters accumulate over every completed job that ran the
+	// coverage-guided fuzzing stage: fuzz executions spent, inputs that
+	// reached new coverage, divergent mutated inputs, distinct coverage
+	// signatures and edges reported, and stages served from the corpus.
+	HybridRuns       atomic.Int64
+	HybridExecs      atomic.Int64
+	HybridNewCov     atomic.Int64
+	HybridDivergent  atomic.Int64
+	HybridSignatures atomic.Int64
+	HybridEdges      atomic.Int64
+	HybridCacheHits  atomic.Int64
+
 	JobDurationMS *Histogram
 	TestsPerJob   *Histogram
 
@@ -73,6 +86,24 @@ func (m *Metrics) recordEquivcheck(rep *equivcheck.Report) {
 	m.EquivUnknown.Add(int64(rep.Unknown))
 	m.EquivCacheHits.Add(int64(rep.Timing.CacheHits))
 	m.EquivCacheMisses.Add(int64(rep.Timing.CacheMisses))
+}
+
+// recordHybrid folds one completed job's hybrid fuzzing stage into the
+// counters.
+func (m *Metrics) recordHybrid(res *campaign.Result) {
+	if !res.HybridUsed {
+		return
+	}
+	st := res.HybridStats
+	m.HybridRuns.Add(1)
+	m.HybridExecs.Add(int64(st.Execs))
+	m.HybridNewCov.Add(int64(st.NewCoverage))
+	m.HybridDivergent.Add(int64(st.Divergent))
+	m.HybridSignatures.Add(int64(st.Signatures))
+	m.HybridEdges.Add(int64(st.Edges))
+	if res.Cache.FuzzHit {
+		m.HybridCacheHits.Add(1)
+	}
 }
 
 // observeHTTP records one served request on the named route.
@@ -126,6 +157,18 @@ type MetricsSnapshot struct {
 		CacheHits   int64 `json:"cache_hits"`
 		CacheMisses int64 `json:"cache_misses"`
 	} `json:"equivcheck"`
+	// Hybrid accumulates over every completed job that ran the coverage-
+	// guided fuzzing stage: executions spent, coverage yield, divergent
+	// mutated inputs, and stage-level cache hits.
+	Hybrid struct {
+		Runs       int64 `json:"runs"`
+		Execs      int64 `json:"execs"`
+		NewCov     int64 `json:"new_coverage"`
+		Divergent  int64 `json:"divergent"`
+		Signatures int64 `json:"signatures"`
+		Edges      int64 `json:"edges"`
+		CacheHits  int64 `json:"cache_hits"`
+	} `json:"hybrid"`
 	// Solver mirrors the process-wide symbolic-execution hot-path counters:
 	// bit-vector solver queries, the assumption-set memo that answers
 	// repeated queries without solving, and the expression intern table that
@@ -172,6 +215,13 @@ func (m *Metrics) Snapshot(g JobGauges) MetricsSnapshot {
 	s.Equivcheck.Unknown = m.EquivUnknown.Load()
 	s.Equivcheck.CacheHits = m.EquivCacheHits.Load()
 	s.Equivcheck.CacheMisses = m.EquivCacheMisses.Load()
+	s.Hybrid.Runs = m.HybridRuns.Load()
+	s.Hybrid.Execs = m.HybridExecs.Load()
+	s.Hybrid.NewCov = m.HybridNewCov.Load()
+	s.Hybrid.Divergent = m.HybridDivergent.Load()
+	s.Hybrid.Signatures = m.HybridSignatures.Load()
+	s.Hybrid.Edges = m.HybridEdges.Load()
+	s.Hybrid.CacheHits = m.HybridCacheHits.Load()
 	s.Solver.Queries = solver.QueriesTotal()
 	s.Solver.MemoHits, s.Solver.MemoMisses = solver.MemoTotals()
 	s.Solver.InternHits, s.Solver.InternMisses, s.Solver.InternResets = expr.InternStats()

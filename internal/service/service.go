@@ -218,6 +218,15 @@ type Request struct {
 	// campaign degrades (skipped units are counted in the report's degraded
 	// section) instead of failing. 0 = unlimited.
 	StageTimeoutMS int64 `json:"stage_timeout_ms,omitempty"`
+
+	// HybridBudget enables the coverage-guided hybrid fuzzing stage with
+	// this many mutated-input executions; 0 leaves it off.
+	HybridBudget int `json:"hybrid_budget,omitempty"`
+	// HybridSeed seeds the fuzzer's RNG (0 = the campaign seed).
+	HybridSeed int64 `json:"hybrid_seed,omitempty"`
+	// HybridWorkers sizes the mutator pool (0 = workers); like workers it
+	// never affects the report.
+	HybridWorkers int `json:"hybrid_workers,omitempty"`
 }
 
 // configFor normalizes the request in place (so the job's status echoes the
@@ -242,6 +251,9 @@ func (s *Server) configFor(req *Request) (campaign.Config, error) {
 	if req.ExploreWorkers > s.opts.MaxWorkersPerJob {
 		req.ExploreWorkers = s.opts.MaxWorkersPerJob
 	}
+	if req.HybridWorkers > s.opts.MaxWorkersPerJob {
+		req.HybridWorkers = s.opts.MaxWorkersPerJob
+	}
 	cfg := campaign.Config{
 		MaxPathsPerInstr: req.PathCap,
 		MaxInstrs:        req.MaxInstrs,
@@ -259,6 +271,11 @@ func (s *Server) configFor(req *Request) (campaign.Config, error) {
 		// The job captures the baseline current at submission; a later PUT
 		// replaces the server's pointer without disturbing running jobs.
 		Baseline: s.Baseline(),
+		Hybrid: campaign.HybridConfig{
+			Budget:         req.HybridBudget,
+			Seed:           req.HybridSeed,
+			MutatorWorkers: req.HybridWorkers,
+		},
 	}
 	if err := cfg.Validate(); err != nil {
 		return campaign.Config{}, err
@@ -389,6 +406,7 @@ func (s *Server) runJob(j *Job) {
 		s.metrics.JobsCompleted.Add(1)
 		s.metrics.TestsReported.Add(int64(res.TotalTests))
 		s.metrics.TestsPerJob.Observe(float64(res.TotalTests))
+		s.metrics.recordHybrid(res)
 	}
 	s.metrics.JobDurationMS.Observe(float64(j.Duration()) / float64(time.Millisecond))
 }

@@ -20,6 +20,14 @@ type Options struct {
 	// deterministic statistics are byte-identical for every worker count:
 	// the split/merge algorithm is the same, only the pool size changes.
 	Workers int
+	// Guide steers exploration toward the concrete path a given variable
+	// assignment would take: at every symbolic branch the direction the
+	// assignment satisfies is tried first (instead of the random frontier
+	// choice), so a small MaxPaths explores the immediate neighborhood of
+	// that path. Used by hybrid campaigns to hand fuzzer-found inputs back
+	// to symex as path seeds. Deterministic: a pure function of the
+	// assignment, never of scheduling.
+	Guide map[string]uint64
 }
 
 // DefaultOptions mirror the paper's configuration.
@@ -208,7 +216,16 @@ func (en *Engine) branch(cond *expr.Expr) (bool, error) {
 		return false, errSplit
 	}
 	dirs := w.candidates()
-	shuffle(en.rng, dirs)
+	if en.opts.Guide != nil {
+		// Try the direction the guiding assignment takes first; its sibling
+		// only once the guided side closes.
+		want := int(expr.Eval(cond, en.opts.Guide) & 1)
+		if len(dirs) == 2 && dirs[0] != want {
+			dirs[0], dirs[1] = dirs[1], dirs[0]
+		}
+	} else {
+		shuffle(en.rng, dirs)
+	}
 	for _, dir := range dirs {
 		if w.known(dir) == feasUnknown {
 			ok := en.bv.CheckLits(en.assumptions(litFor(dir))) == solver.Sat
