@@ -13,7 +13,7 @@ SERVE_CORPUS ?= .pokeemud-corpus
 # routine edits pass but a dropped test file fails).
 COVER_FLOORS ?= triage:85 diff:90 equivcheck:85 coverage:90 hybrid:85
 
-.PHONY: build vet test race fuzz chaos cover bench serve smoke equivcheck hybrid check
+.PHONY: build vet test race fuzz chaos cover bench bench-gate serve smoke equivcheck hybrid check
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,28 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Performance gate: one cold E11 benchmark run must land within
+# BENCH_TOLERANCE percent of the checked-in w1-ms baseline, so a solver or
+# dispatch change that silently gives back the fast-path/batching win fails
+# the build the same way a broken test does. The band absorbs shared-host
+# noise while still catching a slide back toward the pre-fast-path cost
+# (37.2s seed vs the current baseline). Re-baseline by putting a fresh
+# quiet-machine measurement in bench_baseline.txt.
+BENCH_TOLERANCE ?= 35
+
+bench-gate:
+	@set -e; \
+	base=$$(awk '$$1 == "w1-ms" {print $$2}' bench_baseline.txt); \
+	[ -n "$$base" ] || { echo "bench-gate: no w1-ms entry in bench_baseline.txt" >&2; exit 1; }; \
+	out=$$($(GO) test -run xxx -bench BenchmarkE11ColdExplore -benchtime 1x .); \
+	echo "$$out"; \
+	w1=$$(echo "$$out" | awk '{for (i = 1; i < NF; i++) if ($$(i+1) == "w1-ms") print $$i}'); \
+	[ -n "$$w1" ] || { echo "bench-gate: no w1-ms metric in benchmark output" >&2; exit 1; }; \
+	ceil=$$(awk "BEGIN { printf \"%d\", $$base * (100 + $(BENCH_TOLERANCE)) / 100 }"); \
+	echo "bench-gate: w1-ms $$w1 (baseline $$base, ceiling $$ceil)"; \
+	awk "BEGIN { exit !($$w1 <= $$ceil) }" || \
+		{ echo "bench-gate: w1-ms $$w1 exceeds ceiling $$ceil" >&2; exit 1; }
+
 # Run the campaign daemon in the foreground (SIGINT/SIGTERM drain
 # gracefully, checkpointing running jobs into the shared corpus).
 serve:
@@ -94,4 +116,4 @@ hybrid:
 	$(GO) test -race -timeout 30m -run 'TestHybrid' ./internal/campaign ./internal/hybrid ./internal/service
 	$(GO) test -race -run 'TestRunDeterministic|TestRunWithReseed' ./internal/hybrid
 
-check: build vet test race chaos cover smoke equivcheck hybrid
+check: build vet test race chaos cover smoke equivcheck hybrid bench-gate

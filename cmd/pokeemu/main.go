@@ -438,10 +438,19 @@ func cmdCampaign(args []string) {
 	hybridSeed := fs.Int64("hybrid-seed", 0, "hybrid fuzzer RNG seed (0 = -seed)")
 	hybridWorkers := fs.Int("hybrid-workers", 0,
 		"hybrid mutator pool size (0 = -workers; never changes the report)")
+	solverBatch := fs.Bool("solver-batch", true,
+		"fold sibling path queries into incremental solving with shared assumption prefixes")
+	fastpath := fs.Bool("fastpath", true,
+		"use the Lo-Fi emulator's direct-dispatch fast path (off = IR-flavored slow path)")
+	portfolio := fs.Int("portfolio", 0,
+		"race N extra seeded solver clones per budgeted query (0 = off; deterministic)")
 	fs.Parse(args)
 
 	if err := validateCampaignFlags(*workers, *exploreWorkers, *cap, *instrs, *maxSteps, *testSteps, *testTimeout, *stageTimeout); err != nil {
 		die(err)
+	}
+	if *portfolio < 0 {
+		die(fmt.Errorf("-portfolio must be >= 0, got %d", *portfolio))
 	}
 	if err := validateHybridFlags(*hybridOn, *hybridBudget, *hybridWorkers); err != nil {
 		die(err)
@@ -472,6 +481,9 @@ func cmdCampaign(args []string) {
 		TestMaxSteps:     *testSteps,
 		TestTimeout:      *testTimeout,
 		StageTimeout:     *stageTimeout,
+		NoSolverBatch:    !*solverBatch,
+		NoFastPath:       !*fastpath,
+		Portfolio:        *portfolio,
 	}
 	if *hybridOn {
 		cfg.Hybrid = campaign.HybridConfig{
@@ -531,6 +543,10 @@ func cmdTriage(args []string) {
 	testSteps := fs.Int("test-steps", 0, "per-test emulator step budget (0 = default)")
 	timing := fs.Bool("timing", false, "append the campaign timing and cache-hit table")
 	progress := fs.Bool("progress", false, "print per-stage progress to stderr")
+	solverBatch := fs.Bool("solver-batch", true,
+		"fold sibling path queries into incremental solving with shared assumption prefixes")
+	fastpath := fs.Bool("fastpath", true,
+		"use the Lo-Fi emulator's direct-dispatch fast path (off = IR-flavored slow path)")
 
 	baselinePath := fs.String("baseline", "",
 		"baseline file of known divergences (\"\" or missing file = everything is new)")
@@ -587,6 +603,8 @@ func cmdTriage(args []string) {
 		Resume:           *resume,
 		TestMaxSteps:     *testSteps,
 		Baseline:         bl,
+		NoSolverBatch:    !*solverBatch,
+		NoFastPath:       !*fastpath,
 	}
 	if cfg.Baseline == nil && *baselinePath != "" {
 		cfg.Baseline = triage.NewBaseline()

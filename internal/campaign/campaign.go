@@ -68,6 +68,23 @@ type Config struct {
 	// It is deliberately excluded from corpus cache keys.
 	ExploreWorkers int
 
+	// NoSolverBatch disables the batched solver front-end (incremental
+	// assumption-trail reuse across sibling path queries). The zero value
+	// enables batching. The setting changes which models the solver
+	// returns, so it is part of the corpus cache namespace.
+	NoSolverBatch bool
+	// NoFastPath disables celer's direct-dispatch fast path, forcing every
+	// step through the shared-cache dispatcher and the per-execution
+	// re-lowering slow path. The zero value enables the fast path. Reports
+	// are byte-identical either way.
+	NoFastPath bool
+	// Portfolio races that many deterministically-seeded solver clones
+	// against the primary solver on conflict-budgeted queries (0 disables).
+	// The portfolio verdict is a pure function of the query sequence, but
+	// it can resolve queries the primary gives up on, so — like
+	// NoSolverBatch — it is part of the corpus cache namespace.
+	Portfolio int
+
 	// CorpusDir roots the persistent test corpus; "" disables it.
 	CorpusDir string
 	// NoCache ignores cached artifacts (they are still refreshed on disk),
@@ -236,6 +253,13 @@ type SolverStats struct {
 	MemoMisses   int64
 	InternHits   int64 // expression constructions served by the intern table
 	InternMisses int64
+	// ReusedLevels counts assumption trail levels the batched front-end
+	// carried over between sibling queries instead of re-deciding them.
+	ReusedLevels int64
+	// PortfolioRaces/PortfolioCloneWins count budgeted queries raced by the
+	// solver portfolio and the races a seeded clone decided.
+	PortfolioRaces     int64
+	PortfolioCloneWins int64
 }
 
 // CacheStats counts corpus traffic per pipeline stage.
@@ -453,12 +477,17 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	queries0 := solver.QueriesTotal()
 	memoHits0, memoMisses0 := solver.MemoTotals()
 	internHits0, internMisses0, _ := expr.InternStats()
+	reused0 := solver.ReusedLevelsTotal()
+	races0, cloneWins0 := solver.PortfolioTotals()
 	defer func() {
 		res.Solver.Queries = solver.QueriesTotal() - queries0
 		mh, mm := solver.MemoTotals()
 		res.Solver.MemoHits, res.Solver.MemoMisses = mh-memoHits0, mm-memoMisses0
 		ih, im, _ := expr.InternStats()
 		res.Solver.InternHits, res.Solver.InternMisses = ih-internHits0, im-internMisses0
+		res.Solver.ReusedLevels = solver.ReusedLevelsTotal() - reused0
+		ra, cw := solver.PortfolioTotals()
+		res.Solver.PortfolioRaces, res.Solver.PortfolioCloneWins = ra-races0, cw-cloneWins0
 	}()
 
 	var crp *corpus.Corpus
@@ -523,10 +552,22 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	opts.MaxPaths = cfg.MaxPathsPerInstr
 	opts.Seed = cfg.Seed
 	opts.Workers = cfg.ExploreWorkers
+	opts.NoSolverBatch = cfg.NoSolverBatch
+	opts.Portfolio = cfg.Portfolio
 	if cfg.MaxSteps > 0 {
 		opts.MaxSteps = cfg.MaxSteps
 	}
-	sumKey := corpus.SummaryKey{Config: configLabel, SymexVersion: symex.SerialVersion}
+	// Solver-mode settings change which models the solver returns, so
+	// non-default modes get their own corpus namespace; the default label
+	// is unchanged so existing corpora stay warm.
+	solverLabel := configLabel
+	if cfg.NoSolverBatch {
+		solverLabel += "+nobatch"
+	}
+	if cfg.Portfolio > 0 {
+		solverLabel += fmt.Sprintf("+portfolio%d", cfg.Portfolio)
+	}
+	sumKey := corpus.SummaryKey{Config: solverLabel, SymexVersion: symex.SerialVersion}
 	var (
 		exOnce        sync.Once
 		ex            *core.Explorer
@@ -597,7 +638,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		key := corpus.InstrKey{
 			Handler: u.Key(), PathCap: cfg.MaxPathsPerInstr, MaxSteps: cfg.MaxSteps,
-			Seed: cfg.Seed, Config: configLabel,
+			Seed: cfg.Seed, Config: solverLabel,
 			SymexVersion: symex.SerialVersion, GenVersion: testgen.Version,
 		}
 		if crp != nil && !cfg.NoCache {
@@ -739,7 +780,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	boot := testgen.BaselineInit()
 	fiF := harness.FidelisFactory()
-	ceF := harness.CelerFactory()
+	ceF := harness.CelerFactoryFast(!cfg.NoFastPath)
 	hwF := harness.HardwareFactory()
 
 	outcomes := make([]trio, len(tests))
@@ -925,7 +966,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			Budget:   cfg.Hybrid.Budget, Seed: hseed,
 			MaxSteps: testBudget.MaxSteps, RoundSize: hybrid.DefaultRoundSize,
 			ReseedPaths: hybrid.DefaultReseedPaths, MaxReseeds: hybrid.DefaultMaxReseeds,
-			Config: configLabel, CovVersion: coverage.Version,
+			Config: solverLabel, CovVersion: coverage.Version,
 			HybridVersion: hybrid.Version, GenVersion: testgen.Version,
 		}
 		var hres *hybrid.Result
@@ -1203,6 +1244,13 @@ func (r *Result) TimingTable() string {
 	fmt.Fprintf(&b, "expr intern: %d/%d hit (%s)\n",
 		r.Solver.InternHits, r.Solver.InternHits+r.Solver.InternMisses,
 		rate(r.Solver.InternHits, r.Solver.InternMisses))
+	if r.Solver.ReusedLevels > 0 {
+		fmt.Fprintf(&b, "solver batch: %d assumption levels reused\n", r.Solver.ReusedLevels)
+	}
+	if r.Solver.PortfolioRaces > 0 {
+		fmt.Fprintf(&b, "solver portfolio: %d races, %d clone wins\n",
+			r.Solver.PortfolioRaces, r.Solver.PortfolioCloneWins)
+	}
 	var explored []*InstrReport
 	for _, rep := range r.Reports {
 		if rep.ExploreWall > 0 {

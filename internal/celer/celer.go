@@ -43,10 +43,15 @@ func gp(err uint32) *fault { return &fault{vec: x86.ExcGP, err: err, hasErr: tru
 // opFunc executes one translated instruction; nil means completed.
 type opFunc func(e *Emulator) *fault
 
-// TB is a cached translation: the decoded instruction plus its executable.
+// TB is a cached translation: the decoded instruction plus its two
+// executables. fast is the direct-dispatch closure lowered once at
+// translation time; run is the interpreter-flavored slow path that
+// re-lowers on every execution. Both come from the same lowering, so a TB
+// serves whichever path the owning guest has enabled.
 type TB struct {
 	inst *x86.Inst
 	run  opFunc
+	fast opFunc
 }
 
 // Cache is the translation-block cache, shared across guests created from
@@ -82,8 +87,14 @@ func (c *Cache) insert(key string, tb *TB) {
 
 // Emulator is one guest instance of the Lo-Fi emulator.
 type Emulator struct {
-	m     *machine.Machine
-	cache *Cache
+	m        *machine.Machine
+	cache    *Cache
+	fastpath bool
+
+	// Guest-local direct-dispatch chain (dispatch.go). The shared Cache
+	// stays the source of truth; these are per-guest prediction structures.
+	chain   [chainSlots]*chainEntry
+	lastEnt *chainEntry
 }
 
 // New creates a guest with a private translation cache.
@@ -91,7 +102,15 @@ func New(m *machine.Machine) *Emulator { return NewWithCache(m, NewCache()) }
 
 // NewWithCache creates a guest sharing a translation cache.
 func NewWithCache(m *machine.Machine, c *Cache) *Emulator {
-	return &Emulator{m: m, cache: c}
+	return &Emulator{m: m, cache: c, fastpath: true}
+}
+
+// SetFastPath toggles the direct-dispatch fast path. Off means every Step
+// goes through the shared-cache dispatcher and the re-lowering slow
+// executable — the reference behavior the fast path must match exactly.
+func (e *Emulator) SetFastPath(on bool) {
+	e.fastpath = on
+	e.lastEnt = nil
 }
 
 // Name implements emu.Emulator.
@@ -153,34 +172,79 @@ func decodeGrp2Slot6(code []byte) *x86.Inst {
 	return inst
 }
 
+// transState captures the machine state a translation depends on beyond
+// the raw code bytes: the effective operand-size default (CS.D) and the
+// CPU mode (CR0.PE). The same bytes under a different state must hit a
+// different cache slot — keying by bytes alone aliased them.
+func transState(m *machine.Machine) byte {
+	var st byte
+	if m.Seg[x86.CS].Attr&x86.AttrDB != 0 {
+		st |= 1
+	}
+	if m.CR0&1 != 0 {
+		st |= 2
+	}
+	return st
+}
+
+// tbKey builds the translation-cache key: the raw bytes plus the state
+// byte they were decoded under.
+func tbKey(code []byte, st byte) string {
+	k := make([]byte, len(code)+1)
+	copy(k, code)
+	k[len(code)] = st
+	return string(k)
+}
+
+// translateTB resolves one instruction to a TB through the shared cache,
+// translating on a miss. Decode failures are mapped to the fault the
+// architecture would raise; fexc is the pending fetch fault when the code
+// bytes were truncated by it.
+func (e *Emulator) translateTB(code []byte, st byte, fexc *machine.ExceptionInfo) (*TB, *fault) {
+	key := tbKey(code, st)
+	if tb, ok := e.cache.lookup(key); ok {
+		return tb, nil
+	}
+	inst, err := e.decode(code)
+	if err != nil {
+		de, isDE := err.(*x86.DecodeError)
+		switch {
+		case isDE && de.Kind == x86.ErrTruncated && fexc != nil:
+			return nil, &fault{vec: fexc.Vector, err: fexc.ErrCode, hasErr: fexc.HasErr}
+		case isDE && de.Kind == x86.ErrTooLong:
+			return nil, gp(0)
+		default:
+			return nil, &fault{vec: x86.ExcUD}
+		}
+	}
+	run, fast := translate(inst)
+	tb := &TB{inst: inst, run: run, fast: fast}
+	e.cache.insert(key, tb)
+	return tb, nil
+}
+
 // Step implements emu.Emulator.
 func (e *Emulator) Step() emu.Event {
+	if e.fastpath {
+		return e.stepFast()
+	}
 	m := e.m
 	if m.Halted {
 		return emu.Event{Kind: emu.EventHalt}
 	}
 	code, fexc := m.FetchCode(x86.MaxInstLen)
-	tbKey := string(code)
-	tb, ok := e.cache.lookup(tbKey)
-	if !ok {
-		inst, err := e.decode(code)
-		if err != nil {
-			de, isDE := err.(*x86.DecodeError)
-			switch {
-			case isDE && de.Kind == x86.ErrTruncated && fexc != nil:
-				return e.deliver(&fault{vec: fexc.Vector, err: fexc.ErrCode, hasErr: fexc.HasErr})
-			case isDE && de.Kind == x86.ErrTooLong:
-				return e.deliver(gp(0))
-			default:
-				return e.deliver(&fault{vec: x86.ExcUD})
-			}
-		}
-		tb = &TB{inst: inst, run: translate(inst)}
-		e.cache.insert(tbKey, tb)
+	tb, f := e.translateTB(code, transState(m), fexc)
+	if f != nil {
+		return e.deliver(f)
 	}
-	if f := tb.run(e); f != nil {
+	return e.finishStep(tb.run(e))
+}
+
+// finishStep maps the executable's fault result to the step event.
+func (e *Emulator) finishStep(f *fault) emu.Event {
+	if f != nil {
 		if f.vec == vecHalt {
-			m.Halted = true
+			e.m.Halted = true
 			return emu.Event{Kind: emu.EventHalt}
 		}
 		if f.vec == vecTimeout {

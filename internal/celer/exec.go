@@ -6,16 +6,6 @@ import (
 	"pokeemu/internal/x86"
 )
 
-// translate builds the executable closure for one decoded instruction.
-// Dispatch happens once per translation-cache miss.
-func translate(inst *x86.Inst) opFunc {
-	// LOCK prefix legality matches the architecture.
-	if inst.Lock && (!inst.Spec.LockOK || inst.IsRegForm() || !inst.HasModRM) {
-		return func(e *Emulator) *fault { return &fault{vec: x86.ExcUD} }
-	}
-	return func(e *Emulator) *fault { return e.exec(inst) }
-}
-
 // place is a resolved operand location.
 type place struct {
 	isReg bool
@@ -72,313 +62,188 @@ func (e *Emulator) finish(inst *x86.Inst) *fault {
 	return nil
 }
 
-func (e *Emulator) exec(inst *x86.Inst) *fault {
-	name := inst.Spec.Name
-	osz := uint8(inst.OpSize)
-	m := e.m
+// aluKind is the pre-lowered binary-ALU operation.
+type aluKind uint8
 
-	// Family parsing like the reference semantics.
-	op := name
-	form := ""
-	if us := strings.IndexByte(name, '_'); us >= 0 {
-		op, form = name[:us], name[us+1:]
-	}
+const (
+	aluAdd aluKind = iota
+	aluOr
+	aluAdc
+	aluSbb
+	aluAnd
+	aluSub
+	aluXor
+	aluCmp
+	aluTest
+)
 
+func aluOf(op string) aluKind {
 	switch op {
-	case "add", "or", "adc", "sbb", "and", "sub", "xor", "cmp", "test":
-		return e.binALU(inst, op, form, osz)
-	case "inc", "dec":
-		return e.incDec(inst, op == "inc", form, osz)
-	case "not", "neg":
-		return e.notNeg(inst, op == "neg", form, osz)
-	case "mul", "imul", "imul1":
-		return e.mulOne(inst, op != "mul", form, osz)
-	case "imul2", "imul3":
-		return e.imulMulti(inst, op == "imul3", osz)
-	case "div", "idiv":
-		return e.divide(inst, op == "idiv", form, osz)
-	case "rol", "ror", "rcl", "rcr", "shl", "shr", "sar":
-		return e.shiftRotate(inst, op, form, osz)
-	case "movs", "cmps", "stos", "lods", "scas":
-		return e.stringOp(inst, op, form, osz)
+	case "add":
+		return aluAdd
+	case "or":
+		return aluOr
+	case "adc":
+		return aluAdc
+	case "sbb":
+		return aluSbb
+	case "and":
+		return aluAnd
+	case "sub":
+		return aluSub
+	case "xor":
+		return aluXor
+	case "cmp":
+		return aluCmp
+	case "test":
+		return aluTest
 	}
-
-	switch name {
-	case "nop":
-		return e.finish(inst)
-	case "ud2":
-		return &fault{vec: x86.ExcUD}
-	case "hlt":
-		e.finish(inst)
-		return &fault{vec: vecHalt}
-	case "mov_rm8_r8", "mov_rmv_rv", "mov_r8_rm8", "mov_rv_rmv",
-		"mov_rm8_imm8", "mov_rmv_immv":
-		return e.movGeneric(inst, strings.TrimPrefix(name, "mov_"), osz)
-	case "mov_r8_imm8":
-		e.gprWrite(inst.Opcode&7, 8, uint32(inst.Imm))
-		return e.finish(inst)
-	case "mov_r_immv":
-		e.gprWrite(inst.Opcode&7, osz, uint32(inst.Imm))
-		return e.finish(inst)
-	case "mov_al_moffs", "mov_eax_moffs", "mov_moffs_al", "mov_moffs_eax":
-		return e.movMoffs(inst, name, osz)
-	case "lea":
-		_, off := e.effAddr(inst)
-		e.gprWrite(inst.RegField(), osz, off)
-		return e.finish(inst)
-	case "movzx_rv_rm8", "movzx_rv_rm16", "movsx_rv_rm8", "movsx_rv_rm16":
-		return e.movExtend(inst, name, osz)
-	case "xlat":
-		seg := x86.DS
-		if inst.SegOverride >= 0 {
-			seg = x86.SegReg(inst.SegOverride)
-		}
-		v, f := e.memRead(seg, m.GPR[x86.EBX]+e.gprRead(0, 8), 1)
-		if f != nil {
-			return f
-		}
-		e.gprWrite(0, 8, v)
-		return e.finish(inst)
-	case "xchg_eax_r":
-		r := inst.Opcode & 7
-		a, b := e.gprRead(0, osz), e.gprRead(r, osz)
-		e.gprWrite(0, osz, b)
-		e.gprWrite(r, osz, a)
-		return e.finish(inst)
-	case "xchg_rm8_r8", "xchg_rmv_rv":
-		w := osz
-		if name == "xchg_rm8_r8" {
-			w = 8
-		}
-		dst, f := e.resolveRM(inst, w, true)
-		if f != nil {
-			return f
-		}
-		a, _ := e.readPlace(dst)
-		b := e.gprRead(inst.RegField(), w)
-		e.writePlace(dst, b)
-		e.gprWrite(inst.RegField(), w, a)
-		return e.finish(inst)
-	case "xadd_rm8_r8", "xadd_rmv_rv":
-		w := osz
-		if name == "xadd_rm8_r8" {
-			w = 8
-		}
-		dst, f := e.resolveRM(inst, w, true)
-		if f != nil {
-			return f
-		}
-		a, _ := e.readPlace(dst)
-		b := e.gprRead(inst.RegField(), w)
-		sum := (a + b) & mask(w)
-		e.addFlags(a, b, 0, sum, w)
-		e.gprWrite(inst.RegField(), w, a)
-		e.writePlace(dst, sum)
-		return e.finish(inst)
-	case "cmpxchg_rm8_r8", "cmpxchg_rmv_rv":
-		return e.cmpxchg(inst, name == "cmpxchg_rm8_r8", osz)
-	case "bswap":
-		r := inst.Opcode & 7
-		v := m.GPR[r]
-		m.GPR[r] = v<<24 | v>>24 | v<<8&0xff0000 | v>>8&0xff00
-		return e.finish(inst)
-	case "cwde":
-		if osz == 32 {
-			e.gprWrite(0, 32, uint32(int32(int16(e.gprRead(0, 16)))))
-		} else {
-			e.gprWrite(0, 16, uint32(int16(int8(e.gprRead(0, 8)))))
-		}
-		return e.finish(inst)
-	case "cdq":
-		a := e.gprRead(0, osz)
-		if a>>(osz-1)&1 == 1 {
-			e.gprWrite(2, osz, mask(osz))
-		} else {
-			e.gprWrite(2, osz, 0)
-		}
-		return e.finish(inst)
-	case "lahf":
-		v := e.flag(x86.FlagCF) | 2 | e.flag(x86.FlagPF)<<2 |
-			e.flag(x86.FlagAF)<<4 | e.flag(x86.FlagZF)<<6 | e.flag(x86.FlagSF)<<7
-		e.gprWrite(4, 8, v)
-		return e.finish(inst)
-	case "sahf":
-		ah := e.gprRead(4, 8)
-		e.setFlagBit(x86.FlagCF, ah)
-		e.setFlagBit(x86.FlagPF, ah>>2)
-		e.setFlagBit(x86.FlagAF, ah>>4)
-		e.setFlagBit(x86.FlagZF, ah>>6)
-		e.setFlagBit(x86.FlagSF, ah>>7)
-		return e.finish(inst)
-	case "clc":
-		e.setFlagBit(x86.FlagCF, 0)
-		return e.finish(inst)
-	case "stc":
-		e.setFlagBit(x86.FlagCF, 1)
-		return e.finish(inst)
-	case "cmc":
-		e.setFlagBit(x86.FlagCF, e.flag(x86.FlagCF)^1)
-		return e.finish(inst)
-	case "cld":
-		e.setFlagBit(x86.FlagDF, 0)
-		return e.finish(inst)
-	case "std":
-		e.setFlagBit(x86.FlagDF, 1)
-		return e.finish(inst)
-	case "cli":
-		e.setFlagBit(x86.FlagIF, 0)
-		return e.finish(inst)
-	case "sti":
-		e.setFlagBit(x86.FlagIF, 1)
-		return e.finish(inst)
-	case "aam":
-		imm := uint32(inst.Imm) & 0xff
-		if imm == 0 {
-			return &fault{vec: x86.ExcDE}
-		}
-		al := e.gprRead(0, 8)
-		e.gprWrite(4, 8, al/imm)
-		e.gprWrite(0, 8, al%imm)
-		e.setSZP(al%imm, 8)
-		e.setFlagBit(x86.FlagCF, 0)
-		e.setFlagBit(x86.FlagOF, 0)
-		e.setFlagBit(x86.FlagAF, 0)
-		return e.finish(inst)
-	case "aad":
-		imm := uint32(inst.Imm) & 0xff
-		r := (e.gprRead(0, 8) + e.gprRead(4, 8)*imm) & 0xff
-		e.gprWrite(0, 16, r)
-		e.setSZP(r, 8)
-		e.setFlagBit(x86.FlagCF, 0)
-		e.setFlagBit(x86.FlagOF, 0)
-		e.setFlagBit(x86.FlagAF, 0)
-		return e.finish(inst)
-	}
-
-	if f, handled := e.execStackFlow(inst, name, osz); handled {
-		return f
-	}
-	if f, handled := e.execSystem(inst, name, osz); handled {
-		return f
-	}
-	if f, handled := e.execBits(inst, name, osz); handled {
-		return f
-	}
-	panic("celer: no implementation for handler " + name)
+	panic("celer: bad alu op " + op)
 }
 
-func (e *Emulator) binALU(inst *x86.Inst, op, form string, osz uint8) *fault {
-	i := strings.IndexByte(form, '_')
-	dstTok, srcTok := form[:i], form[i+1:]
-	readOnly := op == "cmp" || op == "test"
+// opd is a pre-parsed operand form token.
+type opd struct {
+	kind opdKind
+	w    uint8
+}
 
-	read := func(tok string) (place, uint32, *fault) {
-		switch tok {
-		case "rm8", "rmv":
-			w := osz
-			if tok == "rm8" {
-				w = 8
-			}
-			p, f := e.resolveRM(inst, w, !readOnly && tok == dstTok)
+type opdKind uint8
+
+const (
+	opdRM  opdKind = iota // the r/m operand, width w
+	opdReg                // the reg field, width w
+	opdAcc                // AL/eAX, width w
+	opdImm                // an immediate
+)
+
+func parseOpd(tok string, osz uint8) opd {
+	switch tok {
+	case "rm8":
+		return opd{opdRM, 8}
+	case "rmv":
+		return opd{opdRM, osz}
+	case "r8":
+		return opd{opdReg, 8}
+	case "rv":
+		return opd{opdReg, osz}
+	case "al":
+		return opd{opdAcc, 8}
+	case "eax":
+		return opd{opdAcc, osz}
+	case "imm8", "immv", "imm8s":
+		return opd{opdImm, 0}
+	}
+	panic("celer: bad form " + tok)
+}
+
+func lowerBinALU(inst *x86.Inst, opName, form string, osz uint8) opFunc {
+	i := strings.IndexByte(form, '_')
+	dst := parseOpd(form[:i], osz)
+	src := parseOpd(form[i+1:], osz)
+	op := aluOf(opName)
+	readOnly := op == aluCmp || op == aluTest
+	w := dst.w
+	if w == 0 {
+		w = osz
+	}
+	imm := uint32(inst.Imm)
+
+	read := func(e *Emulator, o opd, isDst bool) (place, uint32, *fault) {
+		switch o.kind {
+		case opdRM:
+			p, f := e.resolveRM(inst, o.w, isDst && !readOnly)
 			if f != nil {
 				return place{}, 0, f
 			}
 			v, f := e.readPlace(p)
 			return p, v, f
-		case "r8":
-			return place{isReg: true, reg: inst.RegField(), w: 8},
-				e.gprRead(inst.RegField(), 8), nil
-		case "rv":
-			return place{isReg: true, reg: inst.RegField(), w: osz},
-				e.gprRead(inst.RegField(), osz), nil
-		case "al":
-			return place{isReg: true, reg: 0, w: 8}, e.gprRead(0, 8), nil
-		case "eax":
-			return place{isReg: true, reg: 0, w: osz}, e.gprRead(0, osz), nil
-		case "imm8":
-			return place{}, uint32(inst.Imm), nil
-		case "immv", "imm8s":
-			return place{}, uint32(inst.Imm), nil
+		case opdReg:
+			return place{isReg: true, reg: inst.RegField(), w: o.w},
+				e.gprRead(inst.RegField(), o.w), nil
+		case opdAcc:
+			return place{isReg: true, reg: 0, w: o.w}, e.gprRead(0, o.w), nil
 		}
-		panic("celer: bad form " + tok)
+		return place{}, imm, nil
 	}
-	dst, a, f := read(dstTok)
-	if f != nil {
-		return f
-	}
-	_, b, f := read(srcTok)
-	if f != nil {
-		return f
-	}
-	w := dst.w
-	if w == 0 {
-		w = osz
-	}
-	var r uint32
-	switch op {
-	case "add":
-		r = (a + b) & mask(w)
-		e.addFlags(a, b, 0, r, w)
-	case "adc":
-		cin := e.flag(x86.FlagCF)
-		r = (a + b + cin) & mask(w)
-		e.addFlags(a, b, cin, r, w)
-	case "sub", "cmp":
-		r = (a - b) & mask(w)
-		e.subFlags(a, b, 0, r, w)
-	case "sbb":
-		cin := e.flag(x86.FlagCF)
-		r = (a - b - cin) & mask(w)
-		e.subFlags(a, b, cin, r, w)
-	case "and", "test":
-		r = a & b
-		e.logicFlags(r, w)
-	case "or":
-		r = a | b
-		e.logicFlags(r, w)
-	case "xor":
-		r = a ^ b
-		e.logicFlags(r, w)
-	}
-	if !readOnly {
-		if f := e.writePlace(dst, r); f != nil {
-			return f
-		}
-	}
-	return e.finish(inst)
-}
-
-func (e *Emulator) incDec(inst *x86.Inst, isInc bool, form string, osz uint8) *fault {
-	var p place
-	var f *fault
-	if form == "r" {
-		p = place{isReg: true, reg: inst.Opcode & 7, w: osz}
-	} else {
-		w := osz
-		if form == "rm8" {
-			w = 8
-		}
-		p, f = e.resolveRM(inst, w, true)
+	return func(e *Emulator) *fault {
+		dstP, a, f := read(e, dst, true)
 		if f != nil {
 			return f
 		}
+		_, b, f := read(e, src, false)
+		if f != nil {
+			return f
+		}
+		var r uint32
+		switch op {
+		case aluAdd:
+			r = (a + b) & mask(w)
+			e.addFlags(a, b, 0, r, w)
+		case aluAdc:
+			cin := e.flag(x86.FlagCF)
+			r = (a + b + cin) & mask(w)
+			e.addFlags(a, b, cin, r, w)
+		case aluSub, aluCmp:
+			r = (a - b) & mask(w)
+			e.subFlags(a, b, 0, r, w)
+		case aluSbb:
+			cin := e.flag(x86.FlagCF)
+			r = (a - b - cin) & mask(w)
+			e.subFlags(a, b, cin, r, w)
+		case aluAnd, aluTest:
+			r = a & b
+			e.logicFlags(r, w)
+		case aluOr:
+			r = a | b
+			e.logicFlags(r, w)
+		case aluXor:
+			r = a ^ b
+			e.logicFlags(r, w)
+		}
+		if !readOnly {
+			if f := e.writePlace(dstP, r); f != nil {
+				return f
+			}
+		}
+		return e.finish(inst)
 	}
-	a, f := e.readPlace(p)
-	if f != nil {
-		return f
+}
+
+func lowerIncDec(inst *x86.Inst, isInc bool, form string, osz uint8) opFunc {
+	regForm := form == "r"
+	reg := inst.Opcode & 7
+	w := osz
+	if form == "rm8" {
+		w = 8
 	}
-	w := p.w
-	var r uint32
-	if isInc {
-		r = (a + 1) & mask(w)
-		e.setFlagBit(x86.FlagOF, (^(a^1)&(a^r))>>(w-1)&1)
-	} else {
-		r = (a - 1) & mask(w)
-		e.setFlagBit(x86.FlagOF, ((a^1)&(a^r))>>(w-1)&1)
+	return func(e *Emulator) *fault {
+		var p place
+		var f *fault
+		if regForm {
+			p = place{isReg: true, reg: reg, w: osz}
+		} else {
+			p, f = e.resolveRM(inst, w, true)
+			if f != nil {
+				return f
+			}
+		}
+		a, f := e.readPlace(p)
+		if f != nil {
+			return f
+		}
+		pw := p.w
+		var r uint32
+		if isInc {
+			r = (a + 1) & mask(pw)
+			e.setFlagBit(x86.FlagOF, (^(a^1)&(a^r))>>(pw-1)&1)
+		} else {
+			r = (a - 1) & mask(pw)
+			e.setFlagBit(x86.FlagOF, ((a^1)&(a^r))>>(pw-1)&1)
+		}
+		e.setFlagBit(x86.FlagAF, (a^1^r)>>4&1)
+		e.setSZP(r, pw)
+		return firstFault(e.writePlace(p, r), e.finish(inst))
 	}
-	e.setFlagBit(x86.FlagAF, (a^1^r)>>4&1)
-	e.setSZP(r, w)
-	return firstFault(e.writePlace(p, r), e.finish(inst))
 }
 
 func firstFault(fs ...*fault) *fault {
@@ -390,299 +255,365 @@ func firstFault(fs ...*fault) *fault {
 	return nil
 }
 
-func (e *Emulator) notNeg(inst *x86.Inst, isNeg bool, form string, osz uint8) *fault {
+func lowerNotNeg(inst *x86.Inst, isNeg bool, form string, osz uint8) opFunc {
 	w := osz
 	if form == "rm8" {
 		w = 8
 	}
-	p, f := e.resolveRM(inst, w, true)
-	if f != nil {
-		return f
+	return func(e *Emulator) *fault {
+		p, f := e.resolveRM(inst, w, true)
+		if f != nil {
+			return f
+		}
+		a, f := e.readPlace(p)
+		if f != nil {
+			return f
+		}
+		if isNeg {
+			r := (-a) & mask(w)
+			e.subFlags(0, a, 0, r, w)
+			return firstFault(e.writePlace(p, r), e.finish(inst))
+		}
+		return firstFault(e.writePlace(p, ^a&mask(w)), e.finish(inst))
 	}
-	a, f := e.readPlace(p)
-	if f != nil {
-		return f
-	}
-	if isNeg {
-		r := (-a) & mask(w)
-		e.subFlags(0, a, 0, r, w)
-		return firstFault(e.writePlace(p, r), e.finish(inst))
-	}
-	return firstFault(e.writePlace(p, ^a&mask(w)), e.finish(inst))
 }
 
-func (e *Emulator) mulOne(inst *x86.Inst, signed bool, form string, osz uint8) *fault {
+func lowerMulOne(inst *x86.Inst, signed bool, form string, osz uint8) opFunc {
 	w := osz
 	if form == "rm8" {
 		w = 8
 	}
-	p, f := e.resolveRM(inst, w, false)
-	if f != nil {
-		return f
-	}
-	mv, f := e.readPlace(p)
-	if f != nil {
-		return f
-	}
-	a := e.gprRead(0, w)
-	var wide uint64
-	if signed {
-		wide = uint64(int64(signExt(a, w)) * int64(signExt(mv, w)))
-	} else {
-		wide = uint64(a) * uint64(mv)
-	}
-	lo := uint32(wide) & mask(w)
-	hi := uint32(wide>>w) & mask(w)
-	if w == 8 {
-		e.gprWrite(0, 16, uint32(wide)&0xffff)
-	} else {
-		e.gprWrite(0, w, lo)
-		e.gprWrite(2, w, hi)
-	}
-	var over uint32
-	if signed {
-		full := int64(signExt(a, w)) * int64(signExt(mv, w))
-		if signExt(lo, w) != full {
+	return func(e *Emulator) *fault {
+		p, f := e.resolveRM(inst, w, false)
+		if f != nil {
+			return f
+		}
+		mv, f := e.readPlace(p)
+		if f != nil {
+			return f
+		}
+		a := e.gprRead(0, w)
+		var wide uint64
+		if signed {
+			wide = uint64(int64(signExt(a, w)) * int64(signExt(mv, w)))
+		} else {
+			wide = uint64(a) * uint64(mv)
+		}
+		lo := uint32(wide) & mask(w)
+		hi := uint32(wide>>w) & mask(w)
+		if w == 8 {
+			e.gprWrite(0, 16, uint32(wide)&0xffff)
+		} else {
+			e.gprWrite(0, w, lo)
+			e.gprWrite(2, w, hi)
+		}
+		var over uint32
+		if signed {
+			full := int64(signExt(a, w)) * int64(signExt(mv, w))
+			if signExt(lo, w) != full {
+				over = 1
+			}
+		} else if hi != 0 {
 			over = 1
 		}
-	} else if hi != 0 {
-		over = 1
+		e.setFlagBit(x86.FlagCF, over)
+		e.setFlagBit(x86.FlagOF, over)
+		// SF/ZF/AF/PF left unchanged (undefined).
+		return e.finish(inst)
 	}
-	e.setFlagBit(x86.FlagCF, over)
-	e.setFlagBit(x86.FlagOF, over)
-	// SF/ZF/AF/PF left unchanged (undefined).
-	return e.finish(inst)
 }
 
 func signExt(v uint32, w uint8) int64 {
 	return int64(v&mask(w)) << (64 - uint(w)) >> (64 - uint(w))
 }
 
-func (e *Emulator) imulMulti(inst *x86.Inst, threeOp bool, osz uint8) *fault {
-	p, f := e.resolveRM(inst, osz, false)
-	if f != nil {
-		return f
+func lowerImulMulti(inst *x86.Inst, threeOp bool, osz uint8) opFunc {
+	imm := uint32(inst.Imm)
+	return func(e *Emulator) *fault {
+		p, f := e.resolveRM(inst, osz, false)
+		if f != nil {
+			return f
+		}
+		mv, f := e.readPlace(p)
+		if f != nil {
+			return f
+		}
+		var a uint32
+		if threeOp {
+			a = imm
+		} else {
+			a = e.gprRead(inst.RegField(), osz)
+		}
+		wide := int64(signExt(a, osz)) * int64(signExt(mv, osz))
+		r := uint32(wide) & mask(osz)
+		var over uint32
+		if int64(signExt(r, osz)) != wide {
+			over = 1
+		}
+		e.gprWrite(inst.RegField(), osz, r)
+		e.setFlagBit(x86.FlagCF, over)
+		e.setFlagBit(x86.FlagOF, over)
+		return e.finish(inst)
 	}
-	mv, f := e.readPlace(p)
-	if f != nil {
-		return f
-	}
-	var a uint32
-	if threeOp {
-		a = uint32(inst.Imm)
-	} else {
-		a = e.gprRead(inst.RegField(), osz)
-	}
-	wide := int64(signExt(a, osz)) * int64(signExt(mv, osz))
-	r := uint32(wide) & mask(osz)
-	var over uint32
-	if int64(signExt(r, osz)) != wide {
-		over = 1
-	}
-	e.gprWrite(inst.RegField(), osz, r)
-	e.setFlagBit(x86.FlagCF, over)
-	e.setFlagBit(x86.FlagOF, over)
-	return e.finish(inst)
 }
 
-func (e *Emulator) divide(inst *x86.Inst, signed bool, form string, osz uint8) *fault {
+func lowerDivide(inst *x86.Inst, signed bool, form string, osz uint8) opFunc {
 	w := osz
 	if form == "rm8" {
 		w = 8
 	}
-	p, f := e.resolveRM(inst, w, false)
-	if f != nil {
-		return f
-	}
-	d, f := e.readPlace(p)
-	if f != nil {
-		return f
-	}
-	if d&mask(w) == 0 {
-		return &fault{vec: x86.ExcDE}
-	}
-	var dividend uint64
-	if w == 8 {
-		dividend = uint64(e.gprRead(0, 16))
-	} else {
-		dividend = uint64(e.gprRead(2, w))<<w | uint64(e.gprRead(0, w))
-	}
-	var q, r uint64
-	if signed {
-		sd := int64(dividend) << (64 - 2*uint(w)) >> (64 - 2*uint(w))
-		sv := signExt(d, w)
-		if sv == -1 && uint64(sd) == 1<<63 {
-			return &fault{vec: x86.ExcDE} // MinInt64 / -1 overflows
+	return func(e *Emulator) *fault {
+		p, f := e.resolveRM(inst, w, false)
+		if f != nil {
+			return f
 		}
-		sq := sd / sv
-		sr := sd % sv
-		// Quotient must fit signed in w bits.
-		if sq != int64(signExt(uint32(sq)&mask(w), w)) {
+		d, f := e.readPlace(p)
+		if f != nil {
+			return f
+		}
+		if d&mask(w) == 0 {
 			return &fault{vec: x86.ExcDE}
 		}
-		q, r = uint64(sq), uint64(sr)
-	} else {
-		q = dividend / uint64(d&mask(w))
-		r = dividend % uint64(d&mask(w))
-		if q > uint64(mask(w)) {
-			return &fault{vec: x86.ExcDE}
+		var dividend uint64
+		if w == 8 {
+			dividend = uint64(e.gprRead(0, 16))
+		} else {
+			dividend = uint64(e.gprRead(2, w))<<w | uint64(e.gprRead(0, w))
 		}
+		var q, r uint64
+		if signed {
+			sd := int64(dividend) << (64 - 2*uint(w)) >> (64 - 2*uint(w))
+			sv := signExt(d, w)
+			if sv == -1 && uint64(sd) == 1<<63 {
+				return &fault{vec: x86.ExcDE} // MinInt64 / -1 overflows
+			}
+			sq := sd / sv
+			sr := sd % sv
+			// Quotient must fit signed in w bits.
+			if sq != int64(signExt(uint32(sq)&mask(w), w)) {
+				return &fault{vec: x86.ExcDE}
+			}
+			q, r = uint64(sq), uint64(sr)
+		} else {
+			q = dividend / uint64(d&mask(w))
+			r = dividend % uint64(d&mask(w))
+			if q > uint64(mask(w)) {
+				return &fault{vec: x86.ExcDE}
+			}
+		}
+		if w == 8 {
+			e.gprWrite(0, 16, uint32(r&0xff)<<8|uint32(q&0xff))
+		} else {
+			e.gprWrite(0, w, uint32(q)&mask(w))
+			e.gprWrite(2, w, uint32(r)&mask(w))
+		}
+		// All flags undefined: left unchanged (matches the hardware policy).
+		return e.finish(inst)
 	}
-	if w == 8 {
-		e.gprWrite(0, 16, uint32(r&0xff)<<8|uint32(q&0xff))
-	} else {
-		e.gprWrite(0, w, uint32(q)&mask(w))
-		e.gprWrite(2, w, uint32(r)&mask(w))
-	}
-	// All flags undefined: left unchanged (matches the hardware policy).
-	return e.finish(inst)
 }
 
-func (e *Emulator) cmpxchg(inst *x86.Inst, byteForm bool, osz uint8) *fault {
+func lowerCmpxchg(inst *x86.Inst, byteForm bool, osz uint8) opFunc {
 	w := osz
 	if byteForm {
 		w = 8
 	}
-	// Finding 3: the destination is read without write translation; the
-	// accumulator and flags are updated before the write is attempted, so a
-	// write fault leaves them corrupted.
-	p, f := e.resolveRM(inst, w, false)
-	if f != nil {
-		return f
+	return func(e *Emulator) *fault {
+		// Finding 3: the destination is read without write translation; the
+		// accumulator and flags are updated before the write is attempted, so a
+		// write fault leaves them corrupted.
+		p, f := e.resolveRM(inst, w, false)
+		if f != nil {
+			return f
+		}
+		old, f := e.readPlace(p)
+		if f != nil {
+			return f
+		}
+		acc := e.gprRead(0, w)
+		src := e.gprRead(inst.RegField(), w)
+		e.subFlags(acc, old, 0, (acc-old)&mask(w), w)
+		var toWrite uint32
+		if acc == old {
+			toWrite = src
+		} else {
+			e.gprWrite(0, w, old) // accumulator updated before the write check
+			toWrite = old
+		}
+		if f := e.writePlace(p, toWrite); f != nil {
+			return f
+		}
+		return e.finish(inst)
 	}
-	old, f := e.readPlace(p)
-	if f != nil {
-		return f
-	}
-	acc := e.gprRead(0, w)
-	src := e.gprRead(inst.RegField(), w)
-	e.subFlags(acc, old, 0, (acc-old)&mask(w), w)
-	var toWrite uint32
-	if acc == old {
-		toWrite = src
-	} else {
-		e.gprWrite(0, w, old) // accumulator updated before the write check
-		toWrite = old
-	}
-	if f := e.writePlace(p, toWrite); f != nil {
-		return f
-	}
-	return e.finish(inst)
 }
 
-func (e *Emulator) shiftRotate(inst *x86.Inst, op, form string, osz uint8) *fault {
+// shrotOp is the pre-lowered shift/rotate operation.
+type shrotOp uint8
+
+const (
+	srRol shrotOp = iota
+	srRor
+	srRcl
+	srRcr
+	srShl
+	srShr
+	srSar
+)
+
+func shrotOf(op string) shrotOp {
+	switch op {
+	case "rol":
+		return srRol
+	case "ror":
+		return srRor
+	case "rcl":
+		return srRcl
+	case "rcr":
+		return srRcr
+	case "shl":
+		return srShl
+	case "shr":
+		return srShr
+	case "sar":
+		return srSar
+	}
+	panic("celer: bad shift op " + op)
+}
+
+// amtKind is the pre-lowered shift-count source.
+type amtKind uint8
+
+const (
+	amtImm amtKind = iota
+	amtOne
+	amtCL
+)
+
+func lowerShiftRotate(inst *x86.Inst, opName, form string, osz uint8) opFunc {
 	i := strings.IndexByte(form, '_')
 	dstTok, amtTok := form[:i], form[i+1:]
+	op := shrotOf(opName)
 	w := osz
 	if dstTok == "rm8" {
 		w = 8
 	}
-	p, f := e.resolveRM(inst, w, true)
-	if f != nil {
-		return f
-	}
-	a, f := e.readPlace(p)
-	if f != nil {
-		return f
-	}
-	var count uint32
+	var ak amtKind
 	switch amtTok {
 	case "imm8":
-		count = uint32(inst.Imm) & 0x1f
+		ak = amtImm
 	case "1":
-		count = 1
+		ak = amtOne
 	case "cl":
-		count = e.gprRead(1, 8) & 0x1f
+		ak = amtCL
 	}
-	if count == 0 {
-		return firstFault(e.writePlace(p, a), e.finish(inst))
-	}
-	one := count == 1
-	setOF := func(v uint32) {
-		if one {
-			e.setFlagBit(x86.FlagOF, v)
+	immCount := uint32(inst.Imm) & 0x1f
+	return func(e *Emulator) *fault {
+		p, f := e.resolveRM(inst, w, true)
+		if f != nil {
+			return f
 		}
-		// count > 1: OF undefined, left unchanged (finding 8).
-	}
-	var r uint32
-	switch op {
-	case "shl":
-		wide := uint64(a&mask(w)) << count
-		r = uint32(wide) & mask(w)
-		cf := uint32(wide>>w) & 1
-		if count > uint32(w) {
-			cf = 0
+		a, f := e.readPlace(p)
+		if f != nil {
+			return f
 		}
-		e.setFlagBit(x86.FlagCF, cf)
-		setOF(r>>(w-1)&1 ^ cf)
-		e.setSZP(r, w)
-	case "shr":
-		am := a & mask(w)
-		if count >= uint32(w) {
-			r = 0
-			// At count == w the last bit shifted out is the operand's MSB;
-			// only counts beyond the width shift out nothing but zeros.
-			cf := uint32(0)
-			if count == uint32(w) {
-				cf = am >> (w - 1) & 1
+		var count uint32
+		switch ak {
+		case amtImm:
+			count = immCount
+		case amtOne:
+			count = 1
+		case amtCL:
+			count = e.gprRead(1, 8) & 0x1f
+		}
+		if count == 0 {
+			return firstFault(e.writePlace(p, a), e.finish(inst))
+		}
+		one := count == 1
+		setOF := func(v uint32) {
+			if one {
+				e.setFlagBit(x86.FlagOF, v)
+			}
+			// count > 1: OF undefined, left unchanged (finding 8).
+		}
+		var r uint32
+		switch op {
+		case srShl:
+			wide := uint64(a&mask(w)) << count
+			r = uint32(wide) & mask(w)
+			cf := uint32(wide>>w) & 1
+			if count > uint32(w) {
+				cf = 0
 			}
 			e.setFlagBit(x86.FlagCF, cf)
-		} else {
-			r = am >> count
-			e.setFlagBit(x86.FlagCF, am>>(count-1)&1)
+			setOF(r>>(w-1)&1 ^ cf)
+			e.setSZP(r, w)
+		case srShr:
+			am := a & mask(w)
+			if count >= uint32(w) {
+				r = 0
+				// At count == w the last bit shifted out is the operand's MSB;
+				// only counts beyond the width shift out nothing but zeros.
+				cf := uint32(0)
+				if count == uint32(w) {
+					cf = am >> (w - 1) & 1
+				}
+				e.setFlagBit(x86.FlagCF, cf)
+			} else {
+				r = am >> count
+				e.setFlagBit(x86.FlagCF, am>>(count-1)&1)
+			}
+			setOF(a >> (w - 1) & 1)
+			e.setSZP(r, w)
+		case srSar:
+			s := signExt(a, w)
+			n := count
+			if n > uint32(w)-1 {
+				n = uint32(w) - 1
+				r = uint32(s>>n) & mask(w)
+				e.setFlagBit(x86.FlagCF, uint32(s>>(w-1))&1)
+			} else {
+				r = uint32(s>>n) & mask(w)
+				e.setFlagBit(x86.FlagCF, uint32(s>>(n-1))&1)
+			}
+			setOF(0)
+			e.setSZP(r, w)
+		case srRol, srRor:
+			n := count % uint32(w)
+			am := a & mask(w)
+			if n == 0 {
+				r = am
+			} else if op == srRol {
+				r = (am<<n | am>>(uint32(w)-n)) & mask(w)
+			} else {
+				r = (am>>n | am<<(uint32(w)-n)) & mask(w)
+			}
+			if op == srRol {
+				e.setFlagBit(x86.FlagCF, r&1)
+				setOF(r>>(w-1)&1 ^ r&1)
+			} else {
+				e.setFlagBit(x86.FlagCF, r>>(w-1)&1)
+				setOF(r>>(w-1)&1 ^ r>>(w-2)&1)
+			}
+		case srRcl, srRcr:
+			n := count % (uint32(w) + 1)
+			x := uint64(a&mask(w)) | uint64(e.flag(x86.FlagCF))<<w
+			wmask := uint64(1)<<(w+1) - 1
+			var rx uint64
+			if n == 0 {
+				rx = x
+			} else if op == srRcl {
+				rx = (x<<n | x>>(uint64(w)+1-uint64(n))) & wmask
+			} else {
+				rx = (x>>n | x<<(uint64(w)+1-uint64(n))) & wmask
+			}
+			r = uint32(rx) & mask(w)
+			ncf := uint32(rx>>w) & 1
+			e.setFlagBit(x86.FlagCF, ncf)
+			if op == srRcl {
+				setOF(r>>(w-1)&1 ^ ncf)
+			} else {
+				setOF(r>>(w-1)&1 ^ r>>(w-2)&1)
+			}
 		}
-		setOF(a >> (w - 1) & 1)
-		e.setSZP(r, w)
-	case "sar":
-		s := signExt(a, w)
-		n := count
-		if n > uint32(w)-1 {
-			n = uint32(w) - 1
-			r = uint32(s>>n) & mask(w)
-			e.setFlagBit(x86.FlagCF, uint32(s>>(w-1))&1)
-		} else {
-			r = uint32(s>>n) & mask(w)
-			e.setFlagBit(x86.FlagCF, uint32(s>>(n-1))&1)
-		}
-		setOF(0)
-		e.setSZP(r, w)
-	case "rol", "ror":
-		n := count % uint32(w)
-		am := a & mask(w)
-		if n == 0 {
-			r = am
-		} else if op == "rol" {
-			r = (am<<n | am>>(uint32(w)-n)) & mask(w)
-		} else {
-			r = (am>>n | am<<(uint32(w)-n)) & mask(w)
-		}
-		if op == "rol" {
-			e.setFlagBit(x86.FlagCF, r&1)
-			setOF(r>>(w-1)&1 ^ r&1)
-		} else {
-			e.setFlagBit(x86.FlagCF, r>>(w-1)&1)
-			setOF(r>>(w-1)&1 ^ r>>(w-2)&1)
-		}
-	case "rcl", "rcr":
-		n := count % (uint32(w) + 1)
-		x := uint64(a&mask(w)) | uint64(e.flag(x86.FlagCF))<<w
-		wmask := uint64(1)<<(w+1) - 1
-		var rx uint64
-		if n == 0 {
-			rx = x
-		} else if op == "rcl" {
-			rx = (x<<n | x>>(uint64(w)+1-uint64(n))) & wmask
-		} else {
-			rx = (x>>n | x<<(uint64(w)+1-uint64(n))) & wmask
-		}
-		r = uint32(rx) & mask(w)
-		ncf := uint32(rx>>w) & 1
-		e.setFlagBit(x86.FlagCF, ncf)
-		if op == "rcl" {
-			setOF(r>>(w-1)&1 ^ ncf)
-		} else {
-			setOF(r>>(w-1)&1 ^ r>>(w-2)&1)
-		}
+		return firstFault(e.writePlace(p, r), e.finish(inst))
 	}
-	return firstFault(e.writePlace(p, r), e.finish(inst))
 }

@@ -6,46 +6,51 @@ import (
 	"pokeemu/internal/x86"
 )
 
-func (e *Emulator) movGeneric(inst *x86.Inst, form string, osz uint8) *fault {
+func lowerMovGeneric(inst *x86.Inst, form string, osz uint8) opFunc {
 	i := strings.IndexByte(form, '_')
 	dstTok, srcTok := form[:i], form[i+1:]
 	w := osz
 	if strings.HasSuffix(dstTok, "8") || srcTok == "r8" || srcTok == "rm8" {
 		w = 8
 	}
-	var v uint32
-	switch srcTok {
-	case "r8", "rv":
-		v = e.gprRead(inst.RegField(), w)
-	case "rm8", "rmv":
-		p, f := e.resolveRM(inst, w, false)
-		if f != nil {
-			return f
+	srcK := parseOpd(srcTok, w).kind
+	dstK := parseOpd(dstTok, w).kind
+	imm := uint32(inst.Imm)
+	return func(e *Emulator) *fault {
+		var v uint32
+		switch srcK {
+		case opdReg:
+			v = e.gprRead(inst.RegField(), w)
+		case opdRM:
+			p, f := e.resolveRM(inst, w, false)
+			if f != nil {
+				return f
+			}
+			var ff *fault
+			v, ff = e.readPlace(p)
+			if ff != nil {
+				return ff
+			}
+		case opdImm:
+			v = imm
 		}
-		var ff *fault
-		v, ff = e.readPlace(p)
-		if ff != nil {
-			return ff
+		switch dstK {
+		case opdReg:
+			e.gprWrite(inst.RegField(), w, v)
+		case opdRM:
+			p, f := e.resolveRM(inst, w, true)
+			if f != nil {
+				return f
+			}
+			if f := e.writePlace(p, v); f != nil {
+				return f
+			}
 		}
-	case "imm8", "immv":
-		v = uint32(inst.Imm)
+		return e.finish(inst)
 	}
-	switch dstTok {
-	case "r8", "rv":
-		e.gprWrite(inst.RegField(), w, v)
-	case "rm8", "rmv":
-		p, f := e.resolveRM(inst, w, true)
-		if f != nil {
-			return f
-		}
-		if f := e.writePlace(p, v); f != nil {
-			return f
-		}
-	}
-	return e.finish(inst)
 }
 
-func (e *Emulator) movMoffs(inst *x86.Inst, name string, osz uint8) *fault {
+func lowerMovMoffs(inst *x86.Inst, name string, osz uint8) opFunc {
 	w := uint8(8)
 	if strings.HasSuffix(name, "eax") || name == "mov_eax_moffs" {
 		w = osz
@@ -54,38 +59,45 @@ func (e *Emulator) movMoffs(inst *x86.Inst, name string, osz uint8) *fault {
 	if inst.SegOverride >= 0 {
 		seg = x86.SegReg(inst.SegOverride)
 	}
-	if name == "mov_al_moffs" || name == "mov_eax_moffs" {
-		v, f := e.memRead(seg, inst.Disp, w/8)
-		if f != nil {
-			return f
+	load := name == "mov_al_moffs" || name == "mov_eax_moffs"
+	disp := inst.Disp
+	return func(e *Emulator) *fault {
+		if load {
+			v, f := e.memRead(seg, disp, w/8)
+			if f != nil {
+				return f
+			}
+			e.gprWrite(0, w, v)
+		} else {
+			if f := e.memWrite(seg, disp, e.gprRead(0, w), w/8); f != nil {
+				return f
+			}
 		}
-		e.gprWrite(0, w, v)
-	} else {
-		if f := e.memWrite(seg, inst.Disp, e.gprRead(0, w), w/8); f != nil {
-			return f
-		}
+		return e.finish(inst)
 	}
-	return e.finish(inst)
 }
 
-func (e *Emulator) movExtend(inst *x86.Inst, name string, osz uint8) *fault {
+func lowerMovExtend(inst *x86.Inst, name string, osz uint8) opFunc {
 	srcW := uint8(8)
 	if strings.HasSuffix(name, "16") {
 		srcW = 16
 	}
-	p, f := e.resolveRM(inst, srcW, false)
-	if f != nil {
-		return f
+	signed := strings.HasPrefix(name, "movsx")
+	return func(e *Emulator) *fault {
+		p, f := e.resolveRM(inst, srcW, false)
+		if f != nil {
+			return f
+		}
+		v, f := e.readPlace(p)
+		if f != nil {
+			return f
+		}
+		if signed {
+			v = uint32(signExt(v, srcW)) & mask(osz)
+		}
+		e.gprWrite(inst.RegField(), osz, v)
+		return e.finish(inst)
 	}
-	v, f := e.readPlace(p)
-	if f != nil {
-		return f
-	}
-	if strings.HasPrefix(name, "movsx") {
-		v = uint32(signExt(v, srcW)) & mask(osz)
-	}
-	e.gprWrite(inst.RegField(), osz, v)
-	return e.finish(inst)
 }
 
 // branchTarget computes the relative branch destination.
@@ -104,225 +116,281 @@ func (e *Emulator) branchTarget(inst *x86.Inst, osz uint8) (next, taken uint32) 
 	return next, taken
 }
 
-// execStackFlow covers stack and control-flow instructions. The second
+// lowerStackFlow covers stack and control-flow instructions. The second
 // return reports whether the name was handled.
-func (e *Emulator) execStackFlow(inst *x86.Inst, name string, osz uint8) (*fault, bool) {
-	m := e.m
+func lowerStackFlow(inst *x86.Inst, name string, osz uint8) (opFunc, bool) {
 	size := osz / 8
 	switch name {
 	case "push_r":
-		return firstFault(e.push(e.gprRead(inst.Opcode&7, osz), size), e.finish(inst)), true
+		r := inst.Opcode & 7
+		return func(e *Emulator) *fault {
+			return firstFault(e.push(e.gprRead(r, osz), size), e.finish(inst))
+		}, true
 	case "pop_r":
-		v, f := e.pop(size)
-		if f != nil {
-			return f, true
-		}
-		e.gprWrite(inst.Opcode&7, osz, v)
-		return e.finish(inst), true
-	case "push_immv", "push_imm8s":
-		return firstFault(e.push(uint32(inst.Imm), size), e.finish(inst)), true
-	case "push_rmv":
-		p, f := e.resolveRM(inst, osz, false)
-		if f != nil {
-			return f, true
-		}
-		v, f := e.readPlace(p)
-		if f != nil {
-			return f, true
-		}
-		return firstFault(e.push(v, size), e.finish(inst)), true
-	case "pop_rmv":
-		// celer order: ESP moves before the destination write (QEMU-like).
-		v, f := e.pop(size)
-		if f != nil {
-			return f, true
-		}
-		p, f := e.resolveRM(inst, osz, true)
-		if f != nil {
-			return f, true
-		}
-		return firstFault(e.writePlace(p, v), e.finish(inst)), true
-	case "pusha":
-		// Sequential pushes with no up-front range check: a fault partway
-		// leaves earlier pushes and a partially-updated ESP (finding 2's
-		// class applied to pusha).
-		orig := m.GPR[x86.ESP]
-		for i := 0; i < 8; i++ {
-			var v uint32
-			if i == int(x86.ESP) {
-				v = orig
-			} else {
-				v = e.gprRead(uint8(i), osz)
-			}
-			if f := e.push(v, size); f != nil {
-				return f, true
-			}
-		}
-		return e.finish(inst), true
-	case "popa":
-		for i := 7; i >= 0; i-- {
+		r := inst.Opcode & 7
+		return func(e *Emulator) *fault {
 			v, f := e.pop(size)
 			if f != nil {
-				return f, true
+				return f
 			}
-			if i == int(x86.ESP) {
-				continue
+			e.gprWrite(r, osz, v)
+			return e.finish(inst)
+		}, true
+	case "push_immv", "push_imm8s":
+		imm := uint32(inst.Imm)
+		return func(e *Emulator) *fault {
+			return firstFault(e.push(imm, size), e.finish(inst))
+		}, true
+	case "push_rmv":
+		return func(e *Emulator) *fault {
+			p, f := e.resolveRM(inst, osz, false)
+			if f != nil {
+				return f
 			}
-			e.gprWrite(uint8(i), osz, v)
-		}
-		return e.finish(inst), true
+			v, f := e.readPlace(p)
+			if f != nil {
+				return f
+			}
+			return firstFault(e.push(v, size), e.finish(inst))
+		}, true
+	case "pop_rmv":
+		return func(e *Emulator) *fault {
+			// celer order: ESP moves before the destination write (QEMU-like).
+			v, f := e.pop(size)
+			if f != nil {
+				return f
+			}
+			p, f := e.resolveRM(inst, osz, true)
+			if f != nil {
+				return f
+			}
+			return firstFault(e.writePlace(p, v), e.finish(inst))
+		}, true
+	case "pusha":
+		return func(e *Emulator) *fault {
+			// Sequential pushes with no up-front range check: a fault partway
+			// leaves earlier pushes and a partially-updated ESP (finding 2's
+			// class applied to pusha).
+			orig := e.m.GPR[x86.ESP]
+			for i := 0; i < 8; i++ {
+				var v uint32
+				if i == int(x86.ESP) {
+					v = orig
+				} else {
+					v = e.gprRead(uint8(i), osz)
+				}
+				if f := e.push(v, size); f != nil {
+					return f
+				}
+			}
+			return e.finish(inst)
+		}, true
+	case "popa":
+		return func(e *Emulator) *fault {
+			for i := 7; i >= 0; i-- {
+				v, f := e.pop(size)
+				if f != nil {
+					return f
+				}
+				if i == int(x86.ESP) {
+					continue
+				}
+				e.gprWrite(uint8(i), osz, v)
+			}
+			return e.finish(inst)
+		}, true
 	case "pushf":
-		img := m.EFLAGS&x86.EflagsValidMask | x86.EflagsFixed1
-		img &= 0x00fcffff
-		return firstFault(e.push(img, size), e.finish(inst)), true
+		return func(e *Emulator) *fault {
+			img := e.m.EFLAGS&x86.EflagsValidMask | x86.EflagsFixed1
+			img &= 0x00fcffff
+			return firstFault(e.push(img, size), e.finish(inst))
+		}, true
 	case "popf":
-		v, f := e.pop(size)
-		if f != nil {
-			return f, true
-		}
-		e.applyEFLAGS(v, osz)
-		return e.finish(inst), true
+		return func(e *Emulator) *fault {
+			v, f := e.pop(size)
+			if f != nil {
+				return f
+			}
+			e.applyEFLAGS(v, osz)
+			return e.finish(inst)
+		}, true
 	case "enter":
-		return e.enter(inst, osz), true
+		return func(e *Emulator) *fault { return e.enter(inst, osz) }, true
 	case "leave":
-		// Finding 2: ESP is updated from EBP before the read is checked.
-		ebp := m.GPR[x86.EBP]
-		m.GPR[x86.ESP] = ebp
-		v, f := e.memRead(x86.SS, ebp, size)
-		if f != nil {
-			return f, true
-		}
-		m.GPR[x86.ESP] = ebp + uint32(size)
-		e.gprWrite(uint8(x86.EBP), osz, v)
-		return e.finish(inst), true
+		return func(e *Emulator) *fault {
+			// Finding 2: ESP is updated from EBP before the read is checked.
+			m := e.m
+			ebp := m.GPR[x86.EBP]
+			m.GPR[x86.ESP] = ebp
+			v, f := e.memRead(x86.SS, ebp, size)
+			if f != nil {
+				return f
+			}
+			m.GPR[x86.ESP] = ebp + uint32(size)
+			e.gprWrite(uint8(x86.EBP), osz, v)
+			return e.finish(inst)
+		}, true
 	case "ret":
-		v, f := e.pop(size)
-		if f != nil {
-			return f, true
-		}
-		m.EIP = v
-		return nil, true
+		return func(e *Emulator) *fault {
+			v, f := e.pop(size)
+			if f != nil {
+				return f
+			}
+			e.m.EIP = v
+			return nil
+		}, true
 	case "ret_imm16":
-		v, f := e.pop(size)
-		if f != nil {
-			return f, true
-		}
-		m.GPR[x86.ESP] += uint32(inst.Imm) & 0xffff
-		m.EIP = v
-		return nil, true
+		imm := uint32(inst.Imm) & 0xffff
+		return func(e *Emulator) *fault {
+			v, f := e.pop(size)
+			if f != nil {
+				return f
+			}
+			e.m.GPR[x86.ESP] += imm
+			e.m.EIP = v
+			return nil
+		}, true
 	case "call_relv":
-		next, taken := e.branchTarget(inst, osz)
-		if f := e.push(next&pushMask(osz), size); f != nil {
-			return f, true
-		}
-		m.EIP = taken
-		return nil, true
+		return func(e *Emulator) *fault {
+			next, taken := e.branchTarget(inst, osz)
+			if f := e.push(next&pushMask(osz), size); f != nil {
+				return f
+			}
+			e.m.EIP = taken
+			return nil
+		}, true
 	case "call_rmv":
-		p, f := e.resolveRM(inst, osz, false)
-		if f != nil {
-			return f, true
-		}
-		t, f := e.readPlace(p)
-		if f != nil {
-			return f, true
-		}
-		next := m.EIP + uint32(inst.Len)
-		if f := e.push(next&pushMask(osz), size); f != nil {
-			return f, true
-		}
-		m.EIP = t
-		return nil, true
+		return func(e *Emulator) *fault {
+			p, f := e.resolveRM(inst, osz, false)
+			if f != nil {
+				return f
+			}
+			t, f := e.readPlace(p)
+			if f != nil {
+				return f
+			}
+			next := e.m.EIP + uint32(inst.Len)
+			if f := e.push(next&pushMask(osz), size); f != nil {
+				return f
+			}
+			e.m.EIP = t
+			return nil
+		}, true
 	case "jmp_rel8", "jmp_relv":
-		_, taken := e.branchTarget(inst, osz)
-		m.EIP = taken
-		return nil, true
+		return func(e *Emulator) *fault {
+			_, taken := e.branchTarget(inst, osz)
+			e.m.EIP = taken
+			return nil
+		}, true
 	case "jmp_rmv":
-		p, f := e.resolveRM(inst, osz, false)
-		if f != nil {
-			return f, true
-		}
-		t, f := e.readPlace(p)
-		if f != nil {
-			return f, true
-		}
-		m.EIP = t
-		return nil, true
+		return func(e *Emulator) *fault {
+			p, f := e.resolveRM(inst, osz, false)
+			if f != nil {
+				return f
+			}
+			t, f := e.readPlace(p)
+			if f != nil {
+				return f
+			}
+			e.m.EIP = t
+			return nil
+		}, true
 	case "jecxz":
-		next, taken := e.branchTarget(inst, osz)
-		if m.GPR[x86.ECX] == 0 {
-			m.EIP = taken
-		} else {
-			m.EIP = next
-		}
-		return nil, true
+		return func(e *Emulator) *fault {
+			next, taken := e.branchTarget(inst, osz)
+			if e.m.GPR[x86.ECX] == 0 {
+				e.m.EIP = taken
+			} else {
+				e.m.EIP = next
+			}
+			return nil
+		}, true
 	case "loop", "loope", "loopne":
-		m.GPR[x86.ECX]--
-		cond := m.GPR[x86.ECX] != 0
-		if name == "loope" {
-			cond = cond && e.flag(x86.FlagZF) == 1
-		}
-		if name == "loopne" {
-			cond = cond && e.flag(x86.FlagZF) == 0
-		}
-		next, taken := e.branchTarget(inst, osz)
-		if cond {
-			m.EIP = taken
-		} else {
-			m.EIP = next
-		}
-		return nil, true
+		needZF := name == "loope"
+		needNZ := name == "loopne"
+		return func(e *Emulator) *fault {
+			m := e.m
+			m.GPR[x86.ECX]--
+			cond := m.GPR[x86.ECX] != 0
+			if needZF {
+				cond = cond && e.flag(x86.FlagZF) == 1
+			}
+			if needNZ {
+				cond = cond && e.flag(x86.FlagZF) == 0
+			}
+			next, taken := e.branchTarget(inst, osz)
+			if cond {
+				m.EIP = taken
+			} else {
+				m.EIP = next
+			}
+			return nil
+		}, true
 	case "int3":
-		m.EIP += uint32(inst.Len)
-		return &fault{vec: x86.ExcBP, soft: true}, true
+		return func(e *Emulator) *fault {
+			e.m.EIP += uint32(inst.Len)
+			return &fault{vec: x86.ExcBP, soft: true}
+		}, true
 	case "int_imm8":
-		m.EIP += uint32(inst.Len)
-		return &fault{vec: uint8(inst.Imm), soft: true}, true
+		vec := uint8(inst.Imm)
+		return func(e *Emulator) *fault {
+			e.m.EIP += uint32(inst.Len)
+			return &fault{vec: vec, soft: true}
+		}, true
 	case "into":
-		if e.flag(x86.FlagOF) == 1 {
-			m.EIP += uint32(inst.Len)
-			return &fault{vec: x86.ExcOF, soft: true}, true
-		}
-		return e.finish(inst), true
+		return func(e *Emulator) *fault {
+			if e.flag(x86.FlagOF) == 1 {
+				e.m.EIP += uint32(inst.Len)
+				return &fault{vec: x86.ExcOF, soft: true}
+			}
+			return e.finish(inst)
+		}, true
 	case "iret":
-		return e.iret(osz), true
+		return func(e *Emulator) *fault { return e.iret(osz) }, true
 	}
 	if strings.HasPrefix(name, "j") &&
 		(strings.HasSuffix(name, "_rel8") || strings.HasSuffix(name, "_relv")) {
 		cc := ccOf(name[1:strings.IndexByte(name, '_')])
-		next, taken := e.branchTarget(inst, osz)
-		if e.condValue(cc) {
-			m.EIP = taken
-		} else {
-			m.EIP = next
-		}
-		return nil, true
+		return func(e *Emulator) *fault {
+			next, taken := e.branchTarget(inst, osz)
+			if e.condValue(cc) {
+				e.m.EIP = taken
+			} else {
+				e.m.EIP = next
+			}
+			return nil
+		}, true
 	}
 	if strings.HasPrefix(name, "cmov") {
 		cc := ccOf(strings.TrimPrefix(name, "cmov"))
-		p, f := e.resolveRM(inst, osz, false)
-		if f != nil {
-			return f, true
-		}
-		v, f := e.readPlace(p)
-		if f != nil {
-			return f, true
-		}
-		if e.condValue(cc) {
-			e.gprWrite(inst.RegField(), osz, v)
-		}
-		return e.finish(inst), true
+		return func(e *Emulator) *fault {
+			p, f := e.resolveRM(inst, osz, false)
+			if f != nil {
+				return f
+			}
+			v, f := e.readPlace(p)
+			if f != nil {
+				return f
+			}
+			if e.condValue(cc) {
+				e.gprWrite(inst.RegField(), osz, v)
+			}
+			return e.finish(inst)
+		}, true
 	}
 	if strings.HasPrefix(name, "set") && len(name) <= 5 {
 		cc := ccOf(strings.TrimPrefix(name, "set"))
-		p, f := e.resolveRM(inst, 8, true)
-		if f != nil {
-			return f, true
-		}
-		var v uint32
-		if e.condValue(cc) {
-			v = 1
-		}
-		return firstFault(e.writePlace(p, v), e.finish(inst)), true
+		return func(e *Emulator) *fault {
+			p, f := e.resolveRM(inst, 8, true)
+			if f != nil {
+				return f
+			}
+			var v uint32
+			if e.condValue(cc) {
+				v = 1
+			}
+			return firstFault(e.writePlace(p, v), e.finish(inst))
+		}, true
 	}
 	return nil, false
 }

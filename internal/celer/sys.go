@@ -83,225 +83,274 @@ var segByName = map[string]x86.SegReg{
 	"ds": x86.DS, "fs": x86.FS, "gs": x86.GS,
 }
 
-// execSystem covers segment-register instructions, control registers,
-// MSRs, descriptor tables, and cpuid.
-func (e *Emulator) execSystem(inst *x86.Inst, name string, osz uint8) (*fault, bool) {
-	m := e.m
+// lowerSystem covers segment-register instructions, control registers,
+// MSRs, descriptor tables, and cpuid. The second return reports whether
+// the name was handled.
+func lowerSystem(inst *x86.Inst, name string, osz uint8) (opFunc, bool) {
 	size := osz / 8
 	switch name {
 	case "mov_sreg_rm16":
 		sr := x86.SegReg(inst.RegField())
-		if sr == x86.CS || sr > x86.GS {
-			return &fault{vec: x86.ExcUD}, true
-		}
-		p, f := e.resolveRM(inst, 16, false)
-		if f != nil {
-			return f, true
-		}
-		v, f := e.readPlace(p)
-		if f != nil {
-			return f, true
-		}
-		if f := e.loadSeg(sr, uint16(v), false); f != nil {
-			return f, true
-		}
-		return e.finish(inst), true
+		return func(e *Emulator) *fault {
+			if sr == x86.CS || sr > x86.GS {
+				return &fault{vec: x86.ExcUD}
+			}
+			p, f := e.resolveRM(inst, 16, false)
+			if f != nil {
+				return f
+			}
+			v, f := e.readPlace(p)
+			if f != nil {
+				return f
+			}
+			if f := e.loadSeg(sr, uint16(v), false); f != nil {
+				return f
+			}
+			return e.finish(inst)
+		}, true
 	case "mov_rmv_sreg":
 		sr := x86.SegReg(inst.RegField())
-		if sr > x86.GS {
-			return &fault{vec: x86.ExcUD}, true
-		}
-		p, f := e.resolveRM(inst, 16, true)
-		if f != nil {
-			return f, true
-		}
-		return firstFault(e.writePlace(p, uint32(m.Seg[sr].Sel)), e.finish(inst)), true
+		return func(e *Emulator) *fault {
+			if sr > x86.GS {
+				return &fault{vec: x86.ExcUD}
+			}
+			p, f := e.resolveRM(inst, 16, true)
+			if f != nil {
+				return f
+			}
+			return firstFault(e.writePlace(p, uint32(e.m.Seg[sr].Sel)), e.finish(inst))
+		}, true
 	case "push_es", "push_cs", "push_ss", "push_ds", "push_fs", "push_gs":
 		sr := segByName[name[5:]]
-		return firstFault(e.push(uint32(m.Seg[sr].Sel), size), e.finish(inst)), true
+		return func(e *Emulator) *fault {
+			return firstFault(e.push(uint32(e.m.Seg[sr].Sel), size), e.finish(inst))
+		}, true
 	case "pop_es", "pop_ss", "pop_ds", "pop_fs", "pop_gs":
 		sr := segByName[name[4:]]
-		v, f := e.memRead(x86.SS, m.GPR[x86.ESP], size)
-		if f != nil {
-			return f, true
-		}
-		if f := e.loadSeg(sr, uint16(v), false); f != nil {
-			return f, true
-		}
-		m.GPR[x86.ESP] += uint32(size)
-		return e.finish(inst), true
+		return func(e *Emulator) *fault {
+			m := e.m
+			v, f := e.memRead(x86.SS, m.GPR[x86.ESP], size)
+			if f != nil {
+				return f
+			}
+			if f := e.loadSeg(sr, uint16(v), false); f != nil {
+				return f
+			}
+			m.GPR[x86.ESP] += uint32(size)
+			return e.finish(inst)
+		}, true
 	case "les", "lds", "lfs", "lgs", "lss":
 		sr := segByName[name[1:]]
-		seg, off := e.effAddr(inst)
-		// Offset first, selector second — hardware order (Bochs differs).
-		offV, f := e.memRead(seg, off, size)
-		if f != nil {
-			return f, true
-		}
-		selV, f := e.memRead(seg, off+uint32(size), 2)
-		if f != nil {
-			return f, true
-		}
-		if f := e.loadSeg(sr, uint16(selV), false); f != nil {
-			return f, true
-		}
-		e.gprWrite(inst.RegField(), osz, offV)
-		return e.finish(inst), true
+		return func(e *Emulator) *fault {
+			seg, off := e.effAddr(inst)
+			// Offset first, selector second — hardware order (Bochs differs).
+			offV, f := e.memRead(seg, off, size)
+			if f != nil {
+				return f
+			}
+			selV, f := e.memRead(seg, off+uint32(size), 2)
+			if f != nil {
+				return f
+			}
+			if f := e.loadSeg(sr, uint16(selV), false); f != nil {
+				return f
+			}
+			e.gprWrite(inst.RegField(), osz, offV)
+			return e.finish(inst)
+		}, true
 	case "mov_cr_r":
 		cr := inst.RegField()
-		v := e.gprRead(inst.RM(), 32)
-		switch cr {
-		case 0:
-			if v>>x86.CR0PG&1 == 1 && v>>x86.CR0PE&1 == 0 {
-				return gp(0), true
+		return func(e *Emulator) *fault {
+			m := e.m
+			v := e.gprRead(inst.RM(), 32)
+			switch cr {
+			case 0:
+				if v>>x86.CR0PG&1 == 1 && v>>x86.CR0PE&1 == 0 {
+					return gp(0)
+				}
+				if v>>x86.CR0NW&1 == 1 && v>>x86.CR0CD&1 == 0 {
+					return gp(0)
+				}
+				m.CR0 = v
+			case 2:
+				m.CR2 = v
+			case 3:
+				m.CR3 = v & 0xfffff018
+			case 4:
+				if v&^uint32(0x1ff) != 0 {
+					return gp(0)
+				}
+				m.CR4 = v
+			default:
+				return &fault{vec: x86.ExcUD}
 			}
-			if v>>x86.CR0NW&1 == 1 && v>>x86.CR0CD&1 == 0 {
-				return gp(0), true
-			}
-			m.CR0 = v
-		case 2:
-			m.CR2 = v
-		case 3:
-			m.CR3 = v & 0xfffff018
-		case 4:
-			if v&^uint32(0x1ff) != 0 {
-				return gp(0), true
-			}
-			m.CR4 = v
-		default:
-			return &fault{vec: x86.ExcUD}, true
-		}
-		return e.finish(inst), true
+			return e.finish(inst)
+		}, true
 	case "mov_r_cr":
 		cr := inst.RegField()
-		var v uint32
-		switch cr {
-		case 0:
-			v = m.CR0
-		case 2:
-			v = m.CR2
-		case 3:
-			v = m.CR3
-		case 4:
-			v = m.CR4
-		default:
-			return &fault{vec: x86.ExcUD}, true
-		}
-		e.gprWrite(inst.RM(), 32, v)
-		return e.finish(inst), true
+		return func(e *Emulator) *fault {
+			m := e.m
+			var v uint32
+			switch cr {
+			case 0:
+				v = m.CR0
+			case 2:
+				v = m.CR2
+			case 3:
+				v = m.CR3
+			case 4:
+				v = m.CR4
+			default:
+				return &fault{vec: x86.ExcUD}
+			}
+			e.gprWrite(inst.RM(), 32, v)
+			return e.finish(inst)
+		}, true
 	case "rdmsr":
-		// Finding 5: an invalid MSR index returns zero instead of #GP.
-		slot := x86.MSRSlot(m.GPR[x86.ECX])
-		var v uint64
-		if slot >= 0 {
-			v = m.MSR[slot]
-		}
-		m.GPR[x86.EAX] = uint32(v)
-		m.GPR[x86.EDX] = uint32(v >> 32)
-		return e.finish(inst), true
+		return func(e *Emulator) *fault {
+			m := e.m
+			// Finding 5: an invalid MSR index returns zero instead of #GP.
+			slot := x86.MSRSlot(m.GPR[x86.ECX])
+			var v uint64
+			if slot >= 0 {
+				v = m.MSR[slot]
+			}
+			m.GPR[x86.EAX] = uint32(v)
+			m.GPR[x86.EDX] = uint32(v >> 32)
+			return e.finish(inst)
+		}, true
 	case "wrmsr":
-		slot := x86.MSRSlot(m.GPR[x86.ECX])
-		if slot < 0 {
-			return gp(0), true
-		}
-		m.MSR[slot] = uint64(m.GPR[x86.EDX])<<32 | uint64(m.GPR[x86.EAX])
-		return e.finish(inst), true
+		return func(e *Emulator) *fault {
+			m := e.m
+			slot := x86.MSRSlot(m.GPR[x86.ECX])
+			if slot < 0 {
+				return gp(0)
+			}
+			m.MSR[slot] = uint64(m.GPR[x86.EDX])<<32 | uint64(m.GPR[x86.EAX])
+			return e.finish(inst)
+		}, true
 	case "rdtsc":
-		m.GPR[x86.EAX] = uint32(m.MSR[0])
-		m.GPR[x86.EDX] = uint32(m.MSR[0] >> 32)
-		return e.finish(inst), true
+		return func(e *Emulator) *fault {
+			m := e.m
+			m.GPR[x86.EAX] = uint32(m.MSR[0])
+			m.GPR[x86.EDX] = uint32(m.MSR[0] >> 32)
+			return e.finish(inst)
+		}, true
 	case "cpuid":
-		switch m.GPR[x86.EAX] {
-		case 0:
-			m.GPR[x86.EAX] = 1
-			m.GPR[x86.EBX] = 0x656b6f50
-			m.GPR[x86.EDX] = 0x554d4545
-			m.GPR[x86.ECX] = 0x20555043
-		case 1:
-			m.GPR[x86.EAX] = 0x00000611
-			m.GPR[x86.EBX] = 0
-			m.GPR[x86.ECX] = 0
-			m.GPR[x86.EDX] = 0x00000011
-		default:
-			m.GPR[x86.EAX], m.GPR[x86.EBX] = 0, 0
-			m.GPR[x86.ECX], m.GPR[x86.EDX] = 0, 0
-		}
-		return e.finish(inst), true
+		return func(e *Emulator) *fault {
+			m := e.m
+			switch m.GPR[x86.EAX] {
+			case 0:
+				m.GPR[x86.EAX] = 1
+				m.GPR[x86.EBX] = 0x656b6f50
+				m.GPR[x86.EDX] = 0x554d4545
+				m.GPR[x86.ECX] = 0x20555043
+			case 1:
+				m.GPR[x86.EAX] = 0x00000611
+				m.GPR[x86.EBX] = 0
+				m.GPR[x86.ECX] = 0
+				m.GPR[x86.EDX] = 0x00000011
+			default:
+				m.GPR[x86.EAX], m.GPR[x86.EBX] = 0, 0
+				m.GPR[x86.ECX], m.GPR[x86.EDX] = 0, 0
+			}
+			return e.finish(inst)
+		}, true
 	case "lgdt", "lidt":
-		seg, off := e.effAddr(inst)
-		limit, f := e.memRead(seg, off, 2)
-		if f != nil {
-			return f, true
-		}
-		base, f := e.memRead(seg, off+2, 4)
-		if f != nil {
-			return f, true
-		}
-		if name == "lgdt" {
-			m.GDTRLimit, m.GDTRBase = limit, base
-		} else {
-			m.IDTRLimit, m.IDTRBase = limit, base
-		}
-		return e.finish(inst), true
+		isGDT := name == "lgdt"
+		return func(e *Emulator) *fault {
+			m := e.m
+			seg, off := e.effAddr(inst)
+			limit, f := e.memRead(seg, off, 2)
+			if f != nil {
+				return f
+			}
+			base, f := e.memRead(seg, off+2, 4)
+			if f != nil {
+				return f
+			}
+			if isGDT {
+				m.GDTRLimit, m.GDTRBase = limit, base
+			} else {
+				m.IDTRLimit, m.IDTRBase = limit, base
+			}
+			return e.finish(inst)
+		}, true
 	case "sgdt", "sidt":
-		seg, off := e.effAddr(inst)
-		var lim, base uint32
-		if name == "sgdt" {
-			lim, base = m.GDTRLimit, m.GDTRBase
-		} else {
-			lim, base = m.IDTRLimit, m.IDTRBase
-		}
-		if f := e.memWrite(seg, off, lim&0xffff, 2); f != nil {
-			return f, true
-		}
-		return firstFault(e.memWrite(seg, off+2, base, 4), e.finish(inst)), true
+		isGDT := name == "sgdt"
+		return func(e *Emulator) *fault {
+			m := e.m
+			seg, off := e.effAddr(inst)
+			var lim, base uint32
+			if isGDT {
+				lim, base = m.GDTRLimit, m.GDTRBase
+			} else {
+				lim, base = m.IDTRLimit, m.IDTRBase
+			}
+			if f := e.memWrite(seg, off, lim&0xffff, 2); f != nil {
+				return f
+			}
+			return firstFault(e.memWrite(seg, off+2, base, 4), e.finish(inst))
+		}, true
 	case "smsw":
-		p, f := e.resolveRM(inst, osz, true)
-		if f != nil {
-			return f, true
-		}
-		v := m.CR0
-		if osz == 16 {
-			v &= 0xffff
-		}
-		return firstFault(e.writePlace(p, v), e.finish(inst)), true
+		return func(e *Emulator) *fault {
+			p, f := e.resolveRM(inst, osz, true)
+			if f != nil {
+				return f
+			}
+			v := e.m.CR0
+			if osz == 16 {
+				v &= 0xffff
+			}
+			return firstFault(e.writePlace(p, v), e.finish(inst))
+		}, true
 	case "lmsw":
-		p, f := e.resolveRM(inst, 16, false)
-		if f != nil {
-			return f, true
-		}
-		v, f := e.readPlace(p)
-		if f != nil {
-			return f, true
-		}
-		newPE := m.CR0&1 | v&1
-		m.CR0 = m.CR0&^uint32(0xf) | v&0xe | newPE
-		return e.finish(inst), true
+		return func(e *Emulator) *fault {
+			m := e.m
+			p, f := e.resolveRM(inst, 16, false)
+			if f != nil {
+				return f
+			}
+			v, f := e.readPlace(p)
+			if f != nil {
+				return f
+			}
+			newPE := m.CR0&1 | v&1
+			m.CR0 = m.CR0&^uint32(0xf) | v&0xe | newPE
+			return e.finish(inst)
+		}, true
 	case "invlpg":
-		e.effAddr(inst)
-		return e.finish(inst), true
+		return func(e *Emulator) *fault {
+			e.effAddr(inst)
+			return e.finish(inst)
+		}, true
 	case "clts":
-		m.CR0 &^= 1 << x86.CR0TS
-		return e.finish(inst), true
+		return func(e *Emulator) *fault {
+			e.m.CR0 &^= 1 << x86.CR0TS
+			return e.finish(inst)
+		}, true
 	case "verr", "verw":
-		p, f := e.resolveRM(inst, 16, false)
-		if f != nil {
-			return f, true
-		}
-		v, f := e.readPlace(p)
-		if f != nil {
-			return f, true
-		}
-		ok, f := e.verifySelector(uint16(v), name == "verw")
-		if f != nil {
-			return f, true
-		}
-		if ok {
-			e.setFlagBit(x86.FlagZF, 1)
-		} else {
-			e.setFlagBit(x86.FlagZF, 0)
-		}
-		return e.finish(inst), true
+		forWrite := name == "verw"
+		return func(e *Emulator) *fault {
+			p, f := e.resolveRM(inst, 16, false)
+			if f != nil {
+				return f
+			}
+			v, f := e.readPlace(p)
+			if f != nil {
+				return f
+			}
+			ok, f := e.verifySelector(uint16(v), forWrite)
+			if f != nil {
+				return f
+			}
+			if ok {
+				e.setFlagBit(x86.FlagZF, 1)
+			} else {
+				e.setFlagBit(x86.FlagZF, 0)
+			}
+			return e.finish(inst)
+		}, true
 	}
 	return nil, false
 }
@@ -337,145 +386,197 @@ func (e *Emulator) verifySelector(sel uint16, forWrite bool) (bool, *fault) {
 	return !isCode || rw, nil
 }
 
-// execBits covers bt/bts/btr/btc, bsf/bsr, shld/shrd.
-func (e *Emulator) execBits(inst *x86.Inst, name string, osz uint8) (*fault, bool) {
-	m := e.m
+// btOp is the pre-lowered bit-test operation.
+type btOp uint8
+
+const (
+	btTest btOp = iota
+	btSet
+	btReset
+	btFlip
+)
+
+// lowerBits covers bt/bts/btr/btc, bsf/bsr, shld/shrd.
+func lowerBits(inst *x86.Inst, name string, osz uint8) (opFunc, bool) {
 	switch {
 	case strings.HasPrefix(name, "bt_") || strings.HasPrefix(name, "bts_") ||
 		strings.HasPrefix(name, "btr_") || strings.HasPrefix(name, "btc_"):
-		op := name[:strings.IndexByte(name, '_')]
+		var op btOp
+		switch name[:strings.IndexByte(name, '_')] {
+		case "bt":
+			op = btTest
+		case "bts":
+			op = btSet
+		case "btr":
+			op = btReset
+		case "btc":
+			op = btFlip
+		}
 		immForm := strings.HasSuffix(name, "imm8")
-		write := op != "bt"
+		write := op != btTest
 		w := osz
-		var bitIdx uint32
-		if immForm {
-			bitIdx = uint32(inst.Imm) & uint32(w-1)
-		} else {
-			bitIdx = e.gprRead(inst.RegField(), w)
-		}
-		apply := func(a uint32) uint32 {
-			bm := uint32(1) << (bitIdx & uint32(w-1))
-			switch op {
-			case "bts":
-				return a | bm
-			case "btr":
-				return a &^ bm
-			case "btc":
-				return a ^ bm
+		immIdx := uint32(inst.Imm) & uint32(w-1)
+		regForm := inst.IsRegForm()
+		return func(e *Emulator) *fault {
+			var bitIdx uint32
+			if immForm {
+				bitIdx = immIdx
+			} else {
+				bitIdx = e.gprRead(inst.RegField(), w)
 			}
-			return a
-		}
-		if inst.IsRegForm() {
-			a := e.gprRead(inst.RM(), w)
+			apply := func(a uint32) uint32 {
+				bm := uint32(1) << (bitIdx & uint32(w-1))
+				switch op {
+				case btSet:
+					return a | bm
+				case btReset:
+					return a &^ bm
+				case btFlip:
+					return a ^ bm
+				}
+				return a
+			}
+			if regForm {
+				a := e.gprRead(inst.RM(), w)
+				e.setFlagBit(x86.FlagCF, a>>(bitIdx&uint32(w-1))&1)
+				if write {
+					e.gprWrite(inst.RM(), w, apply(a))
+				}
+				return e.finish(inst)
+			}
+			seg, off := e.effAddr(inst)
+			shift := uint8(5)
+			if w == 16 {
+				shift = 4
+			}
+			byteOff := uint32(int32(bitIdx)>>shift) * uint32(w/8)
+			addr := off + byteOff
+			var p place
+			var f *fault
+			if write {
+				prep, ff := e.prepareWrite(e.linAddr(seg, addr), w/8)
+				if ff != nil {
+					return ff
+				}
+				p = place{prep: prep, w: w}
+			} else {
+				p = place{seg: seg, off: addr, w: w}
+			}
+			a, f := e.readPlace(p)
+			if f != nil {
+				return f
+			}
 			e.setFlagBit(x86.FlagCF, a>>(bitIdx&uint32(w-1))&1)
 			if write {
-				e.gprWrite(inst.RM(), w, apply(a))
+				if f := e.writePlace(p, apply(a)); f != nil {
+					return f
+				}
 			}
-			return e.finish(inst), true
-		}
-		seg, off := e.effAddr(inst)
-		shift := uint8(5)
-		if w == 16 {
-			shift = 4
-		}
-		byteOff := uint32(int32(bitIdx)>>shift) * uint32(w/8)
-		addr := off + byteOff
-		var p place
-		var f *fault
-		if write {
-			prep, ff := e.prepareWrite(e.linAddr(seg, addr), w/8)
-			if ff != nil {
-				return ff, true
-			}
-			p = place{prep: prep, w: w}
-		} else {
-			p = place{seg: seg, off: addr, w: w}
-		}
-		a, f := e.readPlace(p)
-		if f != nil {
-			return f, true
-		}
-		e.setFlagBit(x86.FlagCF, a>>(bitIdx&uint32(w-1))&1)
-		if write {
-			if f := e.writePlace(p, apply(a)); f != nil {
-				return f, true
-			}
-		}
-		return e.finish(inst), true
+			return e.finish(inst)
+		}, true
 	case name == "bsf" || name == "bsr":
+		forward := name == "bsf"
 		w := osz
-		p, f := e.resolveRM(inst, w, false)
-		if f != nil {
-			return f, true
-		}
-		v, f := e.readPlace(p)
-		if f != nil {
-			return f, true
-		}
-		v &= mask(w)
-		if v == 0 {
-			e.setFlagBit(x86.FlagZF, 1)
-			// Destination undefined on zero: left unchanged (matches hw).
-			return e.finish(inst), true
-		}
-		e.setFlagBit(x86.FlagZF, 0)
-		var idx uint32
-		if name == "bsf" {
-			for idx = 0; v>>idx&1 == 0; idx++ {
+		return func(e *Emulator) *fault {
+			p, f := e.resolveRM(inst, w, false)
+			if f != nil {
+				return f
 			}
-		} else {
-			for idx = uint32(w) - 1; v>>idx&1 == 0; idx-- {
+			v, f := e.readPlace(p)
+			if f != nil {
+				return f
 			}
-		}
-		e.gprWrite(inst.RegField(), w, idx)
-		return e.finish(inst), true
+			v &= mask(w)
+			if v == 0 {
+				e.setFlagBit(x86.FlagZF, 1)
+				// Destination undefined on zero: left unchanged (matches hw).
+				return e.finish(inst)
+			}
+			e.setFlagBit(x86.FlagZF, 0)
+			var idx uint32
+			if forward {
+				for idx = 0; v>>idx&1 == 0; idx++ {
+				}
+			} else {
+				for idx = uint32(w) - 1; v>>idx&1 == 0; idx-- {
+				}
+			}
+			e.gprWrite(inst.RegField(), w, idx)
+			return e.finish(inst)
+		}, true
 	case strings.HasPrefix(name, "shld") || strings.HasPrefix(name, "shrd"):
 		left := strings.HasPrefix(name, "shld")
+		useCL := strings.HasSuffix(name, "cl")
 		w := osz
-		p, f := e.resolveRM(inst, w, true)
-		if f != nil {
-			return f, true
-		}
-		a, f := e.readPlace(p)
-		if f != nil {
-			return f, true
-		}
-		fill := e.gprRead(inst.RegField(), w)
-		var count uint32
-		if strings.HasSuffix(name, "cl") {
-			count = e.gprRead(1, 8) & 0x1f
-		} else {
-			count = uint32(inst.Imm) & 0x1f
-		}
-		if count == 0 {
-			return firstFault(e.writePlace(p, a), e.finish(inst)), true
-		}
-		am, fm := a&mask(w), fill&mask(w)
-		var r, cf uint32
-		if left {
-			r = (am<<count | fm>>(uint32(w)-count)) & mask(w)
-			cf = uint32(uint64(am)<<count>>w) & 1
-		} else {
-			r = (am>>count | fm<<(uint32(w)-count)) & mask(w)
-			cf = am >> (count - 1) & 1
-		}
-		e.setFlagBit(x86.FlagCF, cf)
-		if count == 1 {
-			e.setFlagBit(x86.FlagOF, (r^am)>>(w-1)&1)
-		}
-		e.setSZP(r, w)
-		if f := e.writePlace(p, r); f != nil {
-			return f, true
-		}
-		return e.finish(inst), true
+		immCount := uint32(inst.Imm) & 0x1f
+		return func(e *Emulator) *fault {
+			p, f := e.resolveRM(inst, w, true)
+			if f != nil {
+				return f
+			}
+			a, f := e.readPlace(p)
+			if f != nil {
+				return f
+			}
+			fill := e.gprRead(inst.RegField(), w)
+			var count uint32
+			if useCL {
+				count = e.gprRead(1, 8) & 0x1f
+			} else {
+				count = immCount
+			}
+			if count == 0 {
+				return firstFault(e.writePlace(p, a), e.finish(inst))
+			}
+			am, fm := a&mask(w), fill&mask(w)
+			var r, cf uint32
+			if left {
+				r = (am<<count | fm>>(uint32(w)-count)) & mask(w)
+				cf = uint32(uint64(am)<<count>>w) & 1
+			} else {
+				r = (am>>count | fm<<(uint32(w)-count)) & mask(w)
+				cf = am >> (count - 1) & 1
+			}
+			e.setFlagBit(x86.FlagCF, cf)
+			if count == 1 {
+				e.setFlagBit(x86.FlagOF, (r^am)>>(w-1)&1)
+			}
+			e.setSZP(r, w)
+			if f := e.writePlace(p, r); f != nil {
+				return f
+			}
+			return e.finish(inst)
+		}, true
 	}
-	_ = m
 	return nil, false
 }
 
-// stringOp covers movs/cmps/stos/lods/scas with optional rep prefixes.
-func (e *Emulator) stringOp(inst *x86.Inst, op, form string, osz uint8) *fault {
-	m := e.m
+// strOp is the pre-lowered string operation.
+type strOp uint8
+
+const (
+	strMovs strOp = iota
+	strCmps
+	strStos
+	strLods
+	strScas
+)
+
+// lowerStringOp covers movs/cmps/stos/lods/scas with optional rep prefixes.
+func lowerStringOp(inst *x86.Inst, opName, form string, osz uint8) opFunc {
+	var op strOp
+	switch opName {
+	case "movs":
+		op = strMovs
+	case "cmps":
+		op = strCmps
+	case "stos":
+		op = strStos
+	case "lods":
+		op = strLods
+	case "scas":
+		op = strScas
+	}
 	w := uint8(8)
 	if form == "v" {
 		w = osz
@@ -486,82 +587,85 @@ func (e *Emulator) stringOp(inst *x86.Inst, op, form string, osz uint8) *fault {
 	if inst.SegOverride >= 0 {
 		srcSeg = x86.SegReg(inst.SegOverride)
 	}
-	delta := size
-	if e.flag(x86.FlagDF) == 1 {
-		delta = -size
-	}
-	iter := func() (stop bool, f *fault) {
-		switch op {
-		case "movs":
-			v, f := e.memRead(srcSeg, m.GPR[x86.ESI], uint8(size))
-			if f != nil {
-				return false, f
-			}
-			if f := e.memWrite(x86.ES, m.GPR[x86.EDI], v, uint8(size)); f != nil {
-				return false, f
-			}
-			m.GPR[x86.ESI] += delta
-			m.GPR[x86.EDI] += delta
-		case "stos":
-			if f := e.memWrite(x86.ES, m.GPR[x86.EDI], e.gprRead(0, w), uint8(size)); f != nil {
-				return false, f
-			}
-			m.GPR[x86.EDI] += delta
-		case "lods":
-			v, f := e.memRead(srcSeg, m.GPR[x86.ESI], uint8(size))
-			if f != nil {
-				return false, f
-			}
-			e.gprWrite(0, w, v)
-			m.GPR[x86.ESI] += delta
-		case "cmps":
-			a, f := e.memRead(srcSeg, m.GPR[x86.ESI], uint8(size))
-			if f != nil {
-				return false, f
-			}
-			d, f := e.memRead(x86.ES, m.GPR[x86.EDI], uint8(size))
-			if f != nil {
-				return false, f
-			}
-			e.subFlags(a, d, 0, (a-d)&mask(w), w)
-			m.GPR[x86.ESI] += delta
-			m.GPR[x86.EDI] += delta
-			return e.repStop(inst), nil
-		case "scas":
-			a := e.gprRead(0, w)
-			d, f := e.memRead(x86.ES, m.GPR[x86.EDI], uint8(size))
-			if f != nil {
-				return false, f
-			}
-			e.subFlags(a, d, 0, (a-d)&mask(w), w)
-			m.GPR[x86.EDI] += delta
-			return e.repStop(inst), nil
+	return func(e *Emulator) *fault {
+		m := e.m
+		delta := size
+		if e.flag(x86.FlagDF) == 1 {
+			delta = -size
 		}
-		return false, nil
-	}
-	if !rep {
-		if _, f := iter(); f != nil {
-			return f
+		iter := func() (stop bool, f *fault) {
+			switch op {
+			case strMovs:
+				v, f := e.memRead(srcSeg, m.GPR[x86.ESI], uint8(size))
+				if f != nil {
+					return false, f
+				}
+				if f := e.memWrite(x86.ES, m.GPR[x86.EDI], v, uint8(size)); f != nil {
+					return false, f
+				}
+				m.GPR[x86.ESI] += delta
+				m.GPR[x86.EDI] += delta
+			case strStos:
+				if f := e.memWrite(x86.ES, m.GPR[x86.EDI], e.gprRead(0, w), uint8(size)); f != nil {
+					return false, f
+				}
+				m.GPR[x86.EDI] += delta
+			case strLods:
+				v, f := e.memRead(srcSeg, m.GPR[x86.ESI], uint8(size))
+				if f != nil {
+					return false, f
+				}
+				e.gprWrite(0, w, v)
+				m.GPR[x86.ESI] += delta
+			case strCmps:
+				a, f := e.memRead(srcSeg, m.GPR[x86.ESI], uint8(size))
+				if f != nil {
+					return false, f
+				}
+				d, f := e.memRead(x86.ES, m.GPR[x86.EDI], uint8(size))
+				if f != nil {
+					return false, f
+				}
+				e.subFlags(a, d, 0, (a-d)&mask(w), w)
+				m.GPR[x86.ESI] += delta
+				m.GPR[x86.EDI] += delta
+				return e.repStop(inst), nil
+			case strScas:
+				a := e.gprRead(0, w)
+				d, f := e.memRead(x86.ES, m.GPR[x86.EDI], uint8(size))
+				if f != nil {
+					return false, f
+				}
+				e.subFlags(a, d, 0, (a-d)&mask(w), w)
+				m.GPR[x86.EDI] += delta
+				return e.repStop(inst), nil
+			}
+			return false, nil
+		}
+		if !rep {
+			if _, f := iter(); f != nil {
+				return f
+			}
+			return e.finish(inst)
+		}
+		for budget := 0; ; budget++ {
+			if budget > 1<<22 {
+				return &fault{vec: vecTimeout}
+			}
+			if m.GPR[x86.ECX] == 0 {
+				break
+			}
+			stop, f := iter()
+			if f != nil {
+				return f
+			}
+			m.GPR[x86.ECX]--
+			if stop {
+				break
+			}
 		}
 		return e.finish(inst)
 	}
-	for budget := 0; ; budget++ {
-		if budget > 1<<22 {
-			return &fault{vec: vecTimeout}
-		}
-		if m.GPR[x86.ECX] == 0 {
-			break
-		}
-		stop, f := iter()
-		if f != nil {
-			return f
-		}
-		m.GPR[x86.ECX]--
-		if stop {
-			break
-		}
-	}
-	return e.finish(inst)
 }
 
 func (e *Emulator) repStop(inst *x86.Inst) bool {

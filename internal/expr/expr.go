@@ -621,7 +621,12 @@ func Eval(e *Expr, env map[string]uint64) uint64 {
 	case OpVar:
 		return env[e.Name] & Mask(e.Width)
 	}
-	k := func(i int) uint64 { return Eval(e.Kids[i], env) }
+	return evalNode(e, func(i int) uint64 { return Eval(e.Kids[i], env) })
+}
+
+// evalNode applies one operator given an evaluator for its children —
+// shared by the plain recursive Eval and the DAG-memoized EvalMemo.
+func evalNode(e *Expr, k func(int) uint64) uint64 {
 	m := Mask(e.Width)
 	switch e.Op {
 	case OpNot:
@@ -702,6 +707,27 @@ func Eval(e *Expr, env map[string]uint64) uint64 {
 	default:
 		panic("expr: eval of unknown op")
 	}
+}
+
+// EvalMemo is Eval with a caller-provided memo table keyed by node
+// identity, so shared subterms of a hash-consed DAG evaluate once instead
+// of once per reachable path. The memo is valid for exactly one env;
+// callers must clear it whenever the assignment changes.
+func EvalMemo(e *Expr, env map[string]uint64, memo map[*Expr]uint64) uint64 {
+	if e.Op == OpConst {
+		return e.Val
+	}
+	if v, ok := memo[e]; ok {
+		return v
+	}
+	var v uint64
+	if e.Op == OpVar {
+		v = env[e.Name] & Mask(e.Width)
+	} else {
+		v = evalNode(e, func(i int) uint64 { return EvalMemo(e.Kids[i], env, memo) })
+	}
+	memo[e] = v
+	return v
 }
 
 // CollectVars appends the names of all free variables in e to set.

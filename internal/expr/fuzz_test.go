@@ -184,6 +184,10 @@ func FuzzExprSimplify(f *testing.F) {
 			if direct&^Mask(term.Width) != 0 {
 				t.Fatalf("Eval overflows width %d: %#x\nterm: %s", term.Width, direct, term)
 			}
+			if memoed := EvalMemo(term, env, map[*Expr]uint64{}); memoed != direct {
+				t.Fatalf("EvalMemo disagrees with Eval: %#x vs %#x\nterm: %s\nenv: %v",
+					memoed, direct, term, env)
+			}
 			sub := make(map[string]*Expr, len(fuzzVars))
 			for _, v := range fuzzVars {
 				sub[v.name] = Const(v.w, env[v.name])

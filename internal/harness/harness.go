@@ -61,9 +61,18 @@ func CoverageFactory(cov *coverage.Map) Factory {
 // CelerFactory builds the Lo-Fi emulator with a translation-block cache
 // persistent across guests — the DBT speed advantage.
 func CelerFactory() Factory {
+	return CelerFactoryFast(true)
+}
+
+// CelerFactoryFast is CelerFactory with the direct-dispatch fast path
+// explicitly on or off; off forces every step through the shared-cache
+// dispatcher and the re-lowering slow executable.
+func CelerFactoryFast(fast bool) Factory {
 	cache := celer.NewCache()
 	return Factory{Name: "celer", New: func(m *machine.Machine) emu.Emulator {
-		return celer.NewWithCache(m, cache)
+		e := celer.NewWithCache(m, cache)
+		e.SetFastPath(fast)
+		return e
 	}}
 }
 

@@ -72,21 +72,38 @@ func (m *Machine) Translate(lin uint32, write bool) (uint32, *ExceptionInfo) {
 }
 
 // FetchCode reads up to n instruction bytes at CS:EIP, applying the code
-// segment limit and page translation per byte. It returns the bytes fetched
-// before the first fault (if any) and that fault.
+// segment limit per byte and page translation per page run. It returns the
+// bytes fetched before the first fault (if any) and that fault. One page
+// walk covers every byte up to the page boundary, with identical fault
+// behavior to a per-byte walk: bytes are produced in order, and the first
+// byte past the limit or on a faulting page stops the fetch with the fault.
 func (m *Machine) FetchCode(n int) ([]byte, *ExceptionInfo) {
 	cs := &m.Seg[x86.CS]
 	out := make([]byte, 0, n)
-	for i := 0; i < n; i++ {
+	for i := 0; i < n; {
 		off := m.EIP + uint32(i)
 		if off > cs.Limit {
 			return out, &ExceptionInfo{Vector: x86.ExcGP, ErrCode: 0, HasErr: true}
 		}
-		phys, exc := m.Translate(cs.Base+off, false)
+		lin := cs.Base + off
+		phys, exc := m.Translate(lin, false)
 		if exc != nil {
 			return out, exc
 		}
-		out = append(out, m.Mem.Read8(phys))
+		// Bytes coverable by this walk: to the page end, clipped by the
+		// remaining request and the segment limit (64-bit math so a
+		// Limit of 0xffffffff cannot overflow).
+		run := int(0x1000 - lin&0xfff)
+		if rem := n - i; run > rem {
+			run = rem
+		}
+		if left := uint64(cs.Limit) - uint64(off) + 1; uint64(run) > left {
+			run = int(left)
+		}
+		for j := 0; j < run; j++ {
+			out = append(out, m.Mem.Read8(phys+uint32(j)))
+		}
+		i += run
 	}
 	return out, nil
 }

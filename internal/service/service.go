@@ -227,6 +227,15 @@ type Request struct {
 	// HybridWorkers sizes the mutator pool (0 = workers); like workers it
 	// never affects the report.
 	HybridWorkers int `json:"hybrid_workers,omitempty"`
+
+	// NoSolverBatch disables the batched solver front-end (incremental
+	// solving with shared assumption prefixes); NoFastPath disables the
+	// Lo-Fi emulator's direct-dispatch fast path. Both default off (the
+	// fast configurations). Portfolio races that many extra seeded solver
+	// clones per budgeted query (0 = off; stays deterministic).
+	NoSolverBatch bool `json:"no_solver_batch,omitempty"`
+	NoFastPath    bool `json:"no_fastpath,omitempty"`
+	Portfolio     int  `json:"portfolio,omitempty"`
 }
 
 // configFor normalizes the request in place (so the job's status echoes the
@@ -238,6 +247,9 @@ func (s *Server) configFor(req *Request) (campaign.Config, error) {
 	}
 	if req.StageTimeoutMS < 0 {
 		return campaign.Config{}, fmt.Errorf("campaign: stage_timeout_ms must be >= 0 (got %d)", req.StageTimeoutMS)
+	}
+	if req.Portfolio < 0 {
+		return campaign.Config{}, fmt.Errorf("campaign: portfolio must be >= 0 (got %d)", req.Portfolio)
 	}
 	if req.Seed == 0 {
 		req.Seed = 1
@@ -268,6 +280,9 @@ func (s *Server) configFor(req *Request) (campaign.Config, error) {
 		TestMaxSteps:     req.TestMaxSteps,
 		TestTimeout:      time.Duration(req.TestTimeoutMS) * time.Millisecond,
 		StageTimeout:     time.Duration(req.StageTimeoutMS) * time.Millisecond,
+		NoSolverBatch:    req.NoSolverBatch,
+		NoFastPath:       req.NoFastPath,
+		Portfolio:        req.Portfolio,
 		// The job captures the baseline current at submission; a later PUT
 		// replaces the server's pointer without disturbing running jobs.
 		Baseline: s.Baseline(),

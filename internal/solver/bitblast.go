@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"pokeemu/internal/expr"
@@ -40,6 +41,22 @@ type BV struct {
 	// are never memoized, so raising the budget on the same instance
 	// re-solves instead of replaying the give-up.
 	MaxConflicts int64
+
+	// Reuse turns on the batched front-end: sibling queries keep the
+	// shared assumption-prefix trail alive inside the CDCL core (one
+	// incremental CNF, learned clauses reused across the whole task), so a
+	// query that extends the previous path by one branch only decides the
+	// new suffix. Off, every query re-decides its assumptions from level 0.
+	Reuse bool
+
+	// Portfolio, when positive and a conflict budget is set, races that
+	// many deterministically-seeded solver clones against the primary on
+	// each memo miss. Adjudication is deterministic: a decisive primary
+	// always wins (clones are stopped and discarded); only when the
+	// primary returns Unknown are the clones joined and the first decisive
+	// one by index used. Scheduling therefore never changes answers, only
+	// wall-clock.
+	Portfolio int
 }
 
 // memoEntry caches the outcome of one assumption set: the status, and for
@@ -63,9 +80,12 @@ const (
 // parallel explorer gives each worker its own BV). The campaign timing table
 // and the pokeemud /metrics endpoint read these.
 var (
-	memoHitsTotal   atomic.Int64
-	memoMissesTotal atomic.Int64
-	internalQueries atomic.Int64
+	memoHitsTotal      atomic.Int64
+	memoMissesTotal    atomic.Int64
+	internalQueries    atomic.Int64
+	reusedLevelsTotal  atomic.Int64
+	portfolioRaces     atomic.Int64
+	portfolioCloneWins atomic.Int64
 )
 
 // MemoTotals reports process-wide CheckLits memo hits and misses.
@@ -75,6 +95,17 @@ func MemoTotals() (hits, misses int64) {
 
 // QueriesTotal reports process-wide CheckLits calls.
 func QueriesTotal() int64 { return internalQueries.Load() }
+
+// ReusedLevelsTotal reports process-wide assumption decision levels kept
+// alive across queries by the batched front-end (levels the solver did not
+// have to re-decide and re-propagate).
+func ReusedLevelsTotal() int64 { return reusedLevelsTotal.Load() }
+
+// PortfolioTotals reports process-wide portfolio races run and the races a
+// seeded clone (rather than the primary) decided.
+func PortfolioTotals() (races, cloneWins int64) {
+	return portfolioRaces.Load(), portfolioCloneWins.Load()
+}
 
 type hashEntry struct {
 	e    *expr.Expr
@@ -612,8 +643,20 @@ func (b *BV) CheckLits(lits []Lit) Status {
 	b.MemoMisses++
 	memoMissesTotal.Add(1)
 	b.sat.MaxConflicts = b.MaxConflicts
-	st := b.sat.Solve(lits)
+	b.sat.Reuse = b.Reuse
+	prevReused := b.sat.ReusedLevels
+	var st Status
+	if b.Portfolio > 0 && b.MaxConflicts > 0 {
+		st = b.solvePortfolio(lits)
+	} else {
+		st = b.sat.Solve(lits)
+	}
+	reusedLevelsTotal.Add(b.sat.ReusedLevels - prevReused)
 	if st == Unknown {
+		// Unknown is a statement about the budget, not the formula: it must
+		// never enter the memo, or a later call with a bigger budget (or a
+		// richer learned-clause set) would replay the give-up instead of
+		// deciding.
 		return st
 	}
 	ent := memoEntry{st: st}
@@ -625,6 +668,54 @@ func (b *BV) CheckLits(lits []Lit) Status {
 	}
 	b.memo[key] = ent
 	return st
+}
+
+// solvePortfolio runs one query as a race: the primary solver plus
+// b.Portfolio deep clones, each clone searching under a distinct
+// deterministic Seed (different restart cadence and decision-polarity
+// perturbation). The primary's verdict wins whenever it is decisive — the
+// clones are stopped via their Stop flag and their results discarded, so
+// the primary's state trajectory is exactly what it would have been
+// without the portfolio. Only when the primary exhausts its conflict
+// budget are the clones joined, and the first decisive clone by index
+// supplies the verdict (and model, for Sat). Every clone runs a
+// deterministic bounded search, so the adjudicated answer is a pure
+// function of the query sequence — independent of scheduling.
+func (b *BV) solvePortfolio(lits []Lit) Status {
+	n := b.Portfolio
+	portfolioRaces.Add(1)
+	var stop int32
+	sts := make([]Status, n)
+	clones := make([]*CDCL, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		c := b.sat.Clone()
+		c.Seed = splitmix64(uint64(i) + 1)
+		c.Stop = &stop
+		clones[i] = c
+		wg.Add(1)
+		go func(i int, c *CDCL) {
+			defer wg.Done()
+			sts[i] = c.Solve(lits)
+		}(i, c)
+	}
+	st := b.sat.Solve(lits)
+	if st != Unknown {
+		atomic.StoreInt32(&stop, 1)
+		wg.Wait()
+		return st
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if sts[i] != Unknown {
+			portfolioCloneWins.Add(1)
+			if sts[i] == Sat {
+				b.sat.model = append(b.sat.model[:0], clones[i].model...)
+			}
+			return sts[i]
+		}
+	}
+	return Unknown
 }
 
 // memoKey canonicalizes an assumption set into a map key: sort a copy (the

@@ -7,6 +7,8 @@
 // with model generation.
 package solver
 
+import "sync/atomic"
+
 // Lit is a SAT literal: variable index v encoded as 2v (positive) or
 // 2v+1 (negated).
 type Lit int32
@@ -62,7 +64,7 @@ const noReason int32 = -1
 type CDCL struct {
 	clauses  [][]Lit // clause storage; index is the clause reference
 	learnts  int     // number of learned clauses (suffix of clauses)
-	watches  [][]int32
+	watches  [][]watcher
 	assign   []int8
 	level    []int32
 	reason   []int32
@@ -89,6 +91,30 @@ type CDCL struct {
 	// the equivalence checker report a reproducible UNKNOWN verdict
 	// instead of a machine-speed-dependent one.
 	MaxConflicts int64
+
+	// Reuse keeps the assumption-decision prefix of the trail alive
+	// between Solve calls. Sibling queries from one explore task share a
+	// long path-condition prefix; with Reuse on, a call only backtracks to
+	// the longest common prefix with the previous call's assumptions and
+	// re-decides the suffix, instead of re-deciding and re-propagating the
+	// whole prefix from level 0 every time.
+	Reuse       bool
+	keptAssumps []Lit
+	// ReusedLevels counts assumption decision levels carried over between
+	// Solve calls by Reuse (a measure of re-decide work avoided).
+	ReusedLevels int64
+
+	// Seed perturbs the decision heuristic and restart schedule
+	// deterministically — portfolio clones run the same query under
+	// different seeds so at least one may escape a hard search region.
+	// Zero means the unperturbed default heuristics.
+	Seed uint64
+	rng  uint64
+
+	// Stop, when non-nil, is polled once per conflict; setting it to a
+	// non-zero value makes Solve return Unknown at the next conflict. The
+	// portfolio front-end uses it to retire losing clones early.
+	Stop *int32
 }
 
 // NewSat returns an empty solver.
@@ -98,6 +124,48 @@ func NewSat() *CDCL {
 
 // NumVars returns the number of allocated variables.
 func (s *CDCL) NumVars() int { return len(s.assign) }
+
+// Clone deep-copies the solver — clause storage included, since propagate
+// reorders literals in place — so a portfolio clone can search the same
+// formula under a different Seed without sharing any mutable state with
+// the primary.
+func (s *CDCL) Clone() *CDCL {
+	c := &CDCL{
+		learnts:      s.learnts,
+		qhead:        s.qhead,
+		varInc:       s.varInc,
+		ok:           s.ok,
+		Conflicts:    s.Conflicts,
+		Decisions:    s.Decisions,
+		Props:        s.Props,
+		MaxConflicts: s.MaxConflicts,
+		Reuse:        s.Reuse,
+		ReusedLevels: s.ReusedLevels,
+		Seed:         s.Seed,
+		rng:          s.rng,
+	}
+	c.clauses = make([][]Lit, len(s.clauses))
+	for i, cl := range s.clauses {
+		c.clauses[i] = append([]Lit(nil), cl...)
+	}
+	c.watches = make([][]watcher, len(s.watches))
+	for i, w := range s.watches {
+		c.watches[i] = append([]watcher(nil), w...)
+	}
+	c.assign = append([]int8(nil), s.assign...)
+	c.level = append([]int32(nil), s.level...)
+	c.reason = append([]int32(nil), s.reason...)
+	c.trail = append([]Lit(nil), s.trail...)
+	c.trailLim = append([]int(nil), s.trailLim...)
+	c.activity = append([]float64(nil), s.activity...)
+	c.phase = append([]bool(nil), s.phase...)
+	c.seen = append([]bool(nil), s.seen...)
+	c.model = append([]bool(nil), s.model...)
+	c.keptAssumps = append([]Lit(nil), s.keptAssumps...)
+	c.heap.heap = append([]int(nil), s.heap.heap...)
+	c.heap.pos = append([]int(nil), s.heap.pos...)
+	return c
+}
 
 // NewVar allocates a fresh variable and returns its index.
 func (s *CDCL) NewVar() int {
@@ -130,23 +198,26 @@ func (s *CDCL) Value(v int) bool { return v < len(s.model) && s.model[v] }
 func (s *CDCL) decisionLevel() int { return len(s.trailLim) }
 
 // AddClause adds a clause over the given literals. It returns false if the
-// solver is already in an unsatisfiable state at level 0.
+// solver is already in an unsatisfiable state at level 0. With Reuse the
+// call may arrive while an assumption trail is still standing; the clause
+// is then attached without disturbing the kept levels whenever possible.
 func (s *CDCL) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
 	}
-	if s.decisionLevel() != 0 {
-		panic("solver: AddClause above decision level 0")
-	}
-	// Normalize: drop duplicate and false literals; detect tautologies and
-	// already-true clauses.
+	// Normalize using level-0 assignments only. Dropping a literal that is
+	// false merely under the standing assumptions would strengthen the
+	// clause unsoundly, and a clause satisfied only above level 0 must
+	// still be attached for when that level is undone.
 	out := lits[:0:0]
 	for _, l := range lits {
-		switch s.value(l) {
-		case valTrue:
-			return true
-		case valFalse:
-			continue
+		if s.assign[l.Var()] != valUnassigned && s.level[l.Var()] == 0 {
+			switch s.value(l) {
+			case valTrue:
+				return true
+			case valFalse:
+				continue
+			}
 		}
 		dup, taut := false, false
 		for _, o := range out {
@@ -171,22 +242,54 @@ func (s *CDCL) AddClause(lits ...Lit) bool {
 		s.ok = false
 		return false
 	case 1:
-		s.enqueue(out[0], noReason)
-		if s.propagate() != noReason {
-			s.ok = false
-			return false
+		// A unit must take effect at level 0 or it would be lost on the
+		// next backtrack.
+		s.cancelUntil(0)
+		if s.value(out[0]) != valTrue {
+			s.enqueue(out[0], noReason)
+			if s.propagate() != noReason {
+				s.ok = false
+				return false
+			}
 		}
 		return true
+	}
+	if s.decisionLevel() > 0 {
+		// Watch two currently-non-false literals so the watcher invariant
+		// holds without touching the kept trail. Every bit-blaster clause
+		// carries a fresh gate literal, so this nearly always succeeds; the
+		// fallback full backtrack is rare and always sound.
+		w := 0
+		for i := 0; i < len(out) && w < 2; i++ {
+			if s.value(out[i]) != valFalse {
+				out[i], out[w] = out[w], out[i]
+				w++
+			}
+		}
+		if w < 2 {
+			s.cancelUntil(0)
+		}
 	}
 	s.attachClause(out)
 	return true
 }
 
+// watcher pairs a watched clause reference with a blocker — a literal of the
+// clause (initially the other watch) whose truth proves the clause satisfied
+// without loading the clause itself. Blockers are a pure memory-traffic
+// optimization: they only short-circuit clauses propagate would have kept
+// anyway, so the search — decisions, conflicts, learned clauses, models — is
+// bit-for-bit unchanged.
+type watcher struct {
+	ref     int32
+	blocker Lit
+}
+
 func (s *CDCL) attachClause(c []Lit) int32 {
 	ref := int32(len(s.clauses))
 	s.clauses = append(s.clauses, c)
-	s.watches[c[0]] = append(s.watches[c[0]], ref)
-	s.watches[c[1]] = append(s.watches[c[1]], ref)
+	s.watches[c[0]] = append(s.watches[c[0]], watcher{ref, c[1]})
+	s.watches[c[1]] = append(s.watches[c[1]], watcher{ref, c[0]})
 	return ref
 }
 
@@ -217,15 +320,21 @@ func (s *CDCL) propagate() int32 {
 		kept := ws[:0]
 		var confl int32 = noReason
 		for i := 0; i < len(ws); i++ {
-			ref := ws[i]
+			// A true blocker proves the clause satisfied without loading it.
+			if s.value(ws[i].blocker) == valTrue {
+				kept = append(kept, ws[i])
+				continue
+			}
+			ref := ws[i].ref
 			c := s.clauses[ref]
 			// Ensure the false literal is at position 1.
 			if c[0] == fp {
 				c[0], c[1] = c[1], c[0]
 			}
-			// If the other watch is true, the clause is satisfied.
+			// If the other watch is true, the clause is satisfied; refresh
+			// the blocker so the next visit can skip the clause load.
 			if s.value(c[0]) == valTrue {
-				kept = append(kept, ref)
+				kept = append(kept, watcher{ref, c[0]})
 				continue
 			}
 			// Find a new literal to watch.
@@ -233,7 +342,7 @@ func (s *CDCL) propagate() int32 {
 			for k := 2; k < len(c); k++ {
 				if s.value(c[k]) != valFalse {
 					c[1], c[k] = c[k], c[1]
-					s.watches[c[1]] = append(s.watches[c[1]], ref)
+					s.watches[c[1]] = append(s.watches[c[1]], watcher{ref, c[0]})
 					found = true
 					break
 				}
@@ -242,7 +351,7 @@ func (s *CDCL) propagate() int32 {
 				continue
 			}
 			// Clause is unit or conflicting.
-			kept = append(kept, ref)
+			kept = append(kept, watcher{ref, c[0]})
 			if s.value(c[0]) == valFalse {
 				confl = ref
 				// Copy remaining watchers and stop.
@@ -331,8 +440,14 @@ func (s *CDCL) analyze(confl int32) (learnt []Lit, backLevel int32) {
 	return learnt, backLevel
 }
 
-// cancelUntil undoes assignments above the given decision level.
+// cancelUntil undoes assignments above the given decision level. Any kept
+// assumption record beyond the surviving levels is invalidated here, so
+// restarts, backjumps, and learned units automatically shrink the reusable
+// prefix instead of leaving it stale.
 func (s *CDCL) cancelUntil(lvl int) {
+	if lvl < len(s.keptAssumps) {
+		s.keptAssumps = s.keptAssumps[:lvl]
+	}
 	if s.decisionLevel() <= lvl {
 		return
 	}
@@ -378,13 +493,25 @@ func (s *CDCL) Solve(assumps []Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
-	s.cancelUntil(0)
-	if s.propagate() != noReason {
-		s.ok = false
-		return Unsat
+	if s.Reuse {
+		// Backtrack only to the longest common prefix with the previous
+		// call's assumptions; the shared levels and their propagations
+		// survive intact and only the suffix is re-decided below.
+		n := 0
+		for n < len(s.keptAssumps) && n < len(assumps) && s.keptAssumps[n] == assumps[n] {
+			n++
+		}
+		s.ReusedLevels += int64(n)
+		s.cancelUntil(n)
+	} else {
+		s.cancelUntil(0)
+	}
+	restartBase := int64(100)
+	if s.Seed != 0 {
+		restartBase += int64(s.Seed % 97)
 	}
 	restartNum := int64(1)
-	conflictBudget := 100 * luby(restartNum)
+	conflictBudget := restartBase * luby(restartNum)
 	conflictsHere := int64(0)
 	conflictsTotal := int64(0)
 	for {
@@ -393,6 +520,10 @@ func (s *CDCL) Solve(assumps []Lit) Status {
 			s.Conflicts++
 			conflictsHere++
 			conflictsTotal++
+			if s.Stop != nil && atomic.LoadInt32(s.Stop) != 0 {
+				s.cancelUntil(0)
+				return Unknown
+			}
 			if s.MaxConflicts > 0 && conflictsTotal > s.MaxConflicts {
 				// Budget exhausted: back out cleanly. Clauses learned so
 				// far stay attached (they are implied, so later calls
@@ -418,7 +549,7 @@ func (s *CDCL) Solve(assumps []Lit) Status {
 			}
 			if conflictsHere >= conflictBudget {
 				restartNum++
-				conflictBudget = 100 * luby(restartNum)
+				conflictBudget = restartBase * luby(restartNum)
 				conflictsHere = 0
 				s.cancelUntil(0)
 			}
@@ -446,8 +577,11 @@ func (s *CDCL) Solve(assumps []Lit) Status {
 		}
 		v := s.pickBranchVar()
 		if v < 0 {
-			// Complete assignment: snapshot the model, then restore the
-			// solver to level 0 so clauses can be added afterwards.
+			// Complete assignment: snapshot the model. Without Reuse the
+			// solver restores to level 0 so clauses can be added afterwards;
+			// with Reuse only the free-search levels are undone and the
+			// assumption levels stay standing for the next sibling query
+			// (AddClause knows how to attach above level 0).
 			if cap(s.model) < len(s.assign) {
 				s.model = make([]bool, len(s.assign))
 			}
@@ -455,13 +589,34 @@ func (s *CDCL) Solve(assumps []Lit) Status {
 			for i, a := range s.assign {
 				s.model[i] = a == valTrue
 			}
-			s.cancelUntil(0)
+			if s.Reuse {
+				s.cancelUntil(len(assumps))
+				s.keptAssumps = append(s.keptAssumps[:0], assumps...)
+			} else {
+				s.cancelUntil(0)
+			}
 			return Sat
 		}
 		s.Decisions++
+		pol := !s.phase[v]
+		if s.Seed != 0 {
+			s.rng = splitmix64(s.rng + s.Seed)
+			if s.rng&31 == 0 {
+				pol = !pol
+			}
+		}
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.enqueue(MkLit(v, !s.phase[v]), noReason)
+		s.enqueue(MkLit(v, pol), noReason)
 	}
+}
+
+// splitmix64 advances a splitmix64 PRNG state; used only for the seeded
+// portfolio heuristic perturbation, never on the default path.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // varHeap is a binary max-heap of variables ordered by activity.

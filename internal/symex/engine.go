@@ -28,6 +28,14 @@ type Options struct {
 	// to symex as path seeds. Deterministic: a pure function of the
 	// assignment, never of scheduling.
 	Guide map[string]uint64
+	// NoSolverBatch disables the batched solver front-end (assumption-trail
+	// reuse across the sibling queries of one task). The negative sense
+	// keeps the zero-value Options on the fast default.
+	NoSolverBatch bool
+	// Portfolio races that many deterministically-seeded solver clones
+	// against the primary on budgeted queries (0 = off). Answers are a pure
+	// function of the query sequence; only wall-clock changes.
+	Portfolio int
 }
 
 // DefaultOptions mirror the paper's configuration.
@@ -115,6 +123,8 @@ func NewEngine(initial *SymState, sideConds []*expr.Expr, opts Options) *Engine 
 		opts:    opts,
 		initial: initial,
 	}
+	en.bv.Reuse = !opts.NoSolverBatch
+	en.bv.Portfolio = opts.Portfolio
 	for _, c := range sideConds {
 		if c == nil {
 			continue

@@ -13,14 +13,44 @@ import (
 // Because the assignment is total, "still satisfies" is a concrete
 // evaluation — no decision-procedure call is needed, exactly the simple
 // evaluation-based approach the paper settled on.
+//
+// Two facts keep the inner loop cheap without changing a single decision:
+// every condition holds before each tested flip, so only conditions that
+// mention the flipped variable can become false; and the conditions are
+// hash-consed DAGs, so evaluation memoized on node identity visits each
+// shared subterm once instead of once per path.
 func (en *Engine) minimize(model map[string]uint64) {
 	conds := make([]*expr.Expr, 0, len(en.sideCond)+len(en.pathCond))
 	conds = append(conds, en.sideCond...)
 	conds = append(conds, en.pathCond...)
 
-	satisfied := func() bool {
-		for _, c := range conds {
-			if expr.Eval(c, model) != 1 {
+	// deps[name] lists the conditions whose truth can depend on name.
+	deps := make(map[string][]int)
+	visited := make(map[*expr.Expr]bool)
+	var walk func(e *expr.Expr, i int)
+	walk = func(e *expr.Expr, i int) {
+		if visited[e] {
+			return
+		}
+		visited[e] = true
+		if e.Op == expr.OpVar {
+			deps[e.Name] = append(deps[e.Name], i)
+			return
+		}
+		for _, kid := range e.Kids {
+			walk(kid, i)
+		}
+	}
+	for i, c := range conds {
+		clear(visited)
+		walk(c, i)
+	}
+
+	memo := make(map[*expr.Expr]uint64)
+	satisfied := func(name string) bool {
+		clear(memo)
+		for _, i := range deps[name] {
+			if expr.EvalMemo(conds[i], model, memo) != 1 {
 				return false
 			}
 		}
@@ -50,7 +80,7 @@ func (en *Engine) minimize(model map[string]uint64) {
 				continue
 			}
 			model[name] = model[name]&^m | base&m
-			if satisfied() {
+			if satisfied(name) {
 				en.stats.MinimizedBits++
 			} else {
 				// Revert: this bit is load-bearing for the path.

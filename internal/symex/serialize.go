@@ -13,7 +13,10 @@ import (
 // below must bump it so persistent corpora are invalidated rather than
 // misread. Version 2: canonical concretization pins, canonical path order,
 // and solver query memoization changed which models exploration emits.
-const SerialVersion = 2
+// Version 3: the batched solver front-end (incremental solving with shared
+// assumption prefixes) became the default, changing which models exploration
+// emits on budget-free queries.
+const SerialVersion = 3
 
 // SummaryRecord is the serializable form of a Summary: the expression DAG
 // flattened into a node table (shared subterms appear once and are
