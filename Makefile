@@ -11,9 +11,9 @@ SERVE_CORPUS ?= .pokeemud-corpus
 # Per-package statement-coverage floors enforced by `make cover`
 # (package:floor pairs; floors sit a few points under current coverage so
 # routine edits pass but a dropped test file fails).
-COVER_FLOORS ?= triage:85 diff:90 equivcheck:85 coverage:90 hybrid:85
+COVER_FLOORS ?= triage:85 diff:90 equivcheck:85 coverage:90 hybrid:85 lento:90
 
-.PHONY: build vet test race fuzz chaos cover bench bench-gate serve smoke equivcheck hybrid check
+.PHONY: build vet test race fuzz chaos cover bench bench-gate serve smoke equivcheck hybrid vote check
 
 build:
 	$(GO) build ./...
@@ -29,12 +29,13 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-# The seven native fuzz targets: the instruction decoder's structural
+# The eight native fuzz targets: the instruction decoder's structural
 # invariants, the expression simplifier's soundness, the bit-blaster vs
 # evaluator semantics oracle, the fault-injection spec parser, the triage
 # minimizer's shrink/signature-preservation invariants, the equivcheck
-# verdict vs concrete-differential oracle, and the hybrid mutator's
-# atom-discipline/aliasing/determinism invariants.
+# verdict vs concrete-differential oracle, the hybrid mutator's
+# atom-discipline/aliasing/determinism invariants, and the lento
+# interpreter vs evaluator/bit-blaster ALU oracle.
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/x86
 	$(GO) test -fuzz=FuzzExprSimplify -fuzztime=$(FUZZTIME) ./internal/expr
@@ -43,6 +44,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzTriageMinimize -fuzztime=$(FUZZTIME) ./internal/triage
 	$(GO) test -fuzz=FuzzVsOracle -fuzztime=$(FUZZTIME) ./internal/equivcheck
 	$(GO) test -fuzz=FuzzMutator -fuzztime=$(FUZZTIME) ./internal/hybrid
+	$(GO) test -fuzz=FuzzLentoVsEval -fuzztime=$(FUZZTIME) ./internal/lento
 
 # Chaos gate: the fault-injection matrix under the race detector, sweeping
 # a fixed seed range (CHAOS_SEEDS plans per fault mix). Every armed fault
@@ -116,4 +118,12 @@ hybrid:
 	$(GO) test -race -timeout 30m -run 'TestHybrid' ./internal/campaign ./internal/hybrid ./internal/service
 	$(GO) test -race -run 'TestRunDeterministic|TestRunWithReseed' ./internal/hybrid
 
-check: build vet test race chaos cover smoke equivcheck hybrid bench-gate
+# Voting gate: the three-emulator majority-vote campaign pinned against its
+# report golden, the blame-acceptance property (every majority verdict over
+# the gate handler set blames celer, never fidelis or lento), worker-count
+# determinism, and the vote-off byte-format guarantee — plus the diff-layer
+# verdict unit tests, all under the race detector.
+vote:
+	$(GO) test -race -timeout 30m -run 'TestVote' ./internal/campaign ./internal/diff
+
+check: build vet test race chaos cover smoke equivcheck hybrid vote bench-gate

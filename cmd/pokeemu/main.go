@@ -11,7 +11,7 @@
 //	pokeemu campaign [-instrs N] [-cap N] [-handlers a,b,c] [-workers N]
 //	                 [-explore-workers N] [-corpus DIR] [-resume] [-no-cache]
 //	                 [-timing] [-progress] [-test-steps N] [-test-timeout D]
-//	                 [-stage-timeout D] [-faults SPEC] [-pprof PREFIX]
+//	                 [-stage-timeout D] [-faults SPEC] [-pprof PREFIX] [-vote]
 //	pokeemu triage [campaign flags] [-baseline FILE] [-minimize] [-budget N]
 //	               [-update-baseline] [-json FILE] [-gate]
 //	pokeemu triage -diff OLD.json NEW.json [-gate]
@@ -198,7 +198,7 @@ func cmdEquivcheck(args []string) {
 func cmdTrace(args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	progHex := fs.String("prog", "b82a000000f4", "hex-encoded program bytes")
-	impl := fs.String("on", "fidelis", "fidelis | celer | hardware")
+	impl := fs.String("on", "fidelis", "fidelis | celer | lento | hardware")
 	steps := fs.Int("steps", 64, "max instructions")
 	fs.Parse(args)
 
@@ -220,6 +220,8 @@ func runTrace(w io.Writer, impl string, prog []byte, steps int) error {
 		factory = harness.FidelisFactory()
 	case "celer":
 		factory = harness.CelerFactory()
+	case "lento":
+		factory = harness.LentoFactory()
 	case "hardware":
 		factory = harness.HardwareFactory()
 	default:
@@ -444,6 +446,8 @@ func cmdCampaign(args []string) {
 		"use the Lo-Fi emulator's direct-dispatch fast path (off = IR-flavored slow path)")
 	portfolio := fs.Int("portfolio", 0,
 		"race N extra seeded solver clones per budgeted query (0 = off; deterministic)")
+	vote := fs.Bool("vote", false,
+		"run every test on lento too and vote the three emulators into per-test verdicts with a blame column")
 	fs.Parse(args)
 
 	if err := validateCampaignFlags(*workers, *exploreWorkers, *cap, *instrs, *maxSteps, *testSteps, *testTimeout, *stageTimeout); err != nil {
@@ -484,6 +488,7 @@ func cmdCampaign(args []string) {
 		NoSolverBatch:    !*solverBatch,
 		NoFastPath:       !*fastpath,
 		Portfolio:        *portfolio,
+		Vote:             *vote,
 	}
 	if *hybridOn {
 		cfg.Hybrid = campaign.HybridConfig{

@@ -78,6 +78,15 @@ type Config struct {
 	// re-lowering slow path. The zero value enables the fast path. Reports
 	// are byte-identical either way.
 	NoFastPath bool
+	// Vote enables N-way voted verdicts: every test additionally runs on
+	// lento (the independent direct-decode interpreter), and the three
+	// emulators — fidelis, celer, lento — are partitioned into equivalence
+	// classes per test. A majority pinpoints the outlier emulator; a 3-way
+	// split is surfaced as its own class. The pairwise hardware-oracle
+	// numbers are unchanged, and with Vote off the Result and report are
+	// byte-identical to a vote-free campaign. Voting bypasses the -resume
+	// execution cache (cached outcomes hold only the classic trio).
+	Vote bool
 	// Portfolio races that many deterministically-seeded solver clones
 	// against the primary solver on conflict-budgeted queries (0 disables).
 	// The portfolio verdict is a pure function of the query sequence, but
@@ -234,13 +243,14 @@ type InstrReport struct {
 // only run-dependent part of a Result; they are rendered by TimingTable, not
 // Summary, so the deterministic report stays byte-identical across runs.
 type StageTiming struct {
-	Explore  time.Duration
-	Generate time.Duration
-	ExecHiFi time.Duration
-	ExecLoFi time.Duration
-	ExecHW   time.Duration
-	Compare  time.Duration
-	Hybrid   time.Duration
+	Explore   time.Duration
+	Generate  time.Duration
+	ExecHiFi  time.Duration
+	ExecLoFi  time.Duration
+	ExecLento time.Duration // zero unless Config.Vote ran the lento leg
+	ExecHW    time.Duration
+	Compare   time.Duration
+	Hybrid    time.Duration
 }
 
 // SolverStats snapshots the solver/expression hot-path counters for one
@@ -373,6 +383,16 @@ type Result struct {
 	Differences []*diff.Difference
 	RootCauses  map[string]int
 
+	// Voted-verdict tallies (populated when Config.Vote was set). The vote
+	// runs over the three emulators — fidelis, celer, lento — per test;
+	// VoteBlame counts, per emulator, the tests where the majority outvoted
+	// it. A blame count is the campaign's per-emulator wrongness column.
+	VoteUsed     bool
+	VoteAgree    int
+	VoteMajority int
+	VoteSplits   int
+	VoteBlame    map[string]int
+
 	// TriageCases mirrors Differences in the triage engine's input shape:
 	// one CaseInfo per divergent test, carrying the runnable program and its
 	// test-instruction offset so the ddmin minimizer can reproduce and shrink
@@ -429,10 +449,13 @@ type instrOut struct {
 	putErr error // corpus write failure for this instruction's entry
 }
 
-// trio is one test's execution outcome across the three implementations.
+// trio is one test's execution outcome across the three implementations,
+// plus the optional lento voting leg.
 type trio struct {
 	fi, ce, hw    *harness.Result
+	le            *harness.Result // lento leg, nil unless Config.Vote
 	tFi, tCe, tHw time.Duration
+	tLe           time.Duration
 	cached        bool
 	fault         string
 	putErr        error // corpus write failure for this test's exec entry
@@ -440,7 +463,10 @@ type trio struct {
 }
 
 func (t *trio) timedOut() bool {
-	return t.fi.TimedOut || t.ce.TimedOut || t.hw.TimedOut
+	if t.fi.TimedOut || t.ce.TimedOut || t.hw.TimedOut {
+		return true
+	}
+	return t.le != nil && t.le.TimedOut
 }
 
 // Run executes a campaign.
@@ -782,6 +808,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	fiF := harness.FidelisFactory()
 	ceF := harness.CelerFactoryFast(!cfg.NoFastPath)
 	hwF := harness.HardwareFactory()
+	leF := harness.LentoFactory()
+	// The -resume execution cache stores the classic trio only; a voting
+	// campaign needs the fourth leg, so it bypasses the cache entirely
+	// rather than replaying three-legged outcomes it cannot vote over.
+	execCache := cfg.Resume && !cfg.Vote
 
 	outcomes := make([]trio, len(tests))
 	emit(StageExecute, "", 0, len(tests))
@@ -800,7 +831,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			panic(err)
 		}
 		var ek corpus.ExecKey
-		if crp != nil && cfg.Resume {
+		if crp != nil && execCache {
 			ek = corpus.ExecKey{
 				ProgSHA:  corpus.ExecProgSHA(boot, tests[i].prog),
 				MaxSteps: testBudget.MaxSteps,
@@ -828,7 +859,12 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		t = time.Now()
 		outcomes[i].hw = harness.RunBootBudget(hwF, image, boot, tests[i].prog, testBudget)
 		outcomes[i].tHw = time.Since(t)
-		if crp != nil && cfg.Resume && !outcomes[i].timedOut() {
+		if cfg.Vote {
+			t = time.Now()
+			outcomes[i].le = harness.RunBootBudget(leF, image, boot, tests[i].prog, testBudget)
+			outcomes[i].tLe = time.Since(t)
+		}
+		if crp != nil && execCache && !outcomes[i].timedOut() {
 			if ent, err := encodeExecEntry(ek, &outcomes[i], image); err == nil {
 				outcomes[i].putErr = crp.PutExec(ent)
 			}
@@ -864,6 +900,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		res.Timing.ExecHiFi += o.tFi
 		res.Timing.ExecLoFi += o.tCe
+		res.Timing.ExecLento += o.tLe
 		res.Timing.ExecHW += o.tHw
 		if o.cached {
 			res.Cache.ExecHits++
@@ -886,6 +923,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	t1 := time.Now()
 	res.BaselineUsed = cfg.Baseline != nil
 	res.BaselineEntries = cfg.Baseline.Len()
+	res.VoteUsed = cfg.Vote
+	if cfg.Vote {
+		res.VoteBlame = make(map[string]int)
+	}
 	record := func(i int, implB string, ds []diff.FieldDiff) {
 		d := &diff.Difference{
 			TestID: tests[i].id, Handler: tests[i].handler, Mnemonic: tests[i].mnemonic,
@@ -922,6 +963,27 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		if ds := diff.Compare(o.hw.Snapshot, o.fi.Snapshot, filter); len(ds) > 0 {
 			res.HiFiDiffTests++
 			record(i, "fidelis", ds)
+		}
+		// N-way vote over the three independent emulators. Hardware stays
+		// the pairwise oracle above; the vote turns emulator-vs-emulator
+		// divergences into blame assignments without any oracle at all.
+		if cfg.Vote {
+			v := diff.Vote([]diff.VoteRun{
+				{Impl: "fidelis", Snap: o.fi.Snapshot},
+				{Impl: "celer", Snap: o.ce.Snapshot},
+				{Impl: "lento", Snap: o.le.Snapshot},
+			}, filter)
+			switch v.Class {
+			case diff.VerdictAgree:
+				res.VoteAgree++
+			case diff.VerdictMajority:
+				res.VoteMajority++
+				for _, impl := range v.Outliers {
+					res.VoteBlame[impl]++
+				}
+			default:
+				res.VoteSplits++
+			}
 		}
 	}
 	res.Timing.Compare = time.Since(t1)
@@ -1126,6 +1188,21 @@ func (r *Result) Summary() string {
 	for _, c := range causes {
 		fmt.Fprintf(&b, "  root cause: %-55s %6d tests\n", c, r.RootCauses[c])
 	}
+	// Voted-verdict block: rendered only when the vote ran, so vote-free
+	// reports keep the historical byte format. The blame column is sorted
+	// by emulator name for determinism.
+	if r.VoteUsed {
+		fmt.Fprintf(&b, "vote (fidelis/celer/lento): %d agree, %d majority, %d split\n",
+			r.VoteAgree, r.VoteMajority, r.VoteSplits)
+		impls := make([]string, 0, len(r.VoteBlame))
+		for impl := range r.VoteBlame {
+			impls = append(impls, impl)
+		}
+		sort.Strings(impls)
+		for _, impl := range impls {
+			fmt.Fprintf(&b, "  blame: %-59s %6d tests\n", impl, r.VoteBlame[impl])
+		}
+	}
 	// Hybrid fuzzing block: rendered only when the stage ran, so
 	// hybrid-free reports keep the historical byte format. Every number is
 	// deterministic (worker-count independent).
@@ -1199,10 +1276,13 @@ func (r *Result) TimingTable() string {
 	}
 	row("explore", r.Timing.Explore, r.Cache.InstrHits, r.Cache.InstrMisses, "instr")
 	row("generate", r.Timing.Generate, r.Cache.TestsCached, r.Cache.TestsGenerated, "test")
-	execWall := r.Timing.ExecHiFi + r.Timing.ExecLoFi + r.Timing.ExecHW
+	execWall := r.Timing.ExecHiFi + r.Timing.ExecLoFi + r.Timing.ExecLento + r.Timing.ExecHW
 	row("execute", execWall, r.Cache.ExecHits, r.Cache.ExecMisses, "test")
 	fmt.Fprintf(&b, "%-12s %10s\n", "  hi-fi", r.Timing.ExecHiFi.Round(time.Millisecond))
 	fmt.Fprintf(&b, "%-12s %10s\n", "  lo-fi", r.Timing.ExecLoFi.Round(time.Millisecond))
+	if r.VoteUsed {
+		fmt.Fprintf(&b, "%-12s %10s\n", "  lento", r.Timing.ExecLento.Round(time.Millisecond))
+	}
 	fmt.Fprintf(&b, "%-12s %10s\n", "  hardware", r.Timing.ExecHW.Round(time.Millisecond))
 	fmt.Fprintf(&b, "%-12s %10s %10s %10s %9s\n", "compare", r.Timing.Compare.Round(time.Millisecond),
 		"-", fmt.Sprintf("%d test", r.LoFiDiffTests+r.HiFiDiffTests), "-")

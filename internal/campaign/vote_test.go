@@ -1,0 +1,125 @@
+package campaign
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// voteGateHandlers is the seeded handler set the voting gate campaign runs:
+// the alias encodings celer deliberately rejects (the known injected
+// decoder divergence — fidelis and lento accept them, so the majority must
+// blame celer on every divergent test) plus ordinary handlers that vote
+// unanimously.
+var voteGateHandlers = []string{
+	"add_rm8_imm8_alias",
+	"sbb_rm8_imm8_alias",
+	"test_rmv_immv_alias",
+	"add_rmv_rv",
+	"shl_rmv_imm8",
+	"push_r",
+}
+
+func voteGateConfig(workers int) Config {
+	return Config{
+		MaxPathsPerInstr: 24,
+		Handlers:         voteGateHandlers,
+		Seed:             1,
+		Workers:          workers,
+		Vote:             true,
+	}
+}
+
+// TestVoteBlamesCeler is the voting acceptance property: over the gate
+// handler set, every majority verdict blames celer — never fidelis, never
+// lento — because the only emulator-vs-emulator divergences are celer's
+// injected bugs (here, the rejected alias encodings).
+func TestVoteBlamesCeler(t *testing.T) {
+	res, err := Run(voteGateConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.VoteUsed {
+		t.Fatal("VoteUsed = false on a voting campaign")
+	}
+	total := res.VoteAgree + res.VoteMajority + res.VoteSplits
+	if total == 0 {
+		t.Fatal("no voted verdicts recorded")
+	}
+	if res.VoteMajority == 0 {
+		t.Fatal("no majority verdicts: the alias handlers should diverge on celer")
+	}
+	if res.VoteSplits != 0 {
+		t.Errorf("VoteSplits = %d, want 0 (no 3-way splits expected here)", res.VoteSplits)
+	}
+	if n := res.VoteBlame["fidelis"]; n != 0 {
+		t.Errorf("VoteBlame[fidelis] = %d, want 0", n)
+	}
+	if n := res.VoteBlame["lento"]; n != 0 {
+		t.Errorf("VoteBlame[lento] = %d, want 0", n)
+	}
+	if n := res.VoteBlame["celer"]; n != res.VoteMajority {
+		t.Errorf("VoteBlame[celer] = %d, want every majority (%d)", n, res.VoteMajority)
+	}
+	if !strings.Contains(res.Summary(), "vote (fidelis/celer/lento):") {
+		t.Error("Summary() lacks the vote section")
+	}
+	if !strings.Contains(res.TimingTable(), "lento") {
+		t.Error("TimingTable() lacks the lento execution row")
+	}
+}
+
+// TestVoteWorkerDeterminism: with voting on, the report stays byte-identical
+// for any worker count — the vote tallies ride the same index-ordered merge
+// as everything else.
+func TestVoteWorkerDeterminism(t *testing.T) {
+	seq, err := Run(voteGateConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(voteGateConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1, s8 := seq.Summary(), par.Summary(); s1 != s8 {
+		t.Errorf("summaries differ between Workers=1 and Workers=8:\n--- 1:\n%s\n--- 8:\n%s", s1, s8)
+	}
+	if seq.VoteAgree != par.VoteAgree || seq.VoteMajority != par.VoteMajority ||
+		seq.VoteSplits != par.VoteSplits {
+		t.Errorf("vote tallies differ: %d/%d/%d vs %d/%d/%d",
+			seq.VoteAgree, seq.VoteMajority, seq.VoteSplits,
+			par.VoteAgree, par.VoteMajority, par.VoteSplits)
+	}
+}
+
+// TestVoteOffUnchanged: without Vote, the result carries no vote state and
+// the summary has no vote section — the pre-voting byte format (also pinned
+// by TestSummaryGolden) is untouched.
+func TestVoteOffUnchanged(t *testing.T) {
+	cfg := voteGateConfig(4)
+	cfg.Vote = false
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VoteUsed || res.VoteBlame != nil {
+		t.Errorf("vote state populated with Vote off: used=%v blame=%v", res.VoteUsed, res.VoteBlame)
+	}
+	if strings.Contains(res.Summary(), "vote") {
+		t.Error("Summary() mentions voting with Vote off")
+	}
+	if strings.Contains(res.TimingTable(), "lento") {
+		t.Error("TimingTable() has a lento row with Vote off")
+	}
+}
+
+// TestVoteSummaryGolden pins the voting campaign report byte for byte — the
+// `make vote` gate. Regenerate intentionally with:
+// go test ./internal/campaign -run TestVoteSummaryGolden -update
+func TestVoteSummaryGolden(t *testing.T) {
+	res, err := Run(voteGateConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "vote_summary.golden"), []byte(res.Summary()))
+}

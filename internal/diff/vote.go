@@ -1,0 +1,123 @@
+package diff
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pokeemu/internal/machine"
+)
+
+// Voted-verdict classes. A two-way diff can only say "these disagree"; with
+// three or more independent implementations the majority pinpoints WHICH one
+// is wrong, turning a divergence into a blame assignment.
+const (
+	// VerdictAgree: every implementation produced the same filtered state.
+	VerdictAgree = "agree"
+	// VerdictMajority: all but the outliers agree; the majority state is
+	// taken as ground truth and the outliers are blamed.
+	VerdictMajority = "majority"
+	// VerdictSplit: no strict majority — e.g. a 3-way split where every
+	// implementation disagrees with every other. Surfaced as its own class
+	// because no single emulator can be blamed without an external oracle.
+	VerdictSplit = "split"
+)
+
+// VoteRun is one implementation's final state, as input to Vote.
+type VoteRun struct {
+	Impl string
+	Snap *machine.Snapshot
+}
+
+// Verdict is the outcome of an N-way vote over final states.
+type Verdict struct {
+	// Class is VerdictAgree, VerdictMajority, or VerdictSplit.
+	Class string
+	// Groups are the equivalence classes of implementation names, largest
+	// first (ties broken by input order of the first member). Implementations
+	// within a group produced identical filtered states.
+	Groups [][]string
+	// Outliers names the blamed implementations when Class is
+	// VerdictMajority: every implementation outside the majority group.
+	Outliers []string
+	// Fields are the differences between the first outlier and a majority
+	// representative (Class VerdictMajority), or between the first two groups
+	// (Class VerdictSplit). Empty on agreement.
+	Fields []FieldDiff
+}
+
+// Vote partitions the runs into equivalence classes under the filtered
+// state comparison and classifies the partition. The partition is built
+// deterministically from input order, so verdicts are stable for a fixed
+// run ordering regardless of scheduling.
+func Vote(runs []VoteRun, f Filter) *Verdict {
+	if len(runs) == 0 {
+		return &Verdict{Class: VerdictAgree}
+	}
+	// reps[i] indexes the run representing equivalence class i.
+	var reps []int
+	groups := [][]string{}
+	for i, r := range runs {
+		placed := false
+		for g, rep := range reps {
+			if len(Compare(runs[rep].Snap, r.Snap, f)) == 0 {
+				groups[g] = append(groups[g], r.Impl)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			reps = append(reps, i)
+			groups = append(groups, []string{r.Impl})
+		}
+	}
+
+	// Order groups largest-first; stable sort keeps input order among ties.
+	order := make([]int, len(groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(groups[order[a]]) > len(groups[order[b]])
+	})
+	sortedGroups := make([][]string, len(groups))
+	sortedReps := make([]int, len(groups))
+	for i, g := range order {
+		sortedGroups[i] = groups[g]
+		sortedReps[i] = reps[g]
+	}
+
+	v := &Verdict{Groups: sortedGroups}
+	switch {
+	case len(sortedGroups) == 1:
+		v.Class = VerdictAgree
+	case len(sortedGroups[0])*2 > len(runs):
+		v.Class = VerdictMajority
+		for _, g := range sortedGroups[1:] {
+			v.Outliers = append(v.Outliers, g...)
+		}
+		v.Fields = Compare(runs[sortedReps[1]].Snap, runs[sortedReps[0]].Snap, f)
+	default:
+		v.Class = VerdictSplit
+		v.Fields = Compare(runs[sortedReps[0]].Snap, runs[sortedReps[1]].Snap, f)
+	}
+	return v
+}
+
+// String renders a verdict compactly, e.g.
+// "majority: celer vs {fidelis,lento}" or "split: {fidelis}|{celer}|{lento}".
+func (v *Verdict) String() string {
+	switch v.Class {
+	case VerdictAgree:
+		return VerdictAgree
+	case VerdictMajority:
+		return fmt.Sprintf("majority: %s vs {%s}",
+			strings.Join(v.Outliers, ","), strings.Join(v.Groups[0], ","))
+	default:
+		parts := make([]string, len(v.Groups))
+		for i, g := range v.Groups {
+			parts[i] = "{" + strings.Join(g, ",") + "}"
+		}
+		return "split: " + strings.Join(parts, "|")
+	}
+}

@@ -1,0 +1,185 @@
+package diff
+
+import (
+	"reflect"
+	"testing"
+
+	"pokeemu/internal/machine"
+	"pokeemu/internal/x86"
+)
+
+// voteSnaps builds n baseline snapshots, mutated by the given functions
+// (nil = untouched baseline).
+func voteSnaps(muts ...func(m *machine.Machine)) []*machine.Snapshot {
+	img := machine.BaselineImage()
+	out := make([]*machine.Snapshot, len(muts))
+	for i, mut := range muts {
+		m := machine.NewBaseline(img)
+		if mut != nil {
+			mut(m)
+		}
+		out[i] = m.Snapshot(nil)
+	}
+	return out
+}
+
+func TestVoteAgree(t *testing.T) {
+	s := voteSnaps(nil, nil, nil)
+	v := Vote([]VoteRun{
+		{Impl: "fidelis", Snap: s[0]},
+		{Impl: "celer", Snap: s[1]},
+		{Impl: "lento", Snap: s[2]},
+	}, Filter{})
+	if v.Class != VerdictAgree {
+		t.Fatalf("class = %q, want agree", v.Class)
+	}
+	if len(v.Groups) != 1 || len(v.Groups[0]) != 3 {
+		t.Errorf("groups = %v, want one group of three", v.Groups)
+	}
+	if len(v.Outliers) != 0 || len(v.Fields) != 0 {
+		t.Errorf("agree verdict carries outliers %v / fields %v", v.Outliers, v.Fields)
+	}
+	if v.String() != "agree" {
+		t.Errorf("String() = %q", v.String())
+	}
+}
+
+func TestVoteMajorityBlamesOutlier(t *testing.T) {
+	s := voteSnaps(nil, func(m *machine.Machine) { m.GPR[x86.EAX] = 7 }, nil)
+	v := Vote([]VoteRun{
+		{Impl: "fidelis", Snap: s[0]},
+		{Impl: "celer", Snap: s[1]},
+		{Impl: "lento", Snap: s[2]},
+	}, Filter{})
+	if v.Class != VerdictMajority {
+		t.Fatalf("class = %q, want majority", v.Class)
+	}
+	if !reflect.DeepEqual(v.Outliers, []string{"celer"}) {
+		t.Errorf("outliers = %v, want [celer]", v.Outliers)
+	}
+	if !reflect.DeepEqual(v.Groups[0], []string{"fidelis", "lento"}) {
+		t.Errorf("majority group = %v, want [fidelis lento]", v.Groups[0])
+	}
+	if len(v.Fields) != 1 || v.Fields[0].Field != "eax" {
+		t.Errorf("fields = %v, want the eax delta", v.Fields)
+	}
+	if got := v.String(); got != "majority: celer vs {fidelis,lento}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// The majority group leads even when the outlier comes first in input
+// order — the partition is about sizes, not positions.
+func TestVoteMajorityOutlierFirst(t *testing.T) {
+	s := voteSnaps(func(m *machine.Machine) { m.EIP = 0x1234 }, nil, nil)
+	v := Vote([]VoteRun{
+		{Impl: "fidelis", Snap: s[0]},
+		{Impl: "celer", Snap: s[1]},
+		{Impl: "lento", Snap: s[2]},
+	}, Filter{})
+	if v.Class != VerdictMajority {
+		t.Fatalf("class = %q, want majority", v.Class)
+	}
+	if !reflect.DeepEqual(v.Outliers, []string{"fidelis"}) {
+		t.Errorf("outliers = %v, want [fidelis]", v.Outliers)
+	}
+	if !reflect.DeepEqual(v.Groups[0], []string{"celer", "lento"}) {
+		t.Errorf("majority group = %v", v.Groups[0])
+	}
+}
+
+func TestVoteThreeWaySplit(t *testing.T) {
+	s := voteSnaps(
+		func(m *machine.Machine) { m.GPR[x86.EAX] = 1 },
+		func(m *machine.Machine) { m.GPR[x86.EAX] = 2 },
+		func(m *machine.Machine) { m.GPR[x86.EAX] = 3 },
+	)
+	v := Vote([]VoteRun{
+		{Impl: "fidelis", Snap: s[0]},
+		{Impl: "celer", Snap: s[1]},
+		{Impl: "lento", Snap: s[2]},
+	}, Filter{})
+	if v.Class != VerdictSplit {
+		t.Fatalf("class = %q, want split", v.Class)
+	}
+	if len(v.Groups) != 3 {
+		t.Fatalf("groups = %v, want three singletons", v.Groups)
+	}
+	if len(v.Outliers) != 0 {
+		t.Errorf("split verdict names outliers %v; no single emulator is blamable", v.Outliers)
+	}
+	if len(v.Fields) == 0 {
+		t.Error("split verdict carries no field delta")
+	}
+	if got := v.String(); got != "split: {fidelis}|{celer}|{lento}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// A filtered difference must not split the vote: if the only delta is an
+// architecturally-undefined flag, the implementations agree.
+func TestVoteFilterApplies(t *testing.T) {
+	s := voteSnaps(nil, func(m *machine.Machine) { m.EFLAGS |= 1 << x86.FlagAF }, nil)
+	runs := []VoteRun{
+		{Impl: "fidelis", Snap: s[0]},
+		{Impl: "celer", Snap: s[1]},
+		{Impl: "lento", Snap: s[2]},
+	}
+	if v := Vote(runs, Filter{}); v.Class != VerdictMajority {
+		t.Errorf("unfiltered class = %q, want majority", v.Class)
+	}
+	if v := Vote(runs, Filter{EFLAGSMask: 1 << x86.FlagAF}); v.Class != VerdictAgree {
+		t.Errorf("filtered class = %q, want agree", v.Class)
+	}
+}
+
+func TestVoteDegenerateInputs(t *testing.T) {
+	if v := Vote(nil, Filter{}); v.Class != VerdictAgree {
+		t.Errorf("empty vote class = %q, want agree", v.Class)
+	}
+	s := voteSnaps(nil)
+	if v := Vote([]VoteRun{{Impl: "fidelis", Snap: s[0]}}, Filter{}); v.Class != VerdictAgree {
+		t.Errorf("single-run vote class = %q, want agree", v.Class)
+	}
+	// Two runs that disagree have no majority: {1,1} is a split.
+	s2 := voteSnaps(nil, func(m *machine.Machine) { m.GPR[x86.EBX] = 9 })
+	v := Vote([]VoteRun{
+		{Impl: "fidelis", Snap: s2[0]},
+		{Impl: "celer", Snap: s2[1]},
+	}, Filter{})
+	if v.Class != VerdictSplit {
+		t.Errorf("two-way disagreement class = %q, want split", v.Class)
+	}
+}
+
+// Five-way vote: a 3-vs-2 partition is a majority blaming both members of
+// the minority group.
+func TestVoteFiveWayMajority(t *testing.T) {
+	bad := func(m *machine.Machine) { m.GPR[x86.ECX] = 0xdead }
+	s := voteSnaps(nil, bad, nil, bad, nil)
+	v := Vote([]VoteRun{
+		{Impl: "a", Snap: s[0]},
+		{Impl: "b", Snap: s[1]},
+		{Impl: "c", Snap: s[2]},
+		{Impl: "d", Snap: s[3]},
+		{Impl: "e", Snap: s[4]},
+	}, Filter{})
+	if v.Class != VerdictMajority {
+		t.Fatalf("class = %q, want majority", v.Class)
+	}
+	if !reflect.DeepEqual(v.Outliers, []string{"b", "d"}) {
+		t.Errorf("outliers = %v, want [b d]", v.Outliers)
+	}
+	// 2-2-1 has no strict majority.
+	s2 := voteSnaps(nil, bad, nil, bad, func(m *machine.Machine) { m.EIP = 5 })
+	v2 := Vote([]VoteRun{
+		{Impl: "a", Snap: s2[0]},
+		{Impl: "b", Snap: s2[1]},
+		{Impl: "c", Snap: s2[2]},
+		{Impl: "d", Snap: s2[3]},
+		{Impl: "e", Snap: s2[4]},
+	}, Filter{})
+	if v2.Class != VerdictSplit {
+		t.Errorf("2-2-1 class = %q, want split", v2.Class)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"pokeemu/internal/emu"
 	"pokeemu/internal/fidelis"
 	"pokeemu/internal/hwsim"
+	"pokeemu/internal/lento"
 	"pokeemu/internal/machine"
 )
 
@@ -76,6 +77,16 @@ func CelerFactoryFast(fast bool) Factory {
 	}}
 }
 
+// LentoFactory builds the third, deliberately independent backend: the
+// naive direct-decode interpreter. It shares no translation or evaluation
+// machinery with fidelis or celer, which is what makes 3-way majority
+// voting meaningful. No cache exists to share — every step re-decodes.
+func LentoFactory() Factory {
+	return Factory{Name: "lento", New: func(m *machine.Machine) emu.Emulator {
+		return lento.New(m)
+	}}
+}
+
 // HardwareFactory builds the hardware oracle guest. Its per-test cost is the
 // lowest: hardware needs no translation, modeled as a program cache shared
 // across every guest — mirroring native execution under KVM.
@@ -113,6 +124,8 @@ func ByName(name string) (Factory, bool) {
 		return CelerFactory(), true
 	case "hardware":
 		return HardwareFactory(), true
+	case "lento":
+		return LentoFactory(), true
 	}
 	return Factory{}, false
 }

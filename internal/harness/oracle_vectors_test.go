@@ -10,10 +10,11 @@ import (
 )
 
 // The cross-validation oracle is only as good as the agreement between its
-// four independent implementations of the bit-vector semantics: the pure
-// evaluator (expr.Eval), the bit-blaster (solver.BV), and the two
-// emulators. This table drives the same shift/div/extend edge-case vectors
-// through all four and requires one answer.
+// five independent implementations of the bit-vector semantics: the pure
+// evaluator (expr.Eval), the bit-blaster (solver.BV), and the three
+// emulators — fidelis, celer, and lento, the direct-decode voting peer.
+// This table drives the same shift/div/extend edge-case vectors through all
+// five and requires one answer.
 //
 // Shift counts are given raw (pre-mask): the emulators mask CL to 5 bits
 // in the instruction, so the expr/solver terms shift by count&0x1f — the
@@ -108,7 +109,7 @@ func (v *oracleVector) program() []byte {
 
 func TestOracleVectorsFourWay(t *testing.T) {
 	image := machine.BaselineImage()
-	emulators := []Factory{FidelisFactory(), CelerFactory()}
+	emulators := []Factory{FidelisFactory(), CelerFactory(), LentoFactory()}
 	for _, v := range oracleVectors {
 		v := v
 		t.Run(v.name, func(t *testing.T) {
@@ -279,7 +280,7 @@ func (v *rotVector) program() []byte {
 
 func TestOracleVectorsRotate(t *testing.T) {
 	image := machine.BaselineImage()
-	emulators := []Factory{FidelisFactory(), CelerFactory()}
+	emulators := []Factory{FidelisFactory(), CelerFactory(), LentoFactory()}
 	for _, v := range rotateVectors {
 		v := v
 		t.Run(v.name, func(t *testing.T) {
@@ -382,7 +383,7 @@ func (v *adjVector) program() []byte {
 
 func TestOracleVectorsAdjust(t *testing.T) {
 	image := machine.BaselineImage()
-	emulators := []Factory{FidelisFactory(), CelerFactory()}
+	emulators := []Factory{FidelisFactory(), CelerFactory(), LentoFactory()}
 	for _, v := range adjVectors {
 		v := v
 		t.Run(v.name, func(t *testing.T) {
@@ -426,7 +427,7 @@ func TestOracleVectorsAamZero(t *testing.T) {
 		t.Errorf("eval aam 0 = %#x, want %#x", got, want)
 	}
 	image := machine.BaselineImage()
-	for _, res := range RunAll([]Factory{FidelisFactory(), CelerFactory()}, image, v.program(), 0) {
+	for _, res := range RunAll([]Factory{FidelisFactory(), CelerFactory(), LentoFactory()}, image, v.program(), 0) {
 		ex := res.Snapshot.Exception
 		if ex == nil || ex.Vector != 0 {
 			t.Errorf("%s: aam 0 raised %v, want #DE (vector 0)", res.Impl, ex)
@@ -465,7 +466,7 @@ func TestOracleVectorsDivideByZero(t *testing.T) {
 	image := machine.BaselineImage()
 	prog := cat(x86.AsmMovRegImm32(x86.EDX, 0), x86.AsmMovRegImm32(x86.EAX, 1234),
 		x86.AsmMovRegImm32(x86.ECX, 0), []byte{0xf7, 0xf1}, hlt)
-	for _, res := range RunAll([]Factory{FidelisFactory(), CelerFactory()}, image, prog, 0) {
+	for _, res := range RunAll([]Factory{FidelisFactory(), CelerFactory(), LentoFactory()}, image, prog, 0) {
 		ex := res.Snapshot.Exception
 		if ex == nil || ex.Vector != 0 {
 			t.Errorf("%s: divide by zero raised %v, want #DE (vector 0)", res.Impl, ex)

@@ -1,0 +1,282 @@
+package lento
+
+import (
+	"strings"
+
+	"pokeemu/internal/x86"
+)
+
+// execFlow interprets branches, calls, returns, software interrupts, iret,
+// hlt, and the trivial nop/ud2.
+func (x *exec) execFlow(name string) (*fault, bool) {
+	m := x.m
+	switch name {
+	case "nop":
+		x.done()
+		return nil, true
+	case "ud2":
+		return &fault{vec: x86.ExcUD}, true
+	case "hlt":
+		x.done() // EIP points past hlt while halted
+		x.halted = true
+		return nil, true
+	case "jmp_rel8", "jmp_relv":
+		m.EIP = x.relTarget()
+		return nil, true
+	case "jmp_rmv":
+		src, f := x.resolveRM(x.osz, false)
+		if f != nil {
+			return f, true
+		}
+		m.EIP = uint32(x.rmRead(src))
+		return nil, true
+	case "call_relv":
+		next := m.EIP + uint32(x.inst.Len)
+		if f := x.push(uint64(next) & maskW(x.osz)); f != nil {
+			return f, true
+		}
+		target := next + uint32(x.inst.Imm)
+		if x.osz == 16 {
+			target &= 0xffff
+		}
+		m.EIP = target
+		return nil, true
+	case "call_rmv":
+		src, f := x.resolveRM(x.osz, false)
+		if f != nil {
+			return f, true
+		}
+		t := x.rmRead(src)
+		next := m.EIP + uint32(x.inst.Len)
+		if f := x.push(uint64(next) & maskW(x.osz)); f != nil {
+			return f, true
+		}
+		m.EIP = uint32(t)
+		return nil, true
+	case "ret":
+		t, f := x.pop()
+		if f != nil {
+			return f, true
+		}
+		m.EIP = uint32(t)
+		return nil, true
+	case "ret_imm16":
+		t, f := x.pop()
+		if f != nil {
+			return f, true
+		}
+		m.GPR[x86.ESP] += uint32(x.inst.Imm) & 0xffff
+		m.EIP = uint32(t)
+		return nil, true
+	case "jecxz":
+		x.condBranch(m.GPR[x86.ECX] == 0)
+		return nil, true
+	case "loop", "loope", "loopne":
+		ecx := m.GPR[x86.ECX] - 1
+		m.GPR[x86.ECX] = ecx
+		cond := ecx != 0
+		if name == "loope" {
+			cond = cond && x.flag(x86.FlagZF) == 1
+		} else if name == "loopne" {
+			cond = cond && x.flag(x86.FlagZF) == 0
+		}
+		x.condBranch(cond)
+		return nil, true
+	case "int3":
+		x.done()
+		return &fault{vec: x86.ExcBP}, true
+	case "int_imm8":
+		x.done()
+		return &fault{vec: uint8(x.inst.Imm)}, true
+	case "into":
+		if x.flag(x86.FlagOF) == 1 {
+			x.done()
+			return &fault{vec: x86.ExcOF}, true
+		}
+		x.done()
+		return nil, true
+	case "iret":
+		return x.iret(), true
+	}
+	if strings.HasPrefix(name, "j") &&
+		(strings.HasSuffix(name, "_rel8") || strings.HasSuffix(name, "_relv")) {
+		cc := name[1:strings.IndexByte(name, '_')]
+		x.condBranch(x.condValue(ccIndex(cc)))
+		return nil, true
+	}
+	return nil, false
+}
+
+// relTarget is the taken target of a relative branch: next + displacement,
+// truncated to 16 bits at 16-bit operand size.
+func (x *exec) relTarget() uint32 {
+	next := x.m.EIP + uint32(x.inst.Len)
+	var rel uint32
+	if x.inst.ImmSize == 1 {
+		rel = uint32(int32(int8(uint8(x.inst.Imm))))
+	} else {
+		rel = uint32(x.inst.Imm)
+	}
+	target := next + rel
+	if x.osz == 16 {
+		target &= 0xffff
+	}
+	return target
+}
+
+// condBranch sets EIP to the taken or fall-through target. Only the taken
+// target is truncated at 16-bit operand size.
+func (x *exec) condBranch(cond bool) {
+	if cond {
+		x.m.EIP = x.relTarget()
+	} else {
+		x.m.EIP += uint32(x.inst.Len)
+	}
+}
+
+// iret implements the same-privilege protected-mode interrupt return. The
+// hardware read order is innermost-first: EIP, then CS, then EFLAGS —
+// observable when the three stack slots straddle a page boundary (the
+// paper's finding).
+func (x *exec) iret() *fault {
+	m := x.m
+	size := uint32(x.osz / 8)
+	eipV, f := x.stackRead(0, uint8(size))
+	if f != nil {
+		return f
+	}
+	csV, f := x.stackRead(size, uint8(size))
+	if f != nil {
+		return f
+	}
+	flV, f := x.stackRead(2*size, uint8(size))
+	if f != nil {
+		return f
+	}
+
+	sel := uint16(csV)
+	// Same-privilege return requires RPL == CPL (0).
+	if sel&3 != 0 {
+		return &fault{vec: x86.ExcGP, err: uint32(sel) & 0xfffc, hasErr: true}
+	}
+	if f := x.loadSegment(x86.CS, sel, true); f != nil {
+		return f
+	}
+	m.GPR[x86.ESP] += 3 * size
+	m.EIP = uint32(eipV)
+	x.unpackEFLAGS(flV, true)
+	return nil
+}
+
+// execString interprets the string instruction family with rep prefixes.
+func (x *exec) execString(name string) (*fault, bool) {
+	if !strings.HasPrefix(name, "movs") && !strings.HasPrefix(name, "cmps") &&
+		!strings.HasPrefix(name, "stos") && !strings.HasPrefix(name, "lods") &&
+		!strings.HasPrefix(name, "scas") {
+		return nil, false
+	}
+	op := name[:4]
+	w := uint8(8)
+	if strings.HasSuffix(name, "_v") {
+		w = x.osz
+	}
+	return x.stringOp(op, w), true
+}
+
+func (x *exec) stringOp(op string, w uint8) *fault {
+	m := x.m
+	size := uint32(w / 8)
+	rep := x.inst.Rep || x.inst.RepNE
+	srcSeg := x86.DS
+	if x.inst.SegOverride >= 0 {
+		srcSeg = x86.SegReg(x.inst.SegOverride)
+	}
+
+	iterations := 0
+	for {
+		if rep && m.GPR[x86.ECX] == 0 {
+			break
+		}
+		if rep {
+			if iterations++; iterations > repBudget {
+				x.timeout = true
+				return nil
+			}
+		}
+
+		delta := size
+		if x.flag(x86.FlagDF) == 1 {
+			delta = -size
+		}
+
+		esi := m.GPR[x86.ESI]
+		edi := m.GPR[x86.EDI]
+		var stop bool // repe/repne termination for cmps/scas
+		switch op {
+		case "movs":
+			v, f := x.readMem(srcSeg, esi, uint8(size), false)
+			if f != nil {
+				return f
+			}
+			if f := x.writeMem(x86.ES, edi, uint8(size), false, v); f != nil {
+				return f
+			}
+			m.GPR[x86.ESI] = esi + delta
+			m.GPR[x86.EDI] = edi + delta
+		case "stos":
+			if f := x.writeMem(x86.ES, edi, uint8(size), false, x.gprRead(0, w)); f != nil {
+				return f
+			}
+			m.GPR[x86.EDI] = edi + delta
+		case "lods":
+			v, f := x.readMem(srcSeg, esi, uint8(size), false)
+			if f != nil {
+				return f
+			}
+			x.gprWrite(0, w, v)
+			m.GPR[x86.ESI] = esi + delta
+		case "cmps":
+			a, f := x.readMem(srcSeg, esi, uint8(size), false)
+			if f != nil {
+				return f
+			}
+			d, f := x.readMem(x86.ES, edi, uint8(size), false)
+			if f != nil {
+				return f
+			}
+			x.subFlags(a, d, 0, (a-d)&maskW(w), w)
+			m.GPR[x86.ESI] = esi + delta
+			m.GPR[x86.EDI] = edi + delta
+			stop = x.repTermination()
+		case "scas":
+			a := x.gprRead(0, w)
+			d, f := x.readMem(x86.ES, edi, uint8(size), false)
+			if f != nil {
+				return f
+			}
+			x.subFlags(a, d, 0, (a-d)&maskW(w), w)
+			m.GPR[x86.EDI] = edi + delta
+			stop = x.repTermination()
+		}
+
+		if !rep {
+			break
+		}
+		m.GPR[x86.ECX]--
+		if stop {
+			break
+		}
+	}
+	x.done()
+	return nil
+}
+
+// repTermination reports the "stop repeating" condition for the repe/repne
+// forms of cmps/scas.
+func (x *exec) repTermination() bool {
+	zf := x.flag(x86.FlagZF) == 1
+	if x.inst.RepNE {
+		return zf // repne: stop when equal
+	}
+	return !zf // repe: stop when not equal
+}

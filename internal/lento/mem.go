@@ -1,0 +1,547 @@
+package lento
+
+import (
+	"math/bits"
+
+	"pokeemu/internal/machine"
+	"pokeemu/internal/x86"
+)
+
+// maskW is the all-ones mask for a w-bit value.
+func maskW(w uint8) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<w - 1
+}
+
+// signExt sign-extends the low w bits of v.
+func signExt(v uint64, w uint8) int64 {
+	shift := 64 - w
+	return int64(v<<shift) >> shift
+}
+
+// shlW/shrW shift within a w-bit lane; counts at or past the width yield 0.
+func shlW(v uint64, n, w uint8) uint64 {
+	if n >= w {
+		return 0
+	}
+	return v << n & maskW(w)
+}
+
+func shrW(v uint64, n, w uint8) uint64 {
+	if n >= w {
+		return 0
+	}
+	return v & maskW(w) >> n
+}
+
+// sarW arithmetic-shifts within a w-bit lane; counts at or past the width
+// saturate to w-1 (sign fill).
+func sarW(v uint64, n, w uint8) uint64 {
+	if n >= w {
+		n = w - 1
+	}
+	return uint64(signExt(v, w)>>n) & maskW(w)
+}
+
+// ---- Register and flag access ----
+
+func (x *exec) gprRead(idx, w uint8) uint64 {
+	m := x.m
+	switch w {
+	case 32:
+		return uint64(m.GPR[idx])
+	case 16:
+		return uint64(m.GPR[idx] & 0xffff)
+	case 8:
+		if idx < 4 {
+			return uint64(m.GPR[idx] & 0xff)
+		}
+		return uint64(m.GPR[idx&3] >> 8 & 0xff)
+	}
+	panic("lento: bad gpr width")
+}
+
+func (x *exec) gprWrite(idx, w uint8, v uint64) {
+	m := x.m
+	switch w {
+	case 32:
+		m.GPR[idx] = uint32(v)
+	case 16:
+		m.GPR[idx] = m.GPR[idx]&0xffff0000 | uint32(v&0xffff)
+	case 8:
+		if idx < 4 {
+			m.GPR[idx] = m.GPR[idx]&^uint32(0xff) | uint32(v&0xff)
+		} else {
+			r := idx & 3
+			m.GPR[r] = m.GPR[r]&^uint32(0xff00) | uint32(v&0xff)<<8
+		}
+	default:
+		panic("lento: bad gpr width")
+	}
+}
+
+func (x *exec) flag(bit uint8) uint64 { return uint64(x.m.EFLAGS >> bit & 1) }
+
+func (x *exec) setFlag(bit uint8, v uint64) {
+	if v&1 == 1 {
+		x.m.EFLAGS |= 1 << bit
+	} else {
+		x.m.EFLAGS &^= 1 << bit
+	}
+}
+
+func (x *exec) setFlagB(bit uint8, v bool) {
+	if v {
+		x.m.EFLAGS |= 1 << bit
+	} else {
+		x.m.EFLAGS &^= 1 << bit
+	}
+}
+
+// parityBit is PF: set when the low byte has even parity.
+func parityBit(v uint64) uint64 {
+	return uint64(1) ^ uint64(bits.OnesCount8(uint8(v))&1)
+}
+
+// szp sets SF/ZF/PF from a w-bit result.
+func (x *exec) szp(r uint64, w uint8) {
+	x.setFlag(x86.FlagSF, r>>(w-1)&1)
+	x.setFlagB(x86.FlagZF, r&maskW(w) == 0)
+	x.setFlag(x86.FlagPF, parityBit(r))
+}
+
+// addFlags sets CF/OF/AF/SF/ZF/PF for r = a + b + cin at width w.
+func (x *exec) addFlags(a, b, cin, r uint64, w uint8) {
+	x.setFlag(x86.FlagCF, (a+b+cin)>>w&1)
+	x.setFlag(x86.FlagOF, ^(a^b)&(a^r)>>(w-1)&1)
+	x.setFlag(x86.FlagAF, (a^b^r)>>4&1)
+	x.szp(r, w)
+}
+
+// subFlags sets CF/OF/AF/SF/ZF/PF for r = a - b - cin at width w.
+func (x *exec) subFlags(a, b, cin, r uint64, w uint8) {
+	x.setFlag(x86.FlagCF, (a-b-cin)>>w&1)
+	x.setFlag(x86.FlagOF, (a^b)&(a^r)>>(w-1)&1)
+	x.setFlag(x86.FlagAF, (a^b^r)>>4&1)
+	x.szp(r, w)
+}
+
+// logicFlags sets the status flags after AND/OR/XOR/TEST: CF=OF=0, AF
+// forced to 0 (the Bochs convention), SF/ZF/PF from the result.
+func (x *exec) logicFlags(r uint64, w uint8) {
+	x.setFlag(x86.FlagCF, 0)
+	x.setFlag(x86.FlagOF, 0)
+	x.setFlag(x86.FlagAF, 0)
+	x.szp(r, w)
+}
+
+// incDecFlags is add/sub flags with b == 1 and CF preserved.
+func (x *exec) incDecFlags(a, r uint64, w uint8, dec bool) {
+	if dec {
+		x.setFlag(x86.FlagOF, (a^1)&(a^r)>>(w-1)&1)
+	} else {
+		x.setFlag(x86.FlagOF, ^(a^1)&(a^r)>>(w-1)&1)
+	}
+	x.setFlag(x86.FlagAF, (a^1^r)>>4&1)
+	x.szp(r, w)
+}
+
+// condValue evaluates condition code cc (the low nibble of a Jcc opcode).
+func (x *exec) condValue(cc uint8) bool {
+	cf := x.flag(x86.FlagCF) == 1
+	zf := x.flag(x86.FlagZF) == 1
+	sf := x.flag(x86.FlagSF) == 1
+	of := x.flag(x86.FlagOF) == 1
+	pf := x.flag(x86.FlagPF) == 1
+	var v bool
+	switch cc >> 1 {
+	case 0:
+		v = of
+	case 1:
+		v = cf
+	case 2:
+		v = zf
+	case 3:
+		v = cf || zf
+	case 4:
+		v = sf
+	case 5:
+		v = pf
+	case 6:
+		v = sf != of
+	case 7:
+		v = zf || sf != of
+	}
+	if cc&1 == 1 {
+		v = !v
+	}
+	return v
+}
+
+// packEFLAGS assembles the architectural EFLAGS image from the live bits.
+func (x *exec) packEFLAGS() uint32 {
+	return x86.PackEFLAGS(func(bit uint8) uint32 { return x.m.EFLAGS >> bit & 1 })
+}
+
+// unpackEFLAGS writes the writable bits of an EFLAGS image back, bit by
+// bit. IF and IOPL move only for popf/iret (not sahf); AC and ID exist
+// only at 32-bit operand size.
+func (x *exec) unpackEFLAGS(v uint64, includeIFIOPL bool) {
+	writable := []uint8{
+		x86.FlagCF, x86.FlagPF, x86.FlagAF, x86.FlagZF, x86.FlagSF,
+		x86.FlagTF, x86.FlagDF, x86.FlagOF, x86.FlagNT,
+	}
+	if x.osz == 32 {
+		writable = append(writable, x86.FlagAC, x86.FlagID)
+	}
+	if includeIFIOPL {
+		writable = append(writable, x86.FlagIF, 12, 13)
+	}
+	for _, bit := range writable {
+		x.setFlag(bit, v>>bit&1)
+	}
+}
+
+// ---- Memory access ----
+
+// memRef is a resolved guest-memory operand: segment-checked, page-walked
+// (both pages when the access crosses a 4 KiB boundary), ready for
+// byte-by-byte load/store.
+type memRef struct {
+	size   uint8
+	lin    uint32
+	physA  uint32
+	frameB uint32
+	cross  bool
+}
+
+func faultOf(exc *machine.ExceptionInfo) *fault {
+	return &fault{vec: exc.Vector, err: exc.ErrCode, hasErr: exc.HasErr}
+}
+
+// segFault is the segmentation-violation exception: #SS for explicitly
+// stack-semantic accesses, #GP otherwise, error code 0.
+func segFault(stackSem bool) *fault {
+	if stackSem {
+		return &fault{vec: x86.ExcSS, hasErr: true}
+	}
+	return &fault{vec: x86.ExcGP, hasErr: true}
+}
+
+// segCheck applies the segment-level protection checks and returns the
+// linear address. Checks run in the architectural order: present, offset
+// wrap, type/write permission, then the limit (expand-up or expand-down).
+func (x *exec) segCheck(seg x86.SegReg, off uint32, size uint8, write, stackSem bool) (uint32, *fault) {
+	s := &x.m.Seg[seg]
+	if s.Attr&x86.AttrP == 0 {
+		return 0, segFault(stackSem)
+	}
+	last := off + uint32(size) - 1
+	if last < off { // offset range wraps the 4 GiB space
+		return 0, segFault(stackSem)
+	}
+	if s.Attr&x86.AttrCode != 0 {
+		// Code segment: never writable; readable only with the R bit.
+		if write || s.Attr&x86.AttrWritable == 0 || last > s.Limit {
+			return 0, segFault(stackSem)
+		}
+	} else {
+		if write && s.Attr&x86.AttrWritable == 0 {
+			return 0, segFault(stackSem)
+		}
+		if s.Attr&x86.AttrExpand == 0 {
+			if last > s.Limit {
+				return 0, segFault(stackSem)
+			}
+		} else {
+			// Expand-down: valid offsets are (limit, upper].
+			if off <= s.Limit {
+				return 0, segFault(stackSem)
+			}
+			upper := uint32(0xffff)
+			if s.Attr&x86.AttrDB != 0 {
+				upper = 0xffffffff
+			}
+			if last > upper {
+				return 0, segFault(stackSem)
+			}
+		}
+	}
+	return s.Base + off, nil
+}
+
+// walkRef page-walks a linear range into a memRef. The walk itself lives on
+// the machine (shared with the harness's snapshot tooling); it sets CR2 and
+// the A/D bits exactly as the reference semantics do.
+func (x *exec) walkRef(lin uint32, size uint8, write bool) (*memRef, *fault) {
+	physA, exc := x.m.Translate(lin, write)
+	if exc != nil {
+		return nil, faultOf(exc)
+	}
+	r := &memRef{size: size, lin: lin, physA: physA}
+	if size > 1 && lin&0xfff+uint32(size-1) > 0xfff {
+		physB, exc := x.m.Translate(lin+uint32(size-1), write)
+		if exc != nil {
+			return nil, faultOf(exc)
+		}
+		r.cross = true
+		r.frameB = physB &^ 0xfff
+	}
+	return r, nil
+}
+
+// translate is segCheck + page walk for a seg:off access.
+func (x *exec) translate(seg x86.SegReg, off uint32, size uint8, write, stackSem bool) (*memRef, *fault) {
+	lin, f := x.segCheck(seg, off, size, write, stackSem)
+	if f != nil {
+		return nil, f
+	}
+	return x.walkRef(lin, size, write)
+}
+
+// translateLin page-walks a paging-only access (descriptor-table reads and
+// writes bypass segmentation).
+func (x *exec) translateLin(lin uint32, size uint8, write bool) (*memRef, *fault) {
+	return x.walkRef(lin, size, write)
+}
+
+// byteAddr gives the physical address of byte i of the reference,
+// accounting for a page crossing.
+func (x *exec) byteAddr(r *memRef, i uint8) uint32 {
+	if i == 0 {
+		return r.physA
+	}
+	if r.cross && r.lin&0xfff+uint32(i) > 0xfff {
+		return r.frameB | (r.lin+uint32(i))&0xfff
+	}
+	return r.physA + uint32(i)
+}
+
+func (x *exec) memLoad(r *memRef) uint64 {
+	var v uint64
+	for i := uint8(0); i < r.size; i++ {
+		v |= uint64(x.m.Mem.Read8(x.byteAddr(r, i))) << (8 * i)
+	}
+	return v
+}
+
+func (x *exec) memStore(r *memRef, v uint64) {
+	for i := uint8(0); i < r.size; i++ {
+		x.m.Mem.Write8(x.byteAddr(r, i), byte(v>>(8*i)))
+	}
+}
+
+func (x *exec) readMem(seg x86.SegReg, off uint32, size uint8, stackSem bool) (uint64, *fault) {
+	r, f := x.translate(seg, off, size, false, stackSem)
+	if f != nil {
+		return 0, f
+	}
+	return x.memLoad(r), nil
+}
+
+func (x *exec) writeMem(seg x86.SegReg, off uint32, size uint8, stackSem bool, v uint64) *fault {
+	r, f := x.translate(seg, off, size, true, stackSem)
+	if f != nil {
+		return f
+	}
+	x.memStore(r, v)
+	return nil
+}
+
+func (x *exec) readLin(lin uint32, size uint8) (uint64, *fault) {
+	r, f := x.translateLin(lin, size, false)
+	if f != nil {
+		return 0, f
+	}
+	return x.memLoad(r), nil
+}
+
+// ---- Stack ----
+
+// push decrements ESP by the operand size and stores; ESP moves only after
+// the store succeeds, so a faulting push leaves ESP untouched.
+func (x *exec) push(v uint64) *fault {
+	size := uint32(x.osz / 8)
+	newESP := x.m.GPR[4] - size
+	if f := x.writeMem(x86.SS, newESP, uint8(size), true, v); f != nil {
+		return f
+	}
+	x.m.GPR[4] = newESP
+	return nil
+}
+
+// push32 is a fixed 32-bit push (exception delivery).
+func (x *exec) push32(v uint64) *fault {
+	newESP := x.m.GPR[4] - 4
+	if f := x.writeMem(x86.SS, newESP, 4, true, v); f != nil {
+		return f
+	}
+	x.m.GPR[4] = newESP
+	return nil
+}
+
+// pop reads at ESP and then increments it.
+func (x *exec) pop() (uint64, *fault) {
+	size := uint32(x.osz / 8)
+	v, f := x.readMem(x86.SS, x.m.GPR[4], uint8(size), true)
+	if f != nil {
+		return 0, f
+	}
+	x.m.GPR[4] += size
+	return v, nil
+}
+
+// stackRead reads at ESP+delta without moving ESP.
+func (x *exec) stackRead(delta uint32, size uint8) (uint64, *fault) {
+	return x.readMem(x86.SS, x.m.GPR[4]+delta, size, true)
+}
+
+// ---- Effective address and operand resolution ----
+
+// effAddr computes the (segment, offset) of the instruction's memory
+// operand from ModRM/SIB/displacement. An explicit segment-override prefix
+// wins; otherwise SS for EBP/ESP-based forms, DS for everything else.
+func (x *exec) effAddr() (x86.SegReg, uint32) {
+	in := x.inst
+	seg := x86.DS
+	var off uint32
+	switch {
+	case in.HasSIB:
+		scale := in.SIB >> 6
+		index := in.SIB >> 3 & 7
+		base := in.SIB & 7
+		if base == 5 && in.Mod() == 0 {
+			off = in.Disp
+		} else {
+			off = x.m.GPR[base] + in.Disp
+			if base == 4 || base == 5 {
+				seg = x86.SS
+			}
+		}
+		if index != 4 {
+			off += x.m.GPR[index] << scale
+		}
+	case in.Mod() == 0 && in.RM() == 5:
+		off = in.Disp
+	default:
+		off = x.m.GPR[in.RM()] + in.Disp
+		if in.RM() == 5 {
+			seg = x86.SS
+		}
+	}
+	if in.SegOverride >= 0 {
+		seg = x86.SegReg(in.SegOverride)
+	}
+	return seg, off
+}
+
+// rmOp is a resolved ModRM r/m operand: either a register or a translated
+// memory reference.
+type rmOp struct {
+	isReg bool
+	reg   uint8
+	mem   *memRef
+	width uint8
+}
+
+// resolveRM resolves the r/m operand at width w (bits). Memory operands
+// are segment-checked and page-walked up front — before any reads — so
+// write-translations set A/D bits even if the instruction later commits
+// nothing (the architectural read-modify-write contract).
+func (x *exec) resolveRM(w uint8, write bool) (rmOp, *fault) {
+	in := x.inst
+	if in.Mod() == 3 {
+		return rmOp{isReg: true, reg: in.RM(), width: w}, nil
+	}
+	seg, off := x.effAddr()
+	m, f := x.translate(seg, off, w/8, write, false)
+	if f != nil {
+		return rmOp{}, f
+	}
+	return rmOp{mem: m, width: w}, nil
+}
+
+func (x *exec) rmRead(o rmOp) uint64 {
+	if o.isReg {
+		return x.gprRead(o.reg, o.width)
+	}
+	return x.memLoad(o.mem)
+}
+
+func (x *exec) rmWrite(o rmOp, v uint64) {
+	if o.isReg {
+		x.gprWrite(o.reg, o.width, v)
+		return
+	}
+	x.memStore(o.mem, v)
+}
+
+// opRef is a resolved operand of any form: r/m, ModRM reg field, a fixed
+// register, or an immediate.
+type opRef struct {
+	rm    *rmOp
+	reg   int8 // ModRM reg field when >= 0
+	fixed int8 // fixed GPR index when >= 0
+	imm   bool
+	width uint8
+}
+
+// resolveForm resolves one operand-form token from a handler name.
+func (x *exec) resolveForm(tok string, write bool) (opRef, *fault) {
+	none := int8(-1)
+	switch tok {
+	case "rm8":
+		o, f := x.resolveRM(8, write)
+		if f != nil {
+			return opRef{}, f
+		}
+		return opRef{rm: &o, reg: none, fixed: none, width: 8}, nil
+	case "rmv":
+		o, f := x.resolveRM(x.osz, write)
+		if f != nil {
+			return opRef{}, f
+		}
+		return opRef{rm: &o, reg: none, fixed: none, width: x.osz}, nil
+	case "r8":
+		return opRef{reg: int8(x.inst.RegField()), fixed: none, width: 8}, nil
+	case "rv":
+		return opRef{reg: int8(x.inst.RegField()), fixed: none, width: x.osz}, nil
+	case "al":
+		return opRef{reg: none, fixed: 0, width: 8}, nil
+	case "eax":
+		return opRef{reg: none, fixed: 0, width: x.osz}, nil
+	case "imm8":
+		return opRef{reg: none, fixed: none, imm: true, width: 8}, nil
+	case "immv", "imm8s":
+		// The decoder has already sign/zero-extended Imm as the form
+		// demands; the operand reads at full operand size.
+		return opRef{reg: none, fixed: none, imm: true, width: x.osz}, nil
+	}
+	panic("lento: bad operand form " + tok)
+}
+
+func (x *exec) refRead(r opRef) uint64 {
+	switch {
+	case r.rm != nil:
+		return x.rmRead(*r.rm)
+	case r.imm:
+		return x.inst.Imm & maskW(r.width)
+	case r.reg >= 0:
+		return x.gprRead(uint8(r.reg), r.width)
+	default:
+		return x.gprRead(uint8(r.fixed), r.width)
+	}
+}
+
+func (x *exec) refWrite(r opRef, v uint64) {
+	switch {
+	case r.rm != nil:
+		x.rmWrite(*r.rm, v)
+	case r.reg >= 0:
+		x.gprWrite(uint8(r.reg), r.width, v)
+	default:
+		x.gprWrite(uint8(r.fixed), r.width, v)
+	}
+}

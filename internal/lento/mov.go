@@ -1,0 +1,467 @@
+package lento
+
+import (
+	"strings"
+
+	"pokeemu/internal/x86"
+)
+
+// execMovLea interprets plain data movement: mov forms, lea, movzx/movsx,
+// cmovcc, setcc, xlat, and the moffs forms.
+func (x *exec) execMovLea(name string) (*fault, bool) {
+	switch name {
+	case "mov_rm8_r8", "mov_rmv_rv", "mov_r8_rm8", "mov_rv_rmv",
+		"mov_rm8_imm8", "mov_rmv_immv":
+		form := strings.TrimPrefix(name, "mov_")
+		dstTok, srcTok := splitForm(form)
+		dst, f := x.resolveForm(dstTok, true)
+		if f != nil {
+			return f, true
+		}
+		src, f := x.resolveForm(srcTok, false)
+		if f != nil {
+			return f, true
+		}
+		x.refWrite(dst, x.refRead(src))
+		x.done()
+		return nil, true
+	case "mov_r8_imm8":
+		x.gprWrite(x.inst.Opcode&7, 8, x.inst.Imm&0xff)
+		x.done()
+		return nil, true
+	case "mov_r_immv":
+		x.gprWrite(x.inst.Opcode&7, x.osz, x.inst.Imm&maskW(x.osz))
+		x.done()
+		return nil, true
+	case "mov_al_moffs", "mov_eax_moffs":
+		w := uint8(8)
+		if name == "mov_eax_moffs" {
+			w = x.osz
+		}
+		v, f := x.readMem(x.moffsSeg(), x.inst.Disp, w/8, false)
+		if f != nil {
+			return f, true
+		}
+		x.gprWrite(0, w, v)
+		x.done()
+		return nil, true
+	case "mov_moffs_al", "mov_moffs_eax":
+		w := uint8(8)
+		if name == "mov_moffs_eax" {
+			w = x.osz
+		}
+		if f := x.writeMem(x.moffsSeg(), x.inst.Disp, w/8, false, x.gprRead(0, w)); f != nil {
+			return f, true
+		}
+		x.done()
+		return nil, true
+	case "lea":
+		_, off := x.effAddr() // no memory access, no checks
+		if x.osz == 16 {
+			x.gprWrite(x.inst.RegField(), 16, uint64(off)&0xffff)
+		} else {
+			x.gprWrite(x.inst.RegField(), 32, uint64(off))
+		}
+		x.done()
+		return nil, true
+	case "movzx_rv_rm8", "movzx_rv_rm16", "movsx_rv_rm8", "movsx_rv_rm16":
+		srcW := uint8(8)
+		if strings.HasSuffix(name, "16") {
+			srcW = 16
+		}
+		src, f := x.resolveRM(srcW, false)
+		if f != nil {
+			return f, true
+		}
+		v := x.rmRead(src)
+		if strings.HasPrefix(name, "movsx") {
+			v = uint64(signExt(v, srcW)) & maskW(x.osz)
+		}
+		x.gprWrite(x.inst.RegField(), x.osz, v)
+		x.done()
+		return nil, true
+	case "xlat":
+		al := x.gprRead(0, 8)
+		ebx := x.m.GPR[x86.EBX]
+		v, f := x.readMem(x.moffsSeg(), ebx+uint32(al), 1, false)
+		if f != nil {
+			return f, true
+		}
+		x.gprWrite(0, 8, v)
+		x.done()
+		return nil, true
+	}
+	if strings.HasPrefix(name, "cmov") {
+		cc := ccIndex(strings.TrimPrefix(name, "cmov"))
+		// The source is read unconditionally (a faulting memory operand
+		// raises even when the move is suppressed).
+		src, f := x.resolveRM(x.osz, false)
+		if f != nil {
+			return f, true
+		}
+		v := x.rmRead(src)
+		if x.condValue(cc) {
+			x.gprWrite(x.inst.RegField(), x.osz, v)
+		}
+		x.done()
+		return nil, true
+	}
+	if strings.HasPrefix(name, "set") && len(name) <= 5 {
+		cc := ccIndex(strings.TrimPrefix(name, "set"))
+		dst, f := x.resolveRM(8, true)
+		if f != nil {
+			return f, true
+		}
+		var v uint64
+		if x.condValue(cc) {
+			v = 1
+		}
+		x.rmWrite(dst, v)
+		x.done()
+		return nil, true
+	}
+	return nil, false
+}
+
+// moffsSeg is the DS-default, override-respecting segment of the implicit
+// moffs/xlat addressing forms.
+func (x *exec) moffsSeg() x86.SegReg {
+	if x.inst.SegOverride >= 0 {
+		return x86.SegReg(x.inst.SegOverride)
+	}
+	return x86.DS
+}
+
+// ccIndex maps a condition suffix to its encoding value.
+func ccIndex(suffix string) uint8 {
+	for i, n := range ccNames {
+		if n == suffix {
+			return uint8(i)
+		}
+	}
+	panic("lento: unknown condition " + suffix)
+}
+
+var ccNames = [16]string{
+	"o", "no", "b", "ae", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+// execStack interprets push/pop and frame instructions.
+func (x *exec) execStack(name string) (*fault, bool) {
+	m := x.m
+	switch name {
+	case "push_r":
+		if f := x.push(x.gprRead(x.inst.Opcode&7, x.osz)); f != nil {
+			return f, true
+		}
+		x.done()
+		return nil, true
+	case "pop_r":
+		v, f := x.pop()
+		if f != nil {
+			return f, true
+		}
+		x.gprWrite(x.inst.Opcode&7, x.osz, v)
+		x.done()
+		return nil, true
+	case "push_immv", "push_imm8s":
+		if f := x.push(x.inst.Imm & maskW(x.osz)); f != nil {
+			return f, true
+		}
+		x.done()
+		return nil, true
+	case "push_rmv":
+		src, f := x.resolveRM(x.osz, false)
+		if f != nil {
+			return f, true
+		}
+		if f := x.push(x.rmRead(src)); f != nil {
+			return f, true
+		}
+		x.done()
+		return nil, true
+	case "pop_rmv":
+		// The popped value lands in an r/m destination; the read and the
+		// destination write are both checked before ESP moves.
+		v, f := x.stackRead(0, x.osz/8)
+		if f != nil {
+			return f, true
+		}
+		dst, f := x.resolveRM(x.osz, true)
+		if f != nil {
+			return f, true
+		}
+		m.GPR[x86.ESP] += uint32(x.osz / 8)
+		x.rmWrite(dst, v)
+		x.done()
+		return nil, true
+	case "pusha":
+		// The whole 8-register frame is checked as one range before any
+		// write, so a fault leaves the state untouched (hardware behavior).
+		size := uint32(x.osz / 8)
+		esp := m.GPR[x86.ESP]
+		bottom := esp - 8*size
+		if _, f := x.translate(x86.SS, bottom, uint8(8*size), true, true); f != nil {
+			return f, true
+		}
+		for i := uint8(0); i < 8; i++ {
+			var v uint64
+			if i == uint8(x86.ESP) {
+				v = uint64(esp) & maskW(x.osz) // original ESP
+			} else {
+				v = x.gprRead(i, x.osz)
+			}
+			// eax lands at the highest address (it is pushed first).
+			addr := bottom + uint32(7-i)*size
+			if f := x.writeMem(x86.SS, addr, uint8(size), true, v); f != nil {
+				return f, true
+			}
+		}
+		m.GPR[x86.ESP] = bottom
+		x.done()
+		return nil, true
+	case "popa":
+		size := uint32(x.osz / 8)
+		esp := m.GPR[x86.ESP]
+		if _, f := x.translate(x86.SS, esp, uint8(8*size), false, true); f != nil {
+			return f, true
+		}
+		for i := uint8(0); i < 8; i++ {
+			v, f := x.readMem(x86.SS, esp+uint32(7-i)*size, uint8(size), true)
+			if f != nil {
+				return f, true
+			}
+			if i == uint8(x86.ESP) {
+				continue // the popped ESP value is discarded
+			}
+			x.gprWrite(i, x.osz, v)
+		}
+		m.GPR[x86.ESP] = esp + 8*size
+		x.done()
+		return nil, true
+	case "pushf":
+		v := uint64(x.packEFLAGS()) & 0x00fcffff // VM and RF read as 0
+		if x.osz == 16 {
+			v &= 0xffff
+		}
+		if f := x.push(v); f != nil {
+			return f, true
+		}
+		x.done()
+		return nil, true
+	case "popf":
+		v, f := x.pop()
+		if f != nil {
+			return f, true
+		}
+		x.unpackEFLAGS(v, true)
+		x.done()
+		return nil, true
+	case "enter":
+		return x.enter(), true
+	case "leave":
+		// The load is checked before ESP or EBP change.
+		ebp := m.GPR[x86.EBP]
+		v, f := x.readMem(x86.SS, ebp, x.osz/8, true)
+		if f != nil {
+			return f, true
+		}
+		m.GPR[x86.ESP] = ebp + uint32(x.osz/8)
+		if x.osz == 16 {
+			x.gprWrite(uint8(x86.EBP), 16, v)
+		} else {
+			m.GPR[x86.EBP] = uint32(v)
+		}
+		x.done()
+		return nil, true
+	}
+	return nil, false
+}
+
+func (x *exec) enter() *fault {
+	m := x.m
+	allocSize := uint32(x.inst.Imm) & 0xffff
+	level := uint8(x.inst.Imm2) & 0x1f
+	size := uint32(x.osz / 8)
+
+	ebp := m.GPR[x86.EBP]
+	if f := x.push(uint64(ebp) & maskW(x.osz)); f != nil {
+		return f
+	}
+	frameTemp := m.GPR[x86.ESP]
+	for l := uint8(1); l < level; l++ {
+		// Copy the enclosing frame pointers.
+		v, f := x.readMem(x86.SS, ebp-uint32(l)*size, uint8(size), true)
+		if f != nil {
+			return f
+		}
+		if f := x.push(v); f != nil {
+			return f
+		}
+	}
+	if level > 0 {
+		if f := x.push(uint64(frameTemp) & maskW(x.osz)); f != nil {
+			return f
+		}
+	}
+	if x.osz == 16 {
+		x.gprWrite(uint8(x86.EBP), 16, uint64(frameTemp)&0xffff)
+	} else {
+		m.GPR[x86.EBP] = frameTemp
+	}
+	m.GPR[x86.ESP] -= allocSize
+	x.done()
+	return nil
+}
+
+// execBitOps interprets bt/bts/btr/btc, bsf/bsr, and shld/shrd.
+func (x *exec) execBitOps(name string) (*fault, bool) {
+	switch {
+	case strings.HasPrefix(name, "bt_") || strings.HasPrefix(name, "bts_") ||
+		strings.HasPrefix(name, "btr_") || strings.HasPrefix(name, "btc_"):
+		op := name[:strings.IndexByte(name, '_')]
+		immForm := strings.HasSuffix(name, "imm8")
+		return x.bitTest(op, immForm), true
+	case name == "bsf" || name == "bsr":
+		return x.bitScan(name == "bsr"), true
+	case strings.HasPrefix(name, "shld") || strings.HasPrefix(name, "shrd"):
+		return x.doubleShift(strings.HasPrefix(name, "shld"),
+			strings.HasSuffix(name, "cl")), true
+	}
+	return nil, false
+}
+
+// bitTest implements the bt family. For register destinations the bit index
+// wraps within the operand; for memory destinations the bit index addresses
+// memory beyond the operand (bitIdx>>5 dwords away, signed).
+func (x *exec) bitTest(op string, immForm bool) *fault {
+	w := x.osz
+	write := op != "bt"
+	var bitIdx uint32
+	if immForm {
+		bitIdx = uint32(x.inst.Imm) & uint32(w-1)
+	} else {
+		bitIdx = uint32(x.gprRead(x.inst.RegField(), w))
+	}
+
+	idx := uint8(bitIdx & uint32(w-1))
+	mask := uint64(1) << idx
+	apply := func(a uint64) uint64 {
+		switch op {
+		case "bts":
+			return a | mask
+		case "btr":
+			return a &^ mask
+		case "btc":
+			return a ^ mask
+		}
+		return a
+	}
+
+	if x.inst.IsRegForm() {
+		a := x.gprRead(x.inst.RM(), w)
+		x.setFlag(x86.FlagCF, a>>idx&1)
+		if write {
+			x.gprWrite(x.inst.RM(), w, apply(a))
+		}
+	} else {
+		seg, off := x.effAddr()
+		unit := uint32(w / 8)
+		// Signed dword (or word) displacement derived from the bit index.
+		shift := uint8(5)
+		if w == 16 {
+			shift = 4
+		}
+		dwordOff := uint32(int32(bitIdx) >> shift)
+		addr := off + dwordOff*unit
+		m, f := x.translate(seg, addr, uint8(unit), write, false)
+		if f != nil {
+			return f
+		}
+		a := x.memLoad(m)
+		x.setFlag(x86.FlagCF, a>>idx&1)
+		if write {
+			x.memStore(m, apply(a))
+		}
+	}
+	x.done()
+	return nil
+}
+
+// bitScan implements bsf/bsr.
+func (x *exec) bitScan(reverse bool) *fault {
+	w := x.osz
+	src, f := x.resolveRM(w, false)
+	if f != nil {
+		return f
+	}
+	v := x.rmRead(src)
+	zero := v == 0
+	x.setFlagB(x86.FlagZF, zero)
+
+	var res uint64
+	if reverse {
+		for i := int(w) - 1; i >= 0; i-- {
+			if v>>uint8(i)&1 == 1 {
+				res = uint64(i)
+				break
+			}
+		}
+	} else {
+		for i := 0; i < int(w); i++ {
+			if v>>uint8(i)&1 == 1 {
+				res = uint64(i)
+				break
+			}
+		}
+	}
+	// Bochs policy for the zero-source case: destination unchanged.
+	if !zero {
+		x.gprWrite(x.inst.RegField(), w, res)
+	}
+	x.done()
+	return nil
+}
+
+// doubleShift implements shld/shrd.
+func (x *exec) doubleShift(left bool, clForm bool) *fault {
+	w := x.osz
+	dst, f := x.resolveRM(w, true)
+	if f != nil {
+		return f
+	}
+	a := x.rmRead(dst)
+	fill := x.gprRead(x.inst.RegField(), w)
+	var count uint8
+	if clForm {
+		count = uint8(x.gprRead(1, 8)) & 0x1f
+	} else {
+		count = uint8(x.inst.Imm) & 0x1f
+	}
+	if count == 0 {
+		x.done()
+		return nil
+	}
+
+	wn := w - count // 8-bit lane: wraps for counts past the width
+	var r, cf uint64
+	if left {
+		r = shlW(a, count, w) | shrW(fill, wn, w)
+		cf = shlW(a, count, w+1) >> w & 1
+	} else {
+		r = shrW(a, count, w) | shlW(fill, wn, w)
+		cf = shrW(a, count-1, w) & 1
+	}
+	x.setFlag(x86.FlagCF, cf)
+	// Bochs ShiftMultiOF policy: formula at count 1, zero otherwise.
+	if count == 1 {
+		x.setFlag(x86.FlagOF, r>>(w-1)&1^a>>(w-1)&1)
+	} else {
+		x.setFlag(x86.FlagOF, 0)
+	}
+	x.szp(r, w)
+	x.rmWrite(dst, r)
+	x.done()
+	return nil
+}

@@ -1,0 +1,474 @@
+package lento
+
+import (
+	"pokeemu/internal/machine"
+	"pokeemu/internal/x86"
+)
+
+// segLoadKind selects the validation rules for a segment load.
+type segLoadKind int
+
+const (
+	loadData segLoadKind = iota
+	loadSS
+	loadCS
+)
+
+// loadSegment implements the protected-mode segment-register load: selector
+// checks, GDT fetch, descriptor parse, privilege/type validation, the
+// accessed-bit write-back, and the descriptor-cache update. A fault leaves
+// the segment register untouched (only GDT-page A/D bits and the
+// accessed-bit store may already have committed).
+func (x *exec) loadSegment(seg x86.SegReg, sel uint16, forCS bool) *fault {
+	m := x.m
+	selMasked := sel & 0xfffc
+	gpSel := &fault{vec: x86.ExcGP, err: uint32(selMasked), hasErr: true}
+
+	if selMasked == 0 {
+		if seg == x86.SS || forCS {
+			// Null SS or CS is a #GP(0).
+			return &fault{vec: x86.ExcGP, hasErr: true}
+		}
+		// A null selector loads an unusable segment.
+		m.Seg[seg] = machine.Segment{Sel: sel}
+		return nil
+	}
+
+	// No local descriptor table in this machine: TI set is a #GP.
+	if sel>>2&1 == 1 {
+		return gpSel
+	}
+
+	// Descriptor must lie within the GDT limit.
+	if uint32(sel&0xfff8)+7 > m.GDTRLimit {
+		return gpSel
+	}
+
+	descLin := m.GDTRBase + uint32(sel&0xfff8)
+	lo64, f := x.readLin(descLin, 4)
+	if f != nil {
+		return f
+	}
+	hi64, f := x.readLin(descLin+4, 4)
+	if f != nil {
+		return f
+	}
+	lo, hi := uint32(lo64), uint32(hi64)
+
+	kind := loadData
+	if seg == x86.SS {
+		kind = loadSS
+	} else if forCS {
+		kind = loadCS
+	}
+	base, limit, attr, f := x.parseDescriptor(lo, hi, sel, kind)
+	if f != nil {
+		return f
+	}
+
+	// Accessed bit write-back: only when clear.
+	if hi>>8&1 == 0 {
+		wb, f := x.translateLin(descLin+4, 4, true)
+		if f != nil {
+			return f
+		}
+		x.memStore(wb, uint64(hi|0x100))
+	}
+
+	m.Seg[seg].Sel = sel
+	m.Seg[seg].Base = base
+	m.Seg[seg].Limit = limit
+	m.Seg[seg].Attr = attr
+	return nil
+}
+
+// parseDescriptor validates a GDT descriptor and computes the cache fields
+// (attr already 16 bits, with the accessed bit set as caches record it).
+func (x *exec) parseDescriptor(lo, hi uint32, sel uint16, kind segLoadKind) (
+	base, limit uint32, attr uint16, f *fault) {
+
+	selMasked := sel & 0xfffc
+	gpSel := &fault{vec: x86.ExcGP, err: uint32(selMasked), hasErr: true}
+
+	rpl := sel & 3
+	dpl := uint16(hi >> 13 & 3)
+	if hi>>12&1 == 0 { // system descriptor
+		return 0, 0, 0, gpSel
+	}
+
+	if kind == loadSS {
+		if rpl != 0 || dpl != 0 {
+			return 0, 0, 0, gpSel
+		}
+	}
+
+	// Type nibble: bit0 accessed, bit1 W/R, bit2 E/C, bit3 code.
+	typ := hi >> 8 & 0xf
+	isCode := typ&8 != 0
+	rw := typ&2 != 0
+	conforming := isCode && typ&4 != 0
+	valid := true
+	switch kind {
+	case loadSS:
+		valid = !isCode && rw
+	case loadCS:
+		valid = isCode
+	default:
+		valid = !isCode || rw // data, or readable code
+	}
+	if !valid {
+		return 0, 0, 0, gpSel
+	}
+	if kind == loadCS && !conforming && dpl != 0 {
+		// Non-conforming code requires DPL == CPL (0).
+		return 0, 0, 0, gpSel
+	}
+	if kind == loadData && !conforming && dpl < rpl {
+		// DPL ≥ RPL for data and non-conforming code.
+		return 0, 0, 0, gpSel
+	}
+
+	raw := lo&0xffff | hi&0xf0000
+	if hi>>23&1 == 1 { // granularity
+		limit = raw<<12 | 0xfff
+	} else {
+		limit = raw
+	}
+
+	if hi>>15&1 == 0 { // present
+		vec := uint8(x86.ExcNP)
+		if kind == loadSS {
+			vec = x86.ExcSS
+		}
+		return 0, 0, 0, &fault{vec: vec, err: uint32(selMasked), hasErr: true}
+	}
+
+	base = lo>>16 | hi&0xff<<16 | hi&0xff000000
+	attr32 := hi>>8&0xff | hi>>20&0xf<<8
+	attr32 |= 1 // caches record the segment accessed
+	return base, limit, uint16(attr32), nil
+}
+
+// segOps maps the implicit-segment handler-name suffixes.
+var segOps = map[string]x86.SegReg{
+	"es": x86.ES, "cs": x86.CS, "ss": x86.SS,
+	"ds": x86.DS, "fs": x86.FS, "gs": x86.GS,
+}
+
+// execSystem interprets segment-register loads/stores, far pointer loads,
+// control registers, MSRs, descriptor-table instructions, and cpuid.
+func (x *exec) execSystem(name string) (*fault, bool) {
+	m := x.m
+	switch name {
+	case "mov_sreg_rm16":
+		sr := x86.SegReg(x.inst.RegField())
+		if sr == x86.CS || sr > x86.GS {
+			return &fault{vec: x86.ExcUD}, true
+		}
+		src, f := x.resolveRM(16, false)
+		if f != nil {
+			return f, true
+		}
+		if f := x.loadSegment(sr, uint16(x.rmRead(src)), false); f != nil {
+			return f, true
+		}
+		x.done()
+		return nil, true
+	case "mov_rmv_sreg":
+		sr := x86.SegReg(x.inst.RegField())
+		if sr > x86.GS {
+			return &fault{vec: x86.ExcUD}, true
+		}
+		dst, f := x.resolveRM(16, true)
+		if f != nil {
+			return f, true
+		}
+		x.rmWrite(dst, uint64(m.Seg[sr].Sel))
+		x.done()
+		return nil, true
+	case "push_es", "push_cs", "push_ss", "push_ds", "push_fs", "push_gs":
+		sr := segOps[name[5:]]
+		if f := x.push(uint64(m.Seg[sr].Sel)); f != nil {
+			return f, true
+		}
+		x.done()
+		return nil, true
+	case "pop_es", "pop_ss", "pop_ds", "pop_fs", "pop_gs":
+		sr := segOps[name[4:]]
+		v, f := x.stackRead(0, x.osz/8)
+		if f != nil {
+			return f, true
+		}
+		if f := x.loadSegment(sr, uint16(v), false); f != nil {
+			return f, true
+		}
+		m.GPR[x86.ESP] += uint32(x.osz / 8)
+		x.done()
+		return nil, true
+	case "les", "lds", "lfs", "lgs", "lss":
+		return x.farLoad(segOps[name[1:]]), true
+	case "mov_cr_r":
+		return x.movToCR(), true
+	case "mov_r_cr":
+		cr := x.inst.RegField()
+		if cr != 0 && cr != 2 && cr != 3 && cr != 4 {
+			return &fault{vec: x86.ExcUD}, true
+		}
+		var v uint32
+		switch cr {
+		case 0:
+			v = m.CR0
+		case 2:
+			v = m.CR2
+		case 3:
+			v = m.CR3
+		case 4:
+			v = m.CR4
+		}
+		x.gprWrite(x.inst.RM(), 32, uint64(v))
+		x.done()
+		return nil, true
+	case "rdmsr":
+		return x.rdwrMSR(false), true
+	case "wrmsr":
+		return x.rdwrMSR(true), true
+	case "rdtsc":
+		tsc := m.MSR[0]
+		x.gprWrite(0, 32, tsc&0xffffffff)
+		x.gprWrite(2, 32, tsc>>32)
+		x.done()
+		return nil, true
+	case "cpuid":
+		x.cpuid()
+		return nil, true
+	case "lgdt", "lidt":
+		seg, off := x.effAddr()
+		limit, f := x.readMem(seg, off, 2, false)
+		if f != nil {
+			return f, true
+		}
+		base, f := x.readMem(seg, off+2, 4, false)
+		if f != nil {
+			return f, true
+		}
+		if name == "lgdt" {
+			m.GDTRLimit = uint32(limit)
+			m.GDTRBase = uint32(base)
+		} else {
+			m.IDTRLimit = uint32(limit)
+			m.IDTRBase = uint32(base)
+		}
+		x.done()
+		return nil, true
+	case "sgdt", "sidt":
+		seg, off := x.effAddr()
+		var lim, base uint32
+		if name == "sgdt" {
+			lim, base = m.GDTRLimit, m.GDTRBase
+		} else {
+			lim, base = m.IDTRLimit, m.IDTRBase
+		}
+		ref, f := x.translate(seg, off, 6, true, false)
+		if f != nil {
+			return f, true
+		}
+		for i := uint8(0); i < 2; i++ {
+			x.m.Mem.Write8(x.byteAddr(ref, i), byte(lim>>(8*i)))
+		}
+		for i := uint8(0); i < 4; i++ {
+			x.m.Mem.Write8(x.byteAddr(ref, 2+i), byte(base>>(8*i)))
+		}
+		x.done()
+		return nil, true
+	case "smsw":
+		dst, f := x.resolveRM(x.osz, true)
+		if f != nil {
+			return f, true
+		}
+		x.rmWrite(dst, uint64(m.CR0)&maskW(x.osz))
+		x.done()
+		return nil, true
+	case "lmsw":
+		src, f := x.resolveRM(16, false)
+		if f != nil {
+			return f, true
+		}
+		v := uint32(x.rmRead(src))
+		// lmsw can set but not clear PE; only the low 4 bits are written.
+		newPE := m.CR0&1 | v&1
+		m.CR0 = m.CR0&^0xf | v&0xe | newPE
+		x.done()
+		return nil, true
+	case "invlpg":
+		// No TLB is modeled; the effective address is computed but not
+		// dereferenced, exactly like hardware.
+		x.effAddr()
+		x.done()
+		return nil, true
+	case "clts":
+		m.CR0 &^= 1 << x86.CR0TS
+		x.done()
+		return nil, true
+	case "verr", "verw":
+		return x.verify(name == "verw"), true
+	}
+	return nil, false
+}
+
+// verify implements verr/verw: probe whether a selector would be readable
+// (or writable) at the current privilege level, reporting through ZF and
+// never faulting on a bad selector — though the descriptor read itself can
+// still page-fault.
+func (x *exec) verify(forWrite bool) *fault {
+	m := x.m
+	src, f := x.resolveRM(16, false)
+	if f != nil {
+		return f
+	}
+	sel := uint16(x.rmRead(src))
+
+	setZF := func(ok bool) *fault {
+		x.setFlagB(x86.FlagZF, ok)
+		x.done()
+		return nil
+	}
+
+	// Null selector, LDT reference, or out-of-limit descriptor: not valid.
+	if sel&0xfffc == 0 || sel>>2&1 == 1 {
+		return setZF(false)
+	}
+	if uint32(sel&0xfff8)+7 > m.GDTRLimit {
+		return setZF(false)
+	}
+
+	descLin := m.GDTRBase + uint32(sel&0xfff8)
+	hi64, f := x.readLin(descLin+4, 4)
+	if f != nil {
+		return f
+	}
+	hi := uint32(hi64)
+
+	// Must be a present code/data descriptor.
+	if hi>>12&1 == 0 || hi>>15&1 == 0 {
+		return setZF(false)
+	}
+	isCode := hi>>11&1 == 1
+	rw := hi>>9&1 == 1
+	conform := hi>>10&1 == 1
+	dpl := uint16(hi >> 13 & 3)
+	rpl := sel & 3
+	// Privilege applies to data and non-conforming code: DPL ≥ RPL (CPL=0).
+	if (!isCode || !conform) && dpl < rpl {
+		return setZF(false)
+	}
+	if forWrite {
+		// Writable data only.
+		if isCode || !rw {
+			return setZF(false)
+		}
+	} else {
+		// Data always readable; code needs the readable bit.
+		if isCode && !rw {
+			return setZF(false)
+		}
+	}
+	return setZF(true)
+}
+
+// farLoad implements les/lds/lfs/lgs/lss: load a full pointer (offset +
+// selector) from memory, then the segment register, then the GPR. The
+// Bochs-order fetch reads the selector word first.
+func (x *exec) farLoad(sr x86.SegReg) *fault {
+	seg, off := x.effAddr()
+	offBytes := x.osz / 8
+	selV, f := x.readMem(seg, off+uint32(offBytes), 2, false)
+	if f != nil {
+		return f
+	}
+	offV, f := x.readMem(seg, off, offBytes, false)
+	if f != nil {
+		return f
+	}
+	if f := x.loadSegment(sr, uint16(selV), false); f != nil {
+		return f
+	}
+	x.gprWrite(x.inst.RegField(), x.osz, offV)
+	x.done()
+	return nil
+}
+
+// movToCR implements mov %reg, %crN with the architectural consistency
+// checks.
+func (x *exec) movToCR() *fault {
+	m := x.m
+	cr := x.inst.RegField()
+	v := uint32(x.gprRead(x.inst.RM(), 32))
+	gp := &fault{vec: x86.ExcGP, hasErr: true}
+	switch cr {
+	case 0:
+		// PG requires PE; NW without CD is invalid.
+		if v>>x86.CR0PG&1 == 1 && v>>x86.CR0PE&1 == 0 {
+			return gp
+		}
+		if v>>x86.CR0NW&1 == 1 && v>>x86.CR0CD&1 == 0 {
+			return gp
+		}
+		m.CR0 = v
+	case 2:
+		m.CR2 = v
+	case 3:
+		m.CR3 = v & 0xfffff018
+	case 4:
+		// Reserved CR4 bits must be zero.
+		if v&^uint32(0x1ff) != 0 {
+			return gp
+		}
+		m.CR4 = v
+	default:
+		return &fault{vec: x86.ExcUD}
+	}
+	x.done()
+	return nil
+}
+
+// rdwrMSR implements rdmsr/wrmsr with the per-index dispatch; an
+// unrecognized index raises #GP(0).
+func (x *exec) rdwrMSR(write bool) *fault {
+	m := x.m
+	slot := x86.MSRSlot(m.GPR[x86.ECX])
+	if slot < 0 {
+		return &fault{vec: x86.ExcGP, hasErr: true}
+	}
+	if write {
+		m.MSR[slot] = uint64(m.GPR[x86.EDX])<<32 | uint64(m.GPR[x86.EAX])
+	} else {
+		v := m.MSR[slot]
+		x.gprWrite(0, 32, v&0xffffffff)
+		x.gprWrite(2, 32, v>>32)
+	}
+	x.done()
+	return nil
+}
+
+// cpuid returns fixed, implementation-independent values.
+func (x *exec) cpuid() {
+	m := x.m
+	switch m.GPR[x86.EAX] {
+	case 0:
+		m.GPR[x86.EAX] = 1
+		m.GPR[x86.EBX] = 0x656b6f50 // "Poke"
+		m.GPR[x86.EDX] = 0x554d4545 // "EEMU"
+		m.GPR[x86.ECX] = 0x20555043 // "CPU "
+	case 1:
+		m.GPR[x86.EAX] = 0x00000611
+		m.GPR[x86.EBX] = 0
+		m.GPR[x86.ECX] = 0
+		m.GPR[x86.EDX] = 0x00000011 // FPU-less, PSE+TSC
+	default:
+		m.GPR[x86.EAX] = 0
+		m.GPR[x86.EBX] = 0
+		m.GPR[x86.ECX] = 0
+		m.GPR[x86.EDX] = 0
+	}
+	x.done()
+}

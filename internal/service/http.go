@@ -63,6 +63,18 @@ type Report struct {
 	// Hybrid summarizes the coverage-guided fuzzing stage, present only
 	// when the job requested a hybrid budget.
 	Hybrid *HybridInfo `json:"hybrid,omitempty"`
+	// Vote summarizes the N-way voted verdicts, present only when the job
+	// requested voting — vote-free reports keep their historical bytes.
+	Vote *VoteInfo `json:"vote,omitempty"`
+}
+
+// VoteInfo summarizes a job's N-way voted verdicts: per-test equivalence
+// classes over the three emulators, with per-emulator blame counts.
+type VoteInfo struct {
+	Agree    int            `json:"agree"`
+	Majority int            `json:"majority"`
+	Splits   int            `json:"splits"`
+	Blame    map[string]int `json:"blame,omitempty"`
 }
 
 // HybridInfo summarizes a job's hybrid fuzzing stage.
@@ -321,7 +333,20 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		Degraded: degradedInfo(&res.Degraded),
 		Baseline: baselineInfo(res),
 		Hybrid:   hybridInfo(res),
+		Vote:     voteInfo(res),
 	})
+}
+
+// voteInfo converts the result's voted verdicts for the API; nil (omitted
+// from the JSON) when the job ran without voting.
+func voteInfo(res *campaign.Result) *VoteInfo {
+	if !res.VoteUsed {
+		return nil
+	}
+	return &VoteInfo{
+		Agree: res.VoteAgree, Majority: res.VoteMajority, Splits: res.VoteSplits,
+		Blame: res.VoteBlame,
+	}
 }
 
 // hybridInfo converts the result's hybrid stage for the API; nil (omitted

@@ -236,6 +236,12 @@ type Request struct {
 	NoSolverBatch bool `json:"no_solver_batch,omitempty"`
 	NoFastPath    bool `json:"no_fastpath,omitempty"`
 	Portfolio     int  `json:"portfolio,omitempty"`
+
+	// Vote enables N-way voted verdicts: every test additionally runs on
+	// lento and the three emulators are partitioned per test, yielding the
+	// report's per-emulator blame column. Voting bypasses the resume
+	// execution cache (cached outcomes hold only the classic trio).
+	Vote bool `json:"vote,omitempty"`
 }
 
 // configFor normalizes the request in place (so the job's status echoes the
@@ -283,6 +289,7 @@ func (s *Server) configFor(req *Request) (campaign.Config, error) {
 		NoSolverBatch:    req.NoSolverBatch,
 		NoFastPath:       req.NoFastPath,
 		Portfolio:        req.Portfolio,
+		Vote:             req.Vote,
 		// The job captures the baseline current at submission; a later PUT
 		// replaces the server's pointer without disturbing running jobs.
 		Baseline: s.Baseline(),
