@@ -11,9 +11,9 @@ SERVE_CORPUS ?= .pokeemud-corpus
 # Per-package statement-coverage floors enforced by `make cover`
 # (package:floor pairs; floors sit a few points under current coverage so
 # routine edits pass but a dropped test file fails).
-COVER_FLOORS ?= triage:85 diff:90 equivcheck:85 coverage:90 hybrid:85 lento:90
+COVER_FLOORS ?= triage:85 diff:90 equivcheck:85 coverage:90 hybrid:85 lento:90 solver:90
 
-.PHONY: build vet test race fuzz chaos cover bench bench-gate serve smoke equivcheck hybrid vote check
+.PHONY: build vet test race fuzz chaos cover bench bench-gate serve smoke equivcheck hybrid vote solvercheck check
 
 build:
 	$(GO) build ./...
@@ -29,9 +29,10 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-# The eight native fuzz targets: the instruction decoder's structural
+# The ten native fuzz targets: the instruction decoder's structural
 # invariants, the expression simplifier's soundness, the bit-blaster vs
-# evaluator semantics oracle, the fault-injection spec parser, the triage
+# evaluator semantics oracle, the SAT core's arena-compaction integrity and
+# restart determinism, the fault-injection spec parser, the triage
 # minimizer's shrink/signature-preservation invariants, the equivcheck
 # verdict vs concrete-differential oracle, the hybrid mutator's
 # atom-discipline/aliasing/determinism invariants, and the lento
@@ -40,6 +41,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/x86
 	$(GO) test -fuzz=FuzzExprSimplify -fuzztime=$(FUZZTIME) ./internal/expr
 	$(GO) test -fuzz=FuzzSemanticsOracle -fuzztime=$(FUZZTIME) ./internal/solver
+	$(GO) test -fuzz=FuzzArenaCompact -fuzztime=$(FUZZTIME) ./internal/solver
+	$(GO) test -fuzz=FuzzLubyRestart -fuzztime=$(FUZZTIME) ./internal/solver
 	$(GO) test -fuzz=FuzzFaultSpec -fuzztime=$(FUZZTIME) ./internal/faults
 	$(GO) test -fuzz=FuzzTriageMinimize -fuzztime=$(FUZZTIME) ./internal/triage
 	$(GO) test -fuzz=FuzzVsOracle -fuzztime=$(FUZZTIME) ./internal/equivcheck
@@ -126,4 +129,11 @@ hybrid:
 vote:
 	$(GO) test -race -timeout 30m -run 'TestVote' ./internal/campaign ./internal/diff
 
-check: build vet test race chaos cover smoke equivcheck hybrid vote bench-gate
+# Solver self-verification gate: the differential harness (production CDCL
+# configurations vs a frozen reference configuration vs an independent DPLL
+# solver, over seeded random CNF and replayed campaign query workloads)
+# under the race detector, with debug-build model validation switched on.
+solvercheck:
+	$(GO) test -race -timeout 10m ./internal/solver/...
+
+check: build vet test race chaos cover smoke equivcheck hybrid vote solvercheck bench-gate

@@ -446,6 +446,12 @@ func cmdCampaign(args []string) {
 		"use the Lo-Fi emulator's direct-dispatch fast path (off = IR-flavored slow path)")
 	portfolio := fs.Int("portfolio", 0,
 		"race N extra seeded solver clones per budgeted query (0 = off; deterministic)")
+	solverSubsume := fs.Bool("solver-subsume", true,
+		"answer sibling path queries whose assumptions hold under the last Sat model without solving")
+	reduceDB := fs.Bool("reduce-db", true,
+		"periodically drop high-LBD learned clauses from the SAT core (off = keep every learned clause)")
+	restartBase := fs.Int("restart-base", 0,
+		"Luby restart unit for the SAT core (0 = default 100)")
 	vote := fs.Bool("vote", false,
 		"run every test on lento too and vote the three emulators into per-test verdicts with a blame column")
 	fs.Parse(args)
@@ -455,6 +461,9 @@ func cmdCampaign(args []string) {
 	}
 	if *portfolio < 0 {
 		die(fmt.Errorf("-portfolio must be >= 0, got %d", *portfolio))
+	}
+	if *restartBase < 0 {
+		die(fmt.Errorf("-restart-base must be >= 0, got %d", *restartBase))
 	}
 	if err := validateHybridFlags(*hybridOn, *hybridBudget, *hybridWorkers); err != nil {
 		die(err)
@@ -488,6 +497,9 @@ func cmdCampaign(args []string) {
 		NoSolverBatch:    !*solverBatch,
 		NoFastPath:       !*fastpath,
 		Portfolio:        *portfolio,
+		NoSubsume:        !*solverSubsume,
+		NoReduceDB:       !*reduceDB,
+		RestartBase:      *restartBase,
 		Vote:             *vote,
 	}
 	if *hybridOn {
@@ -552,6 +564,10 @@ func cmdTriage(args []string) {
 		"fold sibling path queries into incremental solving with shared assumption prefixes")
 	fastpath := fs.Bool("fastpath", true,
 		"use the Lo-Fi emulator's direct-dispatch fast path (off = IR-flavored slow path)")
+	solverSubsume := fs.Bool("solver-subsume", true,
+		"answer sibling path queries whose assumptions hold under the last Sat model without solving")
+	reduceDB := fs.Bool("reduce-db", true,
+		"periodically drop high-LBD learned clauses from the SAT core (off = keep every learned clause)")
 
 	baselinePath := fs.String("baseline", "",
 		"baseline file of known divergences (\"\" or missing file = everything is new)")
@@ -610,6 +626,8 @@ func cmdTriage(args []string) {
 		Baseline:         bl,
 		NoSolverBatch:    !*solverBatch,
 		NoFastPath:       !*fastpath,
+		NoSubsume:        !*solverSubsume,
+		NoReduceDB:       !*reduceDB,
 	}
 	if cfg.Baseline == nil && *baselinePath != "" {
 		cfg.Baseline = triage.NewBaseline()

@@ -93,6 +93,19 @@ type Config struct {
 	// it can resolve queries the primary gives up on, so — like
 	// NoSolverBatch — it is part of the corpus cache namespace.
 	Portfolio int
+	// NoSubsume disables the solver's model-subsumption fast path (a
+	// sibling query whose assumptions all hold under the last Sat model is
+	// answered Sat without solving). Verdicts and the explored path set
+	// are identical either way, but the models a query returns move, so —
+	// like NoSolverBatch — it is part of the corpus cache namespace.
+	NoSubsume bool
+	// NoReduceDB freezes the solver's learned-clause database, disabling
+	// the periodic LBD-based reduceDB pass. Part of the corpus cache
+	// namespace for the same model-movement reason.
+	NoReduceDB bool
+	// RestartBase overrides the solver's Luby restart unit (0 = default
+	// 100). Part of the corpus cache namespace.
+	RestartBase int
 
 	// CorpusDir roots the persistent test corpus; "" disables it.
 	CorpusDir string
@@ -196,6 +209,7 @@ func (c *Config) Validate() error {
 		{"ExploreWorkers", c.ExploreWorkers},
 		{"MaxSteps", c.MaxSteps},
 		{"TestMaxSteps", c.TestMaxSteps},
+		{"RestartBase", c.RestartBase},
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("campaign: %s must be >= 0 (got %d)", f.name, f.v)
@@ -266,6 +280,14 @@ type SolverStats struct {
 	// ReusedLevels counts assumption trail levels the batched front-end
 	// carried over between sibling queries instead of re-deciding them.
 	ReusedLevels int64
+	// SubsumeHits counts queries answered by the model-subsumption fast
+	// path (assumptions already true under the last Sat model).
+	SubsumeHits int64
+	// Restarts/ReduceRuns/ReduceRemoved surface the CDCL core's restart
+	// and learned-clause-reduction activity.
+	Restarts      int64
+	ReduceRuns    int64
+	ReduceRemoved int64
 	// PortfolioRaces/PortfolioCloneWins count budgeted queries raced by the
 	// solver portfolio and the races a seeded clone decided.
 	PortfolioRaces     int64
@@ -505,6 +527,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	internHits0, internMisses0, _ := expr.InternStats()
 	reused0 := solver.ReusedLevelsTotal()
 	races0, cloneWins0 := solver.PortfolioTotals()
+	core0 := solver.StatsSnapshot()
 	defer func() {
 		res.Solver.Queries = solver.QueriesTotal() - queries0
 		mh, mm := solver.MemoTotals()
@@ -514,6 +537,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		res.Solver.ReusedLevels = solver.ReusedLevelsTotal() - reused0
 		ra, cw := solver.PortfolioTotals()
 		res.Solver.PortfolioRaces, res.Solver.PortfolioCloneWins = ra-races0, cw-cloneWins0
+		core1 := solver.StatsSnapshot()
+		res.Solver.SubsumeHits = core1.SubsumeHits - core0.SubsumeHits
+		res.Solver.Restarts = core1.Restarts - core0.Restarts
+		res.Solver.ReduceRuns = core1.ReduceRuns - core0.ReduceRuns
+		res.Solver.ReduceRemoved = core1.ReduceRemoved - core0.ReduceRemoved
 	}()
 
 	var crp *corpus.Corpus
@@ -580,6 +608,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	opts.Workers = cfg.ExploreWorkers
 	opts.NoSolverBatch = cfg.NoSolverBatch
 	opts.Portfolio = cfg.Portfolio
+	opts.NoSubsume = cfg.NoSubsume
+	opts.NoReduceDB = cfg.NoReduceDB
+	opts.RestartBase = cfg.RestartBase
 	if cfg.MaxSteps > 0 {
 		opts.MaxSteps = cfg.MaxSteps
 	}
@@ -592,6 +623,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if cfg.Portfolio > 0 {
 		solverLabel += fmt.Sprintf("+portfolio%d", cfg.Portfolio)
+	}
+	if cfg.NoSubsume {
+		solverLabel += "+nosub"
+	}
+	if cfg.NoReduceDB {
+		solverLabel += "+noreduce"
+	}
+	if cfg.RestartBase > 0 {
+		solverLabel += fmt.Sprintf("+rb%d", cfg.RestartBase)
 	}
 	sumKey := corpus.SummaryKey{Config: solverLabel, SymexVersion: symex.SerialVersion}
 	var (
@@ -1326,6 +1366,13 @@ func (r *Result) TimingTable() string {
 		rate(r.Solver.InternHits, r.Solver.InternMisses))
 	if r.Solver.ReusedLevels > 0 {
 		fmt.Fprintf(&b, "solver batch: %d assumption levels reused\n", r.Solver.ReusedLevels)
+	}
+	if r.Solver.SubsumeHits > 0 {
+		fmt.Fprintf(&b, "solver subsume: %d queries answered by model subsumption\n", r.Solver.SubsumeHits)
+	}
+	if r.Solver.ReduceRuns > 0 {
+		fmt.Fprintf(&b, "solver reduce: %d passes dropped %d learned clauses (%d restarts)\n",
+			r.Solver.ReduceRuns, r.Solver.ReduceRemoved, r.Solver.Restarts)
 	}
 	if r.Solver.PortfolioRaces > 0 {
 		fmt.Fprintf(&b, "solver portfolio: %d races, %d clone wins\n",

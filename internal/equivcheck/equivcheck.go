@@ -457,7 +457,13 @@ func checkOne(u *core.UniqueInstr, opts *Options, env *checkEnv) *HandlerVerdict
 
 	// Pairwise path product over one solver instance: the assumption memo
 	// and intern table amortize shared sub-terms across all queries.
+	// The disequality solver runs with reduceDB off (and no subsumption):
+	// verdicts here sit against a MaxConflicts budget boundary and the
+	// counterexample models feed the pinned known-diverges baseline, so
+	// the search trajectory is frozen at the pre-reduction behavior to
+	// keep the full-matrix verdict counts and cached entries stable.
 	bv := solver.NewBV()
+	bv.NoReduce = true
 	if opts.MaxConflicts > 0 {
 		bv.MaxConflicts = opts.MaxConflicts
 	}

@@ -1,0 +1,17 @@
+package equivcheck
+
+import (
+	"os"
+	"testing"
+
+	"pokeemu/internal/solver"
+)
+
+// TestMain turns on the solver's debug-build validation gate for the whole
+// package: the equivalence gate below runs with every Sat model re-checked
+// against the full clause set, pinning that validation never fires across
+// the gate's handler subset.
+func TestMain(m *testing.M) {
+	solver.Validate = true
+	os.Exit(m.Run())
+}

@@ -174,13 +174,21 @@ type MetricsSnapshot struct {
 	// repeated queries without solving, and the expression intern table that
 	// deduplicates term construction. Totals cover every job since start.
 	Solver struct {
-		Queries      int64 `json:"queries"`
-		MemoHits     int64 `json:"memo_hits"`
-		MemoMisses   int64 `json:"memo_misses"`
-		InternHits   int64 `json:"intern_hits"`
-		InternMisses int64 `json:"intern_misses"`
-		InternResets int64 `json:"intern_resets"`
-		InternSize   int   `json:"intern_size"`
+		Queries       int64 `json:"queries"`
+		MemoHits      int64 `json:"memo_hits"`
+		MemoMisses    int64 `json:"memo_misses"`
+		SubsumeHits   int64 `json:"subsume_hits"`
+		ReusedLevels  int64 `json:"reused_levels"`
+		Conflicts     int64 `json:"conflicts"`
+		Decisions     int64 `json:"decisions"`
+		Propagations  int64 `json:"propagations"`
+		Restarts      int64 `json:"restarts"`
+		ReduceRuns    int64 `json:"reduce_runs"`
+		ReduceRemoved int64 `json:"reduce_removed"`
+		InternHits    int64 `json:"intern_hits"`
+		InternMisses  int64 `json:"intern_misses"`
+		InternResets  int64 `json:"intern_resets"`
+		InternSize    int   `json:"intern_size"`
 	} `json:"solver"`
 	JobDurationMS HistogramSnapshot        `json:"job_duration_ms"`
 	TestsPerJob   HistogramSnapshot        `json:"tests_per_job"`
@@ -222,8 +230,21 @@ func (m *Metrics) Snapshot(g JobGauges) MetricsSnapshot {
 	s.Hybrid.Signatures = m.HybridSignatures.Load()
 	s.Hybrid.Edges = m.HybridEdges.Load()
 	s.Hybrid.CacheHits = m.HybridCacheHits.Load()
-	s.Solver.Queries = solver.QueriesTotal()
-	s.Solver.MemoHits, s.Solver.MemoMisses = solver.MemoTotals()
+	// One atomic snapshot for every SAT-core counter: these are read while
+	// campaign workers (and portfolio clones) are still solving, so they
+	// must come from the solver's race-free totals, never from a live
+	// solver instance.
+	core := solver.StatsSnapshot()
+	s.Solver.Queries = core.Queries
+	s.Solver.MemoHits, s.Solver.MemoMisses = core.MemoHits, core.MemoMisses
+	s.Solver.SubsumeHits = core.SubsumeHits
+	s.Solver.ReusedLevels = core.ReusedLevels
+	s.Solver.Conflicts = core.Conflicts
+	s.Solver.Decisions = core.Decisions
+	s.Solver.Propagations = core.Propagations
+	s.Solver.Restarts = core.Restarts
+	s.Solver.ReduceRuns = core.ReduceRuns
+	s.Solver.ReduceRemoved = core.ReduceRemoved
 	s.Solver.InternHits, s.Solver.InternMisses, s.Solver.InternResets = expr.InternStats()
 	s.Solver.InternSize = expr.InternSize()
 	s.JobDurationMS = m.JobDurationMS.Snapshot()

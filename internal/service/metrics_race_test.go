@@ -1,0 +1,64 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMetricsRaceDuringSolve hammers /metrics from several goroutines while
+// a campaign job and an equivcheck request are in flight, so the race
+// detector covers the solver stats snapshot path: every counter served at
+// /metrics must come from the package-level atomic totals, never from a
+// CDCL instance another goroutine is mutating mid-solve. The numbers are
+// also sanity-checked for monotonicity — a torn read would show up as a
+// counter going backwards.
+func TestMetricsRaceDuringSolve(t *testing.T) {
+	_, ts := startServer(t, Options{CorpusDir: t.TempDir(), MaxJobs: 2, DrainTimeout: time.Minute})
+
+	st := submitJob(t, ts.URL, `{"handlers":["push_r","add_rmv_rv"],"path_cap":24,"resume":true}`)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastConflicts, lastQueries int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, b := doJSON(t, http.MethodGet, ts.URL+"/metrics", "")
+				if code != http.StatusOK {
+					t.Errorf("metrics = %d: %s", code, b)
+					return
+				}
+				var ms MetricsSnapshot
+				if err := json.Unmarshal(b, &ms); err != nil {
+					t.Errorf("metrics unmarshal: %v", err)
+					return
+				}
+				if ms.Solver.Conflicts < lastConflicts || ms.Solver.Queries < lastQueries {
+					t.Errorf("solver counters went backwards: conflicts %d -> %d, queries %d -> %d",
+						lastConflicts, ms.Solver.Conflicts, lastQueries, ms.Solver.Queries)
+					return
+				}
+				lastConflicts, lastQueries = ms.Solver.Conflicts, ms.Solver.Queries
+			}
+		}()
+	}
+
+	// A synchronous equivcheck request keeps a second solver workload in
+	// flight on the server while the readers poll.
+	if code, raw := doJSON(t, http.MethodGet, ts.URL+"/v1/equivcheck"+eqQuery, ""); code != http.StatusOK {
+		t.Fatalf("equivcheck = %d: %s", code, raw)
+	}
+	pollUntil(t, ts.URL, st.ID, 2*time.Minute, StateDone)
+	close(stop)
+	wg.Wait()
+}

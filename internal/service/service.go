@@ -237,6 +237,16 @@ type Request struct {
 	NoFastPath    bool `json:"no_fastpath,omitempty"`
 	Portfolio     int  `json:"portfolio,omitempty"`
 
+	// NoSubsume disables the solver's model-subsumption fast path;
+	// NoReduceDB freezes the learned-clause database (no reduceDB);
+	// RestartBase overrides the Luby restart unit (0 = default). All three
+	// default off/zero — the fast configuration — and, like
+	// no_solver_batch, select their own corpus cache namespace because
+	// they move which models Sat queries return.
+	NoSubsume   bool `json:"no_subsume,omitempty"`
+	NoReduceDB  bool `json:"no_reduce_db,omitempty"`
+	RestartBase int  `json:"restart_base,omitempty"`
+
 	// Vote enables N-way voted verdicts: every test additionally runs on
 	// lento and the three emulators are partitioned per test, yielding the
 	// report's per-emulator blame column. Voting bypasses the resume
@@ -256,6 +266,9 @@ func (s *Server) configFor(req *Request) (campaign.Config, error) {
 	}
 	if req.Portfolio < 0 {
 		return campaign.Config{}, fmt.Errorf("campaign: portfolio must be >= 0 (got %d)", req.Portfolio)
+	}
+	if req.RestartBase < 0 {
+		return campaign.Config{}, fmt.Errorf("campaign: restart_base must be >= 0 (got %d)", req.RestartBase)
 	}
 	if req.Seed == 0 {
 		req.Seed = 1
@@ -289,6 +302,9 @@ func (s *Server) configFor(req *Request) (campaign.Config, error) {
 		NoSolverBatch:    req.NoSolverBatch,
 		NoFastPath:       req.NoFastPath,
 		Portfolio:        req.Portfolio,
+		NoSubsume:        req.NoSubsume,
+		NoReduceDB:       req.NoReduceDB,
+		RestartBase:      req.RestartBase,
 		Vote:             req.Vote,
 		// The job captures the baseline current at submission; a later PUT
 		// replaces the server's pointer without disturbing running jobs.

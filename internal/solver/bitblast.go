@@ -29,12 +29,14 @@ type BV struct {
 	memo  map[string]memoEntry
 
 	// Queries counts Check calls; Encoded counts encoded term nodes.
-	// MemoHits/MemoMisses split Queries by whether the assumption-set memo
-	// answered without running the SAT core.
-	Queries    int64
-	Encoded    int64
-	MemoHits   int64
-	MemoMisses int64
+	// MemoHits/MemoMisses/SubsumeHits split Queries by whether the
+	// assumption-set memo or the model-subsumption fast path answered
+	// without running the SAT core.
+	Queries     int64
+	Encoded     int64
+	MemoHits    int64
+	MemoMisses  int64
+	SubsumeHits int64
 
 	// MaxConflicts bounds each Check's SAT search (0 = unlimited); an
 	// exhausted budget returns Unknown deterministically. Unknown results
@@ -57,6 +59,24 @@ type BV struct {
 	// one by index used. Scheduling therefore never changes answers, only
 	// wall-clock.
 	Portfolio int
+
+	// Subsume turns on the model-subsumption fast path between sibling
+	// path-condition queries: a query whose assumption literals all
+	// evaluate true under the last Sat model is answered Sat without
+	// touching the SAT core. This is sound because every clause added
+	// after a model snapshot is a definitional Tseitin gate over fresh
+	// output variables (only Assert adds non-definitional constraints, and
+	// Assert invalidates the snapshot), so the old model always extends to
+	// a full satisfying assignment. The answered model is the old
+	// snapshot, which is why exploration configs that flip this knob go
+	// through the SerialVersion dance: verdicts never change, models may.
+	Subsume    bool
+	modelValid bool
+
+	// NoReduce and RestartBase pass through to the CDCL core on every
+	// check (see the CDCL fields of the same names).
+	NoReduce    bool
+	RestartBase int64
 }
 
 // memoEntry caches the outcome of one assumption set: the status, and for
@@ -589,8 +609,11 @@ func (b *BV) Assert(e *expr.Expr) {
 	}
 	l := b.Bits(e)[0]
 	b.sat.AddClause(l)
-	// A new hard constraint can flip any memoized answer from Sat to Unsat.
+	// A new hard constraint can flip any memoized answer from Sat to Unsat,
+	// and invalidates the model snapshot the subsumption fast path tests
+	// against: the old model need not satisfy the new constraint.
 	b.memo = make(map[string]memoEntry)
+	b.modelValid = false
 }
 
 // LitFor translates the 1-bit term e and returns its literal, for use as an
@@ -636,14 +659,39 @@ func (b *BV) CheckLits(lits []Lit) Status {
 		b.MemoHits++
 		memoHitsTotal.Add(1)
 		if ent.st == Sat {
-			b.sat.model = append(b.sat.model[:0], ent.model...)
+			// Model snapshots are immutable, so restoring a cached result
+			// is a pointer swap, not an O(vars) copy. The entry postdates
+			// the last Assert (which clears the memo), so its model is
+			// still a valid snapshot for the subsumption fast path.
+			b.sat.SetModel(ent.model)
+			b.modelValid = true
+			if Validate {
+				b.validateHit(lits, ent.model, "memo")
+			}
 		}
 		return ent.st
+	}
+	if b.Subsume && b.modelValid && modelCovers(b.sat.Model(), lits) {
+		// Every assumption already holds under the last Sat model: answer
+		// Sat without solving (see the Subsume field comment for why this
+		// is sound). The current model stays current.
+		b.SubsumeHits++
+		subsumeHitsTotal.Add(1)
+		if Validate {
+			b.validateHit(lits, b.sat.Model(), "subsume")
+		}
+		if len(b.memo) >= checkMemoCap {
+			b.memo = make(map[string]memoEntry)
+		}
+		b.memo[key] = memoEntry{st: Sat, model: b.sat.Model()}
+		return Sat
 	}
 	b.MemoMisses++
 	memoMissesTotal.Add(1)
 	b.sat.MaxConflicts = b.MaxConflicts
 	b.sat.Reuse = b.Reuse
+	b.sat.NoReduce = b.NoReduce
+	b.sat.RestartBase = b.RestartBase
 	prevReused := b.sat.ReusedLevels
 	var st Status
 	if b.Portfolio > 0 && b.MaxConflicts > 0 {
@@ -661,13 +709,40 @@ func (b *BV) CheckLits(lits []Lit) Status {
 	}
 	ent := memoEntry{st: st}
 	if st == Sat {
-		ent.model = append([]bool(nil), b.sat.model...)
+		ent.model = b.sat.Model()
+		b.modelValid = true
 	}
 	if len(b.memo) >= checkMemoCap {
 		b.memo = make(map[string]memoEntry)
 	}
 	b.memo[key] = ent
 	return st
+}
+
+// modelCovers reports whether every assumption literal is inside the model
+// (its variable predates the snapshot) and evaluates true under it.
+func modelCovers(m []bool, lits []Lit) bool {
+	for _, l := range lits {
+		v := l.Var()
+		if v >= len(m) || m[v] == l.Sign() {
+			return false
+		}
+	}
+	return true
+}
+
+// validateHit is the Validate debug gate for the memo and subsumption fast
+// paths: the returned model must make every assumption true. The full
+// clause-set check from CDCL.Solve does not apply here — definitional
+// gates encoded after the snapshot legitimately involve variables beyond
+// the model's length — but the assumptions themselves must hold.
+func (b *BV) validateHit(lits []Lit, m []bool, path string) {
+	for _, l := range lits {
+		v := l.Var()
+		if v >= len(m) || m[v] == l.Sign() {
+			panic(fmt.Sprintf("solver: %s hit model falsifies assumption %d", path, l))
+		}
+	}
 }
 
 // solvePortfolio runs one query as a race: the primary solver plus
@@ -710,7 +785,9 @@ func (b *BV) solvePortfolio(lits []Lit) Status {
 		if sts[i] != Unknown {
 			portfolioCloneWins.Add(1)
 			if sts[i] == Sat {
-				b.sat.model = append(b.sat.model[:0], clones[i].model...)
+				// The clone's snapshot is immutable like the primary's, so
+				// adopting it is a pointer swap.
+				b.sat.SetModel(clones[i].Model())
 			}
 			return sts[i]
 		}
@@ -772,7 +849,7 @@ func (b *BV) valueOf(lits []Lit) uint64 {
 }
 
 // NumClauses reports the size of the underlying CNF, for diagnostics.
-func (b *BV) NumClauses() int { return len(b.sat.clauses) }
+func (b *BV) NumClauses() int { return b.sat.NumClauses() }
 
 // NumVarsSAT reports the number of SAT variables allocated.
 func (b *BV) NumVarsSAT() int { return b.sat.NumVars() }

@@ -1,0 +1,15 @@
+package solver
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain turns on the debug-build validation gate for the whole package:
+// every Sat verdict any test produces is re-checked against the full
+// clause set and assumptions, and every reduceDB pass re-checks watcher
+// integrity. Production builds leave Validate off.
+func TestMain(m *testing.M) {
+	Validate = true
+	os.Exit(m.Run())
+}

@@ -1,0 +1,109 @@
+// Package selfcheck is the solver self-verification harness: it
+// differentially tests the production CDCL configuration (clause arena,
+// LBD reduceDB, Luby restarts, model subsumption) against a frozen
+// reference configuration and against an independent DPLL solver, over
+// seeded random CNF instances and replayed campaign query workloads.
+// Verdicts must agree everywhere; models are validated by the
+// solver.Validate debug gate, which the harness switches on.
+package selfcheck
+
+import "pokeemu/internal/solver"
+
+// refDPLL is an independent plain DPLL solver: recursive backtracking with
+// unit propagation, no learning, no restarts, no watched literals, no
+// heuristics. It shares nothing with the CDCL implementation but the Lit
+// encoding, so an agreement between the two is meaningful evidence. It is
+// exponential and meant only for the harness's small instances.
+type refDPLL struct {
+	nvars   int
+	clauses [][]solver.Lit
+}
+
+func newRefDPLL(nvars int, clauses [][]solver.Lit) *refDPLL {
+	return &refDPLL{nvars: nvars, clauses: clauses}
+}
+
+// solve decides satisfiability of the clause set with the assumptions
+// conjoined as unit clauses. Never returns Unknown.
+func (r *refDPLL) solve(assumps []solver.Lit) solver.Status {
+	cls := make([][]solver.Lit, 0, len(r.clauses)+len(assumps))
+	cls = append(cls, r.clauses...)
+	for _, a := range assumps {
+		cls = append(cls, []solver.Lit{a})
+	}
+	assign := make([]int8, r.nvars) // 0 unassigned, 1 true, -1 false
+	if r.dpll(cls, assign) {
+		return solver.Sat
+	}
+	return solver.Unsat
+}
+
+func litVal(assign []int8, l solver.Lit) int8 {
+	v := assign[l.Var()]
+	if v == 0 {
+		return 0
+	}
+	if l.Sign() {
+		return -v
+	}
+	return v
+}
+
+// dpll is the recursive search. assign is copied at each branch, which is
+// wasteful and fine: instances are tiny by construction.
+func (r *refDPLL) dpll(cls [][]solver.Lit, assign []int8) bool {
+	// Unit propagation to fixpoint.
+	for {
+		progress := false
+		for _, c := range cls {
+			var unit solver.Lit = -1
+			sat, unassigned := false, 0
+			for _, l := range c {
+				switch litVal(assign, l) {
+				case 1:
+					sat = true
+				case 0:
+					unassigned++
+					unit = l
+				}
+			}
+			if sat {
+				continue
+			}
+			if unassigned == 0 {
+				return false // falsified clause
+			}
+			if unassigned == 1 {
+				v := unit.Var()
+				if unit.Sign() {
+					assign[v] = -1
+				} else {
+					assign[v] = 1
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Branch on the first unassigned variable.
+	branch := -1
+	for v := 0; v < r.nvars; v++ {
+		if assign[v] == 0 {
+			branch = v
+			break
+		}
+	}
+	if branch < 0 {
+		return true // complete assignment, no clause falsified
+	}
+	for _, val := range []int8{1, -1} {
+		next := append([]int8(nil), assign...)
+		next[branch] = val
+		if r.dpll(cls, next) {
+			return true
+		}
+	}
+	return false
+}

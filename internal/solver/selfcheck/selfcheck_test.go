@@ -1,0 +1,35 @@
+package selfcheck
+
+import (
+	"os"
+	"testing"
+
+	"pokeemu/internal/solver"
+)
+
+// TestMain switches on the solver's debug-build model validation, so every
+// Sat result the harness produces is re-checked against the full clause
+// set and every reduceDB pass re-checks watcher integrity.
+func TestMain(m *testing.M) {
+	solver.Validate = true
+	os.Exit(m.Run())
+}
+
+func TestRandomDifferential(t *testing.T) {
+	if err := RandomDifferential(25); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCampaignReplay replays real campaign exploration queries for a
+// handler slice: verdicts (and hence the explored path set and canonical
+// test assignments) must be identical between the production solver
+// configuration and the frozen reference configuration.
+func TestCampaignReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign replay explores real handlers")
+	}
+	if err := CampaignReplay([]string{"add", "push", "leave"}, 48); err != nil {
+		t.Fatal(err)
+	}
+}

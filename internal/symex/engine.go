@@ -32,6 +32,18 @@ type Options struct {
 	// reuse across the sibling queries of one task). The negative sense
 	// keeps the zero-value Options on the fast default.
 	NoSolverBatch bool
+	// NoSubsume disables the model-subsumption fast path between sibling
+	// path-condition queries (a query whose assumptions all hold under the
+	// last Sat model is answered Sat without solving). Verdicts — and
+	// hence the explored path set — are identical either way; only the
+	// emitted models move, which SerialVersion 4 accounts for. The
+	// negative sense keeps the zero-value Options on the fast default.
+	NoSubsume bool
+	// NoReduceDB freezes the solver's learned-clause database (disables
+	// the periodic LBD-based reduceDB pass).
+	NoReduceDB bool
+	// RestartBase overrides the solver's Luby restart unit (0 = default).
+	RestartBase int
 	// Portfolio races that many deterministically-seeded solver clones
 	// against the primary on budgeted queries (0 = off). Answers are a pure
 	// function of the query sequence; only wall-clock changes.
@@ -56,14 +68,15 @@ type PathResult struct {
 
 // Stats aggregates exploration effort.
 type Stats struct {
-	Paths          int
-	AbortedPaths   int
-	SolverQueries  int64
-	SolverMemoHits int64 // queries answered by the solver's assumption memo
-	TreeNodes      int64
-	Exhausted      bool // every feasible path was explored
-	MinimizedBits  int64
-	FlippedBits    int64
+	Paths             int
+	AbortedPaths      int
+	SolverQueries     int64
+	SolverMemoHits    int64 // queries answered by the solver's assumption memo
+	SolverSubsumeHits int64 // queries answered by the model-subsumption fast path
+	TreeNodes         int64
+	Exhausted         bool // every feasible path was explored
+	MinimizedBits     int64
+	FlippedBits       int64
 	// StmtsCovered / StmtsTotal measure static IR statement coverage across
 	// all explored paths — the paper's observation that exhaustive path
 	// exploration yields very high static coverage of the per-instruction
@@ -125,6 +138,9 @@ func NewEngine(initial *SymState, sideConds []*expr.Expr, opts Options) *Engine 
 	}
 	en.bv.Reuse = !opts.NoSolverBatch
 	en.bv.Portfolio = opts.Portfolio
+	en.bv.Subsume = !opts.NoSubsume
+	en.bv.NoReduce = opts.NoReduceDB
+	en.bv.RestartBase = int64(opts.RestartBase)
 	for _, c := range sideConds {
 		if c == nil {
 			continue
@@ -141,11 +157,13 @@ func (en *Engine) Stats() Stats {
 	s := en.stats
 	s.SolverQueries = en.bv.Queries
 	s.SolverMemoHits = en.bv.MemoHits
+	s.SolverSubsumeHits = en.bv.SubsumeHits
 	s.TreeNodes = en.tree.Nodes
 	s.Exhausted = en.tree.FullyExplored()
 	for _, sub := range en.subs {
 		s.SolverQueries += sub.bv.Queries
 		s.SolverMemoHits += sub.bv.MemoHits
+		s.SolverSubsumeHits += sub.bv.SubsumeHits
 		s.TreeNodes += sub.tree.Nodes
 		s.MinimizedBits += sub.stats.MinimizedBits
 		s.FlippedBits += sub.stats.FlippedBits

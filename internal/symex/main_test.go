@@ -1,0 +1,16 @@
+package symex
+
+import (
+	"os"
+	"testing"
+
+	"pokeemu/internal/solver"
+)
+
+// TestMain turns on the solver's debug-build validation gate: every Sat
+// verdict produced while exploring under test is re-checked against the
+// full clause set, and every reduceDB pass re-checks watcher integrity.
+func TestMain(m *testing.M) {
+	solver.Validate = true
+	os.Exit(m.Run())
+}

@@ -16,7 +16,11 @@ import (
 // Version 3: the batched solver front-end (incremental solving with shared
 // assumption prefixes) became the default, changing which models exploration
 // emits on budget-free queries.
-const SerialVersion = 3
+// Version 4: the SAT core's learned-clause reduction (LBD reduceDB) and the
+// model-subsumption fast path became the defaults; both answer the same
+// verdicts but change which satisfying model a Sat query returns, so
+// exploration emits different (equally valid) models.
+const SerialVersion = 4
 
 // SummaryRecord is the serializable form of a Summary: the expression DAG
 // flattened into a node table (shared subterms appear once and are
